@@ -1,0 +1,73 @@
+// Command vjbench regenerates the experimental evaluation of the ViewJoin
+// paper (Chen & Chan, ICDE 2010): every table and figure of §VI, over the
+// deterministic XMark-like and Nasa-like datasets and the simulated paged
+// store.
+//
+// Usage:
+//
+//	vjbench -exp all                 # run the whole evaluation
+//	vjbench -exp fig5a               # one experiment (see -list)
+//	vjbench -exp fig7 -xmark-scale 2 # bigger documents
+//	vjbench -list                    # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"viewjoin/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment to run (see -list), or 'all'")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		scale    = flag.Float64("xmark-scale", 0, "XMark scale factor (default 1.0 = 100MB analog)")
+		datasets = flag.Int("nasa-datasets", 0, "Nasa dataset count (default 4000 = 23MB analog)")
+		repeats  = flag.Int("repeats", 0, "timed runs per measurement (default 5)")
+		pool     = flag.Int("pool", 0, "buffer pool pages (default 64)")
+		ioCost   = flag.Duration("io-cost", 0, "simulated cost per page miss (default 3µs)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{
+		XMarkScale:      *scale,
+		NasaDatasets:    *datasets,
+		Repeats:         *repeats,
+		BufferPoolPages: *pool,
+		IOCostPerPage:   *ioCost,
+		Out:             os.Stdout,
+	}
+
+	run := func(e experiments.Experiment) {
+		fmt.Printf("=== %s: %s\n", e.Name, e.Title)
+		start := time.Now()
+		if err := e.Run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "vjbench: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s done in %v\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		return
+	}
+	e, err := experiments.ByName(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vjbench:", err)
+		os.Exit(2)
+	}
+	run(e)
+}

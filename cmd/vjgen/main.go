@@ -1,0 +1,53 @@
+// Command vjgen writes the reproduction's deterministic benchmark datasets
+// as XML, for inspection or for use with vjquery.
+//
+// Usage:
+//
+//	vjgen -xmark 0.5 > auction.xml
+//	vjgen -nasa 1000 > nasa.xml
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"viewjoin"
+)
+
+func main() {
+	var (
+		xmark = flag.Float64("xmark", 0, "generate an XMark-like document at this scale (1.0 = 100MB analog)")
+		nasa  = flag.Int("nasa", 0, "generate a Nasa-like document with this many datasets")
+		stats = flag.Bool("stats", false, "print node statistics to stderr")
+	)
+	flag.Parse()
+
+	var doc *viewjoin.Document
+	switch {
+	case *xmark > 0 && *nasa > 0:
+		fmt.Fprintln(os.Stderr, "vjgen: choose either -xmark or -nasa")
+		os.Exit(2)
+	case *xmark > 0:
+		doc = viewjoin.GenerateXMark(*xmark)
+	case *nasa > 0:
+		doc = viewjoin.GenerateNasa(*nasa)
+	default:
+		fmt.Fprintln(os.Stderr, "vjgen: provide -xmark <scale> or -nasa <datasets>")
+		os.Exit(2)
+	}
+
+	if *stats {
+		fmt.Fprintf(os.Stderr, "vjgen: %d element nodes\n", doc.NumNodes())
+	}
+	w := bufio.NewWriter(os.Stdout)
+	if err := doc.WriteXML(w); err != nil {
+		fmt.Fprintln(os.Stderr, "vjgen:", err)
+		os.Exit(1)
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "vjgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,223 @@
+// Command vjquery evaluates a tree pattern query over an XML file using
+// materialized views, printing the matches and the evaluation statistics.
+//
+// Usage:
+//
+//	vjquery -q '//a[//f]//b//e' -views '//a//e; //b; //f' doc.xml
+//	vjquery -q '//a//b//c' -views '//a//c; //b' -engine IJ -scheme T doc.xml
+//	vjquery -q '//site//item' -xmark 0.5            # run against a generated doc
+//	vjquery -q '//a//b' -load 'views/*.vjview' doc.xml  # reuse saved views
+//	vjquery -q '//a//b//a' -general -raw doc.xml    # general query, no views
+//
+// Engines: VJ (ViewJoin), TS (TwigStack), PS (PathStack), IJ (InterJoin).
+// Schemes: E, LE, LEp, T. InterJoin requires -scheme T and path queries.
+// -raw evaluates over raw element streams (TS/PS only) and is the only
+// mode for -general queries with repeated element types.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"viewjoin"
+)
+
+func main() {
+	var (
+		queryStr  = flag.String("q", "", "tree pattern query (XPath fragment with /, //, [])")
+		viewsStr  = flag.String("views", "", "semicolon-separated covering views (default: one single-node view per query node)")
+		engineStr = flag.String("engine", "VJ", "evaluation engine: VJ, TS, PS, IJ")
+		schemeStr = flag.String("scheme", "LEp", "view storage scheme: E, LE, LEp, T")
+		diskBased = flag.Bool("disk", false, "use the disk-based output approach")
+		xmark     = flag.Float64("xmark", 0, "evaluate over a generated XMark document of this scale instead of a file")
+		nasa      = flag.Int("nasa", 0, "evaluate over a generated Nasa document with this many datasets instead of a file")
+		maxPrint  = flag.Int("n", 10, "print at most this many matches (0 = none)")
+		loadGlob  = flag.String("load", "", "load saved views matching this glob (from vjmaterialize) instead of materializing")
+		raw       = flag.Bool("raw", false, "evaluate over raw element streams without views (TS/PS only)")
+		general   = flag.Bool("general", false, "allow repeated element types in the query (implies -raw)")
+	)
+	flag.Parse()
+	if *queryStr == "" {
+		fail("missing -q query")
+	}
+
+	doc, err := loadDocument(*xmark, *nasa, flag.Arg(0))
+	if err != nil {
+		fail("%v", err)
+	}
+	parse := viewjoin.ParseQuery
+	if *general {
+		parse = viewjoin.ParseQueryGeneral
+		*raw = true
+	}
+	query, err := parse(*queryStr)
+	if err != nil {
+		fail("%v", err)
+	}
+	engine, err := parseEngine(*engineStr)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	if *raw {
+		if engine == viewjoin.EngineViewJoin {
+			engine = viewjoin.EngineTwigStack // raw streams: holistic default
+		}
+		res, err := viewjoin.EvaluateWithoutViews(doc, query, engine, nil)
+		if err != nil {
+			fail("evaluate: %v", err)
+		}
+		fmt.Printf("document: %d nodes; raw element streams (no views)\n", doc.NumNodes())
+		printResult(query, engine, res, *maxPrint)
+		return
+	}
+
+	if *loadGlob != "" {
+		paths, err := filepath.Glob(*loadGlob)
+		if err != nil {
+			fail("%v", err)
+		}
+		if len(paths) == 0 {
+			fail("no view files match %q", *loadGlob)
+		}
+		sort.Strings(paths)
+		var mviews []*viewjoin.MaterializedView
+		var totalBytes int64
+		for _, p := range paths {
+			f, err := os.Open(p)
+			if err != nil {
+				fail("%v", err)
+			}
+			mv, err := doc.LoadView(f)
+			f.Close()
+			if err != nil {
+				fail("load %s: %v", p, err)
+			}
+			mviews = append(mviews, mv)
+			totalBytes += mv.SizeBytes()
+		}
+		res, err := viewjoin.Evaluate(doc, query, mviews, engine, nil)
+		if err != nil {
+			fail("evaluate: %v", err)
+		}
+		fmt.Printf("document: %d nodes; %d loaded views (%d bytes)\n", doc.NumNodes(), len(mviews), totalBytes)
+		printResult(query, engine, res, *maxPrint)
+		return
+	}
+
+	if *viewsStr == "" {
+		var parts []string
+		for _, l := range query.Labels() {
+			parts = append(parts, "//"+l)
+		}
+		*viewsStr = strings.Join(parts, "; ")
+	}
+	views, err := viewjoin.ParseViews(*viewsStr)
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := viewjoin.ValidateViewSet(query, views); err != nil {
+		fail("%v", err)
+	}
+
+	scheme, err := parseScheme(*schemeStr)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	mviews, err := doc.MaterializeViews(views, scheme)
+	if err != nil {
+		fail("materialize: %v", err)
+	}
+	var totalBytes int64
+	var totalPointers int
+	for _, mv := range mviews {
+		totalBytes += mv.SizeBytes()
+		totalPointers += mv.NumPointers()
+	}
+
+	res, err := viewjoin.Evaluate(doc, query, mviews, engine, &viewjoin.EvalOptions{DiskBased: *diskBased})
+	if err != nil {
+		fail("evaluate: %v", err)
+	}
+
+	fmt.Printf("document: %d nodes; views: %d (%s scheme, %d bytes, %d pointers)\n",
+		doc.NumNodes(), len(views), scheme, totalBytes, totalPointers)
+	printResult(query, engine, res, *maxPrint)
+}
+
+// printResult reports the match count, evaluation statistics, and up to
+// maxPrint matches.
+func printResult(query *viewjoin.Query, engine viewjoin.Engine, res *viewjoin.Result, maxPrint int) {
+	fmt.Printf("query %s via %s: %d matches in %v\n", query, engine, len(res.Matches), res.Stats.Duration)
+	fmt.Printf("stats: scanned=%d comparisons=%d derefs=%d pagesRead=%d pagesWritten=%d\n",
+		res.Stats.ElementsScanned, res.Stats.Comparisons, res.Stats.PointerDerefs,
+		res.Stats.PagesRead, res.Stats.PagesWritten)
+	labels := query.Labels()
+	for i, m := range res.Matches {
+		if i >= maxPrint {
+			fmt.Printf("... and %d more\n", len(res.Matches)-i)
+			break
+		}
+		var parts []string
+		for j, n := range m {
+			parts = append(parts, fmt.Sprintf("%s@%d", labels[j], n.Start))
+		}
+		fmt.Println(" ", strings.Join(parts, " "))
+	}
+}
+
+func loadDocument(xmarkScale float64, nasaDatasets int, path string) (*viewjoin.Document, error) {
+	switch {
+	case xmarkScale > 0:
+		return viewjoin.GenerateXMark(xmarkScale), nil
+	case nasaDatasets > 0:
+		return viewjoin.GenerateNasa(nasaDatasets), nil
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return viewjoin.ParseDocument(f)
+	default:
+		return nil, fmt.Errorf("provide an XML file argument, -xmark, or -nasa")
+	}
+}
+
+func parseScheme(s string) (viewjoin.StorageScheme, error) {
+	switch strings.ToUpper(s) {
+	case "E":
+		return viewjoin.SchemeElement, nil
+	case "LE":
+		return viewjoin.SchemeLE, nil
+	case "LEP":
+		return viewjoin.SchemeLEp, nil
+	case "T":
+		return viewjoin.SchemeTuple, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q (want E, LE, LEp, T)", s)
+}
+
+func parseEngine(s string) (viewjoin.Engine, error) {
+	switch strings.ToUpper(s) {
+	case "VJ":
+		return viewjoin.EngineViewJoin, nil
+	case "TS":
+		return viewjoin.EngineTwigStack, nil
+	case "PS":
+		return viewjoin.EnginePathStack, nil
+	case "IJ":
+		return viewjoin.EngineInterJoin, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q (want VJ, TS, PS, IJ)", s)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "vjquery: "+format+"\n", args...)
+	os.Exit(1)
+}

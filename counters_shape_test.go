@@ -1,0 +1,92 @@
+package viewjoin
+
+import "testing"
+
+// TestPaperShapeCounters pins the deterministic counter relationships
+// behind the paper's headline claims on the benchmark workload. Unlike
+// wall-clock comparisons these are exactly reproducible:
+//
+//  1. ViewJoin performs fewer structural comparisons than TwigStack on
+//     every benchmark query (segment-level processing, §IV-B feature 1).
+//  2. On the skewed Nasa data, VJ+LE scans fewer elements than TS+E for
+//     the queries with skipping opportunities (§VI-A's "higher performance
+//     gain ... due to a higher benefit in skipping non-solution nodes").
+//  3. TwigStack's scan count is identical across E/LE/LEp (it ignores
+//     pointers) while its page count grows with the pointer-bearing
+//     schemes (§VI observation on TS paying for LE's size).
+func TestPaperShapeCounters(t *testing.T) {
+	type check struct {
+		doc   *Document
+		name  string
+		query string
+		views string
+		skips bool // expect VJ+LE to scan strictly less than TS+E
+	}
+	ns := GenerateNasa(800)
+	xm := GenerateXMark(0.2)
+	checks := []check{
+		{ns, "N1", "//field//footnote//para", "//field//para; //footnote", true},
+		{ns, "N7", "//dataset[//field//footnote]//journal[//bibcode]//lastname",
+			"//dataset//journal//lastname; //field//footnote; //bibcode", true},
+		{xm, "Q14", "//site//item[//description//keyword]/name",
+			"//site//item//name; //description//keyword", false},
+		{xm, "Q2", "//site/open_auctions/open_auction/bidder/increase",
+			"//site//increase; //open_auctions//open_auction//bidder", false},
+	}
+	for _, c := range checks {
+		q := MustParseQuery(c.query)
+		vs, err := ParseViews(c.views)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		stats := map[string]Stats{}
+		matches := -1
+		for _, combo := range []struct {
+			key    string
+			engine Engine
+			scheme StorageScheme
+		}{
+			{"TS+E", EngineTwigStack, SchemeElement},
+			{"TS+LE", EngineTwigStack, SchemeLE},
+			{"TS+LEp", EngineTwigStack, SchemeLEp},
+			{"VJ+E", EngineViewJoin, SchemeElement},
+			{"VJ+LE", EngineViewJoin, SchemeLE},
+		} {
+			mv, err := c.doc.MaterializeViews(vs, combo.scheme)
+			if err != nil {
+				t.Fatalf("%s: %v", c.name, err)
+			}
+			res, err := Evaluate(c.doc, q, mv, combo.engine, nil)
+			if err != nil {
+				t.Fatalf("%s %s: %v", c.name, combo.key, err)
+			}
+			stats[combo.key] = res.Stats
+			if matches == -1 {
+				matches = len(res.Matches)
+			} else if matches != len(res.Matches) {
+				t.Fatalf("%s: %s disagrees on matches", c.name, combo.key)
+			}
+		}
+
+		// 1. VJ does fewer comparisons than TS (any scheme pair).
+		if stats["VJ+LE"].Comparisons >= stats["TS+E"].Comparisons {
+			t.Errorf("%s: VJ comparisons %d >= TS %d", c.name,
+				stats["VJ+LE"].Comparisons, stats["TS+E"].Comparisons)
+		}
+		// 2. Skipping on skewed data.
+		if c.skips && stats["VJ+LE"].ElementsScanned >= stats["TS+E"].ElementsScanned {
+			t.Errorf("%s: VJ+LE scanned %d >= TS+E %d (expected pointer skipping)", c.name,
+				stats["VJ+LE"].ElementsScanned, stats["TS+E"].ElementsScanned)
+		}
+		// 3. TS scans are scheme-independent; pages are not.
+		if stats["TS+E"].ElementsScanned != stats["TS+LE"].ElementsScanned ||
+			stats["TS+E"].ElementsScanned != stats["TS+LEp"].ElementsScanned {
+			t.Errorf("%s: TS scans differ across schemes: %d / %d / %d", c.name,
+				stats["TS+E"].ElementsScanned, stats["TS+LE"].ElementsScanned, stats["TS+LEp"].ElementsScanned)
+		}
+		if stats["TS+LE"].PagesRead <= stats["TS+E"].PagesRead {
+			t.Errorf("%s: TS+LE pages %d <= TS+E pages %d (LE records are larger)", c.name,
+				stats["TS+LE"].PagesRead, stats["TS+E"].PagesRead)
+		}
+	}
+}

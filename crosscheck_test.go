@@ -1,0 +1,174 @@
+package viewjoin
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestGrandCrossCheck is the repository's widest equivalence property: on
+// random documents and random path queries, every engine (ViewJoin,
+// TwigStack, PathStack, InterJoin), every storage scheme it supports, and
+// both output approaches must return exactly the direct evaluator's
+// matches, under both chunked and interleaved view factorizations.
+func TestGrandCrossCheck(t *testing.T) {
+	paths := []string{"//a//b", "//a/b//c", "//a//b//c//e", "//b//e", "//c//a//f"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d, err := ParseDocumentString(randomXML(rng))
+		if err != nil {
+			return false
+		}
+		q := MustParseQuery(paths[rng.Intn(len(paths))])
+		want := EvaluateDirect(d, q)
+
+		// View factorizations: singleton, chunked pairs, interleaved.
+		labels := q.Labels()
+		var sets [][]string
+		var single []string
+		for _, l := range labels {
+			single = append(single, "//"+l)
+		}
+		sets = append(sets, single)
+		if len(labels) >= 2 {
+			var chunked []string
+			for i := 0; i < len(labels); i += 2 {
+				v := "//" + labels[i]
+				if i+1 < len(labels) {
+					v += "//" + labels[i+1]
+				}
+				chunked = append(chunked, v)
+			}
+			sets = append(sets, chunked)
+			var evens, odds []string
+			for i, l := range labels {
+				if i%2 == 0 {
+					evens = append(evens, l)
+				} else {
+					odds = append(odds, l)
+				}
+			}
+			interleaved := []string{"//" + strings.Join(evens, "//")}
+			if len(odds) > 0 {
+				interleaved = append(interleaved, "//"+strings.Join(odds, "//"))
+			}
+			sets = append(sets, interleaved)
+		}
+
+		for _, set := range sets {
+			vs, err := ParseViews(strings.Join(set, ";"))
+			if err != nil {
+				t.Logf("ParseViews(%v): %v", set, err)
+				return false
+			}
+			for _, scheme := range []StorageScheme{SchemeElement, SchemeLE, SchemeLEp} {
+				mv, err := d.MaterializeViews(vs, scheme)
+				if err != nil {
+					t.Logf("materialize: %v", err)
+					return false
+				}
+				for _, eng := range []Engine{EngineViewJoin, EngineTwigStack, EnginePathStack} {
+					for _, disk := range []bool{false, true} {
+						if eng == EnginePathStack && disk {
+							continue // PathStack has no disk-based variant
+						}
+						res, err := Evaluate(d, q, mv, eng, &EvalOptions{DiskBased: disk})
+						if err != nil {
+							t.Logf("%v+%v disk=%v: %v", eng, scheme, disk, err)
+							return false
+						}
+						if !sameMatches(res, want) {
+							t.Logf("seed=%d q=%s views=%v %v+%v disk=%v: %d vs %d",
+								seed, q, set, eng, scheme, disk, len(res.Matches), len(want.Matches))
+							return false
+						}
+					}
+				}
+			}
+			// InterJoin over tuple views.
+			tv, err := d.MaterializeViews(vs, SchemeTuple)
+			if err != nil {
+				return false
+			}
+			res, err := Evaluate(d, q, tv, EngineInterJoin, nil)
+			if err != nil {
+				t.Logf("IJ: %v", err)
+				return false
+			}
+			if !sameMatches(res, want) {
+				t.Logf("seed=%d q=%s views=%v IJ: %d vs %d", seed, q, set, len(res.Matches), len(want.Matches))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBenchmarkWorkloadCrossCheck runs every benchmark query of the paper's
+// workload through every applicable engine/scheme pair on small instances
+// of both datasets and demands exact agreement with the direct evaluator —
+// the end-to-end guarantee behind the experiment tables.
+func TestBenchmarkWorkloadCrossCheck(t *testing.T) {
+	type wl struct {
+		doc     *Document
+		queries map[string][2]string // name -> query, views
+	}
+	xm := GenerateXMark(0.03)
+	ns := GenerateNasa(150)
+	jobs := []wl{
+		{xm, map[string][2]string{
+			"Q2":  {"//site/open_auctions/open_auction/bidder/increase", "//site//increase; //open_auctions//open_auction//bidder"},
+			"Q14": {"//site//item[//description//keyword]/name", "//site//item//name; //description//keyword"},
+		}},
+		{ns, map[string][2]string{
+			"N1": {"//field//footnote//para", "//field//para; //footnote"},
+			"N6": {"//journal[//suffix][title]/date/year", "//journal/date/year; //suffix; //title"},
+		}},
+	}
+	for _, job := range jobs {
+		for name, qv := range job.queries {
+			q := MustParseQuery(qv[0])
+			vs, err := ParseViews(qv[1])
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			want := EvaluateDirect(job.doc, q)
+			for _, scheme := range []StorageScheme{SchemeElement, SchemeLE, SchemeLEp} {
+				mv, err := job.doc.MaterializeViews(vs, scheme)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				engines := []Engine{EngineViewJoin, EngineTwigStack}
+				if q.IsPath() {
+					engines = append(engines, EnginePathStack)
+				}
+				for _, eng := range engines {
+					res, err := Evaluate(job.doc, q, mv, eng, nil)
+					if err != nil {
+						t.Fatalf("%s %v+%v: %v", name, eng, scheme, err)
+					}
+					if !sameMatches(res, want) {
+						t.Errorf("%s %v+%v: %d matches, want %d", name, eng, scheme, len(res.Matches), len(want.Matches))
+					}
+				}
+			}
+			if q.IsPath() {
+				tv, err := job.doc.MaterializeViews(vs, SchemeTuple)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				res, err := Evaluate(job.doc, q, tv, EngineInterJoin, nil)
+				if err != nil {
+					t.Fatalf("%s IJ: %v", name, err)
+				}
+				if !sameMatches(res, want) {
+					t.Errorf("%s IJ: %d matches, want %d", name, len(res.Matches), len(want.Matches))
+				}
+			}
+		}
+	}
+}

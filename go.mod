@@ -1,0 +1,3 @@
+module viewjoin
+
+go 1.22

@@ -1,0 +1,117 @@
+// Package counters provides the deterministic cost accounting shared by
+// all storage schemes and evaluation engines: elements scanned, structural
+// comparisons, pointer dereferences, and simulated page I/O.
+//
+// The paper reports wall-clock time on a specific 2010 testbed; this
+// reproduction additionally reports these machine-independent counters so
+// that the relative results (who wins, by what factor) are stable across
+// hardware.
+package counters
+
+import "fmt"
+
+// Counters accumulates the cost measures of one query evaluation.
+type Counters struct {
+	// ElementsScanned counts entries decoded from materialized lists or
+	// tuple files.
+	ElementsScanned int64
+	// Comparisons counts structural comparisons between region labels.
+	Comparisons int64
+	// PointerDerefs counts materialized pointers followed (LE/LEp only).
+	PointerDerefs int64
+	// PagesRead counts simulated page fetches that missed the buffer pool.
+	PagesRead int64
+	// PagesWritten counts pages written (disk-based output approach).
+	PagesWritten int64
+	// Matches counts output tree pattern instances.
+	Matches int64
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.ElementsScanned += o.ElementsScanned
+	c.Comparisons += o.Comparisons
+	c.PointerDerefs += o.PointerDerefs
+	c.PagesRead += o.PagesRead
+	c.PagesWritten += o.PagesWritten
+	c.Matches += o.Matches
+}
+
+// String renders the counters compactly.
+func (c *Counters) String() string {
+	return fmt.Sprintf("scanned=%d cmp=%d deref=%d pagesR=%d pagesW=%d matches=%d",
+		c.ElementsScanned, c.Comparisons, c.PointerDerefs, c.PagesRead, c.PagesWritten, c.Matches)
+}
+
+// IO simulates a buffer pool in front of the paged store: page touches that
+// hit the pool are free, misses count as PagesRead. The pool uses LRU
+// replacement over (file, page) keys.
+type IO struct {
+	C    *Counters
+	cap  int
+	seq  int64
+	last map[pageKey]int64 // key -> last-use sequence
+}
+
+type pageKey struct {
+	file uintptr
+	page int32
+}
+
+// DefaultPoolPages is the buffer pool capacity used when 0 is passed to
+// NewIO: 64 pages (256 KiB at the default 4 KiB page size), small enough
+// that scans of large views actually incur misses.
+const DefaultPoolPages = 64
+
+// NewIO returns an IO accounting into c with a pool of poolPages pages
+// (DefaultPoolPages if poolPages is 0). A negative poolPages disables
+// caching entirely: every touch is a miss.
+func NewIO(c *Counters, poolPages int) *IO {
+	if poolPages == 0 {
+		poolPages = DefaultPoolPages
+	}
+	io := &IO{C: c, cap: poolPages}
+	if poolPages > 0 {
+		io.last = make(map[pageKey]int64, poolPages*2)
+	}
+	return io
+}
+
+// Touch records an access to the given page of the given file (identified
+// by any stable pointer-sized token). It returns true when the access was a
+// pool miss.
+func (io *IO) Touch(file uintptr, page int32) bool {
+	io.seq++
+	if io.cap < 0 {
+		io.C.PagesRead++
+		return true
+	}
+	k := pageKey{file, page}
+	if _, ok := io.last[k]; ok {
+		io.last[k] = io.seq
+		return false
+	}
+	io.C.PagesRead++
+	if len(io.last) >= io.cap {
+		io.evict()
+	}
+	io.last[k] = io.seq
+	return true
+}
+
+// evict removes the least recently used entry. Linear scan over the pool is
+// fine: pools are tens of entries.
+func (io *IO) evict() {
+	var victim pageKey
+	best := int64(1<<62 - 1)
+	for k, s := range io.last {
+		if s < best {
+			best = s
+			victim = k
+		}
+	}
+	delete(io.last, victim)
+}
+
+// Write records n pages written (disk-based output approach).
+func (io *IO) Write(n int64) { io.C.PagesWritten += n }

@@ -1,0 +1,103 @@
+package counters
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAdd(t *testing.T) {
+	a := Counters{ElementsScanned: 1, Comparisons: 2, PointerDerefs: 3, PagesRead: 4, PagesWritten: 5, Matches: 6}
+	b := Counters{ElementsScanned: 10, Comparisons: 20, PointerDerefs: 30, PagesRead: 40, PagesWritten: 50, Matches: 60}
+	a.Add(b)
+	if a.ElementsScanned != 11 || a.Comparisons != 22 || a.PointerDerefs != 33 ||
+		a.PagesRead != 44 || a.PagesWritten != 55 || a.Matches != 66 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+}
+
+func TestString(t *testing.T) {
+	c := Counters{ElementsScanned: 7}
+	if !strings.Contains(c.String(), "scanned=7") {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+func TestIOPoolHitsAndMisses(t *testing.T) {
+	var c Counters
+	io := NewIO(&c, 2)
+	if !io.Touch(1, 0) {
+		t.Errorf("first touch must miss")
+	}
+	if io.Touch(1, 0) {
+		t.Errorf("second touch of same page must hit")
+	}
+	io.Touch(1, 1) // miss; pool now {0,1}
+	if c.PagesRead != 2 {
+		t.Fatalf("PagesRead = %d, want 2", c.PagesRead)
+	}
+	// Third distinct page evicts the LRU (page 0: page 1 is more recent...
+	// page 0 was touched twice, then page 1; page 0 is older).
+	io.Touch(1, 2)
+	if c.PagesRead != 3 {
+		t.Fatalf("PagesRead = %d, want 3", c.PagesRead)
+	}
+	if io.Touch(1, 0) != true {
+		t.Errorf("page 0 should have been evicted (LRU)")
+	}
+	if io.Touch(1, 2) {
+		t.Errorf("page 2 should still be resident")
+	}
+}
+
+func TestIODistinctFiles(t *testing.T) {
+	var c Counters
+	io := NewIO(&c, 8)
+	io.Touch(1, 0)
+	if !io.Touch(2, 0) {
+		t.Errorf("page 0 of a different file must be a distinct pool entry")
+	}
+	if c.PagesRead != 2 {
+		t.Fatalf("PagesRead = %d, want 2", c.PagesRead)
+	}
+}
+
+func TestIODefaultAndUncached(t *testing.T) {
+	var c Counters
+	io := NewIO(&c, 0)
+	if io.cap != DefaultPoolPages {
+		t.Fatalf("default pool = %d, want %d", io.cap, DefaultPoolPages)
+	}
+	var c2 Counters
+	raw := NewIO(&c2, -1)
+	raw.Touch(1, 0)
+	raw.Touch(1, 0)
+	if c2.PagesRead != 2 {
+		t.Fatalf("uncached IO must count every touch: %d", c2.PagesRead)
+	}
+}
+
+func TestIOWrite(t *testing.T) {
+	var c Counters
+	io := NewIO(&c, 0)
+	io.Write(5)
+	io.Write(3)
+	if c.PagesWritten != 8 {
+		t.Fatalf("PagesWritten = %d, want 8", c.PagesWritten)
+	}
+}
+
+func TestIOLRUOrder(t *testing.T) {
+	var c Counters
+	io := NewIO(&c, 3)
+	io.Touch(1, 0)
+	io.Touch(1, 1)
+	io.Touch(1, 2)
+	io.Touch(1, 0) // refresh page 0: page 1 becomes LRU
+	io.Touch(1, 3) // evicts page 1
+	if io.Touch(1, 0) {
+		t.Errorf("page 0 must still be resident after refresh")
+	}
+	if !io.Touch(1, 1) {
+		t.Errorf("page 1 must have been evicted")
+	}
+}

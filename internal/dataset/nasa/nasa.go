@@ -1,0 +1,190 @@
+// Package nasa generates deterministic documents shaped like the NASA/ADC
+// astronomical dataset from the UW XML data repository [20], the real-world
+// workload of the paper's experiments.
+//
+// The paper uses Nasa precisely for its highly skewed element distribution:
+// a few element types (para, field, definition) dominate, while others
+// (observatory, suffix, bibcode) are rare — which makes pointer-based
+// skipping of non-solution nodes especially profitable (§VI-A). The
+// generator reproduces that skew and the nesting paths exercised by the
+// N1-N8, Np and Nt benchmark queries and the Table II / Table III view
+// sets.
+package nasa
+
+import (
+	"math/rand"
+
+	"viewjoin/internal/xmltree"
+)
+
+// Config controls generation.
+type Config struct {
+	// Datasets is the number of top-level dataset elements; the paper's
+	// 23MB document corresponds to roughly 2400 datasets. Default 500.
+	Datasets int
+	// Seed overrides the deterministic default seed when non-zero.
+	Seed int64
+}
+
+// Default generates the standard document used by the experiments
+// (≈ the paper's 23MB Nasa dataset in shape).
+func Default() *xmltree.Document {
+	return Generate(Config{})
+}
+
+// Generate builds a Nasa-like document.
+func Generate(cfg Config) *xmltree.Document {
+	if cfg.Datasets <= 0 {
+		cfg.Datasets = 500
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x5ca1ab1e
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := xmltree.NewBuilder()
+	b.Element("datasets", func() {
+		for i := 0; i < cfg.Datasets; i++ {
+			genDataset(b, rng)
+		}
+	})
+	return b.MustDocument()
+}
+
+func genDataset(b *xmltree.Builder, rng *rand.Rand) {
+	b.Element("dataset", func() {
+		b.Leaf("identifier")
+		b.Leaf("title")
+		if rng.Intn(3) == 0 {
+			b.Leaf("altname")
+		}
+		// references with journals: N4, N6, N7.
+		for i := rng.Intn(3); i > 0; i-- {
+			genReference(b, rng)
+		}
+		// history with revisions: N3, N5.
+		if rng.Intn(2) == 0 {
+			genHistory(b, rng)
+		}
+		// tableHead with links and fields: Np, Nt, Table II. Skew: only some
+		// datasets have tables at all, so tableHead is rare relative to para.
+		if rng.Intn(3) == 0 {
+			genTableHead(b, rng)
+		}
+		// descriptions: N8.
+		if rng.Intn(2) == 0 {
+			genDescriptions(b, rng)
+		}
+	})
+}
+
+func genReference(b *xmltree.Builder, rng *rand.Rand) {
+	b.Element("reference", func() {
+		b.Element("source", func() {
+			if rng.Intn(5) == 0 {
+				b.Element("other", nil)
+				return
+			}
+			b.Element("journal", func() {
+				if rng.Intn(2) == 0 {
+					b.Leaf("title")
+				}
+				b.Element("author", func() {
+					b.Leaf("initial")
+					b.Leaf("lastname")
+					if rng.Intn(10) == 0 { // rare: N6 selectivity
+						b.Leaf("suffix")
+					}
+				})
+				b.Element("date", func() {
+					b.Leaf("year")
+					b.Leaf("month")
+					if rng.Intn(2) == 0 {
+						b.Leaf("day")
+					}
+				})
+				if rng.Intn(6) == 0 { // rare: N7 selectivity
+					b.Leaf("bibcode")
+				}
+			})
+		})
+	})
+}
+
+func genHistory(b *xmltree.Builder, rng *rand.Rand) {
+	b.Element("history", func() {
+		b.Element("creation", func() { b.Leaf("date") })
+		b.Element("revisions", func() {
+			for i := 1 + rng.Intn(3); i > 0; i-- {
+				b.Element("revision", func() {
+					b.Element("creator", func() {
+						b.Leaf("lastname")
+					})
+					if rng.Intn(2) == 0 {
+						b.Leaf("para")
+					}
+				})
+			}
+		})
+	})
+}
+
+func genTableHead(b *xmltree.Builder, rng *rand.Rand) {
+	b.Element("tableHead", func() {
+		if rng.Intn(2) == 0 {
+			b.Element("tableLinks", func() {
+				for i := 1 + rng.Intn(2); i > 0; i-- {
+					b.Element("tableLink", func() {
+						if rng.Intn(2) == 0 {
+							b.Leaf("title")
+						}
+					})
+				}
+			})
+		}
+		b.Element("fields", func() {
+			// para-heavy skew: many fields per table, most with definitions
+			// full of paras, but footnotes on only a sixth of them — the
+			// distribution that makes pointer-based skipping profitable.
+			for i := 2 + rng.Intn(6); i > 0; i-- {
+				b.Element("field", func() {
+					b.Leaf("name")
+					if rng.Intn(4) != 0 {
+						b.Element("definition", func() {
+							if rng.Intn(6) == 0 {
+								b.Element("footnote", func() {
+									b.Leaf("para")
+									if rng.Intn(2) == 0 {
+										b.Leaf("para")
+									}
+								})
+							}
+							for j := 1 + rng.Intn(7); j > 0; j-- {
+								b.Leaf("para")
+							}
+						})
+					}
+					if rng.Intn(3) == 0 {
+						b.Leaf("units")
+					}
+				})
+			}
+		})
+	})
+}
+
+func genDescriptions(b *xmltree.Builder, rng *rand.Rand) {
+	b.Element("descriptions", func() {
+		b.Element("description", func() {
+			for i := 1 + rng.Intn(6); i > 0; i-- {
+				b.Leaf("para")
+			}
+			if rng.Intn(8) == 0 { // rare: N8 selectivity
+				b.Leaf("observatory")
+			}
+		})
+		if rng.Intn(3) == 0 {
+			b.Element("details", nil)
+		}
+	})
+}

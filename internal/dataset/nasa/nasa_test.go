@@ -1,0 +1,94 @@
+package nasa
+
+import (
+	"testing"
+
+	"viewjoin/internal/oracle"
+	"viewjoin/internal/tpq"
+	"viewjoin/internal/xmltree"
+)
+
+func TestGenerateValid(t *testing.T) {
+	for _, n := range []int{1, 50, 500} {
+		d := Generate(Config{Datasets: n})
+		if err := d.Validate(); err != nil {
+			t.Fatalf("datasets=%d: %v", n, err)
+		}
+	}
+}
+
+func TestDefault(t *testing.T) {
+	d := Default()
+	if d.NumNodes() == 0 {
+		t.Fatal("empty document")
+	}
+	if d.TypeName(d.Node(d.Root()).Type) != "datasets" {
+		t.Fatalf("root = %s, want datasets", d.TypeName(d.Node(d.Root()).Type))
+	}
+}
+
+func TestSchemaElementsPresent(t *testing.T) {
+	d := Generate(Config{Datasets: 400})
+	for _, name := range []string{
+		"dataset", "reference", "source", "journal", "title", "author",
+		"initial", "lastname", "suffix", "date", "year", "month", "bibcode",
+		"history", "creation", "revisions", "revision", "creator",
+		"tableHead", "tableLinks", "tableLink", "fields", "field",
+		"definition", "footnote", "para", "units", "descriptions",
+		"description", "observatory",
+	} {
+		if d.TypeByName(name) == xmltree.NoType {
+			t.Errorf("element %q missing", name)
+		}
+	}
+}
+
+// TestQueryPathsExist verifies that the exact nesting paths the benchmark
+// queries traverse occur in the generated data.
+func TestQueryPathsExist(t *testing.T) {
+	d := Generate(Config{Datasets: 400})
+	for _, q := range []string{
+		"//field/definition/footnote/para",
+		"//revision/creator/lastname",
+		"//journal/author/suffix",
+		"//journal/date/year",
+		"//tableHead/tableLinks/tableLink/title",
+		"//description/observatory",
+		"//journal/bibcode",
+	} {
+		if len(oracle.Eval(d, tpq.MustParse(q))) == 0 {
+			t.Errorf("path %s absent from generated data", q)
+		}
+	}
+}
+
+func TestSkewRatios(t *testing.T) {
+	d := Generate(Config{Datasets: 1000})
+	count := func(n string) int { return len(d.NodesOfType(d.TypeByName(n))) }
+	paras := count("para")
+	for rare, limit := range map[string]int{"observatory": 20, "suffix": 40, "bibcode": 25} {
+		c := count(rare)
+		if c == 0 {
+			t.Errorf("%s absent", rare)
+		}
+		if c*limit > paras {
+			t.Errorf("%s = %d too frequent relative to %d paras (want < paras/%d)", rare, c, paras, limit)
+		}
+	}
+	// Footnotes are rare relative to fields (the N1 skipping opportunity).
+	if f, fn := count("field"), count("footnote"); fn*3 > f {
+		t.Errorf("footnotes = %d not rare relative to %d fields", fn, f)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(Config{Datasets: 77})
+	b := Generate(Config{Datasets: 77})
+	if a.NumNodes() != b.NumNodes() {
+		t.Fatalf("not deterministic: %d vs %d", a.NumNodes(), b.NumNodes())
+	}
+	c := Generate(Config{Datasets: 77, Seed: 42})
+	if c.NumNodes() == 0 {
+		t.Fatal("seeded generation empty")
+	}
+}

@@ -1,0 +1,281 @@
+// Package xmark generates deterministic XMark-like XML documents (Schmidt
+// et al., the XML Benchmark Project [23]), the synthetic workload of the
+// paper's experiments.
+//
+// The generator reproduces the parts of the XMark schema that the derived
+// benchmark queries touch — the auction site with regions/items,
+// people/persons, open and closed auctions — with XMark's characteristic
+// fan-outs: items carry description text with a variable number of
+// keywords (the multi-match redundancy that separates the tuple scheme
+// from the element schemes, Table IV's v1), persons have at most one
+// education (no redundancy, Table IV's v2), and open auctions have many
+// bidders (Q2's redundancy).
+//
+// Scale(1.0) corresponds to the paper's standard ~100MB document in
+// *shape*; absolute node counts are laptop-sized (see DESIGN.md's
+// substitution table). Generation is deterministic for a given scale.
+package xmark
+
+import (
+	"math/rand"
+
+	"viewjoin/internal/xmltree"
+)
+
+// Scale generates an XMark-like document. scale=1.0 is the "100MB analog";
+// the document grows linearly with scale.
+func Scale(scale float64) *xmltree.Document {
+	return Generate(Config{Scale: scale})
+}
+
+// Config controls generation.
+type Config struct {
+	// Scale is the linear size factor; 1.0 is the 100MB analog.
+	Scale float64
+	// Seed overrides the deterministic default seed when non-zero.
+	Seed int64
+}
+
+// counts per unit scale, derived from XMark's documented ratios
+// (sf=1: 21750 items, 25500 persons, 12000 open / 9750 closed auctions,
+// 1000 categories), divided by 10 to stay laptop-sized.
+const (
+	itemsPerScale      = 2175
+	personsPerScale    = 2550
+	openPerScale       = 1200
+	closedPerScale     = 975
+	categoriesPerScale = 100
+)
+
+var regionNames = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+// Generate builds the document for the given configuration.
+func Generate(cfg Config) *xmltree.Document {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1.0
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x9e3779b9 + int64(cfg.Scale*1000)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := xmltree.NewBuilder()
+
+	nItems := scaled(itemsPerScale, cfg.Scale)
+	nPersons := scaled(personsPerScale, cfg.Scale)
+	nOpen := scaled(openPerScale, cfg.Scale)
+	nClosed := scaled(closedPerScale, cfg.Scale)
+	nCategories := scaled(categoriesPerScale, cfg.Scale)
+
+	b.Element("site", func() {
+		b.Element("regions", func() {
+			for r, left := 0, nItems; r < len(regionNames); r++ {
+				share := left / (len(regionNames) - r)
+				left -= share
+				b.Element(regionNames[r], func() {
+					for i := 0; i < share; i++ {
+						genItem(b, rng)
+					}
+				})
+			}
+		})
+		b.Element("categories", func() {
+			for i := 0; i < nCategories; i++ {
+				b.Element("category", func() {
+					b.Leaf("name")
+					b.Element("description", func() { genText(b, rng) })
+				})
+			}
+		})
+		b.Element("catgraph", func() {
+			for i := 0; i < nCategories; i++ {
+				b.Leaf("edge")
+			}
+		})
+		b.Element("people", func() {
+			for i := 0; i < nPersons; i++ {
+				genPerson(b, rng)
+			}
+		})
+		b.Element("open_auctions", func() {
+			for i := 0; i < nOpen; i++ {
+				genOpenAuction(b, rng)
+			}
+		})
+		b.Element("closed_auctions", func() {
+			for i := 0; i < nClosed; i++ {
+				genClosedAuction(b, rng)
+			}
+		})
+	})
+	return b.MustDocument()
+}
+
+func scaled(perScale int, scale float64) int {
+	n := int(float64(perScale) * scale)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func genItem(b *xmltree.Builder, rng *rand.Rand) {
+	b.Element("item", func() {
+		b.Leaf("location")
+		b.Leaf("quantity")
+		b.Leaf("name")
+		b.Element("payment", nil)
+		b.Element("description", func() { genText(b, rng) })
+		b.Leaf("shipping")
+		for i := rng.Intn(3); i > 0; i-- {
+			b.Leaf("incategory")
+		}
+		if rng.Intn(4) == 0 {
+			b.Element("mailbox", func() {
+				for i := 1 + rng.Intn(2); i > 0; i-- {
+					b.Element("mail", func() {
+						b.Leaf("from")
+						b.Leaf("to")
+						b.Leaf("date")
+						genText(b, rng)
+					})
+				}
+			})
+		}
+	})
+}
+
+// genText emits a text element with XMark's nested markup: a skewed number
+// of keyword/bold/emph children (most texts have none or one keyword, some
+// have several — the source of tuple-scheme redundancy for
+// //item//text//keyword).
+func genText(b *xmltree.Builder, rng *rand.Rand) {
+	b.Element("text", func() {
+		nk := 0
+		switch r := rng.Intn(10); {
+		case r < 3: // 30%: no keyword
+		case r < 5:
+			nk = 1
+		case r < 7:
+			nk = 2
+		case r < 9:
+			nk = 5
+		default:
+			nk = 10
+		}
+		for i := 0; i < nk; i++ {
+			b.Leaf("keyword")
+		}
+		if rng.Intn(3) == 0 {
+			b.Element("bold", func() {
+				if rng.Intn(3) == 0 {
+					b.Leaf("keyword")
+				}
+			})
+		}
+		if rng.Intn(4) == 0 {
+			b.Leaf("emph")
+		}
+	})
+}
+
+func genPerson(b *xmltree.Builder, rng *rand.Rand) {
+	b.Element("person", func() {
+		b.Leaf("name")
+		b.Leaf("emailaddress")
+		if rng.Intn(2) == 0 {
+			b.Leaf("phone")
+		}
+		if rng.Intn(2) == 0 {
+			b.Element("address", func() {
+				b.Leaf("street")
+				b.Leaf("city")
+				b.Leaf("country")
+				b.Leaf("zipcode")
+			})
+		}
+		if rng.Intn(3) == 0 {
+			b.Leaf("homepage")
+		}
+		if rng.Intn(3) == 0 {
+			b.Leaf("creditcard")
+		}
+		if rng.Intn(2) == 0 {
+			b.Element("profile", func() {
+				for i := rng.Intn(4); i > 0; i-- {
+					b.Leaf("interest")
+				}
+				if rng.Intn(2) == 0 {
+					b.Leaf("education") // at most one: no tuple redundancy (Table IV v2)
+				}
+				if rng.Intn(2) == 0 {
+					b.Leaf("gender")
+				}
+				b.Leaf("business")
+				if rng.Intn(2) == 0 {
+					b.Leaf("age")
+				}
+			})
+		}
+		if rng.Intn(4) == 0 {
+			b.Element("watches", func() {
+				for i := 1 + rng.Intn(3); i > 0; i-- {
+					b.Leaf("watch")
+				}
+			})
+		}
+	})
+}
+
+func genOpenAuction(b *xmltree.Builder, rng *rand.Rand) {
+	b.Element("open_auction", func() {
+		b.Leaf("initial")
+		if rng.Intn(2) == 0 {
+			b.Leaf("reserve")
+		}
+		for i := 1 + rng.Intn(5); i > 0; i-- { // many bidders: Q2 redundancy
+			b.Element("bidder", func() {
+				b.Leaf("date")
+				b.Leaf("time")
+				b.Leaf("personref")
+				b.Leaf("increase")
+			})
+		}
+		b.Leaf("current")
+		if rng.Intn(3) == 0 {
+			b.Leaf("privacy")
+		}
+		b.Leaf("itemref")
+		b.Leaf("seller")
+		b.Element("annotation", func() {
+			b.Leaf("author")
+			b.Element("description", func() { genText(b, rng) })
+			b.Leaf("happiness")
+		})
+		b.Leaf("quantity")
+		b.Leaf("type")
+		b.Element("interval", func() {
+			b.Leaf("start")
+			b.Leaf("end")
+		})
+	})
+}
+
+func genClosedAuction(b *xmltree.Builder, rng *rand.Rand) {
+	b.Element("closed_auction", func() {
+		b.Leaf("seller")
+		b.Leaf("buyer")
+		b.Leaf("itemref")
+		b.Leaf("price")
+		b.Leaf("date")
+		b.Leaf("quantity")
+		b.Leaf("type")
+		if rng.Intn(2) == 0 {
+			b.Element("annotation", func() {
+				b.Leaf("author")
+				b.Element("description", func() { genText(b, rng) })
+				b.Leaf("happiness")
+			})
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package xmark
+
+import (
+	"testing"
+
+	"viewjoin/internal/xmltree"
+)
+
+func TestGenerateValid(t *testing.T) {
+	for _, scale := range []float64{0.01, 0.1, 0.5} {
+		d := Scale(scale)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("scale %v: %v", scale, err)
+		}
+	}
+}
+
+func TestDefaultScale(t *testing.T) {
+	d := Generate(Config{})
+	if d.NumNodes() < 50000 {
+		t.Fatalf("default scale too small: %d nodes", d.NumNodes())
+	}
+}
+
+func TestSchemaElementsPresent(t *testing.T) {
+	d := Scale(0.05)
+	for _, name := range []string{
+		"site", "regions", "africa", "item", "location", "quantity", "name",
+		"description", "text", "keyword", "people", "person", "profile",
+		"education", "interest", "gender", "address", "city",
+		"open_auctions", "open_auction", "bidder", "increase", "initial",
+		"current", "reserve", "personref", "closed_auctions",
+		"closed_auction", "price", "buyer", "itemref", "categories",
+	} {
+		if d.TypeByName(name) == xmltree.NoType {
+			t.Errorf("element %q missing from generated document", name)
+		}
+	}
+}
+
+func TestScalingRatios(t *testing.T) {
+	d := Scale(0.2)
+	count := func(name string) int { return len(d.NodesOfType(d.TypeByName(name))) }
+	items, persons := count("item"), count("person")
+	open, closed := count("open_auction"), count("closed_auction")
+	// XMark's documented ratios: persons ≈ 1.17×items, open ≈ 0.55×items.
+	if ratio := float64(persons) / float64(items); ratio < 1.0 || ratio > 1.35 {
+		t.Errorf("persons/items = %.2f, want ≈1.17", ratio)
+	}
+	if ratio := float64(open) / float64(items); ratio < 0.4 || ratio > 0.7 {
+		t.Errorf("open/items = %.2f, want ≈0.55", ratio)
+	}
+	if ratio := float64(closed) / float64(open); ratio < 0.6 || ratio > 1.0 {
+		t.Errorf("closed/open = %.2f, want ≈0.81", ratio)
+	}
+}
+
+func TestKeywordFanout(t *testing.T) {
+	d := Scale(0.1)
+	texts := len(d.NodesOfType(d.TypeByName("text")))
+	keywords := len(d.NodesOfType(d.TypeByName("keyword")))
+	// Multi-keyword texts drive the tuple scheme's redundancy (Table IV v1).
+	if avg := float64(keywords) / float64(texts); avg < 1.5 {
+		t.Errorf("avg keywords per text = %.2f, want >= 1.5", avg)
+	}
+}
+
+func TestEducationAtMostOnePerPerson(t *testing.T) {
+	d := Scale(0.1)
+	edus := d.NodesOfType(d.TypeByName("education"))
+	seen := make(map[xmltree.NodeID]bool)
+	for _, e := range edus {
+		// The education's person is three levels up (person/profile/education).
+		p := d.Node(e).Parent
+		person := d.Node(p).Parent
+		if seen[person] {
+			t.Fatalf("person %d has two educations: Table IV v2 needs at most one", person)
+		}
+		seen[person] = true
+	}
+}
+
+func TestSeedOverride(t *testing.T) {
+	a := Generate(Config{Scale: 0.05, Seed: 1})
+	b := Generate(Config{Scale: 0.05, Seed: 2})
+	if a.NumNodes() == b.NumNodes() {
+		t.Logf("different seeds gave equal node counts (possible but unlikely)")
+	}
+	c := Generate(Config{Scale: 0.05, Seed: 1})
+	if a.NumNodes() != c.NumNodes() {
+		t.Fatalf("same seed must reproduce the document")
+	}
+}

@@ -1,0 +1,53 @@
+// Package engine holds the pieces shared by the TPQ evaluation engines:
+// binding query nodes to the on-disk lists of the covering views, and the
+// common evaluation options.
+package engine
+
+import (
+	"fmt"
+
+	"viewjoin/internal/store"
+	"viewjoin/internal/vsq"
+)
+
+// Options controls an evaluation run.
+type Options struct {
+	// DiskBased selects the disk-based output approach (§IV "Variations"):
+	// intermediate solutions are spooled to scratch pages and re-read,
+	// trading I/O for a resident set of O(|Q|·depth).
+	DiskBased bool
+	// PageSize is the scratch page size for the disk-based approach; 0
+	// means store.DefaultPageSize.
+	PageSize int
+	// UnguardedJumps makes ViewJoin follow scoped following pointers
+	// unconditionally, as the paper's Function 4 prescribes, instead of
+	// applying this reproduction's safe-jump probe rule (see
+	// engine/viewjoin). Unsound when the queried element types nest
+	// recursively; provided for the ablation experiment, which runs on
+	// data without such nesting.
+	UnguardedJumps bool
+}
+
+// BindLists maps each query node to the list file that holds its
+// candidates: the list of its covering view's node, found through the
+// view-segmented query's ownership maps. The stores must be the element-
+// family stores of v.Views, in the same order.
+func BindLists(v *vsq.VSQ, stores []*store.ViewStore) ([]*store.ListFile, error) {
+	if len(stores) != len(v.Views) {
+		return nil, fmt.Errorf("engine: %d stores for %d views", len(stores), len(v.Views))
+	}
+	files := make([]*store.ListFile, v.Query.Size())
+	for qi := range files {
+		vi, ni := v.Owner[qi], v.ViewNode[qi]
+		if vi < 0 || ni < 0 {
+			return nil, fmt.Errorf("engine: query node %d not covered by any view", qi)
+		}
+		s := stores[vi]
+		if s.Kind == store.Tuple || len(s.Lists) != v.Views[vi].Size() {
+			return nil, fmt.Errorf("engine: store %d (%v) is not an element-family store of view %s",
+				vi, s.Kind, v.Views[vi])
+		}
+		files[qi] = s.Lists[ni]
+	}
+	return files, nil
+}

@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"testing"
+
+	"viewjoin/internal/store"
+	"viewjoin/internal/tpq"
+	"viewjoin/internal/views"
+	"viewjoin/internal/vsq"
+	"viewjoin/internal/xmltree"
+)
+
+func setup(t *testing.T) (*xmltree.Document, *vsq.VSQ, []*store.ViewStore) {
+	t.Helper()
+	d, err := xmltree.ParseString(`<r><a><b/><c/></a></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := tpq.MustParse("//a[//b]//c")
+	vs := tpq.MustParseAll("//a//c; //b")
+	v, err := vsq.Build(q, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := make([]*store.ViewStore, len(vs))
+	for i, vp := range vs {
+		stores[i] = store.MustBuild(views.MustMaterialize(d, vp), store.Linked, 0)
+	}
+	return d, v, stores
+}
+
+func TestBindLists(t *testing.T) {
+	_, v, stores := setup(t)
+	lists, err := BindLists(v, stores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lists) != v.Query.Size() {
+		t.Fatalf("len(lists) = %d, want %d", len(lists), v.Query.Size())
+	}
+	// Query node order: a=0, b=1, c=2. a and c come from view 0 (nodes 0, 1),
+	// b from view 1 (node 0).
+	if lists[0] != stores[0].Lists[0] || lists[2] != stores[0].Lists[1] || lists[1] != stores[1].Lists[0] {
+		t.Errorf("lists bound to wrong view files")
+	}
+}
+
+func TestBindListsErrors(t *testing.T) {
+	d, v, stores := setup(t)
+
+	if _, err := BindLists(v, stores[:1]); err == nil {
+		t.Errorf("store count mismatch: expected error")
+	}
+
+	// Tuple store in place of an element-family store.
+	tup := store.MustBuild(views.MustMaterialize(d, v.Views[0]), store.Tuple, 0)
+	if _, err := BindLists(v, []*store.ViewStore{tup, stores[1]}); err == nil {
+		t.Errorf("tuple store: expected error")
+	}
+
+	// Store of the wrong view (list count mismatch).
+	wrong := store.MustBuild(views.MustMaterialize(d, tpq.MustParse("//a")), store.Linked, 0)
+	if _, err := BindLists(v, []*store.ViewStore{wrong, stores[1]}); err == nil {
+		t.Errorf("wrong-view store: expected error")
+	}
+}

@@ -1,0 +1,388 @@
+// Package enum implements the shared output stage of the stack- and
+// DAG-based engines: candidate solution nodes are collected into windows —
+// one window per top-level query-root candidate region — and each window
+// is enumerated into tree pattern instances with every edge of the original
+// query verified (region containment; level labels for pc-edges, as §IV-B
+// prescribes for inter-view pc-edges).
+//
+// This stage is the correctness firewall of the reproduction: candidate
+// generation (skipping, pointer jumps, segment cursors) may over-approximate
+// the solution set, but a tuple is only emitted after all of Q's edges
+// check out, so spurious candidates cost time, never wrong answers.
+package enum
+
+import (
+	"sort"
+
+	"viewjoin/internal/counters"
+	"viewjoin/internal/match"
+	"viewjoin/internal/store"
+	"viewjoin/internal/tpq"
+	"viewjoin/internal/xmltree"
+)
+
+// Label re-exports the region label triple used across engines.
+type Label = store.Label
+
+// Collector accumulates per-query-node candidates in document order and
+// flushes completed windows into matches.
+//
+// In the memory-based approach (§IV "Variations") the window lives in
+// memory until flushed; PeakEntries tracks the largest window, the F_max of
+// the paper's space analysis. In the disk-based approach the window is
+// spooled to scratch pages when collected and read back at flush time,
+// charging page writes and reads; resident memory then stays O(|Q|·depth).
+type Collector struct {
+	d   *xmltree.Document
+	q   *tpq.Pattern
+	io  *counters.IO
+	out match.Set
+
+	cands       [][]Label // per query node, current window, doc order
+	windowStart int32
+	windowEnd   int32
+	open        bool
+
+	entries     int // entries in the current window
+	peakEntries int
+
+	diskBased bool
+	pageSize  int
+	spoolIn   int64 // bytes spooled in the current window
+
+	// pending buffers non-root candidates offered ahead of their window
+	// (ViewJoin's bulk segment adds can run ahead of the root list); they
+	// are drained into the next window that covers them.
+	pending []pendingCand
+
+	// PreFlush, when set, runs at the start of every window flush with the
+	// window's region; ViewJoin uses it to extend the window with the query
+	// nodes that were removed from Q' (§IV-B second step).
+	PreFlush func(lo, hi int32)
+
+	// Reusable per-window scratch (allocated once, reused across windows).
+	ok        [][]bool
+	okStarts  [][]int32
+	okLevels  [][]levelGroup // pc-children only: surviving starts per level
+	needLevel []bool         // query node is a pc-child: level grouping required
+	cur       []Label
+	m         match.Match
+}
+
+// levelGroup holds the surviving candidate starts at one level. Windows
+// rarely span more than a couple of levels per node, so a small slice
+// outperforms a map.
+type levelGroup struct {
+	level  int32
+	starts []int32
+}
+
+type pendingCand struct {
+	qi int
+	l  Label
+}
+
+// LabelBytes is the scratch-record size used by the disk-based approach's
+// spool accounting: one region label (12 bytes) plus the query-node tag.
+const LabelBytes = 16
+
+// NewCollector returns a Collector for query q over document d, accounting
+// into io. When diskBased is set, windows are spooled through scratch pages
+// of the given pageSize (0 means store.DefaultPageSize).
+func NewCollector(d *xmltree.Document, q *tpq.Pattern, io *counters.IO, diskBased bool, pageSize int) *Collector {
+	if pageSize == 0 {
+		pageSize = store.DefaultPageSize
+	}
+	n := q.Size()
+	c := &Collector{
+		d:         d,
+		q:         q,
+		io:        io,
+		cands:     make([][]Label, n),
+		diskBased: diskBased,
+		pageSize:  pageSize,
+		ok:        make([][]bool, n),
+		okStarts:  make([][]int32, n),
+		okLevels:  make([][]levelGroup, n),
+		needLevel: make([]bool, n),
+		cur:       make([]Label, n),
+		m:         make(match.Match, n),
+	}
+	for qi := 1; qi < n; qi++ {
+		if q.Nodes[qi].Axis == tpq.Child {
+			c.needLevel[qi] = true
+		}
+	}
+	return c
+}
+
+// Add offers a candidate for query node qi. Candidates for the query root
+// (qi == 0) drive window management: a root candidate beyond the current
+// window flushes it and opens a new one. Non-root candidates outside any
+// open window cannot participate in a match and are dropped.
+func (c *Collector) Add(qi int, l Label) {
+	if qi == 0 {
+		if !c.open {
+			c.openWindow(l)
+			return
+		}
+		if l.Start > c.windowEnd {
+			c.Flush()
+			c.openWindow(l)
+			return
+		}
+		c.append(0, l)
+		return
+	}
+	if !c.open || l.Start > c.windowEnd {
+		c.pending = append(c.pending, pendingCand{qi, l})
+		return
+	}
+	c.append(qi, l)
+}
+
+func (c *Collector) openWindow(rootLabel Label) {
+	c.open = true
+	c.windowStart = rootLabel.Start
+	c.windowEnd = rootLabel.End
+	c.append(0, rootLabel)
+	if len(c.pending) > 0 {
+		keep := c.pending[:0]
+		for _, p := range c.pending {
+			switch {
+			case p.l.Start > c.windowEnd:
+				keep = append(keep, p) // still ahead: keep for a later window
+			case p.l.Start > rootLabel.Start:
+				c.append(p.qi, p.l)
+			}
+			// Candidates before this window's root can no longer be covered
+			// by any root candidate and are dropped.
+		}
+		c.pending = keep
+	}
+}
+
+func (c *Collector) append(qi int, l Label) {
+	// Engines may offer the same candidate more than once (e.g. cached
+	// solution nodes); collapse consecutive duplicates.
+	if s := c.cands[qi]; len(s) > 0 && s[len(s)-1].Start == l.Start {
+		return
+	}
+	c.cands[qi] = append(c.cands[qi], l)
+	c.entries++
+	if c.diskBased {
+		c.spoolIn += LabelBytes
+	}
+}
+
+// Flush enumerates the current window and resets it. It is a no-op when no
+// window is open.
+func (c *Collector) Flush() {
+	if !c.open {
+		return
+	}
+	if c.PreFlush != nil {
+		c.PreFlush(c.windowStart, c.windowEnd)
+	}
+	if c.entries > c.peakEntries {
+		c.peakEntries = c.entries
+	}
+	if c.diskBased && c.spoolIn > 0 {
+		pages := (c.spoolIn + int64(c.pageSize) - 1) / int64(c.pageSize)
+		c.io.Write(pages)         // spool the window out ...
+		c.io.C.PagesRead += pages // ... and read it back for enumeration
+		c.spoolIn = 0
+	}
+	c.enumerate()
+	for qi := range c.cands {
+		c.cands[qi] = c.cands[qi][:0]
+	}
+	c.entries = 0
+	c.open = false
+}
+
+// Result flushes any open window and returns the collected matches.
+func (c *Collector) Result() match.Set {
+	c.Flush()
+	c.io.C.Matches = int64(len(c.out))
+	return c.out
+}
+
+// PeakEntries returns the size (in entries) of the largest window held in
+// memory — the |F_max| of the paper's space analysis. For the disk-based
+// approach the resident set is O(|Q|·depth) instead; callers report
+// accordingly.
+func (c *Collector) PeakEntries() int { return c.peakEntries }
+
+// MemoryBytes converts PeakEntries to bytes using the scratch record size.
+func (c *Collector) MemoryBytes() int64 { return int64(c.peakEntries) * LabelBytes }
+
+// enumerate emits every embedding of q within the current window.
+func (c *Collector) enumerate() {
+	n := c.q.Size()
+	// Candidate lists are normally produced in document order, but pending
+	// drains and PreFlush extensions may interleave; restore sorted order
+	// and drop duplicates so the binary searches below are valid.
+	for qi := range c.cands {
+		list := c.cands[qi]
+		sorted := true
+		for i := 1; i < len(list); i++ {
+			if list[i].Start < list[i-1].Start {
+				sorted = false
+				break
+			}
+		}
+		if !sorted {
+			sort.Slice(list, func(i, j int) bool { return list[i].Start < list[j].Start })
+		}
+		out := list[:0]
+		for i := range list {
+			if len(out) == 0 || out[len(out)-1].Start != list[i].Start {
+				out = append(out, list[i])
+			}
+		}
+		c.cands[qi] = out
+	}
+
+	// Bottom-up filter: ok[qi][j] reports whether candidate j of query node
+	// qi has a full subtree match below it within the window. okStarts[qi]
+	// holds the surviving candidates' starts (ad-edge existence checks);
+	// okLevels[qi] groups them by level (pc-edges only).
+	for qi := n - 1; qi >= 0; qi-- {
+		list := c.cands[qi]
+		if cap(c.ok[qi]) < len(list) {
+			c.ok[qi] = make([]bool, len(list))
+		}
+		c.ok[qi] = c.ok[qi][:len(list)]
+		starts := c.okStarts[qi][:0]
+		groups := c.okLevels[qi]
+		for g := range groups {
+			groups[g].starts = groups[g].starts[:0]
+		}
+		for j := range list {
+			cand := list[j]
+			good := true
+			if qi == 0 && c.q.Nodes[0].Axis == tpq.Child && cand.Level != 0 {
+				good = false // "/a" binds only the document root
+			}
+			for _, qc := range c.q.Nodes[qi].Children {
+				if !good {
+					break
+				}
+				c.io.C.Comparisons++
+				switch c.q.Nodes[qc].Axis {
+				case tpq.Descendant:
+					good = hasInRange(c.okStarts[qc], cand.Start, cand.End)
+				case tpq.Child:
+					good = hasInRange(levelStarts(c.okLevels[qc], cand.Level+1), cand.Start, cand.End)
+				}
+			}
+			c.ok[qi][j] = good
+			if good {
+				starts = append(starts, cand.Start)
+				if c.needLevel[qi] {
+					groups = addToLevel(groups, cand.Level, cand.Start)
+				}
+			}
+		}
+		c.okStarts[qi] = starts
+		c.okLevels[qi] = groups
+	}
+
+	if len(c.okStarts[0]) == 0 {
+		return
+	}
+
+	// Top-down enumeration in pattern pre-order.
+	var rec func(qi int)
+	rec = func(qi int) {
+		if qi == n {
+			for k := range c.cur {
+				c.m[k] = c.d.FindByStart(c.cur[k].Start)
+			}
+			c.out = append(c.out, match.Clone(c.m))
+			return
+		}
+		parent := c.cur[c.q.Nodes[qi].Parent]
+		list := c.cands[qi]
+		lo := searchStartsAbove(list, parent.Start)
+		for j := lo; j < len(list) && list[j].Start < parent.End; j++ {
+			c.io.C.Comparisons++
+			if !c.ok[qi][j] {
+				continue
+			}
+			if c.q.Nodes[qi].Axis == tpq.Child && list[j].Level != parent.Level+1 {
+				continue
+			}
+			c.cur[qi] = list[j]
+			rec(qi + 1)
+		}
+	}
+	for j, cand := range c.cands[0] {
+		if !c.ok[0][j] {
+			continue
+		}
+		c.cur[0] = cand
+		rec(1)
+	}
+}
+
+// levelStarts returns the surviving starts recorded for a level.
+func levelStarts(groups []levelGroup, level int32) []int32 {
+	for g := range groups {
+		if groups[g].level == level {
+			return groups[g].starts
+		}
+	}
+	return nil
+}
+
+// addToLevel appends a start to its level group, creating the group on
+// first use (empty groups left over from earlier windows are reused).
+func addToLevel(groups []levelGroup, level, start int32) []levelGroup {
+	for g := range groups {
+		if groups[g].level == level {
+			groups[g].starts = append(groups[g].starts, start)
+			return groups
+		}
+	}
+	// Reuse an emptied slot with a different level if available.
+	for g := range groups {
+		if len(groups[g].starts) == 0 {
+			groups[g].level = level
+			groups[g].starts = append(groups[g].starts, start)
+			return groups
+		}
+	}
+	return append(groups, levelGroup{level: level, starts: []int32{start}})
+}
+
+// searchStartsAbove returns the index of the first candidate with
+// Start > s (hand-rolled binary search on the hot enumeration path).
+func searchStartsAbove(list []Label, s int32) int {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if list[mid].Start <= s {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// hasInRange reports whether the sorted slice holds a value in the open
+// interval (lo, hi).
+func hasInRange(sorted []int32, lo, hi int32) bool {
+	a, b := 0, len(sorted)
+	for a < b {
+		mid := int(uint(a+b) >> 1)
+		if sorted[mid] <= lo {
+			a = mid + 1
+		} else {
+			b = mid
+		}
+	}
+	return a < len(sorted) && sorted[a] < hi
+}

@@ -1,0 +1,203 @@
+package enum
+
+import (
+	"testing"
+
+	"viewjoin/internal/counters"
+	"viewjoin/internal/match"
+	"viewjoin/internal/oracle"
+	"viewjoin/internal/tpq"
+	"viewjoin/internal/xmltree"
+)
+
+func doc(t testing.TB, src string) *xmltree.Document {
+	t.Helper()
+	d, err := xmltree.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// feed adds every node of the document matching each query node's label,
+// in document order — the most naive candidate generator possible. The
+// collector must still produce exactly the oracle's answer, since the
+// enumeration verifies every query edge.
+func feed(d *xmltree.Document, q *tpq.Pattern, c *Collector) {
+	for id := xmltree.NodeID(0); int(id) < d.NumNodes(); id++ {
+		n := d.Node(id)
+		name := d.TypeName(n.Type)
+		for qi := range q.Nodes {
+			if q.Nodes[qi].Label == name {
+				c.Add(qi, Label{Start: n.Start, End: n.End, Level: n.Level})
+			}
+		}
+	}
+}
+
+func run(t *testing.T, src, query string, diskBased bool) (match.Set, counters.Counters) {
+	t.Helper()
+	d := doc(t, src)
+	q := tpq.MustParse(query)
+	var cnt counters.Counters
+	c := NewCollector(d, q, counters.NewIO(&cnt, 0), diskBased, 64)
+	feed(d, q, c)
+	return c.Result(), cnt
+}
+
+func TestEnumerationMatchesOracle(t *testing.T) {
+	cases := []struct{ src, q string }{
+		{`<r><a><b/><c/></a><a><b/></a></r>`, "//a//b"},
+		{`<r><a><b/><c/></a><a><b/></a></r>`, "//a[//b]//c"},
+		{`<r><a><b><c/></b></a></r>`, "//a/b/c"},
+		{`<a><a><b/></a><b/></a>`, "//a//b"},
+		{`<a><b/></a>`, "/a/b"},
+		{`<r><a><b/></a></r>`, "/a/b"}, // root axis: no match (a is not doc root)
+		{`<r><x/><y/></r>`, "//a//b"},  // empty candidates
+	}
+	for _, tc := range cases {
+		d := doc(t, tc.src)
+		q := tpq.MustParse(tc.q)
+		want := oracle.Eval(d, q)
+		got, _ := run(t, tc.src, tc.q, false)
+		if !got.SameAs(want) {
+			t.Errorf("%s over %s: got %d, want %d", tc.q, tc.src, len(got), len(want))
+		}
+	}
+}
+
+func TestWindowing(t *testing.T) {
+	// Three disjoint a-subtrees: three windows; nested roots share one.
+	_, cnt := run(t, `<r><a><b/></a><a><b/></a><a><a><b/></a></a></r>`, "//a//b", false)
+	if cnt.Matches != 4 {
+		t.Fatalf("matches = %d, want 4", cnt.Matches)
+	}
+}
+
+func TestPendingBuffer(t *testing.T) {
+	// Candidates offered ahead of their window must be buffered and drained
+	// when the window opens.
+	d := doc(t, `<r><a><b/></a><a><b/></a></r>`)
+	q := tpq.MustParse("//a//b")
+	var cnt counters.Counters
+	c := NewCollector(d, q, counters.NewIO(&cnt, 0), false, 64)
+
+	nodes := d.Nodes()
+	var as, bs []Label
+	for i := range nodes {
+		l := Label{Start: nodes[i].Start, End: nodes[i].End, Level: nodes[i].Level}
+		switch d.TypeName(nodes[i].Type) {
+		case "a":
+			as = append(as, l)
+		case "b":
+			bs = append(bs, l)
+		}
+	}
+	// Offer ALL b's first (second b is ahead of any window), then the a's.
+	c.Add(0, as[0])
+	c.Add(1, bs[0])
+	c.Add(1, bs[1]) // ahead of window 1: must be buffered, not dropped
+	c.Add(0, as[1])
+	got := c.Result()
+	if len(got) != 2 {
+		t.Fatalf("matches = %d, want 2 (pending candidate lost?)", len(got))
+	}
+}
+
+func TestPendingDropsUncoverable(t *testing.T) {
+	d := doc(t, `<r><b/><a><b/></a></r>`)
+	q := tpq.MustParse("//a//b")
+	var cnt counters.Counters
+	c := NewCollector(d, q, counters.NewIO(&cnt, 0), false, 64)
+	nodes := d.Nodes()
+	// First b precedes every a: buffered then dropped at window open.
+	for i := range nodes {
+		l := Label{Start: nodes[i].Start, End: nodes[i].End, Level: nodes[i].Level}
+		switch d.TypeName(nodes[i].Type) {
+		case "b":
+			c.Add(1, l)
+		case "a":
+			c.Add(0, l)
+		}
+	}
+	got := c.Result()
+	if len(got) != 1 {
+		t.Fatalf("matches = %d, want 1", len(got))
+	}
+}
+
+func TestDiskBasedSpoolAccounting(t *testing.T) {
+	_, mem := run(t, `<r><a><b/><b/><b/><b/><b/></a></r>`, "//a//b", false)
+	_, disk := run(t, `<r><a><b/><b/><b/><b/><b/></a></r>`, "//a//b", true)
+	if mem.PagesWritten != 0 {
+		t.Errorf("memory-based wrote %d pages", mem.PagesWritten)
+	}
+	if disk.PagesWritten == 0 {
+		t.Errorf("disk-based wrote no pages")
+	}
+	if disk.PagesRead <= mem.PagesRead {
+		t.Errorf("disk-based must re-read the spool: %d vs %d", disk.PagesRead, mem.PagesRead)
+	}
+	if mem.Matches != disk.Matches {
+		t.Errorf("approaches disagree: %d vs %d", mem.Matches, disk.Matches)
+	}
+}
+
+func TestPeakEntries(t *testing.T) {
+	d := doc(t, `<r><a><b/><b/><b/></a><a><b/></a></r>`)
+	q := tpq.MustParse("//a//b")
+	var cnt counters.Counters
+	c := NewCollector(d, q, counters.NewIO(&cnt, 0), false, 0)
+	feed(d, q, c)
+	c.Result()
+	// Largest window: first a + its three b's = 4 entries.
+	if c.PeakEntries() != 4 {
+		t.Fatalf("PeakEntries = %d, want 4", c.PeakEntries())
+	}
+	if c.MemoryBytes() != int64(4*LabelBytes) {
+		t.Fatalf("MemoryBytes = %d", c.MemoryBytes())
+	}
+}
+
+func TestPreFlushHook(t *testing.T) {
+	d := doc(t, `<r><a><b/></a><a><b/></a></r>`)
+	q := tpq.MustParse("//a//b")
+	var cnt counters.Counters
+	c := NewCollector(d, q, counters.NewIO(&cnt, 0), false, 0)
+	var regions [][2]int32
+	c.PreFlush = func(lo, hi int32) { regions = append(regions, [2]int32{lo, hi}) }
+	feed(d, q, c)
+	c.Result()
+	if len(regions) != 2 {
+		t.Fatalf("PreFlush ran %d times, want 2 (one per window)", len(regions))
+	}
+	for _, r := range regions {
+		if r[0] >= r[1] {
+			t.Errorf("bad window region %v", r)
+		}
+	}
+}
+
+func TestDuplicateAddsCollapsed(t *testing.T) {
+	d := doc(t, `<r><a><b/></a></r>`)
+	q := tpq.MustParse("//a//b")
+	var cnt counters.Counters
+	c := NewCollector(d, q, counters.NewIO(&cnt, 0), false, 0)
+	feed(d, q, c)
+	feed(d, q, c) // offer everything twice
+	got := c.Result()
+	if len(got) != 1 {
+		t.Fatalf("matches = %d, want 1 (duplicates must collapse)", len(got))
+	}
+}
+
+func TestFlushWithoutWindowIsNoop(t *testing.T) {
+	d := doc(t, `<r/>`)
+	q := tpq.MustParse("//a")
+	var cnt counters.Counters
+	c := NewCollector(d, q, counters.NewIO(&cnt, 0), false, 0)
+	c.Flush()
+	if got := c.Result(); len(got) != 0 {
+		t.Fatalf("expected no matches")
+	}
+}

@@ -1,0 +1,116 @@
+// Package pathstack implements the PathStack structural join algorithm of
+// Bruno, Koudas & Srivastava (SIGMOD 2002), the "PS"/"TS-on-paths" baseline
+// of the paper's motivation experiment (§I, §VI-A).
+//
+// PathStack evaluates a path query over one element stream per query node
+// using a chain of linked stacks: every pushed element records the top of
+// its parent's stack at push time, and each leaf push expands into the
+// root-to-leaf combinations it closes over. Unlike the shared window stage
+// used by TwigStack/ViewJoin, PathStack emits solutions directly from its
+// stacks — it is an independent implementation that cross-checks the other
+// engines on path queries.
+package pathstack
+
+import (
+	"fmt"
+
+	"viewjoin/internal/counters"
+	"viewjoin/internal/match"
+	"viewjoin/internal/store"
+	"viewjoin/internal/tpq"
+	"viewjoin/internal/xmltree"
+)
+
+// frame is one stack element: a region label plus the index of the top of
+// the parent stack at push time (-1 when the parent stack was empty, which
+// only happens for the root).
+type frame struct {
+	l         store.Label
+	parentTop int
+}
+
+// Eval evaluates the path query q over the per-query-node lists using
+// PathStack and returns all tree pattern instances. It returns an error if
+// q is not a path query.
+func Eval(d *xmltree.Document, q *tpq.Pattern, lists []*store.ListFile, io *counters.IO) (match.Set, error) {
+	if !q.IsPath() {
+		return nil, fmt.Errorf("pathstack: %s is not a path query", q)
+	}
+	n := q.Size()
+	cur := make([]*store.Cursor, n)
+	for i, l := range lists {
+		cur[i] = l.Open(io)
+	}
+	stacks := make([][]frame, n)
+	var out match.Set
+	buf := make([]store.Label, n)
+
+	for {
+		// qmin: the valid cursor with the smallest start label.
+		qmin := -1
+		for i := 0; i < n; i++ {
+			if !cur[i].Valid() {
+				continue
+			}
+			if qmin == -1 || cur[i].Item().Start < cur[qmin].Item().Start {
+				qmin = i
+			}
+			io.C.Comparisons++
+		}
+		if qmin == -1 {
+			break
+		}
+		it := cur[qmin].Item()
+		l := store.Label{Start: it.Start, End: it.End, Level: it.Level}
+
+		// Pop every stack entry that ended before this element starts.
+		for i := 0; i < n; i++ {
+			for len(stacks[i]) > 0 && stacks[i][len(stacks[i])-1].l.End < l.Start {
+				stacks[i] = stacks[i][:len(stacks[i])-1]
+				io.C.Comparisons++
+			}
+		}
+
+		pushed := false
+		if qmin == 0 {
+			if q.Nodes[0].Axis == tpq.Descendant || l.Level == 0 {
+				stacks[0] = append(stacks[0], frame{l, -1})
+				pushed = true
+			}
+		} else if len(stacks[qmin-1]) > 0 {
+			stacks[qmin] = append(stacks[qmin], frame{l, len(stacks[qmin-1]) - 1})
+			pushed = true
+		}
+		if pushed && qmin == n-1 {
+			expand(d, q, stacks, n-1, len(stacks[n-1])-1, buf, io, &out)
+			stacks[n-1] = stacks[n-1][:len(stacks[n-1])-1]
+		}
+		cur[qmin].Next()
+	}
+	io.C.Matches = int64(len(out))
+	return out, nil
+}
+
+// expand emits every root-to-leaf combination closed by the frame at
+// position fi of stack qi: the element pairs with every frame of the parent
+// stack up to its recorded parentTop, subject to the pc-level checks that
+// the stacks alone do not enforce.
+func expand(d *xmltree.Document, q *tpq.Pattern, stacks [][]frame, qi, fi int,
+	buf []store.Label, io *counters.IO, out *match.Set) {
+	buf[qi] = stacks[qi][fi].l
+	if qi == 0 {
+		m := make(match.Match, len(buf))
+		for k := range buf {
+			m[k] = d.FindByStart(buf[k].Start)
+		}
+		*out = append(*out, m)
+		return
+	}
+	for pi := stacks[qi][fi].parentTop; pi >= 0; pi-- {
+		io.C.Comparisons++
+		if q.Nodes[qi].Axis == tpq.Child && stacks[qi-1][pi].l.Level != buf[qi].Level-1 {
+			continue
+		}
+		expand(d, q, stacks, qi-1, pi, buf, io, out)
+	}
+}

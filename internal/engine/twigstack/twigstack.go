@@ -1,0 +1,163 @@
+// Package twigstack implements the holistic twig join baseline of Bruno,
+// Koudas & Srivastava (SIGMOD 2002), the "TS" of the paper's experiments.
+//
+// TwigStack evaluates a TPQ over one element stream per query node using
+// the classic getNext cursor discipline and per-node stacks of open
+// regions. In this reproduction the streams are the element-family lists of
+// the covering views (schemes E, LE, LEp): TS reads the records
+// sequentially and ignores any materialized pointers, exactly as the
+// paper's extension of TS to linked-element views does — LE/LEp records are
+// larger, so TS pays their extra I/O without gaining skipping.
+//
+// Output goes through the shared window enumeration stage (package enum),
+// which verifies every query edge — including the pc-edges for which
+// TwigStack's candidate generation is known to over-approximate.
+package twigstack
+
+import (
+	"math"
+
+	"viewjoin/internal/counters"
+	"viewjoin/internal/engine"
+	"viewjoin/internal/engine/enum"
+	"viewjoin/internal/match"
+	"viewjoin/internal/store"
+	"viewjoin/internal/tpq"
+	"viewjoin/internal/xmltree"
+)
+
+const inf = int32(math.MaxInt32)
+
+// Stats reports run statistics beyond the shared counters.
+type Stats struct {
+	// PeakWindowEntries is |F_max| in entries (memory-based approach).
+	PeakWindowEntries int
+}
+
+type evaluator struct {
+	d    *xmltree.Document
+	q    *tpq.Pattern
+	cur  []*store.Cursor
+	io   *counters.IO
+	col  *enum.Collector
+	open [][]enum.Label // per query node: stack of accepted open regions
+}
+
+// Eval evaluates q over the per-query-node lists using TwigStack and
+// returns all tree pattern instances.
+func Eval(d *xmltree.Document, q *tpq.Pattern, lists []*store.ListFile, io *counters.IO, opts engine.Options) (match.Set, Stats) {
+	e := &evaluator{
+		d:    d,
+		q:    q,
+		cur:  make([]*store.Cursor, q.Size()),
+		io:   io,
+		col:  enum.NewCollector(d, q, io, opts.DiskBased, opts.PageSize),
+		open: make([][]enum.Label, q.Size()),
+	}
+	for qi := range lists {
+		e.cur[qi] = lists[qi].Open(io)
+	}
+	e.run()
+	return e.col.Result(), Stats{PeakWindowEntries: e.col.PeakEntries()}
+}
+
+// start returns the current start label of qi's cursor, or +inf when the
+// stream is exhausted.
+func (e *evaluator) start(qi int) int32 {
+	if !e.cur[qi].Valid() {
+		return inf
+	}
+	return e.cur[qi].Item().Start
+}
+
+// end returns the current end label of qi's cursor, or +inf when exhausted.
+func (e *evaluator) end(qi int) int32 {
+	if !e.cur[qi].Valid() {
+		return inf
+	}
+	return e.cur[qi].Item().End
+}
+
+func (e *evaluator) run() {
+	for {
+		qact := e.getNext(0)
+		if !e.cur[qact].Valid() {
+			break
+		}
+		it := e.cur[qact].Item()
+		l := enum.Label{Start: it.Start, End: it.End, Level: it.Level}
+		if e.accept(qact, l) {
+			e.push(qact, l)
+			e.col.Add(qact, l)
+		}
+		e.cur[qact].Next()
+	}
+}
+
+// accept implements TwigStack's stack discipline: the root is always
+// accepted; any other node needs an open accepted ancestor for its query
+// parent.
+func (e *evaluator) accept(qi int, l enum.Label) bool {
+	if qi == 0 {
+		return true
+	}
+	p := e.q.Nodes[qi].Parent
+	s := e.open[p]
+	for len(s) > 0 && s[len(s)-1].End < l.Start {
+		s = s[:len(s)-1]
+		e.io.C.Comparisons++
+	}
+	e.open[p] = s
+	if len(s) == 0 {
+		return false
+	}
+	e.io.C.Comparisons++
+	return s[len(s)-1].Start < l.Start && l.End < s[len(s)-1].End
+}
+
+// push records an accepted candidate as an open region for its query node,
+// popping regions that ended before it.
+func (e *evaluator) push(qi int, l enum.Label) {
+	s := e.open[qi]
+	for len(s) > 0 && s[len(s)-1].End < l.Start {
+		s = s[:len(s)-1]
+	}
+	e.open[qi] = append(s, l)
+}
+
+// getNext is the classic TwigStack cursor routine: it returns the query
+// node whose current cursor entry should be processed next. Exhausted
+// cursors act as +inf sentinels; when the returned node's cursor is
+// exhausted, evaluation is complete.
+func (e *evaluator) getNext(qi int) int {
+	children := e.q.Nodes[qi].Children
+	if len(children) == 0 {
+		return qi
+	}
+	qmin, qmax := -1, -1
+	for _, qc := range children {
+		r := e.getNext(qc)
+		if r != qc && e.cur[r].Valid() {
+			return r
+		}
+		// An exhausted deep return means that subtree is fully drained; the
+		// remaining children (and qi itself) may still have useful entries,
+		// so fold it into the min/max bookkeeping instead of propagating.
+		if qmin == -1 || e.start(qc) < e.start(qmin) {
+			qmin = qc
+		}
+		if qmax == -1 || e.start(qc) > e.start(qmax) {
+			qmax = qc
+		}
+	}
+	// Skip qi-nodes that cannot contain all child candidates.
+	for e.cur[qi].Valid() && e.end(qi) < e.start(qmax) {
+		e.io.C.Comparisons++
+		e.cur[qi].Next()
+	}
+	e.io.C.Comparisons++
+	if e.start(qi) < e.start(qmin) {
+		return qi
+	}
+	return qmin
+}

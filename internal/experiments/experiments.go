@@ -1,0 +1,259 @@
+// Package experiments regenerates every table and figure of the paper's
+// experimental evaluation (§VI) on the reproduction's datasets and
+// simulated paged store. Each experiment prints the same rows/series the
+// paper reports: absolute numbers differ from the 2010 testbed, but the
+// shapes — who wins, by roughly what factor, where the crossovers fall —
+// are the reproduction targets (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"viewjoin"
+	"viewjoin/internal/workload"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// XMarkScale is the XMark-analog scale factor (default 1.0, the
+	// "standard 113MB document" analog at laptop size, ~100k elements).
+	XMarkScale float64
+	// NasaDatasets sizes the Nasa-analog document (default 4000, the 23MB
+	// Nasa analog, ~110k elements).
+	NasaDatasets int
+	// Repeats is the number of timed runs averaged per measurement; the
+	// paper used five (default 3).
+	Repeats int
+	// BufferPoolPages is the simulated buffer pool size (default 64).
+	BufferPoolPages int
+	// IOCostPerPage is the simulated cost of one buffer-pool page miss,
+	// folded into reported total times the way the paper reports
+	// I/O + CPU (default 3µs, which puts I/O under ~20%% of total for the
+	// memory-based runs, matching the paper's observation).
+	IOCostPerPage time.Duration
+	// Out receives the experiment's table; defaults to io.Discard.
+	Out io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.XMarkScale <= 0 {
+		c.XMarkScale = 1.0
+	}
+	if c.NasaDatasets <= 0 {
+		c.NasaDatasets = 4000
+	}
+	if c.Repeats <= 0 {
+		c.Repeats = 5
+	}
+	if c.IOCostPerPage <= 0 {
+		c.IOCostPerPage = 3 * time.Microsecond
+	}
+	if c.Out == nil {
+		c.Out = io.Discard
+	}
+	return c
+}
+
+// Experiment is one reproducible unit: a table or figure of the paper.
+type Experiment struct {
+	Name  string
+	Title string
+	Run   func(cfg Config) error
+}
+
+// All returns the experiments in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"motivation", "§I/§VI-A obs.2 — IJ vs PathStack, tuple vs element schemes", Motivation},
+		{"fig5a", "Fig 5(a) — path queries on XMark, 7 scheme/algorithm combos", Fig5a},
+		{"fig5b", "Fig 5(b) — path queries on Nasa, 7 combos", Fig5b},
+		{"fig5c", "Fig 5(c) — twig queries on XMark, 6 combos", Fig5c},
+		{"fig5d", "Fig 5(d) — twig queries on Nasa, 6 combos", Fig5d},
+		{"fig6a", "Fig 6(a) — interleaving conditions, path query Np with PV1-PV4", Fig6a},
+		{"fig6b", "Fig 6(b) — interleaving conditions, twig query Nt with TV1-TV4", Fig6b},
+		{"table2", "Table II / Example 5.1 — cost-based view selection", Table2},
+		{"table4", "Table IV — size and #pointers of views across schemes", Table4},
+		{"fig7", "Fig 7 — scalability of ViewJoin on growing XMark documents", Fig7},
+		{"table5", "Table V — memory-based vs disk-based output approaches", Table5},
+		{"ablation", "Reproduction ablations — jump guards, LEp threshold, page size", Ablation},
+		{"noviews", "Views vs raw element streams — the [22] comparison the paper builds on", NoViews},
+	}
+}
+
+// ByName returns the named experiment.
+func ByName(name string) (Experiment, error) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	var names []string
+	for _, e := range All() {
+		names = append(names, e.Name)
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (have: %s)",
+		name, strings.Join(names, ", "))
+}
+
+// combo is an (engine, scheme) pair as labelled in the paper.
+type combo struct {
+	engine viewjoin.Engine
+	scheme viewjoin.StorageScheme
+}
+
+func (c combo) String() string {
+	return fmt.Sprintf("%s+%s", c.engine, c.scheme)
+}
+
+// sevenCombos is the paper's full matrix for path queries (Table I):
+// IJ+T, TS+E/LE/LEp, VJ+E/LE/LEp. TS stands in for PathStack on paths.
+func sevenCombos() []combo {
+	return append([]combo{{viewjoin.EngineInterJoin, viewjoin.SchemeTuple}}, sixCombos()...)
+}
+
+// sixCombos is the twig-query matrix (no InterJoin).
+func sixCombos() []combo {
+	return []combo{
+		{viewjoin.EngineTwigStack, viewjoin.SchemeElement},
+		{viewjoin.EngineTwigStack, viewjoin.SchemeLE},
+		{viewjoin.EngineTwigStack, viewjoin.SchemeLEp},
+		{viewjoin.EngineViewJoin, viewjoin.SchemeElement},
+		{viewjoin.EngineViewJoin, viewjoin.SchemeLE},
+		{viewjoin.EngineViewJoin, viewjoin.SchemeLEp},
+	}
+}
+
+// measurement is one (query, combo) cell.
+type measurement struct {
+	Time    time.Duration // CPU (wall) + simulated I/O
+	IOTime  time.Duration // simulated I/O component
+	Stats   viewjoin.Stats
+	Matches int
+}
+
+// run evaluates one combo, averaging wall time over cfg.Repeats runs.
+func run(cfg Config, d *viewjoin.Document, q *viewjoin.Query, mviews []*viewjoin.MaterializedView,
+	c combo, diskBased bool) (measurement, error) {
+	return runWith(cfg, d, q, mviews, c, &viewjoin.EvalOptions{
+		DiskBased:       diskBased,
+		BufferPoolPages: cfg.BufferPoolPages,
+	})
+}
+
+// runWith evaluates one combo under explicit options, averaging wall time
+// over cfg.Repeats runs after one warm-up.
+func runWith(cfg Config, d *viewjoin.Document, q *viewjoin.Query, mviews []*viewjoin.MaterializedView,
+	c combo, opts *viewjoin.EvalOptions) (measurement, error) {
+	var m measurement
+	var total time.Duration
+	// One untimed warm-up run stabilizes cache and allocator state, then
+	// the timed runs are averaged (the paper averaged five runs).
+	if _, err := viewjoin.Evaluate(d, q, mviews, c.engine, opts); err != nil {
+		return m, fmt.Errorf("%s: %w", c, err)
+	}
+	for i := 0; i < cfg.Repeats; i++ {
+		res, err := viewjoin.Evaluate(d, q, mviews, c.engine, opts)
+		if err != nil {
+			return m, fmt.Errorf("%s: %w", c, err)
+		}
+		total += res.Stats.Duration
+		m.Stats = res.Stats
+		m.Matches = len(res.Matches)
+	}
+	m.Time = total / time.Duration(cfg.Repeats)
+	m.IOTime = time.Duration(m.Stats.PagesRead+m.Stats.PagesWritten) * cfg.IOCostPerPage
+	m.Time += m.IOTime
+	return m, nil
+}
+
+// materialized caches per-scheme materializations of a query's view set.
+type materialized map[viewjoin.StorageScheme][]*viewjoin.MaterializedView
+
+func materializeAll(d *viewjoin.Document, query workload.Query, schemes []viewjoin.StorageScheme) (materialized, error) {
+	vs := make([]*viewjoin.Query, len(query.Views))
+	for i, p := range query.Views {
+		q, err := viewjoin.ParseQuery(p.String())
+		if err != nil {
+			return nil, err
+		}
+		vs[i] = q
+	}
+	out := make(materialized, len(schemes))
+	for _, s := range schemes {
+		mv, err := d.MaterializeViews(vs, s)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", query.Name, err)
+		}
+		out[s] = mv
+	}
+	return out, nil
+}
+
+func schemesFor(combos []combo) []viewjoin.StorageScheme {
+	seen := make(map[viewjoin.StorageScheme]bool)
+	var out []viewjoin.StorageScheme
+	for _, c := range combos {
+		if !seen[c.scheme] {
+			seen[c.scheme] = true
+			out = append(out, c.scheme)
+		}
+	}
+	return out
+}
+
+// comboTable runs a set of queries against a set of combos and prints the
+// per-query total processing time (the paper's Fig 5/6 bar charts as
+// rows), plus a correctness cross-check against the direct evaluator.
+func comboTable(cfg Config, d *viewjoin.Document, queries []workload.Query, combos []combo) error {
+	w := cfg.Out
+	fmt.Fprintf(w, "%-6s", "query")
+	for _, c := range combos {
+		fmt.Fprintf(w, " %12s", c.String())
+	}
+	fmt.Fprintf(w, " %10s\n", "matches")
+	for _, query := range queries {
+		mats, err := materializeAll(d, query, schemesFor(combos))
+		if err != nil {
+			return err
+		}
+		q, err := viewjoin.ParseQuery(query.Pattern.String())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-6s", query.Name)
+		matches := -1
+		for _, c := range combos {
+			m, err := run(cfg, d, q, mats[c.scheme], c, false)
+			if err != nil {
+				return fmt.Errorf("%s %s: %w", query.Name, c, err)
+			}
+			if matches == -1 {
+				matches = m.Matches
+			} else if matches != m.Matches {
+				return fmt.Errorf("%s: %s returned %d matches, others %d — engines disagree",
+					query.Name, c, m.Matches, matches)
+			}
+			fmt.Fprintf(w, " %12s", fmtDur(m.Time))
+		}
+		fmt.Fprintf(w, " %10d\n", matches)
+	}
+	return nil
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+func fmtMB(bytes int64) string {
+	return fmt.Sprintf("%.2fMB", float64(bytes)/(1<<20))
+}

@@ -1,0 +1,116 @@
+// Package match defines the common result representation shared by every
+// TPQ evaluation engine in this repository.
+//
+// Per the paper's query model (§II), every node of a TPQ is an output node,
+// so the answer to a query Q is the set of tree pattern instances: one data
+// node per query node for each embedding of Q into the document.
+package match
+
+import (
+	"sort"
+
+	"viewjoin/internal/xmltree"
+)
+
+// Match is one tree pattern instance: Match[i] is the data node matched by
+// query node i (indices follow tpq.Pattern node order).
+type Match []xmltree.NodeID
+
+// Less orders matches lexicographically by node id (i.e. by document order
+// of the matched nodes, query node by query node).
+func Less(a, b Match) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Equal reports whether two matches bind identical nodes.
+func Equal(a, b Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of m.
+func Clone(m Match) Match {
+	out := make(Match, len(m))
+	copy(out, m)
+	return out
+}
+
+// Set is a collection of matches.
+type Set []Match
+
+// Sort orders the set lexicographically.
+func (s Set) Sort() {
+	sort.Slice(s, func(i, j int) bool { return Less(s[i], s[j]) })
+}
+
+// Normalize sorts the set and removes duplicate matches, returning the
+// result. Useful for comparing engine outputs in tests.
+func (s Set) Normalize() Set {
+	if len(s) == 0 {
+		return s
+	}
+	s.Sort()
+	out := s[:1]
+	for _, m := range s[1:] {
+		if !Equal(out[len(out)-1], m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// SameAs reports whether two normalized-or-not sets contain the same
+// matches (order- and duplicate-insensitive).
+func (s Set) SameAs(t Set) bool {
+	a := append(Set(nil), s...).Normalize()
+	b := append(Set(nil), t...).Normalize()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// SolutionNodes returns, for each query node index, the distinct data nodes
+// bound to it across all matches, in document order. This is the "solution
+// node" notion of §II, and what the element/LE storage schemes materialize.
+func (s Set) SolutionNodes(numQueryNodes int) [][]xmltree.NodeID {
+	seen := make([]map[xmltree.NodeID]bool, numQueryNodes)
+	for i := range seen {
+		seen[i] = make(map[xmltree.NodeID]bool)
+	}
+	for _, m := range s {
+		for q, n := range m {
+			seen[q][n] = true
+		}
+	}
+	out := make([][]xmltree.NodeID, numQueryNodes)
+	for q := range out {
+		ids := make([]xmltree.NodeID, 0, len(seen[q]))
+		for id := range seen[q] {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		out[q] = ids
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+// Package oracle implements a brute-force reference evaluator for tree
+// pattern queries. It enumerates embeddings directly from the definition in
+// §II of the paper, with no storage schemes, streaming, or skipping
+// involved, and serves as the correctness oracle that every optimized
+// engine in this repository is validated against.
+package oracle
+
+import (
+	"viewjoin/internal/match"
+	"viewjoin/internal/tpq"
+	"viewjoin/internal/xmltree"
+)
+
+// Eval returns all tree pattern instances of q in d: one match per
+// embedding, with every query node treated as an output node.
+//
+// The root of q binds according to its axis: a Descendant root ("//a")
+// matches any a-node in the document; a Child root ("/a") matches only the
+// document root when it has type a.
+func Eval(d *xmltree.Document, q *tpq.Pattern) match.Set {
+	rootType := d.TypeByName(q.Nodes[0].Label)
+	if rootType == xmltree.NoType {
+		return nil
+	}
+	var roots []xmltree.NodeID
+	switch q.Nodes[0].Axis {
+	case tpq.Descendant:
+		roots = d.NodesOfType(rootType)
+	case tpq.Child:
+		if d.Node(d.Root()).Type == rootType {
+			roots = []xmltree.NodeID{d.Root()}
+		}
+	}
+
+	var out match.Set
+	cur := make(match.Match, q.Size())
+	for _, r := range roots {
+		cur[0] = r
+		embed(d, q, 1, cur, &out)
+	}
+	return out
+}
+
+// embed binds query node qi (pattern nodes are numbered in pre-order, so
+// qi's parent is already bound) to every consistent data node, recursing on
+// qi+1; completed embeddings are appended to out.
+func embed(d *xmltree.Document, q *tpq.Pattern, qi int, cur match.Match, out *match.Set) {
+	if qi == q.Size() {
+		*out = append(*out, match.Clone(cur))
+		return
+	}
+	qn := q.Nodes[qi]
+	t := d.TypeByName(qn.Label)
+	if t == xmltree.NoType {
+		return
+	}
+	parentData := d.Node(cur[qn.Parent])
+	for _, cand := range d.NodesOfType(t) {
+		cn := d.Node(cand)
+		if cn.Start <= parentData.Start {
+			continue
+		}
+		if cn.Start > parentData.End {
+			break // candidates are in document order; none further fits inside
+		}
+		if cn.End >= parentData.End {
+			continue
+		}
+		if qn.Axis == tpq.Child && cn.Level != parentData.Level+1 {
+			continue
+		}
+		cur[qi] = cand
+		embed(d, q, qi+1, cur, out)
+	}
+}
+
+// SolutionNodes returns the distinct solution nodes of q in d per query
+// node, in document order (§II: a data node is a solution node of Q iff it
+// occurs in some tree pattern instance matching Q).
+func SolutionNodes(d *xmltree.Document, q *tpq.Pattern) [][]xmltree.NodeID {
+	return Eval(d, q).SolutionNodes(q.Size())
+}

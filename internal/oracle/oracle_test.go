@@ -1,0 +1,168 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"viewjoin/internal/match"
+	"viewjoin/internal/testutil"
+	"viewjoin/internal/tpq"
+	"viewjoin/internal/xmltree"
+)
+
+func doc(t *testing.T, src string) *xmltree.Document {
+	t.Helper()
+	d, err := xmltree.ParseString(src)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	return d
+}
+
+func TestEvalSimplePath(t *testing.T) {
+	d := doc(t, `<r><a><b/><b><c/></b></a><a><c/></a></r>`)
+	got := Eval(d, tpq.MustParse("//a//b"))
+	if len(got) != 2 {
+		t.Fatalf("|//a//b| = %d, want 2", len(got))
+	}
+	got = Eval(d, tpq.MustParse("//a//c"))
+	if len(got) != 2 {
+		t.Fatalf("|//a//c| = %d, want 2", len(got))
+	}
+	got = Eval(d, tpq.MustParse("//a/c"))
+	if len(got) != 1 {
+		t.Fatalf("|//a/c| = %d, want 1", len(got))
+	}
+	got = Eval(d, tpq.MustParse("//b/c"))
+	if len(got) != 1 {
+		t.Fatalf("|//b/c| = %d, want 1", len(got))
+	}
+	if got := Eval(d, tpq.MustParse("//c/b")); len(got) != 0 {
+		t.Fatalf("|//c/b| = %d, want 0", len(got))
+	}
+	if got := Eval(d, tpq.MustParse("//zz")); got != nil {
+		t.Fatalf("unknown type should give nil, got %v", got)
+	}
+}
+
+func TestEvalRootAxis(t *testing.T) {
+	d := doc(t, `<a><a><b/></a></a>`)
+	if got := Eval(d, tpq.MustParse("/a/b")); len(got) != 0 {
+		t.Fatalf("|/a/b| = %d, want 0 (only outer a is the root)", len(got))
+	}
+	if got := Eval(d, tpq.MustParse("/a//b")); len(got) != 1 {
+		t.Fatalf("|/a//b| = %d, want 1", len(got))
+	}
+	if got := Eval(d, tpq.MustParse("//a/b")); len(got) != 1 {
+		t.Fatalf("|//a/b| = %d, want 1", len(got))
+	}
+	if got := Eval(d, tpq.MustParse("/b")); len(got) != 0 {
+		t.Fatalf("|/b| = %d, want 0", len(got))
+	}
+}
+
+func TestEvalTwigCrossProduct(t *testing.T) {
+	// One a with two b's and three c's below: //a[//b]//c has 2*3 = 6 matches.
+	d := doc(t, `<r><a><b/><b/><c/><c/><c/></a></r>`)
+	got := Eval(d, tpq.MustParse("//a[//b]//c"))
+	if len(got) != 6 {
+		t.Fatalf("matches = %d, want 6", len(got))
+	}
+	// Every match must bind distinct query nodes consistently.
+	q := tpq.MustParse("//a[//b]//c")
+	for _, m := range got {
+		an, bn, cn := d.Node(m[0]), d.Node(m[1]), d.Node(m[2])
+		if !an.IsAncestorOf(bn) || !an.IsAncestorOf(cn) {
+			t.Fatalf("match %v violates containment for %s", m, q)
+		}
+	}
+}
+
+func TestEvalMultipleEmbeddingsPerNode(t *testing.T) {
+	// Nested a's: each b below both a's yields two matches of //a//b.
+	d := doc(t, `<a><a><b/></a><b/></a>`)
+	got := Eval(d, tpq.MustParse("//a//b"))
+	if len(got) != 3 {
+		t.Fatalf("matches = %d, want 3 (outer-a/inner-b, outer-a/outer-b, inner-a/inner-b)", len(got))
+	}
+}
+
+func TestSolutionNodes(t *testing.T) {
+	d := doc(t, `<r><a><b/><b/></a><a/></r>`)
+	sol := SolutionNodes(d, tpq.MustParse("//a//b"))
+	if len(sol) != 2 {
+		t.Fatalf("len(sol) = %d, want 2", len(sol))
+	}
+	if len(sol[0]) != 1 {
+		t.Errorf("a-type solution nodes = %d, want 1 (second a has no b)", len(sol[0]))
+	}
+	if len(sol[1]) != 2 {
+		t.Errorf("b-type solution nodes = %d, want 2", len(sol[1]))
+	}
+}
+
+// TestEvalAgainstNaiveDefinition cross-checks the oracle against an even
+// more literal implementation of the embedding definition (all candidate
+// tuples, checked pairwise) on random inputs.
+func TestEvalAgainstNaiveDefinition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := testutil.RandomDoc(rng, 40, nil)
+		q := testutil.RandomPattern(rng, 3, nil)
+		got := Eval(d, q)
+		want := naiveEval(d, q)
+		if !got.SameAs(want) {
+			t.Logf("doc nodes=%d q=%s got=%d want=%d", d.NumNodes(), q, len(got), len(want))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// naiveEval enumerates every |Q|-tuple of nodes of the right types and
+// filters by the embedding conditions. Exponential; only for tiny inputs.
+func naiveEval(d *xmltree.Document, q *tpq.Pattern) (out match.Set) {
+	cands := make([][]xmltree.NodeID, q.Size())
+	for i := range q.Nodes {
+		t := d.TypeByName(q.Nodes[i].Label)
+		if t == xmltree.NoType {
+			return nil
+		}
+		cands[i] = d.NodesOfType(t)
+	}
+	cur := make(match.Match, q.Size())
+	var rec func(i int)
+	rec = func(i int) {
+		if i == q.Size() {
+			ok := true
+			for j := 1; j < q.Size(); j++ {
+				pd, cd := d.Node(cur[q.Nodes[j].Parent]), d.Node(cur[j])
+				if !pd.IsAncestorOf(cd) {
+					ok = false
+					break
+				}
+				if q.Nodes[j].Axis == tpq.Child && pd.Level != cd.Level-1 {
+					ok = false
+					break
+				}
+			}
+			if ok && q.Nodes[0].Axis == tpq.Child && cur[0] != d.Root() {
+				ok = false
+			}
+			if ok {
+				out = append(out, match.Clone(cur))
+			}
+			return
+		}
+		for _, c := range cands[i] {
+			cur[i] = c
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}

@@ -1,0 +1,84 @@
+package store
+
+import (
+	"testing"
+
+	"viewjoin/internal/counters"
+	"viewjoin/internal/dataset/xmark"
+	"viewjoin/internal/tpq"
+	"viewjoin/internal/views"
+)
+
+func benchView(b *testing.B, kind Kind) *ViewStore {
+	b.Helper()
+	d := xmark.Scale(0.1)
+	m := views.MustMaterialize(d, tpq.MustParse("//item//text//keyword"))
+	return MustBuild(m, kind, 0)
+}
+
+// BenchmarkCursorScan measures sequential record decoding per scheme — the
+// per-element cost every engine pays.
+func BenchmarkCursorScan(b *testing.B) {
+	for _, kind := range []Kind{Element, Linked, LinkedPartial} {
+		s := benchView(b, kind)
+		b.Run(kind.String(), func(b *testing.B) {
+			var c counters.Counters
+			io := counters.NewIO(&c, 0)
+			n := 0
+			for i := 0; i < b.N; i++ {
+				for _, l := range s.Lists {
+					for cur := l.Open(io); cur.Valid(); cur.Next() {
+						n += int(cur.Item().Start & 1)
+					}
+				}
+			}
+			_ = n
+			b.ReportMetric(float64(s.TotalEntries()), "entries")
+		})
+	}
+}
+
+// BenchmarkCursorSeek measures pointer dereferencing: following every
+// materialized child pointer of the LE view.
+func BenchmarkCursorSeek(b *testing.B) {
+	s := benchView(b, Linked)
+	var c counters.Counters
+	io := counters.NewIO(&c, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		probe := s.Lists[1].Open(io)
+		for cur := s.Lists[0].Open(io); cur.Valid(); cur.Next() {
+			if p := cur.Item().Children[0]; !p.IsNil() {
+				probe.Seek(p)
+			}
+		}
+	}
+}
+
+// BenchmarkTupleScan measures the tuple scheme's wide-record decoding.
+func BenchmarkTupleScan(b *testing.B) {
+	s := benchView(b, Tuple)
+	var c counters.Counters
+	io := counters.NewIO(&c, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for cur := s.Tuples.Open(io); cur.Valid(); cur.Next() {
+		}
+	}
+	b.ReportMetric(float64(s.Tuples.Entries()), "tuples")
+}
+
+// BenchmarkBuild measures store construction (serialization) per scheme.
+func BenchmarkBuild(b *testing.B) {
+	d := xmark.Scale(0.1)
+	m := views.MustMaterialize(d, tpq.MustParse("//item//text//keyword"))
+	for _, kind := range []Kind{Tuple, Element, Linked, LinkedPartial} {
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(m, kind, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,138 @@
+package store
+
+import (
+	"encoding/binary"
+
+	"viewjoin/internal/counters"
+)
+
+// Item is one decoded record: a region label plus whatever pointers the
+// record materializes. Absent pointers are NilPointer; for the Element
+// scheme every pointer is absent.
+type Item struct {
+	Start, End, Level int32
+	Following         Pointer
+	Descendant        Pointer
+	Children          [MaxChildren]Pointer
+}
+
+// Cursor is a forward cursor over a ListFile with random access via stored
+// pointers. Every record decode is charged as one element scanned, and
+// page accesses are charged through the IO buffer pool.
+type Cursor struct {
+	f         *ListFile
+	io        *counters.IO
+	page      int32
+	off       uint16
+	size      int // byte size of the current record
+	item      Item
+	valid     bool
+	lastTouch int32 // last page charged to the pool, -1 initially
+}
+
+// Open returns a cursor positioned at the first record (invalid for an
+// empty list).
+func (l *ListFile) Open(io *counters.IO) *Cursor {
+	c := &Cursor{f: l, io: io, lastTouch: -1}
+	if l.entries == 0 {
+		c.valid = false
+		return c
+	}
+	c.load(0, 0)
+	return c
+}
+
+// Valid reports whether the cursor is positioned on a record.
+func (c *Cursor) Valid() bool { return c.valid }
+
+// Item returns the current record. It must only be called when Valid.
+func (c *Cursor) Item() *Item { return &c.item }
+
+// Next advances to the next record in list order; the cursor becomes
+// invalid at the end of the list.
+func (c *Cursor) Next() {
+	if !c.valid {
+		return
+	}
+	off := c.off + uint16(c.size)
+	page := c.page
+	for {
+		if page >= int32(len(c.f.pages)) {
+			c.valid = false
+			return
+		}
+		if off < c.f.pageUsed[page] {
+			c.load(page, off)
+			return
+		}
+		page++
+		off = 0
+	}
+}
+
+// Seek positions the cursor at the record addressed by the pointer and
+// charges one pointer dereference. Seeking a nil pointer invalidates the
+// cursor.
+func (c *Cursor) Seek(p Pointer) {
+	c.io.C.PointerDerefs++
+	if p.IsNil() {
+		c.valid = false
+		return
+	}
+	c.load(p.Page, p.Off)
+}
+
+// Position returns the pointer addressing the current record.
+func (c *Cursor) Position() Pointer {
+	return Pointer{Page: c.page, Off: c.off}
+}
+
+// Clone returns an independent cursor at the same position, sharing the
+// same IO accounting.
+func (c *Cursor) Clone() *Cursor {
+	cc := *c
+	return &cc
+}
+
+// load decodes the record at (page, off).
+func (c *Cursor) load(page int32, off uint16) {
+	if c.lastTouch != page {
+		c.io.Touch(c.f.token, page)
+		c.lastTouch = page
+	}
+	c.io.C.ElementsScanned++
+	buf := c.f.pages[page][off:]
+	c.item.Start = int32(binary.LittleEndian.Uint32(buf[0:]))
+	c.item.End = int32(binary.LittleEndian.Uint32(buf[4:]))
+	c.item.Level = int32(binary.LittleEndian.Uint32(buf[8:]))
+	n := headerBytes
+	c.item.Following = NilPointer
+	c.item.Descendant = NilPointer
+	for i := 0; i < c.f.childCount; i++ {
+		c.item.Children[i] = NilPointer
+	}
+	if c.f.kind != Element {
+		flags := buf[headerBytes]
+		n++
+		read := func() Pointer {
+			p := Pointer{
+				Page: int32(binary.LittleEndian.Uint32(buf[n:])),
+				Off:  binary.LittleEndian.Uint16(buf[n+4:]),
+			}
+			n += pointerBytes
+			return p
+		}
+		if flags&flagFollowing != 0 {
+			c.item.Following = read()
+		}
+		if flags&flagDescendant != 0 {
+			c.item.Descendant = read()
+		}
+		for i := 0; i < c.f.childCount; i++ {
+			if flags&(1<<(flagChild0+i)) != 0 {
+				c.item.Children[i] = read()
+			}
+		}
+	}
+	c.page, c.off, c.size, c.valid = page, off, n, true
+}

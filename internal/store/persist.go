@@ -1,0 +1,322 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"viewjoin/internal/counters"
+	"viewjoin/internal/tpq"
+)
+
+// On-disk container format for a materialized view store:
+//
+//	magic "VJST", version byte, kind byte, pageSize u32,
+//	pattern nodes (count u16, then per node: label, axis, parent index),
+//	then either the tuple file or the list files, each as
+//	  header fields + pageUsed[] + raw pages.
+//
+// The format is independent of host byte order (little-endian throughout)
+// and self-contained: the view pattern is encoded structurally so node
+// indices — which key the list files — survive exactly. It does not embed
+// the document: a loaded store is only meaningful against the same
+// document it was built from (the public API records a fingerprint).
+const (
+	persistMagic   = "VJST"
+	persistVersion = 1
+)
+
+// WriteTo serializes the store. It implements io.WriterTo.
+func (s *ViewStore) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	write := func(v any) {
+		if cw.err == nil {
+			cw.err = binary.Write(cw, binary.LittleEndian, v)
+		}
+	}
+	cw.WriteString(persistMagic)
+	write(uint8(persistVersion))
+	write(uint8(s.Kind))
+	write(uint32(s.PageSize))
+	// The pattern is encoded structurally (label, axis, parent per node) so
+	// that node indices — which the list files are keyed by — survive
+	// exactly, even for patterns not in parser-normalized order.
+	write(uint16(s.View.Size()))
+	for i := range s.View.Nodes {
+		n := &s.View.Nodes[i]
+		write(uint16(len(n.Label)))
+		cw.WriteString(n.Label)
+		write(uint8(n.Axis))
+		write(int16(n.Parent))
+	}
+
+	if s.Kind == Tuple {
+		write(uint32(s.Tuples.arity))
+		write(uint32(s.Tuples.entries))
+		writePages(cw, write, s.Tuples.pages, s.Tuples.pageUsed)
+	} else {
+		write(uint32(len(s.Lists)))
+		for _, l := range s.Lists {
+			write(uint8(l.childCount))
+			write(boolByte(l.scoped))
+			write(uint32(l.entries))
+			write(uint32(l.pointers))
+			writePages(cw, write, l.pages, l.pageUsed)
+		}
+	}
+	if cw.err == nil {
+		cw.err = cw.w.(*bufio.Writer).Flush()
+	}
+	return cw.n, cw.err
+}
+
+func writePages(cw *countingWriter, write func(any), pages [][]byte, used []uint16) {
+	write(uint32(len(pages)))
+	write(used)
+	for _, p := range pages {
+		if cw.err == nil {
+			_, cw.err = cw.Write(p)
+		}
+	}
+}
+
+// ReadViewStore deserializes a store written by WriteTo.
+func ReadViewStore(r io.Reader) (*ViewStore, error) {
+	br := bufio.NewReader(r)
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("store: read header: %w", err)
+	}
+	if string(magic) != persistMagic {
+		return nil, fmt.Errorf("store: bad magic %q", magic)
+	}
+	var version, kind uint8
+	var pageSize uint32
+	if err := read(&version); err != nil {
+		return nil, err
+	}
+	if version != persistVersion {
+		return nil, fmt.Errorf("store: unsupported version %d", version)
+	}
+	if err := read(&kind); err != nil {
+		return nil, err
+	}
+	if Kind(kind) < Tuple || Kind(kind) > LinkedPartial {
+		return nil, fmt.Errorf("store: bad kind %d", kind)
+	}
+	if err := read(&pageSize); err != nil {
+		return nil, err
+	}
+	if pageSize == 0 || pageSize > 1<<20 {
+		return nil, fmt.Errorf("store: bad page size %d", pageSize)
+	}
+	var numNodes uint16
+	if err := read(&numNodes); err != nil {
+		return nil, err
+	}
+	if numNodes == 0 || numNodes > 1024 {
+		return nil, fmt.Errorf("store: implausible pattern size %d", numNodes)
+	}
+	pat := &tpq.Pattern{Nodes: make([]tpq.Node, numNodes)}
+	for i := range pat.Nodes {
+		var labelLen uint16
+		if err := read(&labelLen); err != nil {
+			return nil, err
+		}
+		label := make([]byte, labelLen)
+		if _, err := io.ReadFull(br, label); err != nil {
+			return nil, err
+		}
+		var axis uint8
+		var parent int16
+		if err := read(&axis); err != nil {
+			return nil, err
+		}
+		if err := read(&parent); err != nil {
+			return nil, err
+		}
+		pat.Nodes[i] = tpq.Node{Label: string(label), Axis: tpq.Axis(axis), Parent: int(parent)}
+		if parent >= 0 {
+			if int(parent) >= i {
+				return nil, fmt.Errorf("store: pattern node %d has forward parent %d", i, parent)
+			}
+			pat.Nodes[parent].Children = append(pat.Nodes[parent].Children, i)
+		}
+	}
+	if err := pat.Validate(); err != nil {
+		return nil, fmt.Errorf("store: stored pattern: %w", err)
+	}
+
+	s := &ViewStore{Kind: Kind(kind), View: pat, PageSize: int(pageSize)}
+	if s.Kind == Tuple {
+		var arity, entries uint32
+		if err := read(&arity); err != nil {
+			return nil, err
+		}
+		if err := read(&entries); err != nil {
+			return nil, err
+		}
+		if int(arity) != pat.Size() {
+			return nil, fmt.Errorf("store: tuple arity %d for %d-node pattern", arity, pat.Size())
+		}
+		pages, used, err := readPages(br, read, int(pageSize))
+		if err != nil {
+			return nil, err
+		}
+		s.Tuples = &TupleFile{
+			pageSize: int(pageSize),
+			arity:    int(arity),
+			entries:  int(entries),
+			pages:    pages,
+			pageUsed: used,
+			token:    tokenSeq.Add(1),
+		}
+		return s, nil
+	}
+
+	var numLists uint32
+	if err := read(&numLists); err != nil {
+		return nil, err
+	}
+	if int(numLists) != pat.Size() {
+		return nil, fmt.Errorf("store: %d lists for %d-node pattern", numLists, pat.Size())
+	}
+	s.Lists = make([]*ListFile, numLists)
+	for i := range s.Lists {
+		var childCount, scoped uint8
+		var entries, pointers uint32
+		if err := read(&childCount); err != nil {
+			return nil, err
+		}
+		if err := read(&scoped); err != nil {
+			return nil, err
+		}
+		if err := read(&entries); err != nil {
+			return nil, err
+		}
+		if err := read(&pointers); err != nil {
+			return nil, err
+		}
+		if int(childCount) != len(pat.Nodes[i].Children) {
+			return nil, fmt.Errorf("store: list %d has %d child pointers for %d pattern children",
+				i, childCount, len(pat.Nodes[i].Children))
+		}
+		pages, used, err := readPages(br, read, int(pageSize))
+		if err != nil {
+			return nil, err
+		}
+		s.Lists[i] = &ListFile{
+			kind:       s.Kind,
+			pageSize:   int(pageSize),
+			childCount: int(childCount),
+			scoped:     scoped != 0,
+			entries:    int(entries),
+			pointers:   int(pointers),
+			pages:      pages,
+			pageUsed:   used,
+			token:      tokenSeq.Add(1),
+		}
+	}
+	if err := s.validatePointers(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// validatePointers walks every loaded record and checks that each
+// materialized pointer addresses a record inside its target list, so that
+// following a pointer from a corrupted or hostile file can never read out
+// of bounds at evaluation time. Structurally broken records (truncated
+// mid-pointer) surface as a decode panic, which is converted to an error.
+func (s *ViewStore) validatePointers() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("store: corrupt record data: %v", r)
+		}
+	}()
+	inBounds := func(l *ListFile, p Pointer) bool {
+		if p.IsNil() {
+			return true
+		}
+		return int(p.Page) < len(l.pages) && p.Off < l.pageUsed[p.Page]
+	}
+	var c counters.Counters
+	io := counters.NewIO(&c, -1)
+	for q, l := range s.Lists {
+		children := s.View.Nodes[q].Children
+		n := 0
+		for cur := l.Open(io); cur.Valid(); cur.Next() {
+			it := cur.Item()
+			if !inBounds(l, it.Following) || !inBounds(l, it.Descendant) {
+				return fmt.Errorf("store: list %d record %d: pointer out of bounds", q, n)
+			}
+			for ci := range children {
+				if !inBounds(s.Lists[children[ci]], it.Children[ci]) {
+					return fmt.Errorf("store: list %d record %d child %d: pointer out of bounds", q, n, ci)
+				}
+			}
+			n++
+		}
+		if n != l.entries {
+			return fmt.Errorf("store: list %d decodes to %d records, header says %d", q, n, l.entries)
+		}
+	}
+	return nil
+}
+
+func readPages(br io.Reader, read func(any) error, pageSize int) ([][]byte, []uint16, error) {
+	var numPages uint32
+	if err := read(&numPages); err != nil {
+		return nil, nil, err
+	}
+	if numPages > 1<<24 {
+		return nil, nil, fmt.Errorf("store: implausible page count %d", numPages)
+	}
+	used := make([]uint16, numPages)
+	if err := read(used); err != nil {
+		return nil, nil, err
+	}
+	pages := make([][]byte, numPages)
+	for i := range pages {
+		pages[i] = make([]byte, pageSize)
+		if _, err := io.ReadFull(br, pages[i]); err != nil {
+			return nil, nil, err
+		}
+		if int(used[i]) > pageSize {
+			return nil, nil, fmt.Errorf("store: page %d used %d > page size %d", i, used[i], pageSize)
+		}
+	}
+	return pages, used, nil
+}
+
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}
+
+func (c *countingWriter) WriteString(s string) {
+	if c.err == nil {
+		_, c.err = io.WriteString(c, s)
+	}
+}

@@ -1,0 +1,341 @@
+// Package store implements the paper's four physical storage schemes for
+// materialized TPQ views as simulated paged files:
+//
+//   - Tuple (T): each view match stored as an n-tuple of region labels,
+//     sorted by composite start key (InterJoin's scheme, §I).
+//   - Element (E): one list per view node holding the solution nodes'
+//     region labels in document order, no pointers.
+//   - Linked-element (LE): element lists plus materialized child,
+//     descendant and following pointers encoding the conceptual DAG
+//     (§III-A/B). Pointers are (page, byte-offset) pairs, as in the paper.
+//   - Partial linked-element (LEp): LE with the §III-C heuristic — child
+//     pointers always materialized; following/descendant pointers only when
+//     the pointed node is more than one entry away.
+//
+// Files are sequences of fixed-size pages; records never span pages. All
+// reads go through cursors that account elements scanned and page fetches
+// into counters.Counters.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"viewjoin/internal/tpq"
+	"viewjoin/internal/views"
+)
+
+// Kind identifies a storage scheme.
+type Kind int8
+
+const (
+	// Tuple is InterJoin's n-tuple scheme (T).
+	Tuple Kind = iota
+	// Element is the per-type list scheme without pointers (E).
+	Element
+	// Linked is the linked-element scheme with all pointers (LE).
+	Linked
+	// LinkedPartial is the partially materialized variant (LEp).
+	LinkedPartial
+)
+
+// String names the scheme as in the paper's tables.
+func (k Kind) String() string {
+	switch k {
+	case Tuple:
+		return "T"
+	case Element:
+		return "E"
+	case Linked:
+		return "LE"
+	case LinkedPartial:
+		return "LEp"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Policy returns the pointer policy that produces this scheme's content.
+func (k Kind) Policy() views.PointerPolicy {
+	switch k {
+	case Linked:
+		return views.FullPointers
+	case LinkedPartial:
+		return views.PartialPointers
+	default:
+		return views.NoPointers
+	}
+}
+
+// DefaultPageSize is the page size used when 0 is passed to Build.
+const DefaultPageSize = 4096
+
+// Pointer addresses a record as a (page, byte offset) pair within a list
+// file, exactly as stored on disk (§III-B).
+type Pointer struct {
+	Page int32
+	Off  uint16
+}
+
+// NilPointer is the null pointer.
+var NilPointer = Pointer{Page: -1}
+
+// IsNil reports whether p is the null pointer.
+func (p Pointer) IsNil() bool { return p.Page < 0 }
+
+// flag bits for LE/LEp records: which pointers follow the header.
+const (
+	flagFollowing  = 1 << 0
+	flagDescendant = 1 << 1
+	flagChild0     = 2 // child i uses bit flagChild0+i
+)
+
+// MaxChildren is the maximum number of child pointers per view node the
+// record format supports (6 child-presence bits remain in the flags byte).
+const MaxChildren = 6
+
+const (
+	headerBytes  = 12 // start, end, level
+	pointerBytes = 6  // page(4) + offset(2)
+)
+
+var tokenSeq atomic.Uintptr
+
+// ViewStore is one materialized view laid out on simulated disk in a given
+// scheme. Element-family schemes populate Lists (one file per view node);
+// the tuple scheme populates Tuples.
+type ViewStore struct {
+	Kind     Kind
+	View     *tpq.Pattern
+	PageSize int
+	Lists    []*ListFile
+	Tuples   *TupleFile
+}
+
+// Build lays out the materialized view m in the given scheme. For LE/LEp it
+// uses m's pointers reduced per the scheme's policy; Element drops them;
+// Tuple serializes m.Matches(). pageSize 0 means DefaultPageSize.
+func Build(m *views.Materialized, kind Kind, pageSize int) (*ViewStore, error) {
+	if pageSize == 0 {
+		pageSize = DefaultPageSize
+	}
+	s := &ViewStore{Kind: kind, View: m.View, PageSize: pageSize}
+	if kind == Tuple {
+		tf, err := buildTupleFile(m, pageSize)
+		if err != nil {
+			return nil, err
+		}
+		s.Tuples = tf
+		return s, nil
+	}
+	mm := m.ApplyPolicy(kind.Policy())
+	lists, err := buildListFiles(mm, kind, pageSize)
+	if err != nil {
+		return nil, err
+	}
+	s.Lists = lists
+	return s, nil
+}
+
+// MustBuild is Build but panics on error.
+func MustBuild(m *views.Materialized, kind Kind, pageSize int) *ViewStore {
+	s, err := Build(m, kind, pageSize)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// SizeBytes returns the on-disk size in page-granular bytes.
+func (s *ViewStore) SizeBytes() int64 {
+	var n int64
+	for _, l := range s.Lists {
+		n += int64(len(l.pages)) * int64(s.PageSize)
+	}
+	if s.Tuples != nil {
+		n += int64(len(s.Tuples.pages)) * int64(s.PageSize)
+	}
+	return n
+}
+
+// PayloadBytes returns the number of record bytes actually written,
+// excluding page padding.
+func (s *ViewStore) PayloadBytes() int64 {
+	var n int64
+	for _, l := range s.Lists {
+		for _, u := range l.pageUsed {
+			n += int64(u)
+		}
+	}
+	if s.Tuples != nil {
+		for _, u := range s.Tuples.pageUsed {
+			n += int64(u)
+		}
+	}
+	return n
+}
+
+// NumPointers returns the number of materialized (non-null) pointers.
+func (s *ViewStore) NumPointers() int {
+	n := 0
+	for _, l := range s.Lists {
+		n += l.pointers
+	}
+	return n
+}
+
+// TotalEntries returns the total record count across lists (or tuples).
+func (s *ViewStore) TotalEntries() int {
+	if s.Tuples != nil {
+		return s.Tuples.entries
+	}
+	n := 0
+	for _, l := range s.Lists {
+		n += l.entries
+	}
+	return n
+}
+
+// ListFile is one on-disk list of records for a single view node.
+type ListFile struct {
+	kind       Kind
+	pageSize   int
+	childCount int  // child pointers per record
+	scoped     bool // following pointers are scoped to a parent view node
+	pages      [][]byte
+	pageUsed   []uint16
+	entries    int
+	pointers   int
+	token      uintptr
+}
+
+// Entries returns the number of records in the list.
+func (l *ListFile) Entries() int { return l.entries }
+
+// Scoped reports whether this list's following pointers carry the
+// same-lowest-parent-ancestor constraint (§III-A), i.e. the view node has a
+// parent in its view. Unscoped following pointers may always be followed;
+// scoped ones only under the safe-jump rule (see engine/viewjoin).
+func (l *ListFile) Scoped() bool { return l.scoped }
+
+// buildListFiles serializes every list of mm. Two passes across all lists:
+// the first computes each record's (page, offset) location (record sizes
+// are known up front), the second encodes records with pointer positions —
+// including cross-list child pointers — resolved to locations.
+func buildListFiles(mm *views.Materialized, kind Kind, pageSize int) ([]*ListFile, error) {
+	nq := mm.View.Size()
+	files := make([]*ListFile, nq)
+	locs := make([][]Pointer, nq) // per list, per entry
+
+	recSize := func(e *views.Entry) int {
+		if kind == Element {
+			return headerBytes
+		}
+		n := headerBytes + 1
+		if e.Following != views.NoPointer {
+			n += pointerBytes
+		}
+		if e.Descendant != views.NoPointer {
+			n += pointerBytes
+		}
+		for _, c := range e.Children {
+			if c != views.NoPointer {
+				n += pointerBytes
+			}
+		}
+		return n
+	}
+
+	// Pass 1: place records of every list.
+	for q := 0; q < nq; q++ {
+		list := mm.Lists[q]
+		childCount := len(mm.View.Nodes[q].Children)
+		if childCount > MaxChildren {
+			return nil, fmt.Errorf("store: view node %d has %d children; record format supports %d",
+				q, childCount, MaxChildren)
+		}
+		lf := &ListFile{
+			kind:       kind,
+			pageSize:   pageSize,
+			childCount: childCount,
+			scoped:     mm.View.Nodes[q].Parent != -1,
+			entries:    len(list),
+			token:      tokenSeq.Add(1),
+		}
+		locs[q] = make([]Pointer, len(list))
+		page, off := int32(0), 0
+		for i := range list {
+			sz := recSize(&list[i])
+			if sz > pageSize {
+				return nil, fmt.Errorf("store: record size %d exceeds page size %d", sz, pageSize)
+			}
+			if off+sz > pageSize {
+				page++
+				off = 0
+			}
+			locs[q][i] = Pointer{Page: page, Off: uint16(off)}
+			off += sz
+		}
+		numPages := 0
+		if len(list) > 0 {
+			numPages = int(page) + 1
+		}
+		lf.pages = make([][]byte, numPages)
+		for i := range lf.pages {
+			lf.pages[i] = make([]byte, pageSize)
+		}
+		lf.pageUsed = make([]uint16, numPages)
+		files[q] = lf
+	}
+
+	// Pass 2: encode.
+	for q := 0; q < nq; q++ {
+		lf := files[q]
+		list := mm.Lists[q]
+		resolve := func(target int, pos int32) Pointer {
+			if pos == views.NoPointer {
+				return NilPointer
+			}
+			return locs[target][pos]
+		}
+		for i := range list {
+			e := &list[i]
+			loc := locs[q][i]
+			buf := lf.pages[loc.Page][loc.Off:]
+			binary.LittleEndian.PutUint32(buf[0:], uint32(e.Start))
+			binary.LittleEndian.PutUint32(buf[4:], uint32(e.End))
+			binary.LittleEndian.PutUint32(buf[8:], uint32(e.Level))
+			n := headerBytes
+			if kind != Element {
+				flags := byte(0)
+				n++ // flags byte written below, after pointers are known
+				put := func(p Pointer) {
+					binary.LittleEndian.PutUint32(buf[n:], uint32(p.Page))
+					binary.LittleEndian.PutUint16(buf[n+4:], p.Off)
+					n += pointerBytes
+					lf.pointers++
+				}
+				if e.Following != views.NoPointer {
+					flags |= flagFollowing
+					put(resolve(q, e.Following))
+				}
+				if e.Descendant != views.NoPointer {
+					flags |= flagDescendant
+					put(resolve(q, e.Descendant))
+				}
+				for ci, c := range e.Children {
+					if c != views.NoPointer {
+						flags |= 1 << (flagChild0 + ci)
+						put(resolve(mm.View.Nodes[q].Children[ci], c))
+					}
+				}
+				buf[headerBytes] = flags
+			}
+			if used := int(loc.Off) + n; used > int(lf.pageUsed[loc.Page]) {
+				lf.pageUsed[loc.Page] = uint16(used)
+			}
+		}
+	}
+	return files, nil
+}

@@ -1,0 +1,151 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"viewjoin/internal/counters"
+	"viewjoin/internal/views"
+)
+
+// TupleFile is the on-disk form of the tuple (T) scheme: every match of the
+// view as a fixed-size record of n region labels, sorted by the composite
+// key (e1.start, ..., en.start) — InterJoin's storage (§I).
+type TupleFile struct {
+	pageSize int
+	arity    int // view nodes per tuple
+	pages    [][]byte
+	pageUsed []uint16
+	entries  int
+	token    uintptr
+}
+
+// Arity returns the number of nodes per tuple.
+func (f *TupleFile) Arity() int { return f.arity }
+
+// Entries returns the number of tuples.
+func (f *TupleFile) Entries() int { return f.entries }
+
+func buildTupleFile(m *views.Materialized, pageSize int) (*TupleFile, error) {
+	arity := m.View.Size()
+	recSize := arity * headerBytes
+	if recSize > pageSize {
+		return nil, fmt.Errorf("store: tuple record size %d exceeds page size %d", recSize, pageSize)
+	}
+	matches := m.Matches()
+	f := &TupleFile{
+		pageSize: pageSize,
+		arity:    arity,
+		entries:  len(matches),
+		token:    tokenSeq.Add(1),
+	}
+	perPage := pageSize / recSize
+	numPages := (len(matches) + perPage - 1) / perPage
+	f.pages = make([][]byte, numPages)
+	for i := range f.pages {
+		f.pages[i] = make([]byte, pageSize)
+	}
+	f.pageUsed = make([]uint16, numPages)
+	for i, mt := range matches {
+		page := i / perPage
+		off := (i % perPage) * recSize
+		buf := f.pages[page][off:]
+		for j, id := range mt {
+			n := m.Doc.Node(id)
+			binary.LittleEndian.PutUint32(buf[j*headerBytes:], uint32(n.Start))
+			binary.LittleEndian.PutUint32(buf[j*headerBytes+4:], uint32(n.End))
+			binary.LittleEndian.PutUint32(buf[j*headerBytes+8:], uint32(n.Level))
+		}
+		if used := off + recSize; used > int(f.pageUsed[page]) {
+			f.pageUsed[page] = uint16(used)
+		}
+	}
+	return f, nil
+}
+
+// TupleItem is one decoded tuple: Labels[i] is the region label bound to
+// view node i.
+type TupleItem struct {
+	Labels []Label
+}
+
+// Label is a region label triple.
+type Label struct {
+	Start, End, Level int32
+}
+
+// Contains reports whether m is strictly inside l.
+func (l Label) Contains(m Label) bool { return l.Start < m.Start && m.End < l.End }
+
+// TupleCursor is a forward cursor over a TupleFile.
+type TupleCursor struct {
+	f         *TupleFile
+	io        *counters.IO
+	idx       int
+	item      TupleItem
+	valid     bool
+	lastTouch int32
+}
+
+// Open returns a cursor positioned at the first tuple.
+func (f *TupleFile) Open(io *counters.IO) *TupleCursor {
+	c := &TupleCursor{f: f, io: io, lastTouch: -1}
+	c.item.Labels = make([]Label, f.arity)
+	if f.entries == 0 {
+		return c
+	}
+	c.load(0)
+	return c
+}
+
+// Valid reports whether the cursor is positioned on a tuple.
+func (c *TupleCursor) Valid() bool { return c.valid }
+
+// Item returns the current tuple. It must only be called when Valid.
+func (c *TupleCursor) Item() *TupleItem { return &c.item }
+
+// Index returns the current tuple's ordinal position.
+func (c *TupleCursor) Index() int { return c.idx }
+
+// Next advances to the next tuple.
+func (c *TupleCursor) Next() {
+	if !c.valid {
+		return
+	}
+	if c.idx+1 >= c.f.entries {
+		c.valid = false
+		return
+	}
+	c.load(c.idx + 1)
+}
+
+// SeekIndex positions the cursor at tuple i (used by InterJoin's
+// backtracking merge). Seeking past the end invalidates the cursor.
+func (c *TupleCursor) SeekIndex(i int) {
+	if i < 0 || i >= c.f.entries {
+		c.valid = false
+		return
+	}
+	c.load(i)
+}
+
+func (c *TupleCursor) load(i int) {
+	recSize := c.f.arity * headerBytes
+	perPage := c.f.pageSize / recSize
+	page := int32(i / perPage)
+	off := (i % perPage) * recSize
+	if c.lastTouch != page {
+		c.io.Touch(c.f.token, page)
+		c.lastTouch = page
+	}
+	c.io.C.ElementsScanned += int64(c.f.arity)
+	buf := c.f.pages[page][off:]
+	for j := 0; j < c.f.arity; j++ {
+		c.item.Labels[j] = Label{
+			Start: int32(binary.LittleEndian.Uint32(buf[j*headerBytes:])),
+			End:   int32(binary.LittleEndian.Uint32(buf[j*headerBytes+4:])),
+			Level: int32(binary.LittleEndian.Uint32(buf[j*headerBytes+8:])),
+		}
+	}
+	c.idx, c.valid = i, true
+}

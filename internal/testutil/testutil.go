@@ -1,0 +1,170 @@
+// Package testutil provides deterministic random generators for documents,
+// tree pattern queries, and covering view sets, shared by the property
+// tests that validate every evaluation engine against the brute-force
+// oracle.
+package testutil
+
+import (
+	"fmt"
+	"math/rand"
+
+	"viewjoin/internal/tpq"
+	"viewjoin/internal/xmltree"
+)
+
+// Labels is the default element vocabulary used by random documents.
+var Labels = []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+
+// RandomDoc builds a random document of up to maxNodes elements drawn from
+// the given label vocabulary (Labels when labels is nil). The root is always
+// labelled "root" so that every other label can appear at any depth.
+func RandomDoc(rng *rand.Rand, maxNodes int, labels []string) *xmltree.Document {
+	if labels == nil {
+		labels = Labels
+	}
+	b := xmltree.NewBuilder()
+	budget := 1 + rng.Intn(maxNodes)
+	b.Begin("root")
+	var rec func(depth int)
+	rec = func(depth int) {
+		for budget > 0 && depth < 10 && rng.Intn(3) != 0 {
+			budget--
+			b.Begin(labels[rng.Intn(len(labels))])
+			rec(depth + 1)
+			b.End()
+		}
+	}
+	rec(1)
+	b.End()
+	return b.MustDocument()
+}
+
+// RandomPattern builds a random TPQ of up to maxNodes nodes with unique
+// labels drawn from labels (Labels when nil). All axes are chosen at random;
+// the root axis is Descendant, matching the paper's queries.
+func RandomPattern(rng *rand.Rand, maxNodes int, labels []string) *tpq.Pattern {
+	if labels == nil {
+		labels = Labels
+	}
+	if maxNodes > len(labels) {
+		maxNodes = len(labels)
+	}
+	n := 1 + rng.Intn(maxNodes)
+	perm := rng.Perm(len(labels))[:n]
+	p := &tpq.Pattern{}
+	for i := 0; i < n; i++ {
+		node := tpq.Node{Label: labels[perm[i]], Axis: tpq.Descendant, Parent: -1}
+		if i > 0 {
+			node.Parent = rng.Intn(i)
+			if rng.Intn(2) == 0 {
+				node.Axis = tpq.Child
+			}
+			p.Nodes = append(p.Nodes, node)
+			p.Nodes[node.Parent].Children = append(p.Nodes[node.Parent].Children, i)
+			continue
+		}
+		p.Nodes = append(p.Nodes, node)
+	}
+	return p
+}
+
+// RandomViewPartition splits the nodes of q into a covering set of views by
+// randomly grouping query nodes; every returned view is a subpattern of q
+// (connected groups become connected subpatterns, others use ad-edges to
+// the nearest in-group ancestor). The result always satisfies
+// tpq.ValidateViewSet.
+func RandomViewPartition(rng *rand.Rand, q *tpq.Pattern) []*tpq.Pattern {
+	n := q.Size()
+	groups := make([]int, n)
+	numGroups := 1 + rng.Intn(n)
+	for i := range groups {
+		groups[i] = rng.Intn(numGroups)
+	}
+	return ViewsFromGrouping(q, groups)
+}
+
+// ViewsFromGrouping builds one or more views per node group: within a
+// group, each node's view-parent is its nearest ancestor in q that belongs
+// to the same group (axis Child when that ancestor is the direct pc-parent,
+// Descendant otherwise); group members with no in-group ancestor become
+// roots of separate views.
+func ViewsFromGrouping(q *tpq.Pattern, groups []int) []*tpq.Pattern {
+	n := q.Size()
+	type slot struct {
+		view *tpq.Pattern
+		idx  int
+	}
+	slots := make([]slot, n)
+	var views []*tpq.Pattern
+	// Process in pre-order so ancestors are placed before descendants.
+	for i := 0; i < n; i++ {
+		// Find the nearest ancestor of i in the same group.
+		anc := -1
+		for cur := q.Nodes[i].Parent; cur != -1; cur = q.Nodes[cur].Parent {
+			if groups[cur] == groups[i] {
+				anc = cur
+				break
+			}
+		}
+		if anc == -1 {
+			v := &tpq.Pattern{Nodes: []tpq.Node{{Label: q.Nodes[i].Label, Axis: tpq.Descendant, Parent: -1}}}
+			views = append(views, v)
+			slots[i] = slot{v, 0}
+			continue
+		}
+		v := slots[anc].view
+		axis := tpq.Descendant
+		if q.Nodes[i].Parent == anc && q.Nodes[i].Axis == tpq.Child {
+			axis = tpq.Child
+		}
+		pi := slots[anc].idx
+		idx := len(v.Nodes)
+		v.Nodes = append(v.Nodes, tpq.Node{Label: q.Nodes[i].Label, Axis: axis, Parent: pi})
+		v.Nodes[pi].Children = append(v.Nodes[pi].Children, idx)
+		slots[i] = slot{v, idx}
+	}
+	return views
+}
+
+// SingletonViews returns one single-node view per query node — the
+// degenerate covering set equivalent to raw element streams.
+func SingletonViews(q *tpq.Pattern) []*tpq.Pattern {
+	views := make([]*tpq.Pattern, q.Size())
+	for i := range q.Nodes {
+		views[i] = &tpq.Pattern{Nodes: []tpq.Node{{Label: q.Nodes[i].Label, Axis: tpq.Descendant, Parent: -1}}}
+	}
+	return views
+}
+
+// WholeQueryView returns the query itself as a single covering view.
+func WholeQueryView(q *tpq.Pattern) []*tpq.Pattern {
+	return []*tpq.Pattern{q.Clone()}
+}
+
+// PathChunkViews splits a path query into consecutive chunks of the given
+// size (the classic path-view factorization used by InterJoin experiments).
+// It panics if q is not a path.
+func PathChunkViews(q *tpq.Pattern, chunk int) []*tpq.Pattern {
+	if !q.IsPath() {
+		panic(fmt.Sprintf("testutil: PathChunkViews on non-path query %s", q))
+	}
+	groups := make([]int, q.Size())
+	for i := range groups {
+		groups[i] = i / chunk
+	}
+	return ViewsFromGrouping(q, groups)
+}
+
+// InterleavedPathViews splits a path query into k views by assigning node i
+// to view i mod k — maximally interleaving views, the hard case for
+// InterJoin (§I's //a//c joined with //b example).
+func InterleavedPathViews(q *tpq.Pattern, k int) []*tpq.Pattern {
+	if !q.IsPath() {
+		panic(fmt.Sprintf("testutil: InterleavedPathViews on non-path query %s", q))
+	}
+	groups := make([]int, q.Size())
+	for i := range groups {
+		groups[i] = i % k
+	}
+	return ViewsFromGrouping(q, groups)
+}

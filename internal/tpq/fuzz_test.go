@@ -1,0 +1,33 @@
+package tpq
+
+import "testing"
+
+// FuzzParse checks that the TPQ parser never panics and that every
+// successfully parsed pattern is valid and round-trips through String.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"//a", "/a/b", "//a//b", "//a/b[//c/d]//e",
+		"//journal[//suffix][title]/date/year",
+		"//a[", "a//b", "//a[b][c][d]", "//a[//b[//c[//d]]]",
+		"//x-1.y_2", "[", "]", "///", "//a//", " // a / b ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) accepted invalid pattern: %v", s, verr)
+		}
+		rendered := p.String()
+		p2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("Parse(%q).String() = %q does not re-parse: %v", s, rendered, err)
+		}
+		if !p.Equal(p2) {
+			t.Fatalf("Parse(%q): round trip through %q changed the pattern", s, rendered)
+		}
+	})
+}

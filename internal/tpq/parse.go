@@ -1,0 +1,208 @@
+package tpq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses a tree pattern query in the paper's XPath fragment:
+//
+//	pattern   := step+
+//	step      := ("/" | "//") name predicate*
+//	predicate := "[" relstep step* "]"
+//	relstep   := ("/" | "//")? name predicate*   // bare name means child axis
+//
+// Examples: "//a/b[//c/d]//e", "//journal[//suffix][title]/date/year".
+//
+// Returned patterns satisfy Pattern.Validate (in particular, unique labels).
+func Parse(s string) (*Pattern, error) {
+	p, err := ParseGeneral(s)
+	if err != nil {
+		return nil, err
+	}
+	if p.HasDuplicateLabels() {
+		return nil, fmt.Errorf("tpq: parse %q: duplicate element types (use ParseGeneral for general patterns)", s)
+	}
+	return p, nil
+}
+
+// ParseGeneral parses a TPQ that may repeat element types (e.g.
+// "//a//b//a"), the general query class the paper defers to [5]. Such
+// patterns can be evaluated directly over element streams (no views): see
+// the view machinery's unique-label assumption in §II.
+func ParseGeneral(s string) (*Pattern, error) {
+	toks, err := lex(s)
+	if err != nil {
+		return nil, err
+	}
+	pr := &parser{toks: toks}
+	p := &Pattern{}
+	if err := pr.steps(p, -1, true); err != nil {
+		return nil, err
+	}
+	if !pr.eof() {
+		return nil, fmt.Errorf("tpq: parse %q: unexpected %q at token %d", s, pr.peek().text, pr.pos)
+	}
+	if len(p.Nodes) == 0 {
+		return nil, fmt.Errorf("tpq: parse %q: empty pattern", s)
+	}
+	if err := p.ValidateGeneral(); err != nil {
+		return nil, fmt.Errorf("tpq: parse %q: %w", s, err)
+	}
+	return p, nil
+}
+
+// MustParse is Parse but panics on error; for tests and static workloads.
+func MustParse(s string) *Pattern {
+	p, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type tokKind int8
+
+const (
+	tokSlash tokKind = iota
+	tokDSlash
+	tokLBrack
+	tokRBrack
+	tokName
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lex(s string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case c == '/':
+			if i+1 < len(s) && s[i+1] == '/' {
+				toks = append(toks, token{tokDSlash, "//"})
+				i += 2
+			} else {
+				toks = append(toks, token{tokSlash, "/"})
+				i++
+			}
+		case c == '[':
+			toks = append(toks, token{tokLBrack, "["})
+			i++
+		case c == ']':
+			toks = append(toks, token{tokRBrack, "]"})
+			i++
+		case isNameStart(c):
+			j := i + 1
+			for j < len(s) && isNameChar(s[j]) {
+				j++
+			}
+			toks = append(toks, token{tokName, s[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("tpq: lex %q: unexpected character %q at offset %d", s, c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, ""})
+	return toks, nil
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || (c >= '0' && c <= '9') || c == '-' || c == '.'
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) eof() bool   { return p.peek().kind == tokEOF }
+
+// steps parses a sequence of steps attached under parent. If top is true,
+// the first step requires an explicit axis; otherwise (inside a predicate) a
+// bare name is allowed and means the child axis.
+func (p *parser) steps(pat *Pattern, parent int, top bool) error {
+	first := true
+	for {
+		var axis Axis
+		switch p.peek().kind {
+		case tokSlash:
+			p.next()
+			axis = Child
+		case tokDSlash:
+			p.next()
+			axis = Descendant
+		case tokName:
+			if !first || top {
+				return fmt.Errorf("tpq: missing axis before %q", p.peek().text)
+			}
+			axis = Child // bare leading name inside a predicate: child axis
+		default:
+			if first {
+				return fmt.Errorf("tpq: expected step, got %q", p.peek().text)
+			}
+			return nil
+		}
+		nameTok := p.next()
+		if nameTok.kind != tokName {
+			return fmt.Errorf("tpq: expected element name after axis, got %q", nameTok.text)
+		}
+		idx := len(pat.Nodes)
+		pat.Nodes = append(pat.Nodes, Node{Label: nameTok.text, Axis: axis, Parent: parent})
+		if parent >= 0 {
+			pat.Nodes[parent].Children = append(pat.Nodes[parent].Children, idx)
+		}
+		// Predicates branch off the current node.
+		for p.peek().kind == tokLBrack {
+			p.next()
+			if err := p.steps(pat, idx, false); err != nil {
+				return err
+			}
+			if t := p.next(); t.kind != tokRBrack {
+				return fmt.Errorf("tpq: expected ']', got %q", t.text)
+			}
+		}
+		parent = idx
+		first = false
+	}
+}
+
+// ParseAll parses a semicolon- or whitespace-separated list of patterns, as
+// used for view set definitions (e.g. the paper's Table III rows).
+func ParseAll(s string) ([]*Pattern, error) {
+	var out []*Pattern
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		p, err := Parse(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// MustParseAll is ParseAll but panics on error.
+func MustParseAll(s string) []*Pattern {
+	ps, err := ParseAll(s)
+	if err != nil {
+		panic(err)
+	}
+	return ps
+}

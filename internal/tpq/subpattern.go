@@ -1,0 +1,206 @@
+package tpq
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Mapping is an embedding of one pattern's nodes onto another pattern's
+// nodes: Mapping[i] is the index in the target pattern that node i of the
+// source pattern maps to.
+type Mapping []int
+
+// MapOnto computes the subpattern mapping β' from v onto q (§II): node
+// types are preserved, a pc-child maps to a pc-child, and an ad-child maps
+// to a descendant. Because patterns have unique labels, the mapping is
+// unique when it exists. It returns nil, false when v is not a subpattern
+// of q.
+func (v *Pattern) MapOnto(q *Pattern) (Mapping, bool) {
+	m := make(Mapping, len(v.Nodes))
+	for i := range v.Nodes {
+		t := q.NodeByLabel(v.Nodes[i].Label)
+		if t == -1 {
+			return nil, false
+		}
+		m[i] = t
+	}
+	for i := 1; i < len(v.Nodes); i++ {
+		pi := v.Nodes[i].Parent
+		src, dst := m[pi], m[i]
+		switch v.Nodes[i].Axis {
+		case Child:
+			if q.Nodes[dst].Parent != src || q.Nodes[dst].Axis != Child {
+				return nil, false
+			}
+		case Descendant:
+			if !q.IsAncestor(src, dst) {
+				return nil, false
+			}
+		}
+	}
+	return m, true
+}
+
+// IsSubpatternOf reports whether v is a subpattern of q.
+func (v *Pattern) IsSubpatternOf(q *Pattern) bool {
+	_, ok := v.MapOnto(q)
+	return ok
+}
+
+// IsConnectedSubpatternOf reports whether v is a connected subpattern of q:
+// a subpattern whose image is a connected component of q, i.e. every edge of
+// v maps onto an edge of q with the same axis.
+func (v *Pattern) IsConnectedSubpatternOf(q *Pattern) bool {
+	m, ok := v.MapOnto(q)
+	if !ok {
+		return false
+	}
+	for i := 1; i < len(v.Nodes); i++ {
+		pi := v.Nodes[i].Parent
+		src, dst := m[pi], m[i]
+		if q.Nodes[dst].Parent != src {
+			return false
+		}
+		if q.Nodes[dst].Axis != v.Nodes[i].Axis {
+			return false
+		}
+	}
+	return true
+}
+
+// Covers reports whether the view set vs is a covering view set of q: every
+// query node's element type appears in some view that is a subpattern of q.
+func Covers(vs []*Pattern, q *Pattern) bool {
+	covered := make(map[string]bool)
+	for _, v := range vs {
+		if !v.IsSubpatternOf(q) {
+			continue
+		}
+		for i := range v.Nodes {
+			covered[v.Nodes[i].Label] = true
+		}
+	}
+	for i := range q.Nodes {
+		if !covered[q.Nodes[i].Label] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsMinimalCover reports whether vs is a minimal covering view set of q: it
+// covers q and no proper subset does.
+func IsMinimalCover(vs []*Pattern, q *Pattern) bool {
+	if !Covers(vs, q) {
+		return false
+	}
+	for drop := range vs {
+		sub := make([]*Pattern, 0, len(vs)-1)
+		sub = append(sub, vs[:drop]...)
+		sub = append(sub, vs[drop+1:]...)
+		if Covers(sub, q) {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidateViewSet checks the paper's assumptions for a view set used to
+// answer q: each view is a subpattern of q with unique labels, the views
+// have pairwise disjoint element types, and together they cover q.
+func ValidateViewSet(vs []*Pattern, q *Pattern) error {
+	if err := q.Validate(); err != nil {
+		return fmt.Errorf("tpq: query: %w", err)
+	}
+	seen := make(map[string]int) // label -> view index
+	for vi, v := range vs {
+		if err := v.Validate(); err != nil {
+			return fmt.Errorf("tpq: view %d (%s): %w", vi, v, err)
+		}
+		if !v.IsSubpatternOf(q) {
+			return fmt.Errorf("tpq: view %d (%s) is not a subpattern of query %s", vi, v, q)
+		}
+		for i := range v.Nodes {
+			l := v.Nodes[i].Label
+			if prev, ok := seen[l]; ok {
+				return fmt.Errorf("tpq: element type %q appears in views %d and %d", l, prev, vi)
+			}
+			seen[l] = vi
+		}
+	}
+	if !Covers(vs, q) {
+		missing := uncovered(vs, q)
+		return fmt.Errorf("tpq: view set does not cover query %s (missing %v)", q, missing)
+	}
+	return nil
+}
+
+func uncovered(vs []*Pattern, q *Pattern) []string {
+	covered := make(map[string]bool)
+	for _, v := range vs {
+		for i := range v.Nodes {
+			covered[v.Nodes[i].Label] = true
+		}
+	}
+	var out []string
+	for i := range q.Nodes {
+		if !covered[q.Nodes[i].Label] {
+			out = append(out, q.Nodes[i].Label)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// QueryNodeOfView returns, for every node of view v, the query node index
+// it corresponds to (by element type). It returns an error when v is not a
+// subpattern of q.
+func QueryNodeOfView(v, q *Pattern) (Mapping, error) {
+	m, ok := v.MapOnto(q)
+	if !ok {
+		return nil, fmt.Errorf("tpq: view %s is not a subpattern of query %s", v, q)
+	}
+	return m, nil
+}
+
+// InterViewEdges counts the edges of q whose endpoints are covered by two
+// different views of vs — the paper's measure of the complexity of the
+// interleaving conditions between a query and a view set (§IV-A, Table III).
+// Query nodes not covered by any view (possible only for non-covering sets)
+// are treated as belonging to their own singleton view.
+func InterViewEdges(vs []*Pattern, q *Pattern) int {
+	owner := viewOwners(vs, q)
+	count := 0
+	for i := 1; i < len(q.Nodes); i++ {
+		if owner[i] != owner[q.Nodes[i].Parent] {
+			count++
+		}
+	}
+	return count
+}
+
+// viewOwners maps each query node index to the index of the view in vs that
+// covers it, or -1000-i for uncovered node i (a unique pseudo-view).
+func viewOwners(vs []*Pattern, q *Pattern) []int {
+	owner := make([]int, len(q.Nodes))
+	for i := range owner {
+		owner[i] = -1000 - i
+	}
+	for vi, v := range vs {
+		m, ok := v.MapOnto(q)
+		if !ok {
+			continue
+		}
+		for _, qi := range m {
+			owner[qi] = vi
+		}
+	}
+	return owner
+}
+
+// ViewOwners is the exported form of viewOwners for view sets that have
+// been validated: ViewOwners[qi] is the index in vs of the view covering
+// query node qi.
+func ViewOwners(vs []*Pattern, q *Pattern) []int {
+	return viewOwners(vs, q)
+}

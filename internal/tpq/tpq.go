@@ -1,0 +1,289 @@
+// Package tpq models tree pattern queries (TPQs), the query and view
+// language of the paper (§II): the XPath fragment built from the child axis
+// (/), the descendant axis (//), and branching predicates ([]).
+//
+// A TPQ is a tree whose nodes are labelled with element types and whose
+// edges are either parent-child edges (pc-edges, the / axis) or
+// ancestor-descendant edges (ad-edges, the // axis). Following the paper,
+// every node of a TPQ is an output node, patterns contain no duplicate
+// element types, and the views used to answer a query have pairwise
+// disjoint element types.
+package tpq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Axis is the edge type connecting a TPQ node to its parent.
+type Axis int8
+
+const (
+	// Child is a parent-child (pc) edge, XPath '/'.
+	Child Axis = iota
+	// Descendant is an ancestor-descendant (ad) edge, XPath '//'.
+	Descendant
+)
+
+// String returns the XPath spelling of the axis.
+func (a Axis) String() string {
+	if a == Child {
+		return "/"
+	}
+	return "//"
+}
+
+// Node is one node of a tree pattern.
+type Node struct {
+	Label    string // element type
+	Axis     Axis   // edge from Parent (for the root: axis from the document context)
+	Parent   int    // index of the parent node, -1 for the root
+	Children []int  // indices of child nodes, in syntactic order
+}
+
+// Pattern is a tree pattern query. Nodes[0] is the root; node indices are a
+// pre-order enumeration of the pattern tree.
+type Pattern struct {
+	Nodes []Node
+}
+
+// Size returns |Q|, the number of nodes in the pattern.
+func (p *Pattern) Size() int { return len(p.Nodes) }
+
+// Root returns the index of the root node (always 0).
+func (p *Pattern) Root() int { return 0 }
+
+// IsPath reports whether the pattern is a path query (no branching).
+func (p *Pattern) IsPath() bool {
+	for i := range p.Nodes {
+		if len(p.Nodes[i].Children) > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Leaves returns the indices of the leaf nodes.
+func (p *Pattern) Leaves() []int {
+	var out []int
+	for i := range p.Nodes {
+		if len(p.Nodes[i].Children) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Labels returns the set of element types used in the pattern, sorted.
+func (p *Pattern) Labels() []string {
+	out := make([]string, len(p.Nodes))
+	for i := range p.Nodes {
+		out[i] = p.Nodes[i].Label
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NodeByLabel returns the index of the node with the given label, or -1.
+// Patterns are assumed to have unique labels (§II); if the label occurs more
+// than once the first occurrence is returned.
+func (p *Pattern) NodeByLabel(label string) int {
+	for i := range p.Nodes {
+		if p.Nodes[i].Label == label {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasDuplicateLabels reports whether any element type occurs on two nodes.
+func (p *Pattern) HasDuplicateLabels() bool {
+	seen := make(map[string]bool, len(p.Nodes))
+	for i := range p.Nodes {
+		if seen[p.Nodes[i].Label] {
+			return true
+		}
+		seen[p.Nodes[i].Label] = true
+	}
+	return false
+}
+
+// Validate checks the structural invariants of the pattern: node 0 is the
+// root, parent/child links are consistent, the tree is connected, and (per
+// the paper's assumption) labels are unique.
+func (p *Pattern) Validate() error {
+	if err := p.ValidateGeneral(); err != nil {
+		return err
+	}
+	if p.HasDuplicateLabels() {
+		return fmt.Errorf("tpq: duplicate element types in pattern %s", p)
+	}
+	return nil
+}
+
+// ValidateGeneral checks the structural invariants without the paper's
+// unique-label assumption (general patterns are evaluable over raw element
+// streams but not by the view machinery).
+func (p *Pattern) ValidateGeneral() error {
+	if len(p.Nodes) == 0 {
+		return fmt.Errorf("tpq: empty pattern")
+	}
+	if p.Nodes[0].Parent != -1 {
+		return fmt.Errorf("tpq: root has parent %d", p.Nodes[0].Parent)
+	}
+	for i := range p.Nodes {
+		n := p.Nodes[i]
+		if i > 0 {
+			if n.Parent < 0 || n.Parent >= len(p.Nodes) {
+				return fmt.Errorf("tpq: node %d has out-of-range parent %d", i, n.Parent)
+			}
+			found := false
+			for _, c := range p.Nodes[n.Parent].Children {
+				if c == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("tpq: node %d missing from parent %d child list", i, n.Parent)
+			}
+		}
+		for _, c := range n.Children {
+			if c <= 0 || c >= len(p.Nodes) {
+				return fmt.Errorf("tpq: node %d has out-of-range child %d", i, c)
+			}
+			if p.Nodes[c].Parent != i {
+				return fmt.Errorf("tpq: child %d of node %d has parent %d", c, i, p.Nodes[c].Parent)
+			}
+		}
+	}
+	return nil
+}
+
+// Descendants returns the indices of all nodes in the subtree rooted at q,
+// excluding q itself, in pre-order.
+func (p *Pattern) Descendants(q int) []int {
+	var out []int
+	var rec func(int)
+	rec = func(i int) {
+		for _, c := range p.Nodes[i].Children {
+			out = append(out, c)
+			rec(c)
+		}
+	}
+	rec(q)
+	return out
+}
+
+// Subtree returns the indices of all nodes in the subtree rooted at q,
+// including q, in pre-order (the paper's st_Q(q)).
+func (p *Pattern) Subtree(q int) []int {
+	return append([]int{q}, p.Descendants(q)...)
+}
+
+// IsAncestor reports whether node a is a proper ancestor of node b in the
+// pattern tree.
+func (p *Pattern) IsAncestor(a, b int) bool {
+	for cur := p.Nodes[b].Parent; cur != -1; cur = p.Nodes[cur].Parent {
+		if cur == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether two patterns are structurally identical (same shape,
+// labels, and axes, with children in the same order).
+func (p *Pattern) Equal(q *Pattern) bool {
+	if len(p.Nodes) != len(q.Nodes) {
+		return false
+	}
+	for i := range p.Nodes {
+		a, b := p.Nodes[i], q.Nodes[i]
+		if a.Label != b.Label || a.Axis != b.Axis || a.Parent != b.Parent {
+			return false
+		}
+		if len(a.Children) != len(b.Children) {
+			return false
+		}
+		for j := range a.Children {
+			if a.Children[j] != b.Children[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the pattern in the XPath fragment syntax it was parsed
+// from, e.g. "//a/b[//c]//d".
+func (p *Pattern) String() string {
+	var sb strings.Builder
+	var rec func(i int, top bool)
+	rec = func(i int, top bool) {
+		n := p.Nodes[i]
+		sb.WriteString(n.Axis.String())
+		sb.WriteString(n.Label)
+		if len(n.Children) == 0 {
+			return
+		}
+		// The last child continues the spine; earlier children become
+		// predicates. This matches how the parser builds patterns and makes
+		// String a faithful inverse of Parse for parser-produced patterns.
+		for _, c := range n.Children[:len(n.Children)-1] {
+			sb.WriteString("[")
+			// Inside predicates, a pc-edge is written without a leading '/'.
+			cn := p.Nodes[c]
+			if cn.Axis == Child {
+				sb.WriteString(cn.Label)
+				writeTail(&sb, p, c)
+			} else {
+				rec(c, false)
+			}
+			sb.WriteString("]")
+		}
+		rec(n.Children[len(n.Children)-1], false)
+	}
+	rec(0, true)
+	return sb.String()
+}
+
+func writeTail(sb *strings.Builder, p *Pattern, i int) {
+	n := p.Nodes[i]
+	if len(n.Children) == 0 {
+		return
+	}
+	for _, c := range n.Children[:len(n.Children)-1] {
+		sb.WriteString("[")
+		cn := p.Nodes[c]
+		if cn.Axis == Child {
+			sb.WriteString(cn.Label)
+			writeTail(sb, p, c)
+		} else {
+			sb.WriteString(cn.Axis.String())
+			sb.WriteString(cn.Label)
+			writeTail(sb, p, c)
+		}
+		sb.WriteString("]")
+	}
+	last := n.Children[len(n.Children)-1]
+	ln := p.Nodes[last]
+	sb.WriteString(ln.Axis.String())
+	sb.WriteString(ln.Label)
+	writeTail(sb, p, last)
+}
+
+// Clone returns a deep copy of the pattern.
+func (p *Pattern) Clone() *Pattern {
+	nodes := make([]Node, len(p.Nodes))
+	for i, n := range p.Nodes {
+		nodes[i] = Node{
+			Label:    n.Label,
+			Axis:     n.Axis,
+			Parent:   n.Parent,
+			Children: append([]int(nil), n.Children...),
+		}
+	}
+	return &Pattern{Nodes: nodes}
+}

@@ -1,0 +1,286 @@
+package tpq
+
+import (
+	"testing"
+)
+
+func TestParseBasics(t *testing.T) {
+	tests := []struct {
+		in       string
+		size     int
+		path     bool
+		rendered string
+	}{
+		{"//a", 1, true, "//a"},
+		{"/a/b", 2, true, "/a/b"},
+		{"//a//b", 2, true, "//a//b"},
+		{"//a/b[//c/d]//e", 5, false, "//a/b[//c/d]//e"},
+		{"//journal[//suffix][title]/date/year", 5, false, "//journal[//suffix][title]/date/year"},
+		{"//site/people/person/name", 4, true, "//site/people/person/name"},
+		{"//dataset//tableHead[//tableLink//title]//field//definition//para", 7, false,
+			"//dataset//tableHead[//tableLink//title]//field//definition//para"},
+	}
+	for _, tc := range tests {
+		p, err := Parse(tc.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.in, err)
+			continue
+		}
+		if p.Size() != tc.size {
+			t.Errorf("Parse(%q).Size = %d, want %d", tc.in, p.Size(), tc.size)
+		}
+		if p.IsPath() != tc.path {
+			t.Errorf("Parse(%q).IsPath = %v, want %v", tc.in, p.IsPath(), tc.path)
+		}
+		if got := p.String(); got != tc.rendered {
+			t.Errorf("Parse(%q).String = %q, want %q", tc.in, got, tc.rendered)
+		}
+		// String must re-parse to an equal pattern.
+		p2, err := Parse(p.String())
+		if err != nil {
+			t.Errorf("re-Parse(%q): %v", p.String(), err)
+			continue
+		}
+		if !p.Equal(p2) {
+			t.Errorf("round trip of %q not Equal", tc.in)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"a/b",        // missing leading axis at top level
+		"//a[",       // unclosed predicate
+		"//a]",       // stray bracket
+		"//a[/]",     // empty predicate step
+		"//a//",      // trailing axis
+		"//a//a",     // duplicate labels violate the paper's assumption
+		"//a[//b]/b", // duplicate labels via predicate
+		"//a$b",      // bad character
+		"//a //b //", // trailing axis with spaces
+		"//1a",       // name cannot start with a digit
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): expected error", in)
+		}
+	}
+}
+
+func TestAxes(t *testing.T) {
+	p := MustParse("//a/b[//c]//d[e]")
+	want := []struct {
+		label string
+		axis  Axis
+	}{{"a", Descendant}, {"b", Child}, {"c", Descendant}, {"d", Descendant}, {"e", Child}}
+	if p.Size() != len(want) {
+		t.Fatalf("Size = %d, want %d", p.Size(), len(want))
+	}
+	for i, w := range want {
+		if p.Nodes[i].Label != w.label || p.Nodes[i].Axis != w.axis {
+			t.Errorf("node %d = {%s %v}, want {%s %v}", i, p.Nodes[i].Label, p.Nodes[i].Axis, w.label, w.axis)
+		}
+	}
+	if p.Nodes[2].Parent != 1 || p.Nodes[3].Parent != 1 || p.Nodes[4].Parent != 3 {
+		t.Errorf("unexpected parents: %+v", p.Nodes)
+	}
+}
+
+// TestExample21 mirrors Example 2.1 of the paper: for
+// Q = //a[//f]//b//c//d//e with views v1 = //a//e, v2 = //b//c//d,
+// v3 = //f, each view is a subpattern of Q, but only v2 and v3 are
+// connected subpatterns; V = {v1,v2,v3} is a minimal covering view set.
+func TestExample21(t *testing.T) {
+	q := MustParse("//a[//f]//b//c//d//e")
+	v1 := MustParse("//a//e")
+	v2 := MustParse("//b//c//d")
+	v3 := MustParse("//f")
+
+	for i, v := range []*Pattern{v1, v2, v3} {
+		if !v.IsSubpatternOf(q) {
+			t.Errorf("v%d must be a subpattern of Q", i+1)
+		}
+	}
+	if v1.IsConnectedSubpatternOf(q) {
+		t.Errorf("v1 must not be a connected subpattern of Q (a//e is not an edge of Q)")
+	}
+	if !v2.IsConnectedSubpatternOf(q) {
+		t.Errorf("v2 must be a connected subpattern of Q")
+	}
+	if !v3.IsConnectedSubpatternOf(q) {
+		t.Errorf("v3 must be a connected subpattern of Q")
+	}
+	vs := []*Pattern{v1, v2, v3}
+	if !Covers(vs, q) {
+		t.Errorf("V must cover Q")
+	}
+	if !IsMinimalCover(vs, q) {
+		t.Errorf("V must be a minimal covering view set of Q")
+	}
+	if err := ValidateViewSet(vs, q); err != nil {
+		t.Errorf("ValidateViewSet: %v", err)
+	}
+	if got := InterViewEdges(vs, q); got != 3 {
+		t.Errorf("InterViewEdges = %d, want 3 ((a,f), (a,b), (d,e))", got)
+	}
+}
+
+func TestSubpatternAxisRules(t *testing.T) {
+	q := MustParse("//a/b//c")
+	cases := []struct {
+		view      string
+		sub, conn bool
+	}{
+		{"//a/b", true, true},
+		{"//a//b", true, false}, // ad-edge maps onto a pc-edge: subpattern yes, connected no
+		{"//a//c", true, false},
+		{"//a/c", false, false}, // pc-edge requires an actual pc-edge in Q
+		{"//b//c", true, true},
+		{"//b/c", false, false},
+		{"//c", true, true},
+		{"//x", false, false},
+	}
+	for _, tc := range cases {
+		v := MustParse(tc.view)
+		if got := v.IsSubpatternOf(q); got != tc.sub {
+			t.Errorf("%s subpattern of %s = %v, want %v", tc.view, q, got, tc.sub)
+		}
+		if got := v.IsConnectedSubpatternOf(q); got != tc.conn {
+			t.Errorf("%s connected subpattern of %s = %v, want %v", tc.view, q, got, tc.conn)
+		}
+	}
+}
+
+// TestTableIIIInterViewEdges validates InterViewEdges against every row of
+// the paper's Table III (#Cond column).
+func TestTableIIIInterViewEdges(t *testing.T) {
+	np := MustParse("//dataset//tableHead//field//definition//footnote//para")
+	nt := MustParse("//dataset//tableHead[//tableLink//title]//field//definition//para")
+	rows := []struct {
+		name  string
+		query *Pattern
+		views string
+		want  int
+	}{
+		{"PV1", np, "//dataset//field//footnote; //tableHead//definition//para", 5},
+		{"PV2", np, "//dataset//field//footnote//para; //tableHead//definition", 4},
+		{"PV3", np, "//dataset//field; //tableHead//definition//footnote//para", 3},
+		{"PV4", np, "//tableHead; //dataset//field//definition//footnote//para", 2},
+		{"TV1", nt, "//dataset[//tableLink]//definition; //tableHead//title; //field//para", 6},
+		{"TV2", nt, "//dataset//tableHead; //field//para; //tableLink//title; //definition", 4},
+		{"TV3", nt, "//dataset//definition//para; //tableHead//field; //tableLink//title", 3},
+		{"TV4", nt, "//field//definition//para; //dataset//tableHead; //tableLink//title", 2},
+	}
+	for _, row := range rows {
+		vs := MustParseAll(row.views)
+		if err := ValidateViewSet(vs, row.query); err != nil {
+			t.Errorf("%s: ValidateViewSet: %v", row.name, err)
+			continue
+		}
+		if got := InterViewEdges(vs, row.query); got != row.want {
+			t.Errorf("%s: InterViewEdges = %d, want %d", row.name, got, row.want)
+		}
+	}
+}
+
+func TestValidateViewSetRejects(t *testing.T) {
+	q := MustParse("//a//b//c")
+	// Overlapping element types between views.
+	if err := ValidateViewSet(MustParseAll("//a//b; //b//c"), q); err == nil {
+		t.Errorf("overlapping views: expected error")
+	}
+	// Non-covering set.
+	if err := ValidateViewSet(MustParseAll("//a//b"), q); err == nil {
+		t.Errorf("non-covering views: expected error")
+	}
+	// View that is not a subpattern.
+	if err := ValidateViewSet(MustParseAll("//b//a; //c"), q); err == nil {
+		t.Errorf("non-subpattern view: expected error")
+	}
+}
+
+func TestSubtreeAndDescendants(t *testing.T) {
+	p := MustParse("//a/b[//c/d]//e")
+	// indices: a=0 b=1 c=2 d=3 e=4
+	got := p.Subtree(1)
+	want := []int{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Subtree(b) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Subtree(b) = %v, want %v", got, want)
+		}
+	}
+	if d := p.Descendants(2); len(d) != 1 || d[0] != 3 {
+		t.Errorf("Descendants(c) = %v, want [3]", d)
+	}
+	if !p.IsAncestor(0, 4) || p.IsAncestor(4, 0) || p.IsAncestor(2, 4) {
+		t.Errorf("IsAncestor misbehaves")
+	}
+}
+
+func TestLeavesAndLabels(t *testing.T) {
+	p := MustParse("//a/b[//c/d]//e")
+	leaves := p.Leaves()
+	if len(leaves) != 2 || leaves[0] != 3 || leaves[1] != 4 {
+		t.Errorf("Leaves = %v, want [3 4]", leaves)
+	}
+	labels := p.Labels()
+	want := []string{"a", "b", "c", "d", "e"}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("Labels = %v, want %v", labels, want)
+		}
+	}
+	if p.NodeByLabel("d") != 3 || p.NodeByLabel("zz") != -1 {
+		t.Errorf("NodeByLabel misbehaves")
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := MustParse("//a/b[//c/d]//e")
+	c := p.Clone()
+	if !p.Equal(c) {
+		t.Fatalf("clone not equal")
+	}
+	c.Nodes[0].Label = "zzz"
+	if p.Nodes[0].Label != "a" {
+		t.Errorf("clone aliases original")
+	}
+	c2 := p.Clone()
+	c2.Nodes[1].Children[0] = 99
+	if p.Nodes[1].Children[0] == 99 {
+		t.Errorf("clone aliases children slice")
+	}
+}
+
+func TestParseAll(t *testing.T) {
+	vs := MustParseAll(" //a//b ;; //c ")
+	if len(vs) != 2 {
+		t.Fatalf("len = %d, want 2", len(vs))
+	}
+	if _, err := ParseAll("//a; b//"); err == nil {
+		t.Errorf("expected error for malformed list")
+	}
+}
+
+func TestRootAndGeneralValidate(t *testing.T) {
+	p := MustParse("//a//b")
+	if p.Root() != 0 {
+		t.Errorf("Root = %d", p.Root())
+	}
+	g, err := ParseGeneral("//a//b//a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ValidateGeneral(); err != nil {
+		t.Errorf("ValidateGeneral: %v", err)
+	}
+	if err := g.Validate(); err == nil {
+		t.Errorf("Validate must reject duplicate labels")
+	}
+	if _, err := Parse("//a//b//a"); err == nil {
+		t.Errorf("Parse must reject duplicate labels")
+	}
+}

@@ -1,0 +1,69 @@
+package views
+
+import (
+	"testing"
+
+	"viewjoin/internal/dataset/nasa"
+	"viewjoin/internal/dataset/xmark"
+	"viewjoin/internal/tpq"
+)
+
+// BenchmarkMaterialize measures view materialization (solution lists plus
+// all pointers) for representative path and twig views.
+func BenchmarkMaterialize(b *testing.B) {
+	xm := xmark.Scale(0.25)
+	ns := nasa.Generate(nasa.Config{Datasets: 1000})
+	cases := []struct {
+		name string
+		doc  interface{ NumNodes() int }
+		view string
+	}{
+		{"xmark-path", xm, "//item//text//keyword"},
+		{"xmark-twig", xm, "//open_auction[//bidder/personref]//current"},
+		{"nasa-path", ns, "//field//definition//para"},
+		{"nasa-twig", ns, "//journal[//suffix]/date/year"},
+	}
+	for _, tc := range cases {
+		p := tpq.MustParse(tc.view)
+		b.Run(tc.name, func(b *testing.B) {
+			var total int
+			for i := 0; i < b.N; i++ {
+				var m *Materialized
+				switch tc.name[0] {
+				case 'x':
+					m = MustMaterialize(xm, p)
+				default:
+					m = MustMaterialize(ns, p)
+				}
+				total = m.TotalEntries()
+			}
+			b.ReportMetric(float64(total), "entries")
+		})
+	}
+}
+
+// BenchmarkTupleEnumeration measures the tuple scheme's match enumeration
+// (the redundancy-sensitive part of materializing T views).
+func BenchmarkTupleEnumeration(b *testing.B) {
+	xm := xmark.Scale(0.25)
+	p := tpq.MustParse("//item//text//keyword")
+	for i := 0; i < b.N; i++ {
+		m := MustMaterialize(xm, p)
+		if len(m.Matches()) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+// BenchmarkApplyPolicy measures the LEp/E pointer-reduction passes.
+func BenchmarkApplyPolicy(b *testing.B) {
+	xm := xmark.Scale(0.25)
+	m := MustMaterialize(xm, tpq.MustParse("//item//text//keyword"))
+	for _, pol := range []PointerPolicy{PartialPointers, NoPointers} {
+		b.Run(pol.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.ApplyPolicy(pol)
+			}
+		})
+	}
+}

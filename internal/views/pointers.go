@@ -1,0 +1,211 @@
+package views
+
+import (
+	"fmt"
+	"sort"
+
+	"viewjoin/internal/tpq"
+	"viewjoin/internal/xmltree"
+)
+
+// fillDescendantPointers sets each entry's Descendant pointer: the first
+// same-type descendant in the same list. Lists are sorted by start and
+// regions are properly nested, so the smallest-start descendant of entry i
+// is entry i+1 when contained, and absent otherwise.
+func (m *Materialized) fillDescendantPointers() {
+	for _, list := range m.Lists {
+		for i := range list {
+			if i+1 < len(list) && list[i+1].Start < list[i].End {
+				list[i].Descendant = int32(i + 1)
+			}
+		}
+	}
+}
+
+// fillFollowingPointers sets each entry's Following pointer: the first
+// same-type following node (start > this end); when the view node has a
+// parent query node α, both endpoints must share the same lowest α-type
+// ancestor within the view (§III-A pointer 3).
+func (m *Materialized) fillFollowingPointers() {
+	for q, list := range m.Lists {
+		if len(list) == 0 {
+			continue
+		}
+		p := m.View.Nodes[q].Parent
+		if p == -1 {
+			// No parent query node: the first following entry in the whole
+			// list. Binary search for the first start beyond this end.
+			for i := range list {
+				j := i + 1 + sort.Search(len(list)-i-1, func(k int) bool {
+					return list[i+1+k].Start > list[i].End
+				})
+				if j < len(list) {
+					list[i].Following = int32(j)
+				}
+			}
+			continue
+		}
+		// Group entries by their lowest α-type ancestor (α = parent view
+		// node); following pointers stay within a group.
+		anc := m.lowestAncestorIn(p, q)
+		groups := make(map[int32][]int32) // ancestor position -> entry positions (doc order)
+		for i := range list {
+			groups[anc[i]] = append(groups[anc[i]], int32(i))
+		}
+		for _, g := range groups {
+			for gi, i := range g {
+				lo := gi + 1
+				j := lo + sort.Search(len(g)-lo, func(k int) bool {
+					return list[g[lo+k]].Start > list[i].End
+				})
+				if j < len(g) {
+					list[i].Following = g[j]
+				}
+			}
+		}
+	}
+}
+
+// lowestAncestorIn returns, for each entry of list q, the position in list
+// p of its lowest containing entry (or -1). Both lists are in document
+// order; a stack-based merge runs in linear time.
+func (m *Materialized) lowestAncestorIn(p, q int) []int32 {
+	plist, qlist := m.Lists[p], m.Lists[q]
+	out := make([]int32, len(qlist))
+	var stack []int32
+	pi := 0
+	for i := range qlist {
+		s := qlist[i].Start
+		for pi < len(plist) && plist[pi].Start < s {
+			for len(stack) > 0 && plist[stack[len(stack)-1]].End < plist[pi].Start {
+				stack = stack[:len(stack)-1]
+			}
+			stack = append(stack, int32(pi))
+			pi++
+		}
+		for len(stack) > 0 && plist[stack[len(stack)-1]].End < s {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) > 0 {
+			out[i] = stack[len(stack)-1]
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// fillChildPointers sets, for each entry and each child view node, the
+// position in the child's list of the first matching partner: the first
+// child for pc-edges, the first descendant for ad-edges (§III-A pointer 1).
+func (m *Materialized) fillChildPointers() {
+	for q := range m.Lists {
+		for ci, c := range m.View.Nodes[q].Children {
+			clist := m.Lists[c]
+			switch m.View.Nodes[c].Axis {
+			case tpq.Descendant:
+				for i := range m.Lists[q] {
+					e := &m.Lists[q][i]
+					j := sort.Search(len(clist), func(k int) bool { return clist[k].Start > e.Start })
+					if j < len(clist) && clist[j].Start < e.End {
+						e.Children[ci] = int32(j)
+					}
+				}
+			case tpq.Child:
+				// First list position per parent node.
+				first := make(map[xmltree.NodeID]int32, len(clist))
+				for j := len(clist) - 1; j >= 0; j-- {
+					first[m.Doc.Node(clist[j].Node).Parent] = int32(j)
+				}
+				for i := range m.Lists[q] {
+					e := &m.Lists[q][i]
+					if j, ok := first[e.Node]; ok {
+						e.Children[ci] = j
+					}
+				}
+			}
+		}
+	}
+}
+
+// PointerPolicy selects which of the conceptual DAG's pointers a storage
+// scheme materializes.
+type PointerPolicy int8
+
+const (
+	// FullPointers materializes every pointer: the LE scheme (§III-B).
+	FullPointers PointerPolicy = iota
+	// PartialPointers materializes child pointers always, and following /
+	// descendant pointers only when the pointed node is more than one entry
+	// away in its list: the LEp scheme (§III-C).
+	PartialPointers
+	// NoPointers drops every pointer: the element scheme (§I).
+	NoPointers
+)
+
+// String names the policy.
+func (p PointerPolicy) String() string {
+	switch p {
+	case FullPointers:
+		return "LE"
+	case PartialPointers:
+		return "LEp"
+	case NoPointers:
+		return "E"
+	default:
+		return fmt.Sprintf("PointerPolicy(%d)", int(p))
+	}
+}
+
+// ApplyPolicy returns a copy of m with pointers reduced per the policy.
+// FullPointers returns m itself (no copy).
+func (m *Materialized) ApplyPolicy(policy PointerPolicy) *Materialized {
+	return m.applyPolicy(policy, 1)
+}
+
+// ApplyPartialThreshold generalizes the LEp heuristic: child pointers are
+// always kept, and following/descendant pointers only when the pointed
+// node is more than k entries away in its list. k = 1 is the paper's LEp
+// rule (§III-C); larger k materializes fewer pointers. Used by the
+// LEp-threshold ablation experiment.
+func (m *Materialized) ApplyPartialThreshold(k int32) *Materialized {
+	if k < 1 {
+		return m
+	}
+	return m.applyPolicy(PartialPointers, k)
+}
+
+func (m *Materialized) applyPolicy(policy PointerPolicy, k int32) *Materialized {
+	if policy == FullPointers {
+		return m
+	}
+	out := &Materialized{View: m.View, Doc: m.Doc, Lists: make([][]Entry, len(m.Lists))}
+	for q, list := range m.Lists {
+		nl := make([]Entry, len(list))
+		copy(nl, list)
+		for i := range nl {
+			if len(list[i].Children) > 0 {
+				nl[i].Children = append([]int32(nil), list[i].Children...)
+			}
+			switch policy {
+			case NoPointers:
+				nl[i].Following = NoPointer
+				nl[i].Descendant = NoPointer
+				for c := range nl[i].Children {
+					nl[i].Children[c] = NoPointer
+				}
+			case PartialPointers:
+				// Keep following/descendant only when the pointed node is
+				// more than k entries away (§III-C with k = 1).
+				if nl[i].Following != NoPointer && nl[i].Following <= int32(i)+k {
+					nl[i].Following = NoPointer
+				}
+				if nl[i].Descendant != NoPointer && nl[i].Descendant <= int32(i)+k {
+					nl[i].Descendant = NoPointer
+				}
+			}
+		}
+		out.Lists[q] = nl
+	}
+	return out
+}

@@ -1,0 +1,318 @@
+// Package views materializes tree pattern views over XML documents: it
+// computes T_v, the materialized result of a view pattern v on a document T
+// (§III of the paper), in the three representations the storage schemes
+// need:
+//
+//   - per-view-node solution lists in document order (element and
+//     linked-element schemes),
+//   - the full set of matches as tuples (tuple scheme), and
+//   - the child / descendant / following pointers of the conceptual DAG
+//     structure (§III-A) for the linked-element schemes.
+package views
+
+import (
+	"fmt"
+	"sort"
+
+	"viewjoin/internal/match"
+	"viewjoin/internal/tpq"
+	"viewjoin/internal/xmltree"
+)
+
+// NoPointer marks an absent (null) pointer in materialized entries.
+const NoPointer int32 = -1
+
+// Entry is one solution node in a materialized view list, together with the
+// DAG pointers of the linked-element scheme. Pointer values are positions
+// (indices) within the target list; the storage layer maps positions to
+// (page, offset) pairs.
+type Entry struct {
+	Node  xmltree.NodeID // the data node (its id doubles as a record id)
+	Start int32
+	End   int32
+	Level int32
+
+	// Following is the position in this same list of the first following
+	// q-type node sharing the same lowest parent-type ancestor (§III-A
+	// pointer 3), or NoPointer.
+	Following int32
+	// Descendant is the position in this same list of the first q-type
+	// descendant (§III-A pointer 2), or NoPointer.
+	Descendant int32
+	// Children holds one pointer per child of this view node in the view
+	// pattern, in tpq child order: the position in the child's list of the
+	// first matching child/descendant (§III-A pointer 1), or NoPointer.
+	Children []int32
+}
+
+// Materialized is a fully materialized view: one list of entries per view
+// node, in document order, plus the matches for the tuple scheme (computed
+// lazily).
+type Materialized struct {
+	View  *tpq.Pattern
+	Doc   *xmltree.Document
+	Lists [][]Entry // indexed by view node, then by list position
+
+	matches match.Set // lazily computed tuple-scheme content
+	hasM    bool
+}
+
+// Materialize computes T_v for view v over document d: solution lists with
+// all LE pointers populated.
+func Materialize(d *xmltree.Document, v *tpq.Pattern) (*Materialized, error) {
+	if err := v.Validate(); err != nil {
+		return nil, fmt.Errorf("views: %w", err)
+	}
+	sol := solutionLists(d, v)
+	m := &Materialized{View: v, Doc: d, Lists: make([][]Entry, v.Size())}
+	for q := range sol {
+		list := make([]Entry, len(sol[q]))
+		for i, id := range sol[q] {
+			n := d.Node(id)
+			list[i] = Entry{
+				Node:       id,
+				Start:      n.Start,
+				End:        n.End,
+				Level:      n.Level,
+				Following:  NoPointer,
+				Descendant: NoPointer,
+			}
+			if nc := len(v.Nodes[q].Children); nc > 0 {
+				list[i].Children = make([]int32, nc)
+				for c := range list[i].Children {
+					list[i].Children[c] = NoPointer
+				}
+			}
+		}
+		m.Lists[q] = list
+	}
+	m.fillDescendantPointers()
+	m.fillFollowingPointers()
+	m.fillChildPointers()
+	return m, nil
+}
+
+// MustMaterialize is Materialize but panics on error.
+func MustMaterialize(d *xmltree.Document, v *tpq.Pattern) *Materialized {
+	m, err := Materialize(d, v)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// ListSizes returns |L_q| for each view node q — the quantity the cost
+// model of §V is built on.
+func (m *Materialized) ListSizes() []int {
+	out := make([]int, len(m.Lists))
+	for i := range m.Lists {
+		out[i] = len(m.Lists[i])
+	}
+	return out
+}
+
+// TotalEntries returns the total number of entries across all lists.
+func (m *Materialized) TotalEntries() int {
+	n := 0
+	for i := range m.Lists {
+		n += len(m.Lists[i])
+	}
+	return n
+}
+
+// NumPointers returns the number of non-null materialized pointers, the
+// quantity reported in the paper's Table IV.
+func (m *Materialized) NumPointers() int {
+	n := 0
+	for _, list := range m.Lists {
+		for i := range list {
+			if list[i].Following != NoPointer {
+				n++
+			}
+			if list[i].Descendant != NoPointer {
+				n++
+			}
+			for _, c := range list[i].Children {
+				if c != NoPointer {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// Matches returns the tuple-scheme content of the view: every match of v on
+// d, sorted by the composite key (start of node 1, start of node 2, ...) as
+// in InterJoin's storage (§I). The result is computed once and cached.
+func (m *Materialized) Matches() match.Set {
+	if m.hasM {
+		return m.matches
+	}
+	m.matches = m.enumerateMatches()
+	m.hasM = true
+	return m.matches
+}
+
+// enumerateMatches enumerates embeddings restricted to the solution lists
+// (every node of a solution list participates in at least one match, so the
+// lists are exactly the candidate space).
+func (m *Materialized) enumerateMatches() match.Set {
+	var out match.Set
+	cur := make(match.Match, m.View.Size())
+	var rec func(qi int)
+	rec = func(qi int) {
+		if qi == m.View.Size() {
+			out = append(out, match.Clone(cur))
+			return
+		}
+		qn := m.View.Nodes[qi]
+		parent := m.Doc.Node(cur[qn.Parent])
+		list := m.Lists[qi]
+		lo := sort.Search(len(list), func(k int) bool { return list[k].Start > parent.Start })
+		for i := lo; i < len(list) && list[i].Start < parent.End; i++ {
+			if qn.Axis == tpq.Child && list[i].Level != parent.Level+1 {
+				continue
+			}
+			cur[qi] = list[i].Node
+			rec(qi + 1)
+		}
+	}
+	for _, e := range m.Lists[0] {
+		cur[0] = e.Node
+		rec(1)
+	}
+	// Pattern node order is pre-order, and list entries are visited in
+	// document order, so the output is already sorted by composite start key
+	// per the tuple scheme; no extra sort needed.
+	return out
+}
+
+// solutionLists computes, for each view node q, the data nodes of q's type
+// that participate in at least one match of v — in document order. It runs
+// a downward qualification pass (post-order) followed by an upward
+// qualification pass (pre-order); both are linear-ish via sorted lists.
+func solutionLists(d *xmltree.Document, v *tpq.Pattern) [][]xmltree.NodeID {
+	down := make([][]xmltree.NodeID, v.Size())
+
+	// Downward pass: down[q] = nodes of q's type whose subtree matches the
+	// subtree of q. Process in post-order (children before parents); node
+	// indices are pre-order so a reverse index sweep works.
+	for q := v.Size() - 1; q >= 0; q-- {
+		t := d.TypeByName(v.Nodes[q].Label)
+		if t == xmltree.NoType {
+			return make([][]xmltree.NodeID, v.Size())
+		}
+		cands := d.NodesOfType(t)
+		if q == 0 && v.Nodes[0].Axis == tpq.Child {
+			// "/a" root: only the document root can match.
+			if len(cands) > 0 && cands[0] == d.Root() {
+				cands = cands[:1]
+			} else {
+				cands = nil
+			}
+		}
+		keep := cands
+		for ci, c := range v.Nodes[q].Children {
+			_ = ci
+			keep = filterHavingPartnerBelow(d, keep, down[c], v.Nodes[c].Axis)
+			if len(keep) == 0 {
+				break
+			}
+		}
+		down[q] = keep
+		if len(keep) == 0 && q > 0 {
+			// Some branch is empty: the whole view has no matches.
+			return make([][]xmltree.NodeID, v.Size())
+		}
+	}
+	if len(down[0]) == 0 {
+		return make([][]xmltree.NodeID, v.Size())
+	}
+
+	// Upward pass: sol[q] = down[q] nodes that have a qualifying chain of
+	// ancestors up to the view root.
+	sol := make([][]xmltree.NodeID, v.Size())
+	sol[0] = down[0]
+	for q := 1; q < v.Size(); q++ {
+		p := v.Nodes[q].Parent
+		sol[q] = filterHavingPartnerAbove(d, down[q], sol[p], v.Nodes[q].Axis)
+	}
+	return sol
+}
+
+// filterHavingPartnerBelow keeps the nodes of cands that have at least one
+// node of partners strictly below them (Descendant axis) or as a direct
+// child (Child axis). Both inputs are in document order.
+func filterHavingPartnerBelow(d *xmltree.Document, cands, partners []xmltree.NodeID, axis tpq.Axis) []xmltree.NodeID {
+	if len(cands) == 0 || len(partners) == 0 {
+		return nil
+	}
+	var out []xmltree.NodeID
+	switch axis {
+	case tpq.Descendant:
+		for _, n := range cands {
+			nn := d.Node(n)
+			// First partner starting after n starts; it is a descendant iff
+			// it starts before n ends (regions are properly nested).
+			i := sort.Search(len(partners), func(k int) bool { return d.Node(partners[k]).Start > nn.Start })
+			if i < len(partners) && d.Node(partners[i]).Start < nn.End {
+				out = append(out, n)
+			}
+		}
+	case tpq.Child:
+		hasChild := make(map[xmltree.NodeID]bool, len(partners))
+		for _, m := range partners {
+			hasChild[d.Node(m).Parent] = true
+		}
+		for _, n := range cands {
+			if hasChild[n] {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// filterHavingPartnerAbove keeps the nodes of cands that have an ancestor
+// (Descendant axis) or parent (Child axis) among partners. Both inputs are
+// in document order.
+func filterHavingPartnerAbove(d *xmltree.Document, cands, partners []xmltree.NodeID, axis tpq.Axis) []xmltree.NodeID {
+	if len(cands) == 0 || len(partners) == 0 {
+		return nil
+	}
+	var out []xmltree.NodeID
+	switch axis {
+	case tpq.Descendant:
+		// Merge in document order keeping a stack of open partner regions.
+		var stack []xmltree.NodeID
+		pi := 0
+		for _, n := range cands {
+			nn := d.Node(n)
+			for pi < len(partners) && d.Node(partners[pi]).Start < nn.Start {
+				for len(stack) > 0 && d.Node(stack[len(stack)-1]).End < d.Node(partners[pi]).Start {
+					stack = stack[:len(stack)-1]
+				}
+				stack = append(stack, partners[pi])
+				pi++
+			}
+			for len(stack) > 0 && d.Node(stack[len(stack)-1]).End < nn.Start {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) > 0 && d.Node(stack[len(stack)-1]).IsAncestorOf(nn) {
+				out = append(out, n)
+			}
+		}
+	case tpq.Child:
+		inPartners := make(map[xmltree.NodeID]bool, len(partners))
+		for _, m := range partners {
+			inPartners[m] = true
+		}
+		for _, n := range cands {
+			if inPartners[d.Node(n).Parent] {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}

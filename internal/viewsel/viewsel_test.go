@@ -1,0 +1,273 @@
+package viewsel
+
+import (
+	"math"
+	"testing"
+
+	"viewjoin/internal/tpq"
+)
+
+// tableII builds the candidate pool of the paper's Table II with per-node
+// list sizes (in MB) reverse-engineered from the published c(v,Q) values:
+// c(v4) = 0.83*2 = 1.66 pins |L_definition| = 0.83, etc.
+func tableII() (q *tpq.Pattern, cands []Candidate) {
+	q = tpq.MustParse("//dataset//tableHead[//tableLink//title]//field//definition//para")
+	cands = []Candidate{
+		{Tag: "v1", View: tpq.MustParse("//dataset//definition"), ListSizes: []float64{0.05, 0.83}},
+		{Tag: "v2", View: tpq.MustParse("//dataset//tableHead"), ListSizes: []float64{0.055, 0.085}},
+		{Tag: "v3", View: tpq.MustParse("//field//para"), ListSizes: []float64{0.27, 0.46}},
+		{Tag: "v4", View: tpq.MustParse("//definition"), ListSizes: []float64{0.83}},
+		{Tag: "v5", View: tpq.MustParse("//tableLink//title"), ListSizes: []float64{0.20, 0.17}},
+		{Tag: "v6", View: tpq.MustParse("//field//definition//para"), ListSizes: []float64{0.27, 0.35, 0.35}},
+	}
+	return q, cands
+}
+
+// TestTableIICosts reproduces the c(v,Q) column of Table II (λ=1).
+func TestTableIICosts(t *testing.T) {
+	q, cands := tableII()
+	want := map[string]float64{
+		"v1": 0.05*1 + 0.83*2, // 1.71 ~ paper's 1.76 (list split approximated)
+		"v2": 0.085 * 2,       // 0.17, exact
+		"v3": 0.27*2 + 0.46*1, // 1.00 ~ paper's 1.01
+		"v4": 0.83 * 2,        // 1.66, exact
+		"v5": 0.20 * 1,        // 0.20, exact
+		"v6": 0.27 * 1,        // 0.27, exact
+	}
+	for _, c := range cands {
+		got, err := Cost(c, q, DefaultLambda)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Tag, err)
+		}
+		if math.Abs(got-want[c.Tag]) > 1e-9 {
+			t.Errorf("%s: c(v,Q) = %.3f, want %.3f", c.Tag, got, want[c.Tag])
+		}
+	}
+}
+
+// TestExample51 reproduces the paper's Example 5.1: the cost-based greedy
+// heuristic selects {v2, v5, v6}; the size-only baseline selects
+// {v2, v3, v4, v5}.
+func TestExample51(t *testing.T) {
+	q, cands := tableII()
+
+	res, err := SelectGreedy(cands, q, DefaultLambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered {
+		t.Fatalf("cost-based selection did not cover Q")
+	}
+	gotTags := tags(res)
+	if !sameSet(gotTags, []string{"v2", "v5", "v6"}) {
+		t.Errorf("cost-based selection = %v, want {v2,v5,v6}", gotTags)
+	}
+	if err := tpq.ValidateViewSet(res.Views(), q); err != nil {
+		t.Errorf("selected set invalid: %v", err)
+	}
+
+	bySize, err := SelectBySize(cands, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bySize.Covered {
+		t.Fatalf("size-based selection did not cover Q")
+	}
+	if got := tags(bySize); !sameSet(got, []string{"v2", "v3", "v4", "v5"}) {
+		t.Errorf("size-based selection = %v, want {v2,v3,v4,v5}", got)
+	}
+}
+
+func tags(r *Result) []string {
+	out := make([]string, len(r.Selected))
+	for i := range r.Selected {
+		out[i] = r.Selected[i].Tag
+	}
+	return out
+}
+
+func sameSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := make(map[string]bool)
+	for _, s := range a {
+		m[s] = true
+	}
+	for _, s := range b {
+		if !m[s] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCostErrors(t *testing.T) {
+	q := tpq.MustParse("//a//b")
+	if _, err := Cost(Candidate{View: tpq.MustParse("//b//a"), ListSizes: []float64{1, 1}}, q, 1); err == nil {
+		t.Errorf("non-subpattern: expected error")
+	}
+	if _, err := Cost(Candidate{View: tpq.MustParse("//a"), ListSizes: []float64{1, 2}}, q, 1); err == nil {
+		t.Errorf("size mismatch: expected error")
+	}
+}
+
+func TestLambdaZeroIsIOOnly(t *testing.T) {
+	q := tpq.MustParse("//a//b//c")
+	c := Candidate{View: tpq.MustParse("//a//c"), ListSizes: []float64{2, 3}}
+	got, err := Cost(c, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Errorf("λ=0 cost = %v, want 5 (pure I/O)", got)
+	}
+}
+
+func TestSelectSkipsUselessViews(t *testing.T) {
+	q := tpq.MustParse("//a//b")
+	cands := []Candidate{
+		{Tag: "bad", View: tpq.MustParse("//b//a"), ListSizes: []float64{1, 1}}, // not a subpattern
+		{Tag: "a", View: tpq.MustParse("//a"), ListSizes: []float64{1}},
+		{Tag: "b", View: tpq.MustParse("//b"), ListSizes: []float64{1}},
+	}
+	res, err := SelectGreedy(cands, q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered || len(res.Selected) != 2 {
+		t.Fatalf("selection = %v covered=%v", tags(res), res.Covered)
+	}
+}
+
+func TestSelectUncoverable(t *testing.T) {
+	q := tpq.MustParse("//a//b")
+	cands := []Candidate{{Tag: "a", View: tpq.MustParse("//a"), ListSizes: []float64{1}}}
+	res, err := SelectGreedy(cands, q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Covered {
+		t.Errorf("selection cannot cover Q but reported covered")
+	}
+	bySize, err := SelectBySize(cands, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bySize.Covered {
+		t.Errorf("size selection cannot cover Q but reported covered")
+	}
+}
+
+func TestZeroCostViewsSelectedFirst(t *testing.T) {
+	q := tpq.MustParse("//a//b")
+	cands := []Candidate{
+		{Tag: "whole", View: tpq.MustParse("//a//b"), ListSizes: []float64{0, 0}},
+		{Tag: "a", View: tpq.MustParse("//a"), ListSizes: []float64{1}},
+		{Tag: "b", View: tpq.MustParse("//b"), ListSizes: []float64{1}},
+	}
+	res, err := SelectGreedy(cands, q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole-query view precomputes every join: cost 0, benefit infinite.
+	if len(res.Selected) != 1 || res.Selected[0].Tag != "whole" {
+		t.Errorf("selection = %v, want {whole}", tags(res))
+	}
+}
+
+func TestSortCandidates(t *testing.T) {
+	cands := []Candidate{
+		{View: tpq.MustParse("//b")},
+		{View: tpq.MustParse("//a")},
+	}
+	SortCandidates(cands)
+	if cands[0].View.String() != "//a" {
+		t.Errorf("not sorted")
+	}
+}
+
+// TestGreedyVersusOptimal: on the Table II pool the greedy heuristic finds
+// the optimal covering set; on random pools it stays within a small factor.
+func TestGreedyVersusOptimal(t *testing.T) {
+	q, cands := tableII()
+	greedy, err := SelectGreedy(cands, q, DefaultLambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := SelectOptimal(cands, q, DefaultLambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt.Covered {
+		t.Fatal("optimal found no cover")
+	}
+	if math.Abs(greedy.TotalCost-opt.TotalCost) > 1e-9 {
+		t.Errorf("greedy cost %.3f != optimal %.3f on Table II", greedy.TotalCost, opt.TotalCost)
+	}
+	if !sameSet(tags(greedy), tags(opt)) {
+		t.Errorf("greedy %v != optimal %v on Table II", tags(greedy), tags(opt))
+	}
+}
+
+func TestOptimalErrors(t *testing.T) {
+	q := tpq.MustParse("//a//b")
+	big := make([]Candidate, 21)
+	for i := range big {
+		big[i] = Candidate{View: tpq.MustParse("//a"), ListSizes: []float64{1}}
+	}
+	if _, err := SelectOptimal(big, q, 1); err == nil {
+		t.Errorf("oversized pool: expected error")
+	}
+	res, err := SelectOptimal([]Candidate{{View: tpq.MustParse("//a"), ListSizes: []float64{1}}}, q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Covered {
+		t.Errorf("uncoverable pool must report Covered=false")
+	}
+}
+
+// TestGreedyNearOptimalProperty: greedy stays within 2x of optimal on
+// random pools (the classic ln(n) bound is far looser; 2x holds easily at
+// these sizes and catches regressions).
+func TestGreedyNearOptimalProperty(t *testing.T) {
+	queries := []string{
+		"//a//b//c//d",
+		"//a[//b]//c//d",
+		"//a//b[//c][//d]//e",
+	}
+	for _, qs := range queries {
+		q := tpq.MustParse(qs)
+		// Pool: every contiguous label pair and every singleton, with sizes
+		// varying by position.
+		var cands []Candidate
+		for i := range q.Nodes {
+			cands = append(cands, Candidate{
+				View:      tpq.MustParse("//" + q.Nodes[i].Label),
+				ListSizes: []float64{float64(10 * (i + 1))},
+			})
+			if p := q.Nodes[i].Parent; p >= 0 {
+				v := tpq.MustParse("//" + q.Nodes[p].Label + "//" + q.Nodes[i].Label)
+				cands = append(cands, Candidate{
+					View:      v,
+					ListSizes: []float64{float64(5 * (p + 1)), float64(5 * (i + 1))},
+				})
+			}
+		}
+		greedy, err := SelectGreedy(cands, q, DefaultLambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := SelectOptimal(cands, q, DefaultLambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !greedy.Covered || !opt.Covered {
+			t.Fatalf("%s: cover not found (greedy %v, opt %v)", qs, greedy.Covered, opt.Covered)
+		}
+		if greedy.TotalCost > 2*opt.TotalCost+1e-9 {
+			t.Errorf("%s: greedy %.1f > 2x optimal %.1f", qs, greedy.TotalCost, opt.TotalCost)
+		}
+	}
+}

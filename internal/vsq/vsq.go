@@ -1,0 +1,208 @@
+// Package vsq constructs view-segmented queries (§IV-A of the paper).
+//
+// Given a query Q and a minimal covering view set V, the view-segmented
+// query Q' is obtained by (1) removing the non-root query nodes that have
+// no incident inter-view edges (reconnecting orphaned children to their
+// nearest kept ancestor with an ad-edge, treated as intra-view), and (2)
+// grouping the remaining nodes into segments: maximal sets connected by
+// intra-view edges. ViewJoin iterates over segments instead of query
+// nodes, performing structural comparisons only across inter-view edges.
+package vsq
+
+import (
+	"fmt"
+
+	"viewjoin/internal/tpq"
+)
+
+// Segment is one segment of the view-segmented query: a connected
+// subpattern of Q whose structural joins are precomputed inside a single
+// view.
+type Segment struct {
+	ID       int
+	Root     int   // query node index of the segment root
+	Nodes    []int // query node indices in the segment, pre-order
+	Parent   int   // parent segment id, -1 for the root segment
+	Children []int // child segment ids
+}
+
+// VSQ is a view-segmented query: the query, the covering views, the
+// ownership map, and the segment decomposition.
+type VSQ struct {
+	Query *tpq.Pattern
+	Views []*tpq.Pattern
+
+	// Owner[qi] is the index in Views of the view covering query node qi;
+	// ViewNode[qi] is the node index within that view.
+	Owner    []int
+	ViewNode []int
+
+	// InQPrime[qi] reports whether query node qi is kept in Q'.
+	InQPrime []bool
+	// PrimeParent[qi] is the parent of qi in Q' (its nearest kept proper
+	// ancestor in Q), or -1; meaningful only when InQPrime[qi].
+	PrimeParent []int
+	// PrimeAxis[qi] is the axis of the Q' edge from PrimeParent[qi] to qi:
+	// the original axis when the Q-parent is kept, Descendant when the edge
+	// bridges removed nodes.
+	PrimeAxis []tpq.Axis
+	// InterView[qi] reports whether the Q' edge into qi is an inter-view
+	// edge; meaningful only when InQPrime[qi] and PrimeParent[qi] != -1.
+	InterView []bool
+
+	// SegOf[qi] is the segment id of qi, or -1 when qi is not in Q'.
+	SegOf    []int
+	Segments []*Segment
+}
+
+// Build computes the view-segmented query for q over the validated view
+// set vs. It returns an error when vs is not a valid covering view set per
+// the paper's assumptions.
+func Build(q *tpq.Pattern, vs []*tpq.Pattern) (*VSQ, error) {
+	if err := tpq.ValidateViewSet(vs, q); err != nil {
+		return nil, fmt.Errorf("vsq: %w", err)
+	}
+	n := q.Size()
+	v := &VSQ{
+		Query:       q,
+		Views:       vs,
+		Owner:       tpq.ViewOwners(vs, q),
+		ViewNode:    make([]int, n),
+		InQPrime:    make([]bool, n),
+		PrimeParent: make([]int, n),
+		PrimeAxis:   make([]tpq.Axis, n),
+		InterView:   make([]bool, n),
+		SegOf:       make([]int, n),
+	}
+	for qi := range v.ViewNode {
+		v.ViewNode[qi] = -1
+	}
+	for _, view := range vs {
+		m, err := tpq.QueryNodeOfView(view, q)
+		if err != nil {
+			return nil, fmt.Errorf("vsq: %w", err)
+		}
+		for nodeInView, qi := range m {
+			v.ViewNode[qi] = nodeInView
+		}
+	}
+
+	// Inter-view edges of Q.
+	interEdge := make([]bool, n) // edge from Q-parent into node i
+	for i := 1; i < n; i++ {
+		interEdge[i] = v.Owner[i] != v.Owner[q.Nodes[i].Parent]
+	}
+
+	// Step 1: keep the root and every node with an incident inter-view edge.
+	v.InQPrime[0] = true
+	for i := 1; i < n; i++ {
+		if interEdge[i] {
+			v.InQPrime[i] = true
+			v.InQPrime[q.Nodes[i].Parent] = true
+		}
+	}
+
+	// Q' edges: nearest kept ancestor; the axis degrades to Descendant when
+	// the direct Q-parent was removed.
+	for i := 0; i < n; i++ {
+		v.PrimeParent[i] = -1
+		if !v.InQPrime[i] || i == 0 {
+			continue
+		}
+		p := q.Nodes[i].Parent
+		if v.InQPrime[p] {
+			v.PrimeParent[i] = p
+			v.PrimeAxis[i] = q.Nodes[i].Axis
+			v.InterView[i] = interEdge[i]
+			continue
+		}
+		// Removed nodes have no inter-view edges, so the whole bridged chain
+		// lives in one view and the new edge is intra-view.
+		for !v.InQPrime[p] {
+			p = q.Nodes[p].Parent
+		}
+		v.PrimeParent[i] = p
+		v.PrimeAxis[i] = tpq.Descendant
+		v.InterView[i] = false
+	}
+
+	// Step 2: segments = connected components over intra-view Q' edges.
+	for i := range v.SegOf {
+		v.SegOf[i] = -1
+	}
+	for i := 0; i < n; i++ { // pre-order: parents before children
+		if !v.InQPrime[i] {
+			continue
+		}
+		p := v.PrimeParent[i]
+		if p != -1 && !v.InterView[i] {
+			// Same segment as the Q' parent.
+			seg := v.Segments[v.SegOf[p]]
+			seg.Nodes = append(seg.Nodes, i)
+			v.SegOf[i] = seg.ID
+			continue
+		}
+		seg := &Segment{ID: len(v.Segments), Root: i, Nodes: []int{i}, Parent: -1}
+		v.Segments = append(v.Segments, seg)
+		v.SegOf[i] = seg.ID
+		if p != -1 {
+			parentSeg := v.Segments[v.SegOf[p]]
+			seg.Parent = parentSeg.ID
+			parentSeg.Children = append(parentSeg.Children, seg.ID)
+		}
+	}
+	return v, nil
+}
+
+// RootSegment returns the segment containing the query root.
+func (v *VSQ) RootSegment() *Segment { return v.Segments[v.SegOf[0]] }
+
+// PrimeNodes returns the query node indices kept in Q', in pre-order.
+func (v *VSQ) PrimeNodes() []int {
+	var out []int
+	for i, in := range v.InQPrime {
+		if in {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// RemovedNodes returns the query node indices removed from Q'.
+func (v *VSQ) RemovedNodes() []int {
+	var out []int
+	for i, in := range v.InQPrime {
+		if !in {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NumInterViewEdges returns the number of inter-view edges in Q' (equal to
+// the number of inter-view edges of Q w.r.t. the views).
+func (v *VSQ) NumInterViewEdges() int {
+	c := 0
+	for i := range v.InterView {
+		if v.InQPrime[i] && v.PrimeParent[i] != -1 && v.InterView[i] {
+			c++
+		}
+	}
+	return c
+}
+
+// String renders the segment decomposition for debugging.
+func (v *VSQ) String() string {
+	s := fmt.Sprintf("Q'=%s segments:", v.Query)
+	for _, seg := range v.Segments {
+		s += fmt.Sprintf(" B%d{", seg.ID)
+		for i, qi := range seg.Nodes {
+			if i > 0 {
+				s += ","
+			}
+			s += v.Query.Nodes[qi].Label
+		}
+		s += "}"
+	}
+	return s
+}

@@ -1,0 +1,241 @@
+package vsq
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"viewjoin/internal/testutil"
+	"viewjoin/internal/tpq"
+)
+
+// TestExample41 mirrors the paper's Example 4.1: Q = //a[//f]//b//c//d//e
+// with views v1 = //a//e, v2 = //b//c//d, v3 = //f has inter-view edges
+// (a,f), (a,b), (d,e); node c is removed; and Q' has the four segments
+// B = {a}, {f}, {b,d}, {e} with root segment {a}.
+func TestExample41(t *testing.T) {
+	q := tpq.MustParse("//a[//f]//b//c//d//e")
+	vs := tpq.MustParseAll("//a//e; //b//c//d; //f")
+	v, err := Build(q, vs)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Node indices: a=0 f=1 b=2 c=3 d=4 e=5.
+	if v.InQPrime[3] {
+		t.Errorf("c must be removed from Q'")
+	}
+	for _, qi := range []int{0, 1, 2, 4, 5} {
+		if !v.InQPrime[qi] {
+			t.Errorf("node %d must be kept in Q'", qi)
+		}
+	}
+	if got := v.NumInterViewEdges(); got != 3 {
+		t.Errorf("inter-view edges = %d, want 3", got)
+	}
+	if len(v.Segments) != 4 {
+		t.Fatalf("segments = %d, want 4 (%s)", len(v.Segments), v)
+	}
+	// d's Q' parent must be b via a bridged intra-view ad-edge.
+	if v.PrimeParent[4] != 2 || v.InterView[4] || v.PrimeAxis[4] != tpq.Descendant {
+		t.Errorf("d: PrimeParent=%d InterView=%v Axis=%v, want 2,false,Descendant",
+			v.PrimeParent[4], v.InterView[4], v.PrimeAxis[4])
+	}
+	// The {b,d} segment.
+	segBD := v.Segments[v.SegOf[2]]
+	if len(segBD.Nodes) != 2 || segBD.Nodes[0] != 2 || segBD.Nodes[1] != 4 {
+		t.Errorf("segment of b = %v, want [2 4]", segBD.Nodes)
+	}
+	if segBD.Root != 2 {
+		t.Errorf("segment root = %d, want 2 (b)", segBD.Root)
+	}
+	// Root segment is {a} and has children {f} and {b,d}; {e} hangs under {b,d}.
+	root := v.RootSegment()
+	if root.Root != 0 || len(root.Nodes) != 1 {
+		t.Errorf("root segment = %+v", root)
+	}
+	if len(root.Children) != 2 {
+		t.Errorf("root segment children = %v, want 2", root.Children)
+	}
+	segE := v.Segments[v.SegOf[5]]
+	if segE.Parent != segBD.ID {
+		t.Errorf("segment of e has parent %d, want %d ({b,d})", segE.Parent, segBD.ID)
+	}
+	// Removed nodes list.
+	if rm := v.RemovedNodes(); len(rm) != 1 || rm[0] != 3 {
+		t.Errorf("RemovedNodes = %v, want [3]", rm)
+	}
+	if pn := v.PrimeNodes(); len(pn) != 5 {
+		t.Errorf("PrimeNodes = %v, want 5 nodes", pn)
+	}
+}
+
+func TestSingleViewWholeQuery(t *testing.T) {
+	q := tpq.MustParse("//a/b[//c/d]//e")
+	v, err := Build(q, []*tpq.Pattern{q.Clone()})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// One view covering everything: no inter-view edges; only the root is
+	// kept; single segment {a}.
+	if got := v.NumInterViewEdges(); got != 0 {
+		t.Errorf("inter-view edges = %d, want 0", got)
+	}
+	if len(v.Segments) != 1 {
+		t.Errorf("segments = %d, want 1", len(v.Segments))
+	}
+	if got := len(v.PrimeNodes()); got != 1 {
+		t.Errorf("|Q'| = %d, want 1 (just the root)", got)
+	}
+}
+
+func TestSingletonViews(t *testing.T) {
+	q := tpq.MustParse("//a/b[//c/d]//e")
+	v, err := Build(q, testutil.SingletonViews(q))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// All edges inter-view: Q' = Q, one segment per node.
+	if got := v.NumInterViewEdges(); got != q.Size()-1 {
+		t.Errorf("inter-view edges = %d, want %d", got, q.Size()-1)
+	}
+	if len(v.Segments) != q.Size() {
+		t.Errorf("segments = %d, want %d", len(v.Segments), q.Size())
+	}
+	for i := range q.Nodes {
+		if !v.InQPrime[i] {
+			t.Errorf("node %d must be kept", i)
+		}
+		if i > 0 && (v.PrimeParent[i] != q.Nodes[i].Parent || v.PrimeAxis[i] != q.Nodes[i].Axis) {
+			t.Errorf("node %d: Q' edge differs from Q edge", i)
+		}
+	}
+}
+
+func TestInterleavedPathViews(t *testing.T) {
+	q := tpq.MustParse("//a//b//c//d")
+	// Views //a//c and //b//d: every query edge is inter-view, all nodes
+	// kept, four singleton segments.
+	vs := tpq.MustParseAll("//a//c; //b//d")
+	v, err := Build(q, vs)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := v.NumInterViewEdges(); got != 3 {
+		t.Errorf("inter-view edges = %d, want 3", got)
+	}
+	if len(v.Segments) != 4 {
+		t.Errorf("segments = %d, want 4", len(v.Segments))
+	}
+	// Owners alternate between the two views.
+	want := []int{0, 1, 0, 1}
+	for i, w := range want {
+		if v.Owner[i] != w {
+			t.Errorf("Owner[%d] = %d, want %d", i, v.Owner[i], w)
+		}
+	}
+}
+
+func TestBuildRejectsInvalidViewSets(t *testing.T) {
+	q := tpq.MustParse("//a//b//c")
+	if _, err := Build(q, tpq.MustParseAll("//a//b")); err == nil {
+		t.Errorf("non-covering set: expected error")
+	}
+	if _, err := Build(q, tpq.MustParseAll("//a//b; //b//c")); err == nil {
+		t.Errorf("overlapping set: expected error")
+	}
+}
+
+// TestBuildProperties property-checks structural invariants of the
+// decomposition over random queries and random covering partitions.
+func TestBuildProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := testutil.RandomPattern(rng, 7, nil)
+		vs := testutil.RandomViewPartition(rng, q)
+		v, err := Build(q, vs)
+		if err != nil {
+			t.Logf("Build(%s): %v", q, err)
+			return false
+		}
+		// Inter-view edge count agrees with the tpq-level computation.
+		if v.NumInterViewEdges() != tpq.InterViewEdges(vs, q) {
+			t.Logf("inter-view edge mismatch for %s", q)
+			return false
+		}
+		// Every removed node has no incident inter-view edges in Q.
+		for _, qi := range v.RemovedNodes() {
+			if qi == 0 {
+				return false
+			}
+			if v.Owner[qi] != v.Owner[q.Nodes[qi].Parent] {
+				t.Logf("removed node %d has inter-view parent edge", qi)
+				return false
+			}
+			for _, c := range q.Nodes[qi].Children {
+				if v.Owner[c] != v.Owner[qi] {
+					t.Logf("removed node %d has inter-view child edge", qi)
+					return false
+				}
+			}
+		}
+		// Segments partition the kept nodes; each segment is same-owner and
+		// its non-root nodes hang below the segment root in Q.
+		seen := make(map[int]bool)
+		for _, seg := range v.Segments {
+			for _, qi := range seg.Nodes {
+				if seen[qi] {
+					t.Logf("node %d in two segments", qi)
+					return false
+				}
+				seen[qi] = true
+				if v.Owner[qi] != v.Owner[seg.Root] {
+					t.Logf("segment %d mixes owners", seg.ID)
+					return false
+				}
+				if qi != seg.Root && !q.IsAncestor(seg.Root, qi) {
+					t.Logf("segment %d node %d not under root %d", seg.ID, qi, seg.Root)
+					return false
+				}
+			}
+		}
+		for _, qi := range v.PrimeNodes() {
+			if !seen[qi] {
+				t.Logf("kept node %d not in any segment", qi)
+				return false
+			}
+		}
+		// Parent/child segment links are consistent.
+		for _, seg := range v.Segments {
+			for _, c := range seg.Children {
+				if v.Segments[c].Parent != seg.ID {
+					return false
+				}
+			}
+			if seg.Parent != -1 {
+				if v.SegOf[v.PrimeParent[seg.Root]] != seg.Parent {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	q := tpq.MustParse("//a[//f]//b//c//d//e")
+	vs := tpq.MustParseAll("//a//e; //b//c//d; //f")
+	v, err := Build(q, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := v.String()
+	for _, want := range []string{"B0{a}", "B2{b,d}", "B3{e}"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

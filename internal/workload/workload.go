@@ -1,0 +1,219 @@
+// Package workload defines the benchmark queries and covering view sets of
+// the paper's experimental evaluation (§VI): the 14 XPath queries derived
+// from the XMark benchmark (Q1-Q20 numbering, 6 path + 8 twig), the eight
+// Nasa queries N1-N8, the interleaving-study queries Np/Nt with their view
+// sets PV1-PV4 / TV1-TV4 (Table III), the Table II view-selection pool, and
+// the Table IV space-study views.
+//
+// The paper's exact derived XMark queries were published at a now-dead URL
+// [5]; the derivations here reconstruct them from the public XMark XQuery
+// benchmark under the paper's stated constraints (6 path + 8 twig queries,
+// Q6 three steps; see DESIGN.md §5). The per-query covering view sets are
+// likewise this reproduction's choices, designed to reproduce the paper's
+// observed redundancy split: tuple views for Q1, Q2, Q20 and N1 carry heavy
+// data redundancy (TS beats IJ there), the other path queries' views carry
+// none (IJ beats TS).
+package workload
+
+import (
+	"fmt"
+
+	"viewjoin/internal/tpq"
+)
+
+// Query is one benchmark query with its covering view set.
+type Query struct {
+	// Name is the paper's label (Q1, N5, Np, ...).
+	Name string
+	// Pattern is the TPQ.
+	Pattern *tpq.Pattern
+	// Views is the minimal covering view set used by the view-based engines.
+	Views []*tpq.Pattern
+	// Path reports whether the query is a path query (InterJoin-eligible).
+	Path bool
+}
+
+func q(name, pattern, views string) Query {
+	p := tpq.MustParse(pattern)
+	return Query{
+		Name:    name,
+		Pattern: p,
+		Views:   tpq.MustParseAll(views),
+		Path:    p.IsPath(),
+	}
+}
+
+// XMarkPath returns the six path queries derived from the XMark benchmark
+// (Fig. 5(a)). The view sets for Q1, Q2 and Q20 repeat a high-fanout
+// ancestor in every tuple (heavy redundancy); Q5, Q6, Q18 have none.
+func XMarkPath() []Query {
+	return []Query{
+		q("Q1", "//site/people/person/name", "//site//person//name; //people"),
+		q("Q2", "//site/open_auctions/open_auction/bidder/increase",
+			"//site//increase; //open_auctions//open_auction//bidder"),
+		q("Q5", "//site/closed_auctions/closed_auction/price", "//site/closed_auctions; //closed_auction/price"),
+		q("Q6", "//site/regions//item", "//site/regions; //item"),
+		q("Q18", "//site/open_auctions/open_auction/initial", "//site/open_auctions; //open_auction/initial"),
+		q("Q20", "//site/people/person/profile/gender", "//site//person//profile//gender; //people"),
+	}
+}
+
+// XMarkTwig returns the eight twig queries derived from the XMark
+// benchmark (Fig. 5(c), Table V).
+func XMarkTwig() []Query {
+	return []Query{
+		q("Q4", "//site/open_auctions/open_auction[//bidder/personref]/reserve",
+			"//site//reserve; //open_auctions//open_auction; //bidder/personref"),
+		q("Q8", "//site/people/person[//address/city]/name",
+			"//site//person//name; //people; //address/city"),
+		q("Q9", "//site/closed_auctions/closed_auction[//buyer]/itemref",
+			"//closed_auctions//closed_auction//itemref; //site; //buyer"),
+		q("Q10", "//site/people/person[//profile/interest]//education",
+			"//site//person//education; //people; //profile/interest"),
+		q("Q11", "//site/open_auctions/open_auction[//initial]/current",
+			"//open_auctions//open_auction/current; //site; //initial"),
+		q("Q13", "//site/regions//item[//location]/quantity",
+			"//site//item/quantity; //regions; //location"),
+		q("Q14", "//site//item[//description//keyword]/name",
+			"//site//item//name; //description//keyword"),
+		q("Q19", "//site/regions//item[//name]/location",
+			"//regions//item//location; //site; //name"),
+	}
+}
+
+// NasaPath returns the paper's four Nasa path queries N1-N4 (Fig. 5(b)).
+// N1's views carry heavy tuple redundancy (fields repeat per para), the
+// others' do not.
+func NasaPath() []Query {
+	return []Query{
+		q("N1", "//field//footnote//para", "//field//para; //footnote"),
+		q("N2", "//dataset//definition//footnote", "//dataset//footnote; //definition"),
+		q("N3", "//revision/creator/lastname", "//revision//lastname; //creator"),
+		q("N4", "//reference//journal//date//year", "//reference//date//year; //journal"),
+	}
+}
+
+// NasaTwig returns the paper's four Nasa twig queries N5-N8 (Fig. 5(d),
+// Table V).
+func NasaTwig() []Query {
+	return []Query{
+		q("N5", "//dataset[//definition/footnote]//history//revision//para",
+			"//dataset//revision//para; //definition/footnote; //history"),
+		q("N6", "//journal[//suffix][title]/date/year",
+			"//journal/date/year; //suffix; //title"),
+		q("N7", "//dataset[//field//footnote]//journal[//bibcode]//lastname",
+			"//dataset//journal//lastname; //field//footnote; //bibcode"),
+		q("N8", "//descriptions[//observatory]/description//para",
+			"//descriptions//para; //observatory; //description"),
+	}
+}
+
+// InterleavingCase is one row of the paper's Table III: a query evaluated
+// with a specific view set whose inter-view edge count measures the
+// interleaving complexity.
+type InterleavingCase struct {
+	Name  string
+	Query *tpq.Pattern
+	Views []*tpq.Pattern
+	// Cond is the paper's #Cond column: the number of inter-view edges.
+	Cond int
+}
+
+// Np is the path query of the interleaving study (Fig. 6(a)).
+func Np() *tpq.Pattern {
+	return tpq.MustParse("//dataset//tableHead//field//definition//footnote//para")
+}
+
+// Nt is the twig query of the interleaving study (Fig. 6(b)); it is also
+// the query of the Table II view-selection example.
+func Nt() *tpq.Pattern {
+	return tpq.MustParse("//dataset//tableHead[//tableLink//title]//field//definition//para")
+}
+
+// TableIII returns the eight rows of the paper's Table III.
+func TableIII() []InterleavingCase {
+	np, nt := Np(), Nt()
+	rows := []struct {
+		name  string
+		query *tpq.Pattern
+		views string
+		cond  int
+	}{
+		{"PV1", np, "//dataset//field//footnote; //tableHead//definition//para", 5},
+		{"PV2", np, "//dataset//field//footnote//para; //tableHead//definition", 4},
+		{"PV3", np, "//dataset//field; //tableHead//definition//footnote//para", 3},
+		{"PV4", np, "//tableHead; //dataset//field//definition//footnote//para", 2},
+		{"TV1", nt, "//dataset[//tableLink]//definition; //tableHead//title; //field//para", 6},
+		{"TV2", nt, "//dataset//tableHead; //field//para; //tableLink//title; //definition", 4},
+		{"TV3", nt, "//dataset//definition//para; //tableHead//field; //tableLink//title", 3},
+		{"TV4", nt, "//field//definition//para; //dataset//tableHead; //tableLink//title", 2},
+	}
+	out := make([]InterleavingCase, len(rows))
+	for i, r := range rows {
+		out[i] = InterleavingCase{
+			Name:  r.name,
+			Query: r.query,
+			Views: tpq.MustParseAll(r.views),
+			Cond:  r.cond,
+		}
+	}
+	return out
+}
+
+// TableIIPool returns the candidate views of the paper's Table II
+// view-selection example (tagged v1..v6), all defined on the Nasa dataset
+// for query Nt.
+func TableIIPool() []struct {
+	Tag  string
+	View *tpq.Pattern
+} {
+	rows := []struct {
+		Tag  string
+		View *tpq.Pattern
+	}{
+		{"v1", tpq.MustParse("//dataset//definition")},
+		{"v2", tpq.MustParse("//dataset//tableHead")},
+		{"v3", tpq.MustParse("//field//para")},
+		{"v4", tpq.MustParse("//definition")},
+		{"v5", tpq.MustParse("//tableLink//title")},
+		{"v6", tpq.MustParse("//field//definition//para")},
+	}
+	return rows
+}
+
+// TableIVViews returns the two XMark views of the paper's space study
+// (Table IV): v1 = //item//text//keyword (data nodes occur in multiple
+// matches), v2 = //person//education (they do not).
+func TableIVViews() (v1, v2 *tpq.Pattern) {
+	return tpq.MustParse("//item//text//keyword"), tpq.MustParse("//person//education")
+}
+
+// All returns every named benchmark query keyed by name.
+func All() map[string]Query {
+	out := make(map[string]Query)
+	for _, set := range [][]Query{XMarkPath(), XMarkTwig(), NasaPath(), NasaTwig()} {
+		for _, query := range set {
+			out[query.Name] = query
+		}
+	}
+	return out
+}
+
+// Validate checks every catalog entry against the paper's assumptions:
+// view sets must be valid minimal covering sets of their queries.
+func Validate() error {
+	for name, query := range All() {
+		if err := tpq.ValidateViewSet(query.Views, query.Pattern); err != nil {
+			return fmt.Errorf("workload: %s: %w", name, err)
+		}
+	}
+	for _, c := range TableIII() {
+		if err := tpq.ValidateViewSet(c.Views, c.Query); err != nil {
+			return fmt.Errorf("workload: %s: %w", c.Name, err)
+		}
+		if got := tpq.InterViewEdges(c.Views, c.Query); got != c.Cond {
+			return fmt.Errorf("workload: %s: inter-view edges = %d, want %d", c.Name, got, c.Cond)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"testing"
+
+	"viewjoin/internal/dataset/nasa"
+	"viewjoin/internal/dataset/xmark"
+	"viewjoin/internal/oracle"
+	"viewjoin/internal/xmltree"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCatalogShape(t *testing.T) {
+	if got := len(XMarkPath()); got != 6 {
+		t.Errorf("XMark path queries = %d, want 6 (paper §VI)", got)
+	}
+	if got := len(XMarkTwig()); got != 8 {
+		t.Errorf("XMark twig queries = %d, want 8", got)
+	}
+	for _, query := range XMarkPath() {
+		if !query.Path {
+			t.Errorf("%s must be a path query", query.Name)
+		}
+		for _, v := range query.Views {
+			if !v.IsPath() {
+				t.Errorf("%s: view %s must be a path view (InterJoin-eligible)", query.Name, v)
+			}
+		}
+	}
+	for _, query := range NasaPath() {
+		if !query.Path {
+			t.Errorf("%s must be a path query", query.Name)
+		}
+	}
+	for _, query := range XMarkTwig() {
+		if query.Path {
+			t.Errorf("%s must be a twig query", query.Name)
+		}
+	}
+	for _, query := range NasaTwig() {
+		if query.Path {
+			t.Errorf("%s must be a twig query", query.Name)
+		}
+	}
+	// Q6 has exactly three steps (§VI-A: "Q6 is very simple (with only
+	// three steps)").
+	for _, query := range XMarkPath() {
+		if query.Name == "Q6" && query.Pattern.Size() != 3 {
+			t.Errorf("Q6 has %d steps, want 3", query.Pattern.Size())
+		}
+	}
+}
+
+// TestQueriesNonEmptyOnDatasets ensures every benchmark query actually
+// matches the corresponding generated dataset — an experiment over empty
+// results would be vacuous.
+func TestQueriesNonEmptyOnDatasets(t *testing.T) {
+	xm := xmark.Scale(0.02)
+	ns := nasa.Generate(nasa.Config{Datasets: 120})
+	if err := xm.Validate(); err != nil {
+		t.Fatalf("xmark document invalid: %v", err)
+	}
+	if err := ns.Validate(); err != nil {
+		t.Fatalf("nasa document invalid: %v", err)
+	}
+	check := func(d *xmltree.Document, qs []Query, dataset string) {
+		for _, query := range qs {
+			n := len(oracle.Eval(d, query.Pattern))
+			if n == 0 {
+				t.Errorf("%s has no matches on %s", query.Name, dataset)
+			}
+		}
+	}
+	check(xm, XMarkPath(), "xmark")
+	check(xm, XMarkTwig(), "xmark")
+	check(ns, NasaPath(), "nasa")
+	check(ns, NasaTwig(), "nasa")
+
+	// The interleaving-study queries and the Table II query too.
+	for _, p := range []interface{ String() string }{Np(), Nt()} {
+		_ = p
+	}
+	if len(oracle.Eval(ns, Np())) == 0 {
+		t.Errorf("Np has no matches on nasa")
+	}
+	if len(oracle.Eval(ns, Nt())) == 0 {
+		t.Errorf("Nt has no matches on nasa")
+	}
+	v1, v2 := TableIVViews()
+	if len(oracle.Eval(xm, v1)) == 0 || len(oracle.Eval(xm, v2)) == 0 {
+		t.Errorf("Table IV views empty on xmark")
+	}
+}
+
+// TestTableIVRedundancyShape checks the property Table IV rests on: in
+// v1 = //item//text//keyword data nodes occur in multiple matches (tuples
+// outnumber distinct solution nodes), while in v2 = //person//education
+// they do not.
+func TestTableIVRedundancyShape(t *testing.T) {
+	xm := xmark.Scale(0.05)
+	v1, v2 := TableIVViews()
+
+	// Redundancy ratio: labels stored by the tuple scheme (tuples × arity)
+	// versus entries stored by the element scheme (distinct solution nodes).
+	m1 := oracle.Eval(xm, v1)
+	s1 := m1.SolutionNodes(v1.Size())
+	tupleLabels := len(m1) * v1.Size()
+	elemEntries := len(s1[0]) + len(s1[1]) + len(s1[2])
+	if float64(tupleLabels) < 1.2*float64(elemEntries) {
+		// With multi-keyword texts, items and texts repeat across tuples.
+		t.Errorf("v1: tuple scheme stores %d labels vs %d element entries: expected ≥1.2x redundancy",
+			tupleLabels, elemEntries)
+	}
+	m2 := oracle.Eval(xm, v2)
+	s2 := m2.SolutionNodes(v2.Size())
+	if len(m2)*v2.Size() != len(s2[0])+len(s2[1]) {
+		t.Errorf("v2: %d tuples × 2 != %d+%d solution nodes: persons have at most one education",
+			len(m2), len(s2[0]), len(s2[1]))
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := xmark.Scale(0.02)
+	b := xmark.Scale(0.02)
+	if a.NumNodes() != b.NumNodes() {
+		t.Errorf("xmark not deterministic: %d vs %d nodes", a.NumNodes(), b.NumNodes())
+	}
+	na := nasa.Generate(nasa.Config{Datasets: 50})
+	nb := nasa.Generate(nasa.Config{Datasets: 50})
+	if na.NumNodes() != nb.NumNodes() {
+		t.Errorf("nasa not deterministic: %d vs %d nodes", na.NumNodes(), nb.NumNodes())
+	}
+}
+
+func TestXMarkScalesLinearly(t *testing.T) {
+	small := xmark.Scale(0.05).NumNodes()
+	big := xmark.Scale(0.20).NumNodes()
+	ratio := float64(big) / float64(small)
+	if ratio < 3.2 || ratio > 4.8 {
+		t.Errorf("4x scale gave %.2fx nodes (small=%d big=%d)", ratio, small, big)
+	}
+}
+
+// TestNasaSkew verifies the skewed element distribution the paper relies
+// on: para dominates, observatory/suffix/bibcode are rare.
+func TestNasaSkew(t *testing.T) {
+	d := nasa.Generate(nasa.Config{Datasets: 300})
+	count := func(name string) int {
+		return len(d.NodesOfType(d.TypeByName(name)))
+	}
+	paras, fields := count("para"), count("field")
+	for _, rare := range []string{"observatory", "suffix", "bibcode"} {
+		if c := count(rare); c == 0 {
+			t.Errorf("%s absent: queries over it would be vacuous", rare)
+		} else if c*10 > paras {
+			t.Errorf("%s = %d not rare relative to %d paras", rare, c, paras)
+		}
+	}
+	if paras < fields {
+		t.Errorf("para (%d) should dominate field (%d)", paras, fields)
+	}
+}

@@ -1,0 +1,78 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads an XML document from r and returns its element tree with
+// region labels assigned. Character data, comments, processing instructions
+// and attributes are ignored: tree pattern queries (the paper's query model,
+// §II) match element structure only.
+func Parse(r io.Reader) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	b := NewBuilder()
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			b.Begin(t.Name.Local)
+		case xml.EndElement:
+			b.End()
+		}
+	}
+	d, err := b.Document()
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ParseString parses an XML document from a string.
+func ParseString(s string) (*Document, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// Write serializes the document's element structure as XML (tags only, with
+// two-space indentation). The output round-trips through Parse to an
+// identical document.
+func Write(w io.Writer, d *Document) error {
+	bw := &errWriter{w: w}
+	var rec func(id NodeID, depth int)
+	rec = func(id NodeID, depth int) {
+		name := d.TypeName(d.Node(id).Type)
+		indent := strings.Repeat("  ", depth)
+		kids := d.Children(id)
+		if len(kids) == 0 {
+			bw.printf("%s<%s/>\n", indent, name)
+			return
+		}
+		bw.printf("%s<%s>\n", indent, name)
+		for _, c := range kids {
+			rec(c, depth+1)
+		}
+		bw.printf("%s</%s>\n", indent, name)
+	}
+	rec(d.Root(), 0)
+	return bw.err
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -1,0 +1,115 @@
+package viewjoin
+
+import (
+	"fmt"
+	"time"
+
+	"viewjoin/internal/counters"
+	"viewjoin/internal/engine"
+	"viewjoin/internal/engine/pathstack"
+	"viewjoin/internal/engine/twigstack"
+	"viewjoin/internal/match"
+	"viewjoin/internal/store"
+	"viewjoin/internal/tpq"
+	"viewjoin/internal/views"
+)
+
+// ParseQueryGeneral parses a TPQ that may repeat element types (e.g.
+// "//section//figure//section"), the general query class the paper defers
+// to [5]. General queries cannot be answered through the view machinery
+// (which assumes unique types, §II) but evaluate directly over raw element
+// streams with EvaluateWithoutViews and EvaluateDirect.
+func ParseQueryGeneral(s string) (*Query, error) {
+	p, err := tpq.ParseGeneral(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{p}, nil
+}
+
+// EvaluateWithoutViews answers q over raw per-type element streams — the
+// conventional structural/twig join setting without materialized views
+// (the element storage scheme over single-element "views", §I). This is
+// the baseline the original InterJoin work [22] compared against, and the
+// only evaluation path for general queries with repeated element types:
+// duplicate query nodes simply open independent cursors over the same
+// type's stream.
+//
+// Supported engines: EngineTwigStack (any query) and EnginePathStack (path
+// queries). The view-based engines require materialized views by
+// definition.
+func EvaluateWithoutViews(d *Document, q *Query, eng Engine, opts *EvalOptions) (*Result, error) {
+	if opts == nil {
+		opts = &EvalOptions{}
+	}
+	lists, err := d.rawStreams(q)
+	if err != nil {
+		return nil, err
+	}
+	var c counters.Counters
+	io := counters.NewIO(&c, opts.BufferPoolPages)
+	eopts := engine.Options{DiskBased: opts.DiskBased, PageSize: opts.PageSize}
+
+	start := time.Now()
+	var ms match.Set
+	switch eng {
+	case EngineTwigStack:
+		ms, _ = twigstack.Eval(d.d, q.p, lists, io, eopts)
+	case EnginePathStack:
+		ms, err = pathstack.Eval(d.d, q.p, lists, io)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("viewjoin: engine %v requires materialized views; use TS or PS without views", eng)
+	}
+	dur := time.Since(start)
+
+	res := &Result{
+		Matches: make([][]Node, len(ms)),
+		Stats: Stats{
+			ElementsScanned: c.ElementsScanned,
+			Comparisons:     c.Comparisons,
+			PointerDerefs:   c.PointerDerefs,
+			PagesRead:       c.PagesRead,
+			PagesWritten:    c.PagesWritten,
+			Duration:        dur,
+		},
+	}
+	for i, m := range ms {
+		row := make([]Node, len(m))
+		for j, id := range m {
+			n := d.d.Node(id)
+			row[j] = Node{Tag: d.d.TypeName(n.Type), Start: n.Start, End: n.End, Level: n.Level}
+		}
+		res.Matches[i] = row
+	}
+	return res, nil
+}
+
+// rawStreams builds one element-scheme list per distinct element type of q
+// (all nodes of that type, in document order) and binds every query node —
+// including duplicates — to its type's list.
+func (d *Document) rawStreams(q *Query) ([]*store.ListFile, error) {
+	byLabel := make(map[string]*store.ListFile)
+	lists := make([]*store.ListFile, q.p.Size())
+	for qi := range q.p.Nodes {
+		label := q.p.Nodes[qi].Label
+		lf, ok := byLabel[label]
+		if !ok {
+			single := &tpq.Pattern{Nodes: []tpq.Node{{Label: label, Axis: tpq.Descendant, Parent: -1}}}
+			mat, err := views.Materialize(d.d, single)
+			if err != nil {
+				return nil, err
+			}
+			st, err := store.Build(mat, store.Element, 0)
+			if err != nil {
+				return nil, err
+			}
+			lf = st.Lists[0]
+			byLabel[label] = lf
+		}
+		lists[qi] = lf
+	}
+	return lists, nil
+}

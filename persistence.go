@@ -1,0 +1,76 @@
+package viewjoin
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"viewjoin/internal/store"
+	"viewjoin/internal/xmltree"
+)
+
+// SaveView serializes a materialized view (scheme, pattern, and paged
+// content) so it can be reloaded later with LoadView instead of being
+// re-materialized. The document itself is not embedded; a small
+// fingerprint is written so LoadView can reject a mismatched document.
+func (v *MaterializedView) SaveView(w io.Writer) (int64, error) {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], v.doc.fingerprint())
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	n, err := v.store.WriteTo(w)
+	return n + 8, err
+}
+
+// LoadView reloads a view saved with SaveView, binding it to d. It fails
+// when the view was saved against a different document (fingerprint
+// mismatch): pointers and region labels are only meaningful for the
+// document the view was materialized from.
+//
+// Loaded views evaluate exactly like freshly materialized ones; only
+// MaterializeResult-style raw access to the in-memory materialization is
+// unavailable (ListSizes and the selection API still work, computed from
+// the on-disk lists).
+func (d *Document) LoadView(r io.Reader) (*MaterializedView, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("viewjoin: load view: %w", err)
+	}
+	if got := binary.LittleEndian.Uint64(hdr[:]); got != d.fingerprint() {
+		return nil, fmt.Errorf("viewjoin: view was saved against a different document (fingerprint %x != %x)",
+			got, d.fingerprint())
+	}
+	st, err := store.ReadViewStore(r)
+	if err != nil {
+		return nil, fmt.Errorf("viewjoin: load view: %w", err)
+	}
+	return &MaterializedView{doc: d, pattern: st.View, store: st}, nil
+}
+
+// fingerprint computes a cheap structural fingerprint of the document
+// (FNV-1a over the region labels of a node sample), used to pair saved
+// views with their document.
+func (d *Document) fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v int32) {
+		for i := 0; i < 4; i++ {
+			h ^= uint64(byte(v >> (8 * i)))
+			h *= prime64
+		}
+	}
+	n := d.d.NumNodes()
+	mix(int32(n))
+	step := n/64 + 1
+	for i := 0; i < n; i += step {
+		nd := d.d.Node(xmltree.NodeID(i))
+		mix(nd.Start)
+		mix(nd.End)
+		mix(nd.Level)
+	}
+	return h
+}

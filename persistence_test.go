@@ -1,0 +1,117 @@
+package viewjoin
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadViewRoundTrip(t *testing.T) {
+	d := GenerateNasa(120)
+	q := MustParseQuery("//field//footnote//para")
+	vs, err := ParseViews("//field//para; //footnote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := EvaluateDirect(d, q)
+
+	for _, scheme := range []StorageScheme{SchemeElement, SchemeLE, SchemeLEp, SchemeTuple} {
+		mv, err := d.MaterializeViews(vs, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded := make([]*MaterializedView, len(mv))
+		for i, v := range mv {
+			var buf bytes.Buffer
+			n, err := v.SaveView(&buf)
+			if err != nil {
+				t.Fatalf("%v: SaveView: %v", scheme, err)
+			}
+			if n != int64(buf.Len()) {
+				t.Fatalf("SaveView returned %d, wrote %d", n, buf.Len())
+			}
+			loaded[i], err = d.LoadView(&buf)
+			if err != nil {
+				t.Fatalf("%v: LoadView: %v", scheme, err)
+			}
+			if loaded[i].Scheme() != scheme || loaded[i].NumEntries() != v.NumEntries() ||
+				loaded[i].NumPointers() != v.NumPointers() {
+				t.Fatalf("%v: loaded view metadata differs", scheme)
+			}
+		}
+		eng := EngineViewJoin
+		if scheme == SchemeTuple {
+			eng = EngineInterJoin
+		}
+		res, err := Evaluate(d, q, loaded, eng, nil)
+		if err != nil {
+			t.Fatalf("%v: evaluate over loaded views: %v", scheme, err)
+		}
+		if !sameMatches(res, want) {
+			t.Fatalf("%v: loaded views give %d matches, want %d", scheme, len(res.Matches), len(want.Matches))
+		}
+	}
+}
+
+func TestLoadViewRejectsWrongDocument(t *testing.T) {
+	d1 := GenerateNasa(100)
+	d2 := GenerateNasa(101)
+	v, err := d1.MaterializeView(MustParseQuery("//field//para"), SchemeLE, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := v.SaveView(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.LoadView(&buf); err == nil {
+		t.Fatal("loading against a different document must fail")
+	}
+}
+
+func TestLoadViewRejectsGarbage(t *testing.T) {
+	d := GenerateNasa(50)
+	if _, err := d.LoadView(bytes.NewReader([]byte("short"))); err == nil {
+		t.Fatal("expected error for truncated input")
+	}
+	if _, err := d.LoadView(bytes.NewReader(make([]byte, 64))); err == nil {
+		t.Fatal("expected error for garbage input")
+	}
+}
+
+func TestLoadedViewListSizesAndSelection(t *testing.T) {
+	d := GenerateNasa(120)
+	v, err := d.MaterializeView(MustParseQuery("//field//para"), SchemeLE, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := v.SaveView(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := d.LoadView(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := v.ListSizes(), loaded.ListSizes()
+	if len(a) != len(b) {
+		t.Fatalf("ListSizes length differs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("ListSizes[%d]: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// Loaded views participate in cost-based selection.
+	q := MustParseQuery("//field//definition//para")
+	defV, err := d.MaterializeView(MustParseQuery("//definition"), SchemeLE, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := SelectViews([]*MaterializedView{loaded, defV}, q, DefaultLambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 {
+		t.Fatalf("selection = %d views, want 2", len(sel))
+	}
+}

@@ -1,0 +1,49 @@
+package viewjoin
+
+import (
+	"fmt"
+
+	"viewjoin/internal/match"
+	"viewjoin/internal/store"
+	"viewjoin/internal/views"
+)
+
+// MaterializeResult captures a query's already computed result as a new
+// materialized view in the given scheme, without re-evaluating the query —
+// the paper's observation (§IV-B) that ViewJoin's intermediate DAG doubles
+// as a materialized view of the result. The returned view can cover any
+// later query that q is a subpattern of.
+//
+// The result must come from evaluating q over this document (the complete
+// match set); passing a partial result materializes only that subset.
+func (d *Document) MaterializeResult(q *Query, res *Result, scheme StorageScheme, opts *MaterializeOptions) (*MaterializedView, error) {
+	ms := make(match.Set, len(res.Matches))
+	for i, row := range res.Matches {
+		if len(row) != q.p.Size() {
+			return nil, fmt.Errorf("viewjoin: result row %d binds %d nodes for a %d-node query",
+				i, len(row), q.p.Size())
+		}
+		m := make(match.Match, len(row))
+		for j, n := range row {
+			id := d.d.FindByStart(n.Start)
+			if id < 0 {
+				return nil, fmt.Errorf("viewjoin: result row %d references start %d not in this document", i, n.Start)
+			}
+			m[j] = id
+		}
+		ms[i] = m
+	}
+	mat, err := views.FromMatches(d.d, q.p, ms)
+	if err != nil {
+		return nil, err
+	}
+	pageSize := 0
+	if opts != nil {
+		pageSize = opts.PageSize
+	}
+	st, err := store.Build(mat, scheme.kind(), pageSize)
+	if err != nil {
+		return nil, err
+	}
+	return &MaterializedView{doc: d, pattern: q.p, mat: mat, store: st}, nil
+}

@@ -1,0 +1,71 @@
+package viewjoin
+
+import (
+	"fmt"
+
+	"viewjoin/internal/viewsel"
+)
+
+// DefaultLambda is the paper's cost-model weight (§V): evaluation is CPU
+// bound, so the join term dominates.
+const DefaultLambda = viewsel.DefaultLambda
+
+// ViewCost computes the paper's evaluation cost estimate c(v,Q) (§V) for
+// answering q with the materialized view v:
+//
+//	c(v,Q) = (1-λ)·Σ|L_q| + λ·Σ|L_q|·e_q
+//
+// where e_q counts the query edges of each covered node not precomputed by
+// the view.
+func ViewCost(v *MaterializedView, q *Query, lambda float64) (float64, error) {
+	return viewsel.Cost(candidate(v), q.p, lambda)
+}
+
+// SelectViews runs the paper's greedy cost-based view selection (§V) over
+// a pool of materialized views: it returns a covering subset of q with
+// high benefit-per-cost, or an error if the pool cannot cover q.
+// Non-subpattern views in the pool are ignored.
+func SelectViews(pool []*MaterializedView, q *Query, lambda float64) ([]*MaterializedView, error) {
+	return selectWith(pool, q, func(cands []viewsel.Candidate) (*viewsel.Result, error) {
+		return viewsel.SelectGreedy(cands, q.p, lambda)
+	})
+}
+
+// SelectViewsBySize is the size-only baseline selection the paper compares
+// against in Example 5.1.
+func SelectViewsBySize(pool []*MaterializedView, q *Query) ([]*MaterializedView, error) {
+	return selectWith(pool, q, func(cands []viewsel.Candidate) (*viewsel.Result, error) {
+		return viewsel.SelectBySize(cands, q.p)
+	})
+}
+
+func selectWith(pool []*MaterializedView, q *Query,
+	sel func([]viewsel.Candidate) (*viewsel.Result, error)) ([]*MaterializedView, error) {
+	cands := make([]viewsel.Candidate, len(pool))
+	byString := make(map[string]*MaterializedView, len(pool))
+	for i, v := range pool {
+		cands[i] = candidate(v)
+		byString[v.pattern.String()] = v
+	}
+	res, err := sel(cands)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Covered {
+		return nil, fmt.Errorf("viewjoin: pool cannot cover query %s", q)
+	}
+	out := make([]*MaterializedView, len(res.Selected))
+	for i, c := range res.Selected {
+		out[i] = byString[c.View.String()]
+	}
+	return out, nil
+}
+
+func candidate(v *MaterializedView) viewsel.Candidate {
+	ls := v.ListSizes()
+	sizes := make([]float64, len(ls))
+	for i, n := range ls {
+		sizes[i] = float64(n)
+	}
+	return viewsel.Candidate{View: v.pattern, ListSizes: sizes, Tag: v.pattern.String()}
+}

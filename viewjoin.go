@@ -1,0 +1,502 @@
+// Package viewjoin is a from-scratch Go implementation of ViewJoin (Chen &
+// Chan, ICDE 2010): efficient view-based evaluation of tree pattern
+// queries over XML, together with the storage schemes and baseline
+// algorithms the paper evaluates.
+//
+// The library answers tree pattern queries (the XPath fragment with /, //
+// and []) over XML documents using materialized views:
+//
+//   - four physical storage schemes for materialized views: tuple (T),
+//     element (E), linked-element (LE) and partial linked-element (LEp);
+//   - four evaluation engines: ViewJoin (the paper's contribution),
+//     TwigStack, PathStack and InterJoin;
+//   - the paper's cost-based view selection heuristic (§V);
+//   - deterministic XMark-like and Nasa-like dataset generators and the
+//     full experiment harness regenerating the paper's tables and figures
+//     (package internal/experiments, cmd/vjbench).
+//
+// # Quickstart
+//
+//	doc, _ := viewjoin.ParseDocumentString(xmlData)
+//	query, _ := viewjoin.ParseQuery("//a[//f]//b//e")
+//	views, _ := viewjoin.ParseViews("//a//e; //b; //f")
+//	mv, _ := doc.MaterializeViews(views, viewjoin.SchemeLEp)
+//	res, _ := viewjoin.Evaluate(doc, query, mv, viewjoin.EngineViewJoin, nil)
+//	for _, m := range res.Matches {
+//	    ... // one binding per query node
+//	}
+package viewjoin
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"viewjoin/internal/counters"
+	"viewjoin/internal/dataset/nasa"
+	"viewjoin/internal/dataset/xmark"
+	"viewjoin/internal/engine"
+	"viewjoin/internal/engine/interjoin"
+	"viewjoin/internal/engine/pathstack"
+	"viewjoin/internal/engine/twigstack"
+	vjengine "viewjoin/internal/engine/viewjoin"
+	"viewjoin/internal/match"
+	"viewjoin/internal/oracle"
+	"viewjoin/internal/store"
+	"viewjoin/internal/tpq"
+	"viewjoin/internal/views"
+	"viewjoin/internal/vsq"
+	"viewjoin/internal/xmltree"
+)
+
+// Document is an XML document as a region-labelled element tree.
+type Document struct {
+	d *xmltree.Document
+}
+
+// ParseDocument parses an XML document from r. Only element structure is
+// retained; text, attributes and comments are ignored (tree pattern
+// queries match structure only).
+func ParseDocument(r io.Reader) (*Document, error) {
+	d, err := xmltree.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Document{d}, nil
+}
+
+// ParseDocumentString parses an XML document from a string.
+func ParseDocumentString(s string) (*Document, error) {
+	d, err := xmltree.ParseString(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Document{d}, nil
+}
+
+// GenerateXMark builds a deterministic XMark-like auction document.
+// scale = 1.0 corresponds to the paper's standard ~100MB document in shape
+// (see DESIGN.md for the substitution notes); size grows linearly.
+func GenerateXMark(scale float64) *Document {
+	return &Document{xmark.Scale(scale)}
+}
+
+// GenerateNasa builds a deterministic Nasa-like document with the skewed
+// element distribution of the paper's real dataset. datasets <= 0 selects
+// the default size (≈ the paper's 23MB document in shape).
+func GenerateNasa(datasets int) *Document {
+	return &Document{nasa.Generate(nasa.Config{Datasets: datasets})}
+}
+
+// NumNodes returns the number of element nodes.
+func (d *Document) NumNodes() int { return d.d.NumNodes() }
+
+// WriteXML serializes the document's element structure as XML.
+func (d *Document) WriteXML(w io.Writer) error { return xmltree.Write(w, d.d) }
+
+// Node describes one element node in a result.
+type Node struct {
+	Tag   string
+	Start int32
+	End   int32
+	Level int32
+}
+
+// Query is a parsed tree pattern query.
+type Query struct {
+	p *tpq.Pattern
+}
+
+// ParseQuery parses a TPQ in the XPath fragment {/, //, []}, e.g.
+// "//a/b[//c/d]//e". Patterns must not repeat element types (the paper's
+// assumption, §II).
+func ParseQuery(s string) (*Query, error) {
+	p, err := tpq.Parse(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{p}, nil
+}
+
+// MustParseQuery is ParseQuery but panics on error.
+func MustParseQuery(s string) *Query {
+	q, err := ParseQuery(s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// String renders the query back in XPath syntax.
+func (q *Query) String() string { return q.p.String() }
+
+// NumNodes returns the number of query nodes.
+func (q *Query) NumNodes() int { return q.p.Size() }
+
+// IsPath reports whether the query has no branching.
+func (q *Query) IsPath() bool { return q.p.IsPath() }
+
+// Labels returns the element type of each query node, in pattern pre-order
+// — the same order used for match bindings.
+func (q *Query) Labels() []string {
+	out := make([]string, q.p.Size())
+	for i := range q.p.Nodes {
+		out[i] = q.p.Nodes[i].Label
+	}
+	return out
+}
+
+// ParseViews parses a semicolon-separated list of view patterns, e.g.
+// "//a//e; //b[//c/d]; //f".
+func ParseViews(s string) ([]*Query, error) {
+	ps, err := tpq.ParseAll(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Query, len(ps))
+	for i, p := range ps {
+		out[i] = &Query{p}
+	}
+	return out, nil
+}
+
+// StorageScheme selects a physical layout for materialized views (§I,
+// §III of the paper).
+type StorageScheme int
+
+const (
+	// SchemeTuple is InterJoin's tuple scheme: one record per view match.
+	SchemeTuple StorageScheme = iota
+	// SchemeElement stores per-node solution lists without pointers.
+	SchemeElement
+	// SchemeLE is the linked-element scheme: solution lists plus all
+	// child/descendant/following pointers (§III-B).
+	SchemeLE
+	// SchemeLEp is the partial linked-element scheme (§III-C).
+	SchemeLEp
+)
+
+// String names the scheme as in the paper.
+func (s StorageScheme) String() string { return s.kind().String() }
+
+func (s StorageScheme) kind() store.Kind {
+	switch s {
+	case SchemeTuple:
+		return store.Tuple
+	case SchemeElement:
+		return store.Element
+	case SchemeLE:
+		return store.Linked
+	default:
+		return store.LinkedPartial
+	}
+}
+
+// MaterializedView is one view materialized over a document and laid out
+// on the simulated paged store.
+type MaterializedView struct {
+	doc     *Document
+	pattern *tpq.Pattern
+	mat     *views.Materialized
+	store   *store.ViewStore
+}
+
+// MaterializeOptions tunes view materialization.
+type MaterializeOptions struct {
+	// PageSize is the simulated page size in bytes; 0 means 4096.
+	PageSize int
+}
+
+// MaterializeView computes the view's matches over the document and lays
+// the result out in the given storage scheme.
+func (d *Document) MaterializeView(view *Query, scheme StorageScheme, opts *MaterializeOptions) (*MaterializedView, error) {
+	pageSize := 0
+	if opts != nil {
+		pageSize = opts.PageSize
+	}
+	mat, err := views.Materialize(d.d, view.p)
+	if err != nil {
+		return nil, err
+	}
+	st, err := store.Build(mat, scheme.kind(), pageSize)
+	if err != nil {
+		return nil, err
+	}
+	return &MaterializedView{doc: d, pattern: view.p, mat: mat, store: st}, nil
+}
+
+// MaterializeViews materializes a whole view set in one scheme.
+func (d *Document) MaterializeViews(views []*Query, scheme StorageScheme) ([]*MaterializedView, error) {
+	out := make([]*MaterializedView, len(views))
+	for i, v := range views {
+		mv, err := d.MaterializeView(v, scheme, nil)
+		if err != nil {
+			return nil, fmt.Errorf("view %s: %w", v, err)
+		}
+		out[i] = mv
+	}
+	return out, nil
+}
+
+// Pattern returns the view's pattern.
+func (v *MaterializedView) Pattern() *Query { return &Query{v.pattern} }
+
+// Scheme returns the view's storage scheme.
+func (v *MaterializedView) Scheme() StorageScheme {
+	switch v.store.Kind {
+	case store.Tuple:
+		return SchemeTuple
+	case store.Element:
+		return SchemeElement
+	case store.Linked:
+		return SchemeLE
+	default:
+		return SchemeLEp
+	}
+}
+
+// SizeBytes returns the on-disk size (page-granular).
+func (v *MaterializedView) SizeBytes() int64 { return v.store.SizeBytes() }
+
+// NumPointers returns the number of materialized pointers (0 for T/E).
+func (v *MaterializedView) NumPointers() int { return v.store.NumPointers() }
+
+// NumEntries returns the number of records (list entries, or tuples for
+// the tuple scheme).
+func (v *MaterializedView) NumEntries() int { return v.store.TotalEntries() }
+
+// ListSizes returns |L_q| per view node — the inputs of the §V cost model.
+// For element-family views it is available even after LoadView; for loaded
+// tuple views (which store whole matches, not per-node lists) it is nil.
+func (v *MaterializedView) ListSizes() []int {
+	if v.mat != nil {
+		return v.mat.ListSizes()
+	}
+	if len(v.store.Lists) == 0 {
+		return nil
+	}
+	out := make([]int, len(v.store.Lists))
+	for i, l := range v.store.Lists {
+		out[i] = l.Entries()
+	}
+	return out
+}
+
+// Engine selects an evaluation algorithm.
+type Engine int
+
+const (
+	// EngineViewJoin is the paper's algorithm (§IV); requires E/LE/LEp
+	// views.
+	EngineViewJoin Engine = iota
+	// EngineTwigStack is the holistic twig join baseline; requires E/LE/LEp
+	// views (pointers are ignored).
+	EngineTwigStack
+	// EnginePathStack is the structural join baseline for path queries;
+	// requires E/LE/LEp views.
+	EnginePathStack
+	// EngineInterJoin evaluates path queries over tuple-scheme path views.
+	EngineInterJoin
+)
+
+// String names the engine as in the paper's experiments.
+func (e Engine) String() string {
+	switch e {
+	case EngineViewJoin:
+		return "VJ"
+	case EngineTwigStack:
+		return "TS"
+	case EnginePathStack:
+		return "PS"
+	case EngineInterJoin:
+		return "IJ"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// EvalOptions tunes evaluation.
+type EvalOptions struct {
+	// DiskBased selects the disk-based output approach (§IV): intermediate
+	// solutions are spooled through scratch pages, trading I/O for memory.
+	DiskBased bool
+	// PageSize is the scratch page size; 0 means 4096.
+	PageSize int
+	// BufferPoolPages is the simulated buffer pool capacity in pages; 0
+	// means 64, negative disables caching.
+	BufferPoolPages int
+	// UnguardedJumps makes ViewJoin follow scoped following pointers
+	// unconditionally, as the paper's pseudocode prescribes, instead of
+	// applying this reproduction's safe-jump probe rule. Results can be
+	// incomplete when the queried element types nest recursively; intended
+	// for ablation studies on data without such nesting (the benchmark
+	// datasets qualify).
+	UnguardedJumps bool
+}
+
+// Stats reports the deterministic cost of an evaluation.
+type Stats struct {
+	// ElementsScanned counts records decoded from view lists.
+	ElementsScanned int64
+	// Comparisons counts structural comparisons.
+	Comparisons int64
+	// PointerDerefs counts materialized pointers followed.
+	PointerDerefs int64
+	// PagesRead / PagesWritten count simulated page I/O.
+	PagesRead    int64
+	PagesWritten int64
+	// PeakMemoryBytes estimates the largest in-memory intermediate state
+	// (the paper's |F_max|); 0 for engines that do not track it.
+	PeakMemoryBytes int64
+	// Duration is the wall-clock evaluation time.
+	Duration time.Duration
+}
+
+// Result is the answer to a query: all tree pattern instances, one node
+// binding per query node (every query node is an output node, §II).
+type Result struct {
+	// Matches holds one row per embedding; row[i] binds query node i (in
+	// Query.Labels order).
+	Matches [][]Node
+	Stats   Stats
+}
+
+// Evaluate answers q over the materialized views using the chosen engine.
+// The views must form a valid minimal covering set of q (subpatterns of q
+// with pairwise disjoint element types, together covering every query
+// node); InterJoin additionally requires path views of q in the tuple
+// scheme, while the other engines require element-family schemes.
+func Evaluate(d *Document, q *Query, mviews []*MaterializedView, eng Engine, opts *EvalOptions) (*Result, error) {
+	if opts == nil {
+		opts = &EvalOptions{}
+	}
+	patterns := make([]*tpq.Pattern, len(mviews))
+	stores := make([]*store.ViewStore, len(mviews))
+	for i, mv := range mviews {
+		if mv.doc.d != d.d {
+			return nil, fmt.Errorf("viewjoin: view %s materialized over a different document", mv.pattern)
+		}
+		patterns[i] = mv.pattern
+		stores[i] = mv.store
+	}
+	var c counters.Counters
+	io := counters.NewIO(&c, opts.BufferPoolPages)
+	eopts := engine.Options{
+		DiskBased:      opts.DiskBased,
+		PageSize:       opts.PageSize,
+		UnguardedJumps: opts.UnguardedJumps,
+	}
+
+	start := time.Now()
+	var (
+		ms      match.Set
+		peak    int64
+		evalErr error
+	)
+	switch eng {
+	case EngineViewJoin:
+		v, err := vsq.Build(q.p, patterns)
+		if err != nil {
+			return nil, err
+		}
+		var st vjengine.Stats
+		ms, st, evalErr = vjengine.Eval(d.d, v, stores, io, eopts)
+		peak = int64(st.PeakWindowEntries) * 16
+	case EngineTwigStack:
+		v, err := vsq.Build(q.p, patterns)
+		if err != nil {
+			return nil, err
+		}
+		lists, err := engine.BindLists(v, stores)
+		if err != nil {
+			return nil, err
+		}
+		var st twigstack.Stats
+		ms, st = twigstack.Eval(d.d, q.p, lists, io, eopts)
+		peak = int64(st.PeakWindowEntries) * 16
+	case EnginePathStack:
+		v, err := vsq.Build(q.p, patterns)
+		if err != nil {
+			return nil, err
+		}
+		lists, err := engine.BindLists(v, stores)
+		if err != nil {
+			return nil, err
+		}
+		ms, evalErr = pathstack.Eval(d.d, q.p, lists, io)
+	case EngineInterJoin:
+		viewPos := make([][]int, len(patterns))
+		for i, p := range patterns {
+			m, err := tpq.QueryNodeOfView(p, q.p)
+			if err != nil {
+				return nil, err
+			}
+			viewPos[i] = m
+		}
+		ms, evalErr = interjoin.Eval(d.d, q.p, stores, viewPos, io)
+	default:
+		return nil, fmt.Errorf("viewjoin: unknown engine %v", eng)
+	}
+	dur := time.Since(start)
+	if evalErr != nil {
+		return nil, evalErr
+	}
+
+	res := &Result{
+		Matches: make([][]Node, len(ms)),
+		Stats: Stats{
+			ElementsScanned: c.ElementsScanned,
+			Comparisons:     c.Comparisons,
+			PointerDerefs:   c.PointerDerefs,
+			PagesRead:       c.PagesRead,
+			PagesWritten:    c.PagesWritten,
+			PeakMemoryBytes: peak,
+			Duration:        dur,
+		},
+	}
+	for i, m := range ms {
+		row := make([]Node, len(m))
+		for j, id := range m {
+			n := d.d.Node(id)
+			row[j] = Node{Tag: d.d.TypeName(n.Type), Start: n.Start, End: n.End, Level: n.Level}
+		}
+		res.Matches[i] = row
+	}
+	return res, nil
+}
+
+// EvaluateDirect answers q by brute force without views — the reference
+// evaluator, useful for validating view-based plans.
+func EvaluateDirect(d *Document, q *Query) *Result {
+	ms := oracle.Eval(d.d, q.p)
+	res := &Result{Matches: make([][]Node, len(ms))}
+	for i, m := range ms {
+		row := make([]Node, len(m))
+		for j, id := range m {
+			n := d.d.Node(id)
+			row[j] = Node{Tag: d.d.TypeName(n.Type), Start: n.Start, End: n.End, Level: n.Level}
+		}
+		res.Matches[i] = row
+	}
+	return res
+}
+
+// ValidateViewSet checks that the views form a valid covering set for q
+// under the paper's assumptions.
+func ValidateViewSet(q *Query, views []*Query) error {
+	ps := make([]*tpq.Pattern, len(views))
+	for i, v := range views {
+		ps[i] = v.p
+	}
+	return tpq.ValidateViewSet(ps, q.p)
+}
+
+// InterViewEdges counts the inter-view edges of q w.r.t. the view set —
+// the paper's measure of interleaving complexity (Table III).
+func InterViewEdges(q *Query, views []*Query) int {
+	ps := make([]*tpq.Pattern, len(views))
+	for i, v := range views {
+		ps[i] = v.p
+	}
+	return tpq.InterViewEdges(ps, q.p)
+}
