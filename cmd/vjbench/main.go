@@ -8,17 +8,75 @@
 //	vjbench -exp all                 # run the whole evaluation
 //	vjbench -exp fig5a               # one experiment (see -list)
 //	vjbench -exp fig7 -xmark-scale 2 # bigger documents
+//	vjbench -json out.json           # also write a machine-readable manifest
 //	vjbench -list                    # list experiment names
+//
+// Profiling:
+//
+//	vjbench -cpuprofile cpu.pprof    # CPU profile of the run
+//	vjbench -memprofile mem.pprof    # heap profile at exit
+//	vjbench -pprof localhost:6060    # serve net/http/pprof while running
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"os/exec"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 	"time"
 
 	"viewjoin/internal/experiments"
 )
+
+// manifestSchema identifies the JSON layout written by -json. Bump only on
+// incompatible changes; consumers (scripts/bench.sh, BENCH_*.json diffs)
+// key on it.
+const manifestSchema = "viewjoin/bench/v1"
+
+// manifest is the -json run report: enough provenance to compare two runs
+// (git SHA, toolchain, config) plus every measurement the experiments
+// emitted and the wall time each experiment took.
+type manifest struct {
+	Schema      string            `json:"schema"`
+	GitSHA      string            `json:"gitSHA"`
+	GoVersion   string            `json:"goVersion"`
+	GOOS        string            `json:"goos"`
+	GOARCH      string            `json:"goarch"`
+	StartedAt   string            `json:"startedAt"`
+	Config      manifestConfig    `json:"config"`
+	Experiments []experimentEntry `json:"experiments"`
+	Rows        []experiments.Row `json:"rows"`
+}
+
+type manifestConfig struct {
+	XMarkScale      float64 `json:"xmarkScale"`
+	NasaDatasets    int     `json:"nasaDatasets"`
+	Repeats         int     `json:"repeats"`
+	BufferPoolPages int     `json:"bufferPoolPages"`
+	IOCostPerPage   string  `json:"ioCostPerPage"`
+}
+
+type experimentEntry struct {
+	Name      string `json:"name"`
+	Title     string `json:"title"`
+	WallNanos int64  `json:"wallNanos"`
+}
+
+// gitSHA resolves the commit the binary is benchmarking, or "unknown"
+// outside a git checkout.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
 
 func main() {
 	var (
@@ -29,6 +87,10 @@ func main() {
 		repeats  = flag.Int("repeats", 0, "timed runs per measurement (default 5)")
 		pool     = flag.Int("pool", 0, "buffer pool pages (default 64)")
 		ioCost   = flag.Duration("io-cost", 0, "simulated cost per page miss (default 3µs)")
+		jsonOut  = flag.String("json", "", "write a machine-readable run manifest to this file")
+		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this address while running (e.g. localhost:6060)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -37,6 +99,27 @@ func main() {
 			fmt.Printf("%-12s %s\n", e.Name, e.Title)
 		}
 		return
+	}
+
+	if *pprofSrv != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofSrv, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "vjbench: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "vjbench: pprof at http://%s/debug/pprof/\n", *pprofSrv)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vjbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "vjbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	cfg := experiments.Config{
@@ -48,26 +131,102 @@ func main() {
 		Out:             os.Stdout,
 	}
 
+	var m *manifest
+	if *jsonOut != "" {
+		m = &manifest{
+			Schema:    manifestSchema,
+			GitSHA:    gitSHA(),
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			StartedAt: time.Now().UTC().Format(time.RFC3339),
+			Rows:      []experiments.Row{},
+		}
+		cfg.Emit = func(r experiments.Row) { m.Rows = append(m.Rows, r) }
+	}
+
+	// fail finishes profiles before exiting so a crashed run still leaves
+	// usable CPU/heap data.
+	fail := func(code int, format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format, args...)
+		if *cpuProf != "" {
+			pprof.StopCPUProfile()
+		}
+		os.Exit(code)
+	}
+
 	run := func(e experiments.Experiment) {
 		fmt.Printf("=== %s: %s\n", e.Name, e.Title)
 		start := time.Now()
 		if err := e.Run(cfg); err != nil {
-			fmt.Fprintf(os.Stderr, "vjbench: %s: %v\n", e.Name, err)
-			os.Exit(1)
+			fail(1, "vjbench: %s: %v\n", e.Name, err)
 		}
-		fmt.Printf("=== %s done in %v\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+		wall := time.Since(start)
+		if m != nil {
+			m.Experiments = append(m.Experiments, experimentEntry{
+				Name: e.Name, Title: e.Title, WallNanos: int64(wall),
+			})
+		}
+		fmt.Printf("=== %s done in %v\n\n", e.Name, wall.Round(time.Millisecond))
 	}
 
 	if *exp == "all" {
 		for _, e := range experiments.All() {
 			run(e)
 		}
-		return
+	} else {
+		e, err := experiments.ByName(*exp)
+		if err != nil {
+			fail(2, "vjbench: %v\n", err)
+		}
+		run(e)
 	}
-	e, err := experiments.ByName(*exp)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "vjbench:", err)
-		os.Exit(2)
+
+	if m != nil {
+		// Record the effective (defaulted) configuration, not the zeroes
+		// the flags left behind.
+		eff := cfg
+		if eff.XMarkScale <= 0 {
+			eff.XMarkScale = 1.0
+		}
+		if eff.NasaDatasets <= 0 {
+			eff.NasaDatasets = 4000
+		}
+		if eff.Repeats <= 0 {
+			eff.Repeats = 5
+		}
+		if eff.IOCostPerPage <= 0 {
+			eff.IOCostPerPage = 3 * time.Microsecond
+		}
+		if eff.BufferPoolPages == 0 {
+			eff.BufferPoolPages = 64
+		}
+		m.Config = manifestConfig{
+			XMarkScale:      eff.XMarkScale,
+			NasaDatasets:    eff.NasaDatasets,
+			Repeats:         eff.Repeats,
+			BufferPoolPages: eff.BufferPoolPages,
+			IOCostPerPage:   eff.IOCostPerPage.String(),
+		}
+		buf, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			fail(1, "vjbench: encoding manifest: %v\n", err)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+			fail(1, "vjbench: %v\n", err)
+		}
+		fmt.Fprintf(os.Stderr, "vjbench: wrote %s (%d rows)\n", *jsonOut, len(m.Rows))
 	}
-	run(e)
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fail(1, "vjbench: %v\n", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(1, "vjbench: %v\n", err)
+		}
+		f.Close()
+	}
 }

@@ -8,81 +8,139 @@
 //	vjquery -q '//site//item' -xmark 0.5            # run against a generated doc
 //	vjquery -q '//a//b' -load 'views/*.vjview' doc.xml  # reuse saved views
 //	vjquery -q '//a//b//a' -general -raw doc.xml    # general query, no views
+//	vjquery -q '//a//b' -views '//a; //b' -explain doc.xml   # EXPLAIN report
+//	vjquery -q '//a//b' -views '//a; //b' -json doc.xml      # trace as JSON
 //
 // Engines: VJ (ViewJoin), TS (TwigStack), PS (PathStack), IJ (InterJoin).
 // Schemes: E, LE, LEp, T. InterJoin requires -scheme T and path queries.
 // -raw evaluates over raw element streams (TS/PS only) and is the only
 // mode for -general queries with repeated element types.
+//
+// -explain prints a human EXPLAIN-style report (the view-segmented query
+// with list bindings, per-phase self times, per-node costs); -json writes
+// the same trace as one stable JSON document (schema viewjoin/trace/v1) to
+// stdout, moving all human-readable output to stderr. With both flags the
+// JSON document owns stdout and the EXPLAIN text goes to stderr.
+//
+// Exit status: 0 on success, 2 when the query or views fail to parse, 3
+// when evaluation fails, 1 for any other error. Failures are reported on
+// stderr as one-line JSON: {"stage":"parse"|"evaluate"|..., "error":"..."}.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 
 	"viewjoin"
+	"viewjoin/internal/obs"
+)
+
+// Exit statuses. Parse and evaluate failures are distinguished so scripts
+// can tell a bad query from a query the chosen engine cannot answer.
+const (
+	exitOther    = 1
+	exitParse    = 2
+	exitEvaluate = 3
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without the process exit, for testing: it parses args,
+// evaluates, writes to the given streams and returns the exit status.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vjquery", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		queryStr  = flag.String("q", "", "tree pattern query (XPath fragment with /, //, [])")
-		viewsStr  = flag.String("views", "", "semicolon-separated covering views (default: one single-node view per query node)")
-		engineStr = flag.String("engine", "VJ", "evaluation engine: VJ, TS, PS, IJ")
-		schemeStr = flag.String("scheme", "LEp", "view storage scheme: E, LE, LEp, T")
-		diskBased = flag.Bool("disk", false, "use the disk-based output approach")
-		xmark     = flag.Float64("xmark", 0, "evaluate over a generated XMark document of this scale instead of a file")
-		nasa      = flag.Int("nasa", 0, "evaluate over a generated Nasa document with this many datasets instead of a file")
-		maxPrint  = flag.Int("n", 10, "print at most this many matches (0 = none)")
-		loadGlob  = flag.String("load", "", "load saved views matching this glob (from vjmaterialize) instead of materializing")
-		raw       = flag.Bool("raw", false, "evaluate over raw element streams without views (TS/PS only)")
-		general   = flag.Bool("general", false, "allow repeated element types in the query (implies -raw)")
+		queryStr  = fs.String("q", "", "tree pattern query (XPath fragment with /, //, [])")
+		viewsStr  = fs.String("views", "", "semicolon-separated covering views (default: one single-node view per query node)")
+		engineStr = fs.String("engine", "VJ", "evaluation engine: VJ, TS, PS, IJ")
+		schemeStr = fs.String("scheme", "LEp", "view storage scheme: E, LE, LEp, T")
+		diskBased = fs.Bool("disk", false, "use the disk-based output approach")
+		xmark     = fs.Float64("xmark", 0, "evaluate over a generated XMark document of this scale instead of a file")
+		nasa      = fs.Int("nasa", 0, "evaluate over a generated Nasa document with this many datasets instead of a file")
+		maxPrint  = fs.Int("n", 10, "print at most this many matches (0 = no match output at all)")
+		loadGlob  = fs.String("load", "", "load saved views matching this glob (from vjmaterialize) instead of materializing")
+		raw       = fs.Bool("raw", false, "evaluate over raw element streams without views (TS/PS only)")
+		general   = fs.Bool("general", false, "allow repeated element types in the query (implies -raw)")
+		explain   = fs.Bool("explain", false, "print an EXPLAIN-style report: plan, per-phase and per-node costs")
+		jsonOut   = fs.Bool("json", false, "write the evaluation trace as one JSON document to stdout")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return exitOther
+	}
 	if *queryStr == "" {
-		fail("missing -q query")
+		return fail(stderr, "usage", fmt.Errorf("missing -q query"), exitOther)
 	}
 
-	doc, err := loadDocument(*xmark, *nasa, flag.Arg(0))
+	// Human-readable output moves to stderr when stdout carries the JSON
+	// trace document.
+	human := stdout
+	if *jsonOut {
+		human = stderr
+	}
+
+	// Tracing is on whenever a report is requested.
+	var rec *obs.Recorder
+	if *explain || *jsonOut {
+		rec = obs.NewRecorder()
+	}
+	opts := &viewjoin.EvalOptions{DiskBased: *diskBased}
+	if rec != nil {
+		opts.Tracer = rec
+	}
+
+	doc, err := loadDocument(*xmark, *nasa, fs.Arg(0))
 	if err != nil {
-		fail("%v", err)
+		return fail(stderr, "load", err, exitOther)
+	}
+	if rec != nil {
+		rec.BeginPhase(obs.PhaseParse)
 	}
 	parse := viewjoin.ParseQuery
 	if *general {
 		parse = viewjoin.ParseQueryGeneral
 		*raw = true
 	}
-	query, err := parse(*queryStr)
-	if err != nil {
-		fail("%v", err)
+	query, parseErr := parse(*queryStr)
+	if rec != nil {
+		rec.EndPhase(obs.PhaseParse)
+	}
+	if parseErr != nil {
+		return fail(stderr, "parse", parseErr, exitParse)
 	}
 	engine, err := parseEngine(*engineStr)
 	if err != nil {
-		fail("%v", err)
+		return fail(stderr, "parse", err, exitParse)
 	}
 
 	if *raw {
 		if engine == viewjoin.EngineViewJoin {
 			engine = viewjoin.EngineTwigStack // raw streams: holistic default
 		}
-		res, err := viewjoin.EvaluateWithoutViews(doc, query, engine, nil)
+		res, err := viewjoin.EvaluateWithoutViews(doc, query, engine, opts)
 		if err != nil {
-			fail("evaluate: %v", err)
+			return fail(stderr, "evaluate", err, exitEvaluate)
 		}
-		fmt.Printf("document: %d nodes; raw element streams (no views)\n", doc.NumNodes())
-		printResult(query, engine, res, *maxPrint)
-		return
+		fmt.Fprintf(human, "document: %d nodes; raw element streams (no views)\n", doc.NumNodes())
+		printResult(human, query, engine, res, *maxPrint)
+		return report(stdout, human, res, *explain, *jsonOut, stderr)
 	}
 
 	if *loadGlob != "" {
 		paths, err := filepath.Glob(*loadGlob)
 		if err != nil {
-			fail("%v", err)
+			return fail(stderr, "load", err, exitOther)
 		}
 		if len(paths) == 0 {
-			fail("no view files match %q", *loadGlob)
+			return fail(stderr, "load", fmt.Errorf("no view files match %q", *loadGlob), exitOther)
 		}
 		sort.Strings(paths)
 		var mviews []*viewjoin.MaterializedView
@@ -90,23 +148,23 @@ func main() {
 		for _, p := range paths {
 			f, err := os.Open(p)
 			if err != nil {
-				fail("%v", err)
+				return fail(stderr, "load", err, exitOther)
 			}
 			mv, err := doc.LoadView(f)
 			f.Close()
 			if err != nil {
-				fail("load %s: %v", p, err)
+				return fail(stderr, "load", fmt.Errorf("load %s: %w", p, err), exitOther)
 			}
 			mviews = append(mviews, mv)
 			totalBytes += mv.SizeBytes()
 		}
-		res, err := viewjoin.Evaluate(doc, query, mviews, engine, nil)
+		res, err := viewjoin.Evaluate(doc, query, mviews, engine, opts)
 		if err != nil {
-			fail("evaluate: %v", err)
+			return fail(stderr, "evaluate", err, exitEvaluate)
 		}
-		fmt.Printf("document: %d nodes; %d loaded views (%d bytes)\n", doc.NumNodes(), len(mviews), totalBytes)
-		printResult(query, engine, res, *maxPrint)
-		return
+		fmt.Fprintf(human, "document: %d nodes; %d loaded views (%d bytes)\n", doc.NumNodes(), len(mviews), totalBytes)
+		printResult(human, query, engine, res, *maxPrint)
+		return report(stdout, human, res, *explain, *jsonOut, stderr)
 	}
 
 	if *viewsStr == "" {
@@ -116,22 +174,28 @@ func main() {
 		}
 		*viewsStr = strings.Join(parts, "; ")
 	}
-	views, err := viewjoin.ParseViews(*viewsStr)
-	if err != nil {
-		fail("%v", err)
+	if rec != nil {
+		rec.BeginPhase(obs.PhaseParse)
+	}
+	views, parseErr := viewjoin.ParseViews(*viewsStr)
+	if rec != nil {
+		rec.EndPhase(obs.PhaseParse)
+	}
+	if parseErr != nil {
+		return fail(stderr, "parse", parseErr, exitParse)
 	}
 	if err := viewjoin.ValidateViewSet(query, views); err != nil {
-		fail("%v", err)
+		return fail(stderr, "validate", err, exitOther)
 	}
 
 	scheme, err := parseScheme(*schemeStr)
 	if err != nil {
-		fail("%v", err)
+		return fail(stderr, "parse", err, exitParse)
 	}
 
 	mviews, err := doc.MaterializeViews(views, scheme)
 	if err != nil {
-		fail("materialize: %v", err)
+		return fail(stderr, "materialize", err, exitOther)
 	}
 	var totalBytes int64
 	var totalPointers int
@@ -140,34 +204,58 @@ func main() {
 		totalPointers += mv.NumPointers()
 	}
 
-	res, err := viewjoin.Evaluate(doc, query, mviews, engine, &viewjoin.EvalOptions{DiskBased: *diskBased})
+	res, err := viewjoin.Evaluate(doc, query, mviews, engine, opts)
 	if err != nil {
-		fail("evaluate: %v", err)
+		return fail(stderr, "evaluate", err, exitEvaluate)
 	}
 
-	fmt.Printf("document: %d nodes; views: %d (%s scheme, %d bytes, %d pointers)\n",
+	fmt.Fprintf(human, "document: %d nodes; views: %d (%s scheme, %d bytes, %d pointers)\n",
 		doc.NumNodes(), len(views), scheme, totalBytes, totalPointers)
-	printResult(query, engine, res, *maxPrint)
+	printResult(human, query, engine, res, *maxPrint)
+	return report(stdout, human, res, *explain, *jsonOut, stderr)
+}
+
+// report renders the requested trace views: the EXPLAIN text on the human
+// stream, the JSON document alone on stdout.
+func report(stdout, human io.Writer, res *viewjoin.Result, explain, jsonOut bool, stderr io.Writer) int {
+	if res.Trace == nil {
+		return 0
+	}
+	if explain {
+		if err := res.Trace.WriteExplain(human); err != nil {
+			return fail(stderr, "report", err, exitOther)
+		}
+	}
+	if jsonOut {
+		if err := res.Trace.WriteJSON(stdout); err != nil {
+			return fail(stderr, "report", err, exitOther)
+		}
+	}
+	return 0
 }
 
 // printResult reports the match count, evaluation statistics, and up to
-// maxPrint matches.
-func printResult(query *viewjoin.Query, engine viewjoin.Engine, res *viewjoin.Result, maxPrint int) {
-	fmt.Printf("query %s via %s: %d matches in %v\n", query, engine, len(res.Matches), res.Stats.Duration)
-	fmt.Printf("stats: scanned=%d comparisons=%d derefs=%d pagesRead=%d pagesWritten=%d\n",
+// maxPrint matches. maxPrint <= 0 suppresses all match output, header
+// included (stats still print).
+func printResult(w io.Writer, query *viewjoin.Query, engine viewjoin.Engine, res *viewjoin.Result, maxPrint int) {
+	fmt.Fprintf(w, "stats: scanned=%d comparisons=%d derefs=%d pagesRead=%d pagesWritten=%d\n",
 		res.Stats.ElementsScanned, res.Stats.Comparisons, res.Stats.PointerDerefs,
 		res.Stats.PagesRead, res.Stats.PagesWritten)
+	if maxPrint <= 0 {
+		return
+	}
+	fmt.Fprintf(w, "query %s via %s: %d matches in %v\n", query, engine, len(res.Matches), res.Stats.Duration)
 	labels := query.Labels()
 	for i, m := range res.Matches {
 		if i >= maxPrint {
-			fmt.Printf("... and %d more\n", len(res.Matches)-i)
+			fmt.Fprintf(w, "... and %d more\n", len(res.Matches)-i)
 			break
 		}
 		var parts []string
 		for j, n := range m {
 			parts = append(parts, fmt.Sprintf("%s@%d", labels[j], n.Start))
 		}
-		fmt.Println(" ", strings.Join(parts, " "))
+		fmt.Fprintln(w, " ", strings.Join(parts, " "))
 	}
 }
 
@@ -217,7 +305,13 @@ func parseEngine(s string) (viewjoin.Engine, error) {
 	return 0, fmt.Errorf("unknown engine %q (want VJ, TS, PS, IJ)", s)
 }
 
-func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "vjquery: "+format+"\n", args...)
-	os.Exit(1)
+// fail reports one failure as a single JSON line on stderr and returns the
+// exit status, so scripts can match on both the code and the stage.
+func fail(stderr io.Writer, stage string, err error, code int) int {
+	line, _ := json.Marshal(struct {
+		Stage string `json:"stage"`
+		Error string `json:"error"`
+	}{Stage: stage, Error: err.Error()})
+	fmt.Fprintf(stderr, "%s\n", line)
+	return code
 }

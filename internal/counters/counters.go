@@ -47,7 +47,11 @@ func (c *Counters) String() string {
 // hit the pool are free, misses count as PagesRead. The pool uses LRU
 // replacement over (file, page) keys.
 type IO struct {
-	C    *Counters
+	C *Counters
+	// Page, when non-nil, observes every pool lookup; miss reports whether
+	// the touch was charged as a read. The observability layer uses it to
+	// stream page hit/miss events without this package depending on it.
+	Page func(miss bool)
 	cap  int
 	seq  int64
 	last map[pageKey]int64 // key -> last-use sequence
@@ -84,11 +88,17 @@ func (io *IO) Touch(file uintptr, page int32) bool {
 	io.seq++
 	if io.cap < 0 {
 		io.C.PagesRead++
+		if io.Page != nil {
+			io.Page(true)
+		}
 		return true
 	}
 	k := pageKey{file, page}
 	if _, ok := io.last[k]; ok {
 		io.last[k] = io.seq
+		if io.Page != nil {
+			io.Page(false)
+		}
 		return false
 	}
 	io.C.PagesRead++
@@ -96,6 +106,9 @@ func (io *IO) Touch(file uintptr, page int32) bool {
 		io.evict()
 	}
 	io.last[k] = io.seq
+	if io.Page != nil {
+		io.Page(true)
+	}
 	return true
 }
 

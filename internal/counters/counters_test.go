@@ -86,6 +86,77 @@ func TestIOWrite(t *testing.T) {
 	}
 }
 
+// TestIOEvictsLeastRecentlyUsedNotInserted pins the replacement policy to
+// LRU rather than FIFO: after refreshing the two oldest-inserted pages, the
+// newest-inserted page is the eviction victim.
+func TestIOEvictsLeastRecentlyUsedNotInserted(t *testing.T) {
+	var c Counters
+	io := NewIO(&c, 3)
+	io.Touch(1, 0) // insertion order: 0, 1, 2
+	io.Touch(1, 1)
+	io.Touch(1, 2)
+	io.Touch(1, 0) // use order now: 2, 1, 0 — FIFO's victim (0) is the MRU
+	io.Touch(1, 1)
+	io.Touch(1, 3) // full: must evict page 2, the least recently used
+	if io.Touch(1, 0) {
+		t.Errorf("page 0 evicted: policy is FIFO, want LRU")
+	}
+	if io.Touch(1, 1) {
+		t.Errorf("page 1 evicted: policy is FIFO, want LRU")
+	}
+	if !io.Touch(1, 2) {
+		t.Errorf("page 2 still resident, want it evicted as least recently used")
+	}
+}
+
+// TestIONegativePoolEveryTouchMisses checks that poolPages < 0 disables
+// caching: repeated touches of one page all read, and the Page hook sees
+// only misses.
+func TestIONegativePoolEveryTouchMisses(t *testing.T) {
+	var c Counters
+	io := NewIO(&c, -1)
+	misses := 0
+	io.Page = func(miss bool) {
+		if !miss {
+			t.Errorf("uncached IO reported a pool hit")
+		}
+		misses++
+	}
+	for i := 0; i < 5; i++ {
+		if !io.Touch(7, 0) {
+			t.Fatalf("touch %d: uncached IO must miss", i)
+		}
+	}
+	if c.PagesRead != 5 || misses != 5 {
+		t.Fatalf("PagesRead = %d, hook misses = %d, want 5 and 5", c.PagesRead, misses)
+	}
+}
+
+// TestIOPageHookSequence checks the hook observes every lookup with the
+// right hit/miss flag, including the miss that evicts.
+func TestIOPageHookSequence(t *testing.T) {
+	var c Counters
+	io := NewIO(&c, 1)
+	var got []bool
+	io.Page = func(miss bool) { got = append(got, miss) }
+	io.Touch(1, 0) // miss
+	io.Touch(1, 0) // hit
+	io.Touch(1, 1) // miss, evicts page 0
+	io.Touch(1, 0) // miss again
+	want := []bool{true, false, true, true}
+	if len(got) != len(want) {
+		t.Fatalf("hook saw %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: miss = %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if c.PagesRead != 3 {
+		t.Fatalf("PagesRead = %d, want 3", c.PagesRead)
+	}
+}
+
 func TestIOLRUOrder(t *testing.T) {
 	var c Counters
 	io := NewIO(&c, 3)

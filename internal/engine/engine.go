@@ -6,12 +6,17 @@ package engine
 import (
 	"fmt"
 
+	"viewjoin/internal/obs"
 	"viewjoin/internal/store"
 	"viewjoin/internal/vsq"
 )
 
 // Options controls an evaluation run.
 type Options struct {
+	// Tracer receives phase spans and engine-internal events (cursor
+	// advances, jumps taken/refused, stack operations). nil disables
+	// tracing at zero hot-path cost.
+	Tracer obs.Tracer
 	// DiskBased selects the disk-based output approach (§IV "Variations"):
 	// intermediate solutions are spooled to scratch pages and re-read,
 	// trading I/O for a resident set of O(|Q|·depth).

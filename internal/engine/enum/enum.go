@@ -16,6 +16,7 @@ import (
 
 	"viewjoin/internal/counters"
 	"viewjoin/internal/match"
+	"viewjoin/internal/obs"
 	"viewjoin/internal/store"
 	"viewjoin/internal/tpq"
 	"viewjoin/internal/xmltree"
@@ -36,6 +37,7 @@ type Collector struct {
 	d   *xmltree.Document
 	q   *tpq.Pattern
 	io  *counters.IO
+	tr  obs.Tracer // nil when tracing is off
 	out match.Set
 
 	cands       [][]Label // per query node, current window, doc order
@@ -87,9 +89,10 @@ type pendingCand struct {
 const LabelBytes = 16
 
 // NewCollector returns a Collector for query q over document d, accounting
-// into io. When diskBased is set, windows are spooled through scratch pages
-// of the given pageSize (0 means store.DefaultPageSize).
-func NewCollector(d *xmltree.Document, q *tpq.Pattern, io *counters.IO, diskBased bool, pageSize int) *Collector {
+// into io and tracing into tr (nil disables tracing). When diskBased is
+// set, windows are spooled through scratch pages of the given pageSize (0
+// means store.DefaultPageSize).
+func NewCollector(d *xmltree.Document, q *tpq.Pattern, io *counters.IO, tr obs.Tracer, diskBased bool, pageSize int) *Collector {
 	if pageSize == 0 {
 		pageSize = store.DefaultPageSize
 	}
@@ -98,6 +101,7 @@ func NewCollector(d *xmltree.Document, q *tpq.Pattern, io *counters.IO, diskBase
 		d:         d,
 		q:         q,
 		io:        io,
+		tr:        tr,
 		cands:     make([][]Label, n),
 		diskBased: diskBased,
 		pageSize:  pageSize,
@@ -193,7 +197,13 @@ func (c *Collector) Flush() {
 		c.io.C.PagesRead += pages // ... and read it back for enumeration
 		c.spoolIn = 0
 	}
-	c.enumerate()
+	if c.tr != nil {
+		c.tr.BeginPhase(obs.PhaseEnumerate)
+		c.enumerate()
+		c.tr.EndPhase(obs.PhaseEnumerate)
+	} else {
+		c.enumerate()
+	}
 	for qi := range c.cands {
 		c.cands[qi] = c.cands[qi][:0]
 	}

@@ -40,7 +40,7 @@ func run(t *testing.T, src, query string, diskBased bool) (match.Set, counters.C
 	d := doc(t, src)
 	q := tpq.MustParse(query)
 	var cnt counters.Counters
-	c := NewCollector(d, q, counters.NewIO(&cnt, 0), diskBased, 64)
+	c := NewCollector(d, q, counters.NewIO(&cnt, 0), nil, diskBased, 64)
 	feed(d, q, c)
 	return c.Result(), cnt
 }
@@ -80,7 +80,7 @@ func TestPendingBuffer(t *testing.T) {
 	d := doc(t, `<r><a><b/></a><a><b/></a></r>`)
 	q := tpq.MustParse("//a//b")
 	var cnt counters.Counters
-	c := NewCollector(d, q, counters.NewIO(&cnt, 0), false, 64)
+	c := NewCollector(d, q, counters.NewIO(&cnt, 0), nil, false, 64)
 
 	nodes := d.Nodes()
 	var as, bs []Label
@@ -108,7 +108,7 @@ func TestPendingDropsUncoverable(t *testing.T) {
 	d := doc(t, `<r><b/><a><b/></a></r>`)
 	q := tpq.MustParse("//a//b")
 	var cnt counters.Counters
-	c := NewCollector(d, q, counters.NewIO(&cnt, 0), false, 64)
+	c := NewCollector(d, q, counters.NewIO(&cnt, 0), nil, false, 64)
 	nodes := d.Nodes()
 	// First b precedes every a: buffered then dropped at window open.
 	for i := range nodes {
@@ -147,7 +147,7 @@ func TestPeakEntries(t *testing.T) {
 	d := doc(t, `<r><a><b/><b/><b/></a><a><b/></a></r>`)
 	q := tpq.MustParse("//a//b")
 	var cnt counters.Counters
-	c := NewCollector(d, q, counters.NewIO(&cnt, 0), false, 0)
+	c := NewCollector(d, q, counters.NewIO(&cnt, 0), nil, false, 0)
 	feed(d, q, c)
 	c.Result()
 	// Largest window: first a + its three b's = 4 entries.
@@ -163,7 +163,7 @@ func TestPreFlushHook(t *testing.T) {
 	d := doc(t, `<r><a><b/></a><a><b/></a></r>`)
 	q := tpq.MustParse("//a//b")
 	var cnt counters.Counters
-	c := NewCollector(d, q, counters.NewIO(&cnt, 0), false, 0)
+	c := NewCollector(d, q, counters.NewIO(&cnt, 0), nil, false, 0)
 	var regions [][2]int32
 	c.PreFlush = func(lo, hi int32) { regions = append(regions, [2]int32{lo, hi}) }
 	feed(d, q, c)
@@ -182,7 +182,7 @@ func TestDuplicateAddsCollapsed(t *testing.T) {
 	d := doc(t, `<r><a><b/></a></r>`)
 	q := tpq.MustParse("//a//b")
 	var cnt counters.Counters
-	c := NewCollector(d, q, counters.NewIO(&cnt, 0), false, 0)
+	c := NewCollector(d, q, counters.NewIO(&cnt, 0), nil, false, 0)
 	feed(d, q, c)
 	feed(d, q, c) // offer everything twice
 	got := c.Result()
@@ -195,7 +195,7 @@ func TestFlushWithoutWindowIsNoop(t *testing.T) {
 	d := doc(t, `<r/>`)
 	q := tpq.MustParse("//a")
 	var cnt counters.Counters
-	c := NewCollector(d, q, counters.NewIO(&cnt, 0), false, 0)
+	c := NewCollector(d, q, counters.NewIO(&cnt, 0), nil, false, 0)
 	c.Flush()
 	if got := c.Result(); len(got) != 0 {
 		t.Fatalf("expected no matches")

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"viewjoin/internal/counters"
+	"viewjoin/internal/engine"
 	"viewjoin/internal/match"
 	"viewjoin/internal/store"
 	"viewjoin/internal/tpq"
@@ -62,7 +63,7 @@ func (a *labelArena) row() []store.Label {
 // its nodes (in view node order). Views must be path views and q a path
 // query.
 func Eval(d *xmltree.Document, q *tpq.Pattern, stores []*store.ViewStore, viewPos [][]int,
-	io *counters.IO) (match.Set, error) {
+	io *counters.IO, opts engine.Options) (match.Set, error) {
 	if !q.IsPath() {
 		return nil, fmt.Errorf("interjoin: %s is not a path query", q)
 	}
@@ -97,8 +98,9 @@ func Eval(d *xmltree.Document, q *tpq.Pattern, stores []*store.ViewStore, viewPo
 	})
 
 	// Materialize tuples of each view stream by scanning its tuple file.
+	// Scans are attributed to the first query position the view covers.
 	for vi, s := range stores {
-		cur := s.Tuples.Open(io)
+		cur := s.Tuples.OpenTraced(io, opts.Tracer, viewPos[vi][0])
 		st := streams[vi]
 		st.arena.width = n
 		st.tuples = make([]partial, 0, s.Tuples.Entries())

@@ -15,7 +15,9 @@ import (
 	"fmt"
 
 	"viewjoin/internal/counters"
+	"viewjoin/internal/engine"
 	"viewjoin/internal/match"
+	"viewjoin/internal/obs"
 	"viewjoin/internal/store"
 	"viewjoin/internal/tpq"
 	"viewjoin/internal/xmltree"
@@ -32,14 +34,15 @@ type frame struct {
 // Eval evaluates the path query q over the per-query-node lists using
 // PathStack and returns all tree pattern instances. It returns an error if
 // q is not a path query.
-func Eval(d *xmltree.Document, q *tpq.Pattern, lists []*store.ListFile, io *counters.IO) (match.Set, error) {
+func Eval(d *xmltree.Document, q *tpq.Pattern, lists []*store.ListFile, io *counters.IO, opts engine.Options) (match.Set, error) {
 	if !q.IsPath() {
 		return nil, fmt.Errorf("pathstack: %s is not a path query", q)
 	}
+	tr := opts.Tracer
 	n := q.Size()
 	cur := make([]*store.Cursor, n)
 	for i, l := range lists {
-		cur[i] = l.Open(io)
+		cur[i] = l.OpenTraced(io, tr, i)
 	}
 	stacks := make([][]frame, n)
 	var out match.Set
@@ -65,9 +68,14 @@ func Eval(d *xmltree.Document, q *tpq.Pattern, lists []*store.ListFile, io *coun
 
 		// Pop every stack entry that ended before this element starts.
 		for i := 0; i < n; i++ {
+			popped := 0
 			for len(stacks[i]) > 0 && stacks[i][len(stacks[i])-1].l.End < l.Start {
 				stacks[i] = stacks[i][:len(stacks[i])-1]
+				popped++
 				io.C.Comparisons++
+			}
+			if popped > 0 && tr != nil {
+				tr.Event(obs.EvStackPop, i, int64(popped))
 			}
 		}
 
@@ -81,9 +89,15 @@ func Eval(d *xmltree.Document, q *tpq.Pattern, lists []*store.ListFile, io *coun
 			stacks[qmin] = append(stacks[qmin], frame{l, len(stacks[qmin-1]) - 1})
 			pushed = true
 		}
+		if pushed && tr != nil {
+			tr.Event(obs.EvStackPush, qmin, 1)
+		}
 		if pushed && qmin == n-1 {
 			expand(d, q, stacks, n-1, len(stacks[n-1])-1, buf, io, &out)
 			stacks[n-1] = stacks[n-1][:len(stacks[n-1])-1]
+			if tr != nil {
+				tr.Event(obs.EvStackPop, n-1, 1)
+			}
 		}
 		cur[qmin].Next()
 	}

@@ -33,7 +33,7 @@ func evalWith(t testing.TB, d *xmltree.Document, q *tpq.Pattern, vs []*tpq.Patte
 		t.Fatalf("BindLists: %v", err)
 	}
 	var c counters.Counters
-	got, err := Eval(d, q, lists, counters.NewIO(&c, 0))
+	got, err := Eval(d, q, lists, counters.NewIO(&c, 0), engine.Options{})
 	if err != nil {
 		t.Fatalf("Eval: %v", err)
 	}
@@ -86,7 +86,7 @@ func TestRejectsTwigQueries(t *testing.T) {
 	d := mustDoc(t, `<r><a/></r>`)
 	q := tpq.MustParse("//a[//b]//c")
 	var c counters.Counters
-	if _, err := Eval(d, q, make([]*store.ListFile, q.Size()), counters.NewIO(&c, 0)); err == nil {
+	if _, err := Eval(d, q, make([]*store.ListFile, q.Size()), counters.NewIO(&c, 0), engine.Options{}); err == nil {
 		t.Fatalf("expected error for twig query")
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"viewjoin/internal/engine"
 	"viewjoin/internal/engine/enum"
 	"viewjoin/internal/match"
+	"viewjoin/internal/obs"
 	"viewjoin/internal/store"
 	"viewjoin/internal/tpq"
 	"viewjoin/internal/xmltree"
@@ -39,6 +40,7 @@ type evaluator struct {
 	q    *tpq.Pattern
 	cur  []*store.Cursor
 	io   *counters.IO
+	tr   obs.Tracer
 	col  *enum.Collector
 	open [][]enum.Label // per query node: stack of accepted open regions
 }
@@ -51,11 +53,12 @@ func Eval(d *xmltree.Document, q *tpq.Pattern, lists []*store.ListFile, io *coun
 		q:    q,
 		cur:  make([]*store.Cursor, q.Size()),
 		io:   io,
-		col:  enum.NewCollector(d, q, io, opts.DiskBased, opts.PageSize),
+		tr:   opts.Tracer,
+		col:  enum.NewCollector(d, q, io, opts.Tracer, opts.DiskBased, opts.PageSize),
 		open: make([][]enum.Label, q.Size()),
 	}
 	for qi := range lists {
-		e.cur[qi] = lists[qi].Open(io)
+		e.cur[qi] = lists[qi].OpenTraced(io, opts.Tracer, qi)
 	}
 	e.run()
 	return e.col.Result(), Stats{PeakWindowEntries: e.col.PeakEntries()}
@@ -103,11 +106,16 @@ func (e *evaluator) accept(qi int, l enum.Label) bool {
 	}
 	p := e.q.Nodes[qi].Parent
 	s := e.open[p]
+	popped := 0
 	for len(s) > 0 && s[len(s)-1].End < l.Start {
 		s = s[:len(s)-1]
+		popped++
 		e.io.C.Comparisons++
 	}
 	e.open[p] = s
+	if popped > 0 && e.tr != nil {
+		e.tr.Event(obs.EvStackPop, p, int64(popped))
+	}
 	if len(s) == 0 {
 		return false
 	}
@@ -119,10 +127,18 @@ func (e *evaluator) accept(qi int, l enum.Label) bool {
 // popping regions that ended before it.
 func (e *evaluator) push(qi int, l enum.Label) {
 	s := e.open[qi]
+	popped := 0
 	for len(s) > 0 && s[len(s)-1].End < l.Start {
 		s = s[:len(s)-1]
+		popped++
 	}
 	e.open[qi] = append(s, l)
+	if e.tr != nil {
+		if popped > 0 {
+			e.tr.Event(obs.EvStackPop, qi, int64(popped))
+		}
+		e.tr.Event(obs.EvStackPush, qi, 1)
+	}
 }
 
 // getNext is the classic TwigStack cursor routine: it returns the query

@@ -44,6 +44,7 @@ import (
 	"viewjoin/internal/engine"
 	"viewjoin/internal/engine/enum"
 	"viewjoin/internal/match"
+	"viewjoin/internal/obs"
 	"viewjoin/internal/store"
 	"viewjoin/internal/vsq"
 	"viewjoin/internal/xmltree"
@@ -61,6 +62,7 @@ type evaluator struct {
 	d  *xmltree.Document
 	v  *vsq.VSQ
 	io *counters.IO
+	tr obs.Tracer // nil when tracing is off
 
 	lists []*store.ListFile
 	cur   []*store.Cursor // cursors for Q' nodes (nil for removed nodes)
@@ -110,7 +112,14 @@ type evaluator struct {
 // instances of the original query.
 func Eval(d *xmltree.Document, v *vsq.VSQ, stores []*store.ViewStore, io *counters.IO,
 	opts engine.Options) (match.Set, Stats, error) {
+	tr := opts.Tracer
+	if tr != nil {
+		tr.BeginPhase(obs.PhaseBind)
+	}
 	lists, err := engine.BindLists(v, stores)
+	if tr != nil {
+		tr.EndPhase(obs.PhaseBind)
+	}
 	if err != nil {
 		return nil, Stats{}, fmt.Errorf("viewjoin: %w", err)
 	}
@@ -119,9 +128,10 @@ func Eval(d *xmltree.Document, v *vsq.VSQ, stores []*store.ViewStore, io *counte
 		d:               d,
 		v:               v,
 		io:              io,
+		tr:              tr,
 		lists:           lists,
 		cur:             make([]*store.Cursor, n),
-		col:             enum.NewCollector(d, v.Query, io, opts.DiskBased, opts.PageSize),
+		col:             enum.NewCollector(d, v.Query, io, tr, opts.DiskBased, opts.PageSize),
 		open:            make([]regionLog, n),
 		viewParentQ:     make([]int, n),
 		viewChildSlot:   make([]int, n),
@@ -136,7 +146,7 @@ func Eval(d *xmltree.Document, v *vsq.VSQ, stores []*store.ViewStore, io *counte
 	e.primeNodes = v.PrimeNodes()
 	e.removedNodes = v.RemovedNodes()
 	for _, qi := range e.primeNodes {
-		e.cur[qi] = lists[qi].Open(io)
+		e.cur[qi] = lists[qi].OpenTraced(io, tr, qi)
 		e.isSegRoot[qi] = v.Segments[v.SegOf[qi]].Root == qi
 	}
 	if len(e.removedNodes) > 0 {
@@ -228,11 +238,17 @@ func (e *evaluator) admit(qi int, l enum.Label, it *store.Item) {
 			e.winOpen, e.winEnd = true, l.End
 			for i := range e.hasJump {
 				e.hasJump[i] = false
+				if e.tr != nil && len(e.open[i].starts) > 0 {
+					e.tr.Event(obs.EvStackPop, i, int64(len(e.open[i].starts)))
+				}
 				e.open[i].reset()
 			}
 		}
 	}
 	e.open[qi].add(l)
+	if e.tr != nil {
+		e.tr.Event(obs.EvStackPush, qi, 1)
+	}
 	e.col.Add(qi, l)
 	e.captureExtJumps(qi, it, l)
 }
@@ -382,19 +398,32 @@ func (e *evaluator) jumpViaViewParent(m int) bool {
 	}
 	mStart := e.start(m)
 	vpStart := e.start(vp)
-	if mStart >= vpStart || e.openCovers(vp, mStart, vpStart) {
+	if mStart >= vpStart {
+		return false
+	}
+	if e.openCovers(vp, mStart, vpStart) {
+		if e.tr != nil {
+			e.tr.Event(obs.EvJumpRefused, m, 1)
+		}
 		return false
 	}
 	ptr := e.cur[vp].Item().Children[e.viewChildSlot[m]]
 	if ptr.IsNil() {
 		return false
 	}
+	from := e.cur[m].Position()
 	probe := *e.cur[m]
 	probe.Seek(ptr)
 	if probe.Valid() && probe.Item().Start <= mStart {
+		if e.tr != nil {
+			e.tr.Event(obs.EvJumpRefused, m, 1)
+		}
 		return false // stale/backward pointer: fall back to sequential
 	}
 	*e.cur[m] = probe
+	if e.tr != nil {
+		e.tr.Event(obs.EvJumpTaken, m, int64(ptr.Page-from.Page))
+	}
 	return true
 }
 
@@ -410,6 +439,7 @@ func (e *evaluator) advancePointers(p int, target int32) {
 		it := e.cur[p].Item()
 		jumped := false
 		if !it.Following.IsNil() {
+			from := e.cur[p].Position()
 			probe := *e.cur[p] // stack copy: probing must not disturb the cursor
 			probe.Seek(it.Following)
 			safe := e.unguarded || !e.lists[p].Scoped() || target == maxInt32 ||
@@ -417,6 +447,11 @@ func (e *evaluator) advancePointers(p int, target int32) {
 			if safe {
 				*e.cur[p] = probe
 				jumped = true
+				if e.tr != nil {
+					e.tr.Event(obs.EvJumpTaken, p, int64(it.Following.Page-from.Page))
+				}
+			} else if e.tr != nil {
+				e.tr.Event(obs.EvJumpRefused, p, 1)
 			}
 		}
 		if !jumped {
@@ -456,12 +491,18 @@ func (e *evaluator) repositionMembers(p int) {
 			continue
 		}
 		if ptr := pIt.Children[e.viewChildSlot[m]]; !ptr.IsNil() {
+			from := e.cur[m].Position()
 			probe := *e.cur[m]
 			probe.Seek(ptr)
 			// Forward jumps only; a stale pointer behind the cursor would
 			// rewind and re-add entries.
 			if !probe.Valid() || probe.Item().Start > e.start(m) {
 				*e.cur[m] = probe
+				if e.tr != nil {
+					e.tr.Event(obs.EvJumpTaken, m, int64(ptr.Page-from.Page))
+				}
+			} else if e.tr != nil {
+				e.tr.Event(obs.EvJumpRefused, m, 1)
 			}
 		} else {
 			for e.valid(m) && e.start(m) < pStart && !e.openCovers(p, e.start(m), pStart) {
@@ -531,14 +572,18 @@ func (r *regionLog) coversRange(s, hi int32) bool {
 func (e *evaluator) extendWindow(lo, hi int32) {
 	for _, x := range e.removedNodes {
 		if e.extCur[x] == nil {
-			e.extCur[x] = e.lists[x].Open(e.io)
+			e.extCur[x] = e.lists[x].OpenTraced(e.io, e.tr, x)
 		}
 		cx := e.extCur[x]
 		if e.hasJump[x] && !e.extJump[x].IsNil() {
+			from := cx.Position()
 			probe := *cx
 			probe.Seek(e.extJump[x])
 			if probe.Valid() && (!cx.Valid() || probe.Item().Start >= cx.Item().Start) {
 				*cx = probe
+				if e.tr != nil {
+					e.tr.Event(obs.EvJumpTaken, x, int64(e.extJump[x].Page-from.Page))
+				}
 			}
 		}
 		for cx.Valid() && cx.Item().Start < lo {

@@ -36,6 +36,72 @@ type Config struct {
 	IOCostPerPage time.Duration
 	// Out receives the experiment's table; defaults to io.Discard.
 	Out io.Writer
+	// Emit, when non-nil, receives one structured Row per measurement the
+	// experiment prints, so a machine-readable manifest can be produced
+	// alongside the text tables (vjbench -json).
+	Emit func(Row)
+}
+
+// Row is one measurement in machine-readable form: the cell of a table or
+// the point of a figure, identified by experiment/query/combo and carrying
+// the deterministic counters next to the (noisy) times. Fields that do not
+// apply to a given experiment are zero.
+type Row struct {
+	// Experiment is the experiment name ("fig5a", "table4", ...).
+	Experiment string `json:"experiment"`
+	// Dataset names the document ("xmark", "nasa"), with the size suffix
+	// the experiment used (e.g. "xmark-x3" in scalability sweeps).
+	Dataset string `json:"dataset,omitempty"`
+	// Query is the workload query name (Q1, N3, Np, ...).
+	Query string `json:"query,omitempty"`
+	// Combo is the engine+scheme label ("VJ+LEp", "IJ+T", ...).
+	Combo string `json:"combo,omitempty"`
+	// Variant distinguishes sub-cases of one combo ("disk", "raw",
+	// "unguarded", "cost-based", ...).
+	Variant string `json:"variant,omitempty"`
+	// Series is the x-coordinate in sweeps ("x3", "k=1", "page=512", ...).
+	Series string `json:"series,omitempty"`
+
+	TimeNanos int64 `json:"timeNanos,omitempty"`
+	IONanos   int64 `json:"ioNanos,omitempty"`
+	Matches   int   `json:"matches,omitempty"`
+
+	Scanned      int64 `json:"scanned,omitempty"`
+	Comparisons  int64 `json:"comparisons,omitempty"`
+	Derefs       int64 `json:"derefs,omitempty"`
+	PagesRead    int64 `json:"pagesRead,omitempty"`
+	PagesWritten int64 `json:"pagesWritten,omitempty"`
+	PeakMemBytes int64 `json:"peakMemBytes,omitempty"`
+
+	// SizeBytes / Pointers describe materialized views (storage rows).
+	SizeBytes int64 `json:"sizeBytes,omitempty"`
+	Pointers  int   `json:"pointers,omitempty"`
+}
+
+// emit sends one row to the manifest sink, if one is installed.
+func (c Config) emit(r Row) {
+	if c.Emit != nil {
+		c.Emit(r)
+	}
+}
+
+// rowFor fills the measured fields of a Row from one measurement.
+func rowFor(exp, dataset, query, comboLabel string, m measurement) Row {
+	return Row{
+		Experiment:   exp,
+		Dataset:      dataset,
+		Query:        query,
+		Combo:        comboLabel,
+		TimeNanos:    int64(m.Time),
+		IONanos:      int64(m.IOTime),
+		Matches:      m.Matches,
+		Scanned:      m.Stats.ElementsScanned,
+		Comparisons:  m.Stats.Comparisons,
+		Derefs:       m.Stats.PointerDerefs,
+		PagesRead:    m.Stats.PagesRead,
+		PagesWritten: m.Stats.PagesWritten,
+		PeakMemBytes: m.Stats.PeakMemoryBytes,
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -206,8 +272,9 @@ func schemesFor(combos []combo) []viewjoin.StorageScheme {
 
 // comboTable runs a set of queries against a set of combos and prints the
 // per-query total processing time (the paper's Fig 5/6 bar charts as
-// rows), plus a correctness cross-check against the direct evaluator.
-func comboTable(cfg Config, d *viewjoin.Document, queries []workload.Query, combos []combo) error {
+// rows), plus a correctness cross-check against the direct evaluator. exp
+// and dataset label the emitted manifest rows.
+func comboTable(cfg Config, exp, dataset string, d *viewjoin.Document, queries []workload.Query, combos []combo) error {
 	w := cfg.Out
 	fmt.Fprintf(w, "%-6s", "query")
 	for _, c := range combos {
@@ -236,6 +303,7 @@ func comboTable(cfg Config, d *viewjoin.Document, queries []workload.Query, comb
 				return fmt.Errorf("%s: %s returned %d matches, others %d — engines disagree",
 					query.Name, c, m.Matches, matches)
 			}
+			cfg.emit(rowFor(exp, dataset, query.Name, c.String(), m))
 			fmt.Fprintf(w, " %12s", fmtDur(m.Time))
 		}
 		fmt.Fprintf(w, " %10d\n", matches)

@@ -1,0 +1,343 @@
+// Package obs is the observability layer of the reproduction: span-style
+// phase timing, engine-internal event streams, and per-query-node cost
+// breakdowns, collected behind a Tracer interface whose nil default costs
+// nothing on the hot path.
+//
+// The paper's evaluation (§VI) argues about *where* time goes — cursor
+// advances, pointer jumps, page misses — not just totals. This package
+// makes those claims observable: every engine, the store cursors, and the
+// simulated buffer pool report their micro-operations to a Tracer, and the
+// Recorder implementation aggregates them into a Metrics snapshot that
+// extends counters.Counters with per-phase durations and distribution
+// summaries (jump skip-length histogram, per-node scans). Renderers turn a
+// Recorder into a human EXPLAIN-style report or a stable JSON document
+// (see report.go).
+//
+// Tracing is strictly opt-in. All call sites guard with `tr != nil`, so an
+// untraced evaluation performs no interface calls and no allocations for
+// observability (the no-op benchmark in the root package pins this).
+package obs
+
+import (
+	"math/bits"
+	"time"
+
+	"viewjoin/internal/counters"
+)
+
+// Phase identifies one span of an evaluation run. Phases nest: beginning a
+// phase while another is open attributes subsequent time to the inner
+// phase until it ends (exclusive, self-time accounting).
+type Phase uint8
+
+const (
+	// PhaseParse covers query and view parsing (CLI-side).
+	PhaseParse Phase = iota
+	// PhaseSegment covers view-segmented query construction (vsq.Build)
+	// and, for InterJoin, view-position mapping.
+	PhaseSegment
+	// PhaseBind covers binding query nodes to view list files.
+	PhaseBind
+	// PhaseEvaluate covers the engine main loop (cursor joins, skipping).
+	PhaseEvaluate
+	// PhaseEnumerate covers window enumeration into match tuples.
+	PhaseEnumerate
+	// PhaseOutput covers converting matches into the public result rows.
+	PhaseOutput
+
+	numPhases
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseParse:
+		return "parse"
+	case PhaseSegment:
+		return "segment"
+	case PhaseBind:
+		return "bind"
+	case PhaseEvaluate:
+		return "evaluate"
+	case PhaseEnumerate:
+		return "enumerate"
+	case PhaseOutput:
+		return "output"
+	default:
+		return "unknown"
+	}
+}
+
+// Phases lists every phase in execution order.
+func Phases() []Phase {
+	return []Phase{PhaseParse, PhaseSegment, PhaseBind, PhaseEvaluate, PhaseEnumerate, PhaseOutput}
+}
+
+// Event identifies one engine-internal micro-operation.
+type Event uint8
+
+const (
+	// EvScan: one record decoded from a list or tuple file (node-attributed
+	// twin of counters.ElementsScanned).
+	EvScan Event = iota
+	// EvCursorAdvance: one sequential cursor advance (Next).
+	EvCursorAdvance
+	// EvJumpTaken: a materialized pointer jump was followed; the event
+	// magnitude is the skipped distance in pages (≥ 0).
+	EvJumpTaken
+	// EvJumpRefused: a jump was available but a guard (safe-jump probe,
+	// open-region cover) or a stale pointer refused it.
+	EvJumpRefused
+	// EvStackPush: a candidate was accepted onto an open-region stack (or
+	// admitted to the window DAG).
+	EvStackPush
+	// EvStackPop: an open region was popped (ended before the next
+	// candidate, or the window was reset).
+	EvStackPop
+	// EvPageHit: a page touch served from the simulated buffer pool.
+	EvPageHit
+	// EvPageMiss: a page touch charged as a read (pool miss).
+	EvPageMiss
+
+	numEvents
+)
+
+// String names the event.
+func (e Event) String() string {
+	switch e {
+	case EvScan:
+		return "scan"
+	case EvCursorAdvance:
+		return "cursorAdvance"
+	case EvJumpTaken:
+		return "jumpTaken"
+	case EvJumpRefused:
+		return "jumpRefused"
+	case EvStackPush:
+		return "stackPush"
+	case EvStackPop:
+		return "stackPop"
+	case EvPageHit:
+		return "pageHit"
+	case EvPageMiss:
+		return "pageMiss"
+	default:
+		return "unknown"
+	}
+}
+
+// Events lists every event kind.
+func Events() []Event {
+	return []Event{EvScan, EvCursorAdvance, EvJumpTaken, EvJumpRefused,
+		EvStackPush, EvStackPop, EvPageHit, EvPageMiss}
+}
+
+// Tracer receives phases and events from an evaluation. A nil Tracer
+// disables tracing; every producer guards its calls with a nil check, so
+// the disabled path costs one predictable branch.
+//
+// Implementations need not be safe for concurrent use: one evaluation is
+// single-threaded, and each evaluation should get its own Tracer.
+type Tracer interface {
+	// BeginPhase opens a phase span. Phases nest; time is attributed
+	// exclusively (an inner phase pauses its parent).
+	BeginPhase(p Phase)
+	// EndPhase closes the innermost span opened for p.
+	EndPhase(p Phase)
+	// Event records one micro-operation. node is the query-node index the
+	// event is attributed to, or -1 when unattributed (e.g. page events).
+	// n is the event magnitude: a count for most events, the skipped page
+	// distance for EvJumpTaken (which always counts as one jump).
+	Event(e Event, node int, n int64)
+	// Plan receives the evaluation plan (view-segmented query, bindings)
+	// once it is built. May be called zero or one time per evaluation.
+	Plan(p *Plan)
+}
+
+// NodeMetrics is the per-query-node cost breakdown.
+type NodeMetrics struct {
+	// Scanned counts records decoded for this node's list.
+	Scanned int64 `json:"scanned"`
+	// Advances counts sequential cursor advances.
+	Advances int64 `json:"advances"`
+	// JumpsTaken / JumpsRefused count pointer jumps followed and refused.
+	JumpsTaken   int64 `json:"jumpsTaken"`
+	JumpsRefused int64 `json:"jumpsRefused"`
+	// Pushes / Pops count open-region stack operations.
+	Pushes int64 `json:"pushes"`
+	Pops   int64 `json:"pops"`
+}
+
+// HistogramBuckets is the number of power-of-two buckets in a Histogram:
+// bucket 0 holds value 0, bucket i (i ≥ 1) holds values in [2^(i-1), 2^i).
+// 32 buckets cover every int32-addressable distance.
+const HistogramBuckets = 32
+
+// Histogram is a power-of-two distribution summary of non-negative values.
+type Histogram struct {
+	Count [HistogramBuckets]int64
+	N     int64 // total observations
+	Sum   int64 // sum of observed values
+	Max   int64
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.Count[bucketOf(v)]++
+	h.N++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+func bucketOf(v int64) int {
+	b := bits.Len64(uint64(v)) // 0 -> 0, 1 -> 1, 2..3 -> 2, 4..7 -> 3, ...
+	if b >= HistogramBuckets {
+		b = HistogramBuckets - 1
+	}
+	return b
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i.
+func BucketUpper(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	return 1<<uint(i) - 1
+}
+
+// Metrics is the aggregated snapshot a Recorder accumulates: the shared
+// deterministic counters extended with per-phase wall time, event totals,
+// per-node breakdowns and distribution summaries.
+type Metrics struct {
+	// Counters is the shared cost accounting of the run (filled in by the
+	// caller at snapshot time; the Recorder itself only sees events).
+	Counters counters.Counters
+	// PhaseDurations holds exclusive (self) time per phase.
+	PhaseDurations [numPhases]time.Duration
+	// EventCounts holds total occurrences per event kind.
+	EventCounts [numEvents]int64
+	// Nodes holds the per-query-node breakdown, indexed by query node.
+	Nodes []NodeMetrics
+	// JumpSkipPages summarizes the page distance skipped by taken jumps.
+	JumpSkipPages Histogram
+	// Duration is the total wall-clock time across all phases plus any
+	// untraced remainder the caller reports.
+	Duration time.Duration
+}
+
+// Recorder is the standard Tracer: it accumulates Metrics and retains the
+// Plan for rendering. The zero value is ready to use.
+type Recorder struct {
+	m     Metrics
+	plan  *Plan
+	stack []phaseFrame
+}
+
+type phaseFrame struct {
+	phase Phase
+	start time.Time
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// BeginPhase implements Tracer: it pauses the currently open phase (if
+// any) and starts attributing time to p.
+func (r *Recorder) BeginPhase(p Phase) {
+	now := time.Now()
+	if n := len(r.stack); n > 0 {
+		top := &r.stack[n-1]
+		r.m.PhaseDurations[top.phase] += now.Sub(top.start)
+		top.start = now
+	}
+	r.stack = append(r.stack, phaseFrame{phase: p, start: now})
+}
+
+// EndPhase implements Tracer: it closes the innermost span for p and
+// resumes the enclosing phase. Mismatched ends close the top span.
+func (r *Recorder) EndPhase(p Phase) {
+	n := len(r.stack)
+	if n == 0 {
+		return
+	}
+	now := time.Now()
+	top := r.stack[n-1]
+	if int(top.phase) < int(numPhases) {
+		r.m.PhaseDurations[top.phase] += now.Sub(top.start)
+	}
+	r.stack = r.stack[:n-1]
+	if n > 1 {
+		r.stack[n-2].start = now
+	}
+	_ = p
+}
+
+// Event implements Tracer.
+func (r *Recorder) Event(e Event, node int, n int64) {
+	if e >= numEvents {
+		return
+	}
+	count := n
+	if e == EvJumpTaken {
+		count = 1
+		r.m.JumpSkipPages.Add(n)
+	}
+	r.m.EventCounts[e] += count
+	if node < 0 {
+		return
+	}
+	if node >= len(r.m.Nodes) {
+		grown := make([]NodeMetrics, node+1)
+		copy(grown, r.m.Nodes)
+		r.m.Nodes = grown
+	}
+	nm := &r.m.Nodes[node]
+	switch e {
+	case EvScan:
+		nm.Scanned += n
+	case EvCursorAdvance:
+		nm.Advances += n
+	case EvJumpTaken:
+		nm.JumpsTaken++
+	case EvJumpRefused:
+		nm.JumpsRefused += n
+	case EvStackPush:
+		nm.Pushes += n
+	case EvStackPop:
+		nm.Pops += n
+	}
+}
+
+// Plan implements Tracer: it retains the plan for rendering.
+func (r *Recorder) Plan(p *Plan) { r.plan = p }
+
+// PhaseDuration returns the exclusive time recorded for p so far.
+func (r *Recorder) PhaseDuration(p Phase) time.Duration {
+	if p >= numPhases {
+		return 0
+	}
+	return r.m.PhaseDurations[p]
+}
+
+// EventCount returns the total recorded for e so far.
+func (r *Recorder) EventCount(e Event) int64 {
+	if e >= numEvents {
+		return 0
+	}
+	return r.m.EventCounts[e]
+}
+
+// Metrics snapshots the accumulated metrics, stamping in the run's shared
+// counters and total duration (which the Recorder does not observe itself).
+func (r *Recorder) Metrics(c counters.Counters, total time.Duration) Metrics {
+	m := r.m
+	m.Nodes = append([]NodeMetrics(nil), r.m.Nodes...)
+	m.Counters = c
+	m.Duration = total
+	return m
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"viewjoin/internal/counters"
+)
+
+func TestPhaseNesting(t *testing.T) {
+	r := NewRecorder()
+	r.BeginPhase(PhaseEvaluate)
+	time.Sleep(2 * time.Millisecond)
+	r.BeginPhase(PhaseEnumerate) // pauses evaluate
+	time.Sleep(2 * time.Millisecond)
+	r.EndPhase(PhaseEnumerate)
+	time.Sleep(time.Millisecond)
+	r.EndPhase(PhaseEvaluate)
+
+	ev, en := r.PhaseDuration(PhaseEvaluate), r.PhaseDuration(PhaseEnumerate)
+	if ev <= 0 || en <= 0 {
+		t.Fatalf("phase durations not recorded: evaluate=%v enumerate=%v", ev, en)
+	}
+	// Exclusive accounting: evaluate must not include the enumerate span.
+	if en < 2*time.Millisecond {
+		t.Errorf("enumerate = %v, want >= 2ms", en)
+	}
+	if total := ev + en; total < 5*time.Millisecond {
+		t.Errorf("total = %v, want >= 5ms", total)
+	}
+}
+
+func TestEndPhaseUnderflow(t *testing.T) {
+	r := NewRecorder()
+	r.EndPhase(PhaseParse) // must not panic
+	r.BeginPhase(PhaseParse)
+	r.EndPhase(PhaseParse)
+	r.EndPhase(PhaseParse)
+}
+
+func TestEventAccumulation(t *testing.T) {
+	r := NewRecorder()
+	r.Event(EvScan, 2, 3)
+	r.Event(EvScan, 0, 1)
+	r.Event(EvCursorAdvance, 2, 1)
+	r.Event(EvJumpTaken, 2, 7)   // magnitude = skip pages, counts as 1 jump
+	r.Event(EvJumpRefused, 2, 1)
+	r.Event(EvStackPush, 0, 4)
+	r.Event(EvStackPop, 0, 4)
+	r.Event(EvPageMiss, -1, 1)
+	r.Event(EvPageHit, -1, 2)
+
+	if got := r.EventCount(EvScan); got != 4 {
+		t.Errorf("scan count = %d, want 4", got)
+	}
+	if got := r.EventCount(EvJumpTaken); got != 1 {
+		t.Errorf("jumpTaken count = %d, want 1 (magnitude is distance, not count)", got)
+	}
+	m := r.Metrics(counters.Counters{}, 0)
+	if len(m.Nodes) != 3 {
+		t.Fatalf("nodes = %d, want 3", len(m.Nodes))
+	}
+	if m.Nodes[2].Scanned != 3 || m.Nodes[2].JumpsTaken != 1 || m.Nodes[2].JumpsRefused != 1 {
+		t.Errorf("node 2 metrics wrong: %+v", m.Nodes[2])
+	}
+	if m.Nodes[0].Pushes != 4 || m.Nodes[0].Pops != 4 {
+		t.Errorf("node 0 metrics wrong: %+v", m.Nodes[0])
+	}
+	if m.JumpSkipPages.N != 1 || m.JumpSkipPages.Sum != 7 || m.JumpSkipPages.Max != 7 {
+		t.Errorf("histogram wrong: %+v", m.JumpSkipPages)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Add(0)
+	h.Add(1)
+	h.Add(2)
+	h.Add(3)
+	h.Add(4)
+	h.Add(1 << 40) // clamps to the last bucket
+	h.Add(-5)      // negative clamps to 0
+	if h.Count[0] != 2 { // 0 and -5
+		t.Errorf("bucket 0 = %d, want 2", h.Count[0])
+	}
+	if h.Count[1] != 1 { // 1
+		t.Errorf("bucket 1 = %d, want 1", h.Count[1])
+	}
+	if h.Count[2] != 2 { // 2, 3
+		t.Errorf("bucket 2 = %d, want 2", h.Count[2])
+	}
+	if h.Count[3] != 1 { // 4
+		t.Errorf("bucket 3 = %d, want 1", h.Count[3])
+	}
+	if h.Count[HistogramBuckets-1] != 1 {
+		t.Errorf("last bucket = %d, want 1", h.Count[HistogramBuckets-1])
+	}
+	if BucketUpper(0) != 0 || BucketUpper(1) != 1 || BucketUpper(3) != 7 {
+		t.Errorf("BucketUpper wrong: %d %d %d", BucketUpper(0), BucketUpper(1), BucketUpper(3))
+	}
+}
+
+func TestReportJSONStable(t *testing.T) {
+	r := NewRecorder()
+	r.Plan(&Plan{
+		Query: "//a//b", Engine: "VJ", Scheme: "LEp",
+		Views:       []string{"//a", "//b"},
+		NumSegments: 2,
+		Nodes: []PlanNode{
+			{Index: 0, Label: "a", Parent: -1, View: 0, ViewNode: 0, Segment: 0, SegmentRoot: true, ListEntries: 10},
+			{Index: 1, Label: "b", Axis: "//", Parent: 0, View: 1, ViewNode: 0, Segment: 1, SegmentRoot: true, InterView: true, ListEntries: 20},
+		},
+	})
+	r.Event(EvScan, 0, 10)
+	r.Event(EvJumpTaken, 1, 3)
+	r.Event(EvPageMiss, -1, 2)
+
+	c := counters.Counters{ElementsScanned: 10, Matches: 5, PagesRead: 2}
+	rep := r.Report(c, 123*time.Microsecond)
+
+	var buf1, buf2 bytes.Buffer
+	if err := rep.WriteJSON(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf1.String() != buf2.String() {
+		t.Fatal("JSON encoding not deterministic")
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf1.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded["schema"] != ReportSchema {
+		t.Errorf("schema = %v", decoded["schema"])
+	}
+	for _, key := range []string{"plan", "phases", "events", "nodes", "counters", "pageMisses", "durationNanos"} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("missing key %q in report JSON", key)
+		}
+	}
+	if rep.PageMisses != 2 {
+		t.Errorf("pageMisses = %d, want 2", rep.PageMisses)
+	}
+	if rep.Counters.Matches != 5 {
+		t.Errorf("counters.matches = %d, want 5", rep.Counters.Matches)
+	}
+}
+
+func TestReportExplain(t *testing.T) {
+	r := NewRecorder()
+	r.Plan(&Plan{
+		Query: "//a//b", Engine: "VJ", Scheme: "LE",
+		Views:       []string{"//a//b"},
+		NumSegments: 1,
+		Nodes: []PlanNode{
+			{Index: 0, Label: "a", Parent: -1, View: 0, ViewNode: 0, Segment: 0, SegmentRoot: true, ListEntries: 4},
+			{Index: 1, Label: "b", Axis: "//", Parent: 0, View: 0, ViewNode: 1, Segment: 0, ListEntries: 9},
+		},
+	})
+	r.BeginPhase(PhaseEvaluate)
+	r.Event(EvScan, 0, 4)
+	r.EndPhase(PhaseEvaluate)
+	rep := r.Report(counters.Counters{ElementsScanned: 4}, time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := rep.WriteExplain(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"//a//b", "segment", "evaluate", "scanned=4", "buffer pool", "q0", "q1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPhaseAndEventNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Phases() {
+		name := p.String()
+		if name == "unknown" || seen[name] {
+			t.Errorf("bad phase name %q", name)
+		}
+		seen[name] = true
+	}
+	for _, e := range Events() {
+		name := e.String()
+		if name == "unknown" || seen[name] {
+			t.Errorf("bad event name %q", name)
+		}
+		seen[name] = true
+	}
+}

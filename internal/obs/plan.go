@@ -1,0 +1,49 @@
+package obs
+
+// Plan describes how a query will be (or was) evaluated: the engine and
+// scheme, the covering views, and — for the segment-based engines — the
+// view-segmented query with per-node bindings. It is the structural half
+// of an EXPLAIN report; the Recorder pairs it with the measured costs.
+//
+// Plan is a plain-data mirror of internal/vsq kept free of imports so
+// every layer (engines, store, CLIs) can depend on obs without cycles; the
+// top-level Evaluate translates its VSQ into a Plan when tracing is on.
+type Plan struct {
+	// Query is the original query in XPath syntax.
+	Query string `json:"query"`
+	// Engine and Scheme name the combo as in the paper ("VJ", "LEp", ...).
+	Engine string `json:"engine"`
+	Scheme string `json:"scheme"`
+	// Views holds the covering view patterns, in store order.
+	Views []string `json:"views"`
+	// NumSegments is the number of segments of the view-segmented query
+	// (0 for engines that do not segment, e.g. InterJoin).
+	NumSegments int `json:"numSegments"`
+	// Nodes describes every query node in pattern pre-order.
+	Nodes []PlanNode `json:"nodes"`
+}
+
+// PlanNode is one query node's plan entry.
+type PlanNode struct {
+	// Index is the query-node index (pre-order); Label its element type.
+	Index int    `json:"index"`
+	Label string `json:"label"`
+	// Axis is the axis of the edge from the node's query parent: "/" or
+	// "//" ("" for the root when it has no edge rendering).
+	Axis string `json:"axis"`
+	// Parent is the query-parent index, -1 for the root.
+	Parent int `json:"parent"`
+	// View is the index (into Plan.Views) of the covering view; ViewNode
+	// the node index within that view. -1 when not view-bound.
+	View     int `json:"view"`
+	ViewNode int `json:"viewNode"`
+	// Segment is the node's segment id in the view-segmented query, or -1
+	// when the node was removed from Q' (extension-only node).
+	Segment int `json:"segment"`
+	// SegmentRoot reports whether the node roots its segment.
+	SegmentRoot bool `json:"segmentRoot"`
+	// InterView reports whether the Q' edge into this node crosses views.
+	InterView bool `json:"interView"`
+	// ListEntries is the length of the bound solution list (-1 unknown).
+	ListEntries int `json:"listEntries"`
+}

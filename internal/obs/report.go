@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"viewjoin/internal/counters"
+)
+
+// ReportSchema versions the JSON encoding of Report. Consumers should
+// reject documents whose schema they do not understand; additive changes
+// keep the suffix, breaking changes bump it.
+const ReportSchema = "viewjoin/trace/v1"
+
+// Report is the machine-readable rendering of one traced evaluation: the
+// plan, per-phase durations, event totals, per-node breakdowns, the jump
+// skip-length distribution, and the shared counters. Field order (and thus
+// JSON key order) is stable by construction.
+type Report struct {
+	Schema string `json:"schema"`
+	Plan   *Plan  `json:"plan,omitempty"`
+
+	// DurationNanos is the total evaluation wall time.
+	DurationNanos int64 `json:"durationNanos"`
+	// Phases lists exclusive per-phase durations in execution order;
+	// phases that never ran are included with zero duration.
+	Phases []PhaseReport `json:"phases"`
+	// Events lists total occurrences per event kind.
+	Events []EventReport `json:"events"`
+	// Nodes is the per-query-node breakdown (index = query node).
+	Nodes []NodeReport `json:"nodes"`
+	// JumpSkipPages is the distribution of page distances skipped by
+	// taken pointer jumps; empty when no jump was taken.
+	JumpSkipPages []HistBucket `json:"jumpSkipPages"`
+
+	// Counters mirrors the run's deterministic counters.
+	Counters CountersReport `json:"counters"`
+	// PageHits / PageMisses split buffer-pool touches (misses equal
+	// counters.pagesRead when every read goes through the pool).
+	PageHits   int64 `json:"pageHits"`
+	PageMisses int64 `json:"pageMisses"`
+}
+
+// PhaseReport is one phase's measured self time.
+type PhaseReport struct {
+	Phase string `json:"phase"`
+	Nanos int64  `json:"nanos"`
+}
+
+// EventReport is one event kind's total.
+type EventReport struct {
+	Event string `json:"event"`
+	Count int64  `json:"count"`
+}
+
+// NodeReport is one query node's cost breakdown, labelled from the plan
+// when available.
+type NodeReport struct {
+	Node  int    `json:"node"`
+	Label string `json:"label,omitempty"`
+	NodeMetrics
+}
+
+// HistBucket is one histogram bucket: Count observations ≤ Upper (and
+// greater than the previous bucket's Upper).
+type HistBucket struct {
+	Upper int64 `json:"upper"`
+	Count int64 `json:"count"`
+}
+
+// CountersReport is the stable JSON encoding of counters.Counters.
+type CountersReport struct {
+	ElementsScanned int64 `json:"elementsScanned"`
+	Comparisons     int64 `json:"comparisons"`
+	PointerDerefs   int64 `json:"pointerDerefs"`
+	PagesRead       int64 `json:"pagesRead"`
+	PagesWritten    int64 `json:"pagesWritten"`
+	Matches         int64 `json:"matches"`
+}
+
+// Report builds the renderable snapshot, stamping in the run's counters
+// and total duration.
+func (r *Recorder) Report(c counters.Counters, total time.Duration) *Report {
+	m := r.Metrics(c, total)
+	rep := &Report{
+		Schema:        ReportSchema,
+		Plan:          r.plan,
+		DurationNanos: int64(total),
+		Counters: CountersReport{
+			ElementsScanned: c.ElementsScanned,
+			Comparisons:     c.Comparisons,
+			PointerDerefs:   c.PointerDerefs,
+			PagesRead:       c.PagesRead,
+			PagesWritten:    c.PagesWritten,
+			Matches:         c.Matches,
+		},
+		PageHits:   m.EventCounts[EvPageHit],
+		PageMisses: m.EventCounts[EvPageMiss],
+	}
+	for _, p := range Phases() {
+		rep.Phases = append(rep.Phases, PhaseReport{Phase: p.String(), Nanos: int64(m.PhaseDurations[p])})
+	}
+	for _, e := range Events() {
+		rep.Events = append(rep.Events, EventReport{Event: e.String(), Count: m.EventCounts[e]})
+	}
+	for i, nm := range m.Nodes {
+		nr := NodeReport{Node: i, NodeMetrics: nm}
+		if r.plan != nil && i < len(r.plan.Nodes) {
+			nr.Label = r.plan.Nodes[i].Label
+		}
+		rep.Nodes = append(rep.Nodes, nr)
+	}
+	h := &m.JumpSkipPages
+	for i := 0; i < HistogramBuckets; i++ {
+		if h.Count[i] != 0 {
+			rep.JumpSkipPages = append(rep.JumpSkipPages, HistBucket{Upper: BucketUpper(i), Count: h.Count[i]})
+		}
+	}
+	return rep
+}
+
+// WriteJSON writes the report as one indented JSON document.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteExplain renders the report as a human EXPLAIN-style text: the
+// view-segmented query with list bindings, then per-phase and per-node
+// costs.
+func (rep *Report) WriteExplain(w io.Writer) error {
+	var b strings.Builder
+	if p := rep.Plan; p != nil {
+		fmt.Fprintf(&b, "query %s via %s over %d %s view(s)\n", p.Query, p.Engine, len(p.Views), p.Scheme)
+		for i, v := range p.Views {
+			fmt.Fprintf(&b, "  view %d: %s\n", i, v)
+		}
+		if p.NumSegments > 0 {
+			fmt.Fprintf(&b, "view-segmented query: %d segment(s)\n", p.NumSegments)
+		}
+		for _, n := range p.Nodes {
+			axis := n.Axis
+			if axis == "" {
+				axis = "//"
+			}
+			loc := "removed from Q' (window extension via pointers)"
+			if n.Segment >= 0 {
+				role := "member"
+				if n.SegmentRoot {
+					role = "root"
+				}
+				loc = fmt.Sprintf("segment %d %s", n.Segment, role)
+				if n.InterView {
+					loc += ", inter-view edge"
+				}
+			}
+			binding := ""
+			if n.View >= 0 {
+				binding = fmt.Sprintf(" <- view %d node %d", n.View, n.ViewNode)
+				if n.ListEntries >= 0 {
+					binding += fmt.Sprintf(" (%d entries)", n.ListEntries)
+				}
+			}
+			fmt.Fprintf(&b, "  q%-3d %s%-14s %s%s\n", n.Index, axis, n.Label, loc, binding)
+		}
+	}
+	fmt.Fprintf(&b, "total %v\n", time.Duration(rep.DurationNanos))
+	fmt.Fprintf(&b, "%-10s %12s\n", "phase", "self time")
+	for _, p := range rep.Phases {
+		if p.Nanos == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s %12v\n", p.Phase, time.Duration(p.Nanos))
+	}
+	c := rep.Counters
+	fmt.Fprintf(&b, "counters: scanned=%d cmp=%d deref=%d pagesR=%d pagesW=%d matches=%d\n",
+		c.ElementsScanned, c.Comparisons, c.PointerDerefs, c.PagesRead, c.PagesWritten, c.Matches)
+	fmt.Fprintf(&b, "buffer pool: %d hits, %d misses\n", rep.PageHits, rep.PageMisses)
+	if len(rep.Nodes) > 0 {
+		fmt.Fprintf(&b, "%-4s %-14s %10s %10s %8s %8s %8s %8s\n",
+			"node", "label", "scanned", "advances", "jumps", "refused", "pushes", "pops")
+		for _, n := range rep.Nodes {
+			fmt.Fprintf(&b, "q%-3d %-14s %10d %10d %8d %8d %8d %8d\n",
+				n.Node, n.Label, n.Scanned, n.Advances, n.JumpsTaken, n.JumpsRefused, n.Pushes, n.Pops)
+		}
+	}
+	if len(rep.JumpSkipPages) > 0 {
+		fmt.Fprintf(&b, "jump skip distance (pages): ")
+		var parts []string
+		for _, hb := range rep.JumpSkipPages {
+			parts = append(parts, fmt.Sprintf("<=%d:%d", hb.Upper, hb.Count))
+		}
+		fmt.Fprintln(&b, strings.Join(parts, " "))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 
 	"viewjoin/internal/counters"
+	"viewjoin/internal/obs"
 )
 
 // Item is one decoded record: a region label plus whatever pointers the
@@ -22,6 +23,8 @@ type Item struct {
 type Cursor struct {
 	f         *ListFile
 	io        *counters.IO
+	tr        obs.Tracer // nil when tracing is off
+	node      int32      // query node for event attribution (-1 untraced)
 	page      int32
 	off       uint16
 	size      int // byte size of the current record
@@ -33,7 +36,14 @@ type Cursor struct {
 // Open returns a cursor positioned at the first record (invalid for an
 // empty list).
 func (l *ListFile) Open(io *counters.IO) *Cursor {
-	c := &Cursor{f: l, io: io, lastTouch: -1}
+	return l.OpenTraced(io, nil, -1)
+}
+
+// OpenTraced is Open with an optional tracer: every record decode emits an
+// EvScan and every sequential advance an EvCursorAdvance attributed to the
+// given query node. A nil tracer is exactly Open.
+func (l *ListFile) OpenTraced(io *counters.IO, tr obs.Tracer, node int) *Cursor {
+	c := &Cursor{f: l, io: io, tr: tr, node: int32(node), lastTouch: -1}
 	if l.entries == 0 {
 		c.valid = false
 		return c
@@ -53,6 +63,9 @@ func (c *Cursor) Item() *Item { return &c.item }
 func (c *Cursor) Next() {
 	if !c.valid {
 		return
+	}
+	if c.tr != nil {
+		c.tr.Event(obs.EvCursorAdvance, int(c.node), 1)
 	}
 	off := c.off + uint16(c.size)
 	page := c.page
@@ -101,6 +114,9 @@ func (c *Cursor) load(page int32, off uint16) {
 		c.lastTouch = page
 	}
 	c.io.C.ElementsScanned++
+	if c.tr != nil {
+		c.tr.Event(obs.EvScan, int(c.node), 1)
+	}
 	buf := c.f.pages[page][off:]
 	c.item.Start = int32(binary.LittleEndian.Uint32(buf[0:]))
 	c.item.End = int32(binary.LittleEndian.Uint32(buf[4:]))

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"viewjoin/internal/counters"
+	"viewjoin/internal/obs"
 	"viewjoin/internal/views"
 )
 
@@ -81,6 +82,8 @@ func (l Label) Contains(m Label) bool { return l.Start < m.Start && m.End < l.En
 type TupleCursor struct {
 	f         *TupleFile
 	io        *counters.IO
+	tr        obs.Tracer
+	node      int32
 	idx       int
 	item      TupleItem
 	valid     bool
@@ -89,7 +92,14 @@ type TupleCursor struct {
 
 // Open returns a cursor positioned at the first tuple.
 func (f *TupleFile) Open(io *counters.IO) *TupleCursor {
-	c := &TupleCursor{f: f, io: io, lastTouch: -1}
+	return f.OpenTraced(io, nil, -1)
+}
+
+// OpenTraced is Open with an optional tracer: every tuple decode emits one
+// EvScan per label, attributed to the given query node (tuples bind
+// several query nodes; callers pass a representative one).
+func (f *TupleFile) OpenTraced(io *counters.IO, tr obs.Tracer, node int) *TupleCursor {
+	c := &TupleCursor{f: f, io: io, tr: tr, node: int32(node), lastTouch: -1}
 	c.item.Labels = make([]Label, f.arity)
 	if f.entries == 0 {
 		return c
@@ -111,6 +121,9 @@ func (c *TupleCursor) Index() int { return c.idx }
 func (c *TupleCursor) Next() {
 	if !c.valid {
 		return
+	}
+	if c.tr != nil {
+		c.tr.Event(obs.EvCursorAdvance, int(c.node), 1)
 	}
 	if c.idx+1 >= c.f.entries {
 		c.valid = false
@@ -139,6 +152,9 @@ func (c *TupleCursor) load(i int) {
 		c.lastTouch = page
 	}
 	c.io.C.ElementsScanned += int64(c.f.arity)
+	if c.tr != nil {
+		c.tr.Event(obs.EvScan, int(c.node), int64(c.f.arity))
+	}
 	buf := c.f.pages[page][off:]
 	for j := 0; j < c.f.arity; j++ {
 		c.item.Labels[j] = Label{

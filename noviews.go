@@ -9,6 +9,7 @@ import (
 	"viewjoin/internal/engine/pathstack"
 	"viewjoin/internal/engine/twigstack"
 	"viewjoin/internal/match"
+	"viewjoin/internal/obs"
 	"viewjoin/internal/store"
 	"viewjoin/internal/tpq"
 	"viewjoin/internal/views"
@@ -42,26 +43,49 @@ func EvaluateWithoutViews(d *Document, q *Query, eng Engine, opts *EvalOptions) 
 	if opts == nil {
 		opts = &EvalOptions{}
 	}
+	tr := opts.Tracer
+	if tr != nil {
+		tr.BeginPhase(obs.PhaseBind)
+	}
 	lists, err := d.rawStreams(q)
+	if tr != nil {
+		tr.EndPhase(obs.PhaseBind)
+	}
 	if err != nil {
 		return nil, err
 	}
 	var c counters.Counters
 	io := counters.NewIO(&c, opts.BufferPoolPages)
-	eopts := engine.Options{DiskBased: opts.DiskBased, PageSize: opts.PageSize}
+	if tr != nil {
+		io.Page = func(miss bool) {
+			if miss {
+				tr.Event(obs.EvPageMiss, -1, 1)
+			} else {
+				tr.Event(obs.EvPageHit, -1, 1)
+			}
+		}
+		tr.Plan(rawStreamPlan(q.p, eng, lists))
+	}
+	eopts := engine.Options{Tracer: tr, DiskBased: opts.DiskBased, PageSize: opts.PageSize}
 
 	start := time.Now()
 	var ms match.Set
+	if tr != nil {
+		tr.BeginPhase(obs.PhaseEvaluate)
+	}
 	switch eng {
 	case EngineTwigStack:
 		ms, _ = twigstack.Eval(d.d, q.p, lists, io, eopts)
 	case EnginePathStack:
-		ms, err = pathstack.Eval(d.d, q.p, lists, io)
-		if err != nil {
-			return nil, err
-		}
+		ms, err = pathstack.Eval(d.d, q.p, lists, io, eopts)
 	default:
-		return nil, fmt.Errorf("viewjoin: engine %v requires materialized views; use TS or PS without views", eng)
+		err = fmt.Errorf("viewjoin: engine %v requires materialized views; use TS or PS without views", eng)
+	}
+	if tr != nil {
+		tr.EndPhase(obs.PhaseEvaluate)
+	}
+	if err != nil {
+		return nil, err
 	}
 	dur := time.Since(start)
 
@@ -76,6 +100,9 @@ func EvaluateWithoutViews(d *Document, q *Query, eng Engine, opts *EvalOptions) 
 			Duration:        dur,
 		},
 	}
+	if tr != nil {
+		tr.BeginPhase(obs.PhaseOutput)
+	}
 	for i, m := range ms {
 		row := make([]Node, len(m))
 		for j, id := range m {
@@ -84,7 +111,45 @@ func EvaluateWithoutViews(d *Document, q *Query, eng Engine, opts *EvalOptions) 
 		}
 		res.Matches[i] = row
 	}
+	if tr != nil {
+		tr.EndPhase(obs.PhaseOutput)
+	}
+	if rec, ok := tr.(*obs.Recorder); ok {
+		res.Trace = rec.Report(c, time.Since(start))
+	}
 	return res, nil
+}
+
+// rawStreamPlan describes the no-view setting: every query node reads the
+// raw element stream of its type (the element scheme over single-element
+// views).
+func rawStreamPlan(q *tpq.Pattern, eng Engine, lists []*store.ListFile) *obs.Plan {
+	p := &obs.Plan{
+		Query:  q.String(),
+		Engine: eng.String(),
+		Scheme: store.Element.String(),
+		Nodes:  make([]obs.PlanNode, q.Size()),
+	}
+	seen := make(map[string]bool)
+	for qi := range q.Nodes {
+		if l := q.Nodes[qi].Label; !seen[l] {
+			seen[l] = true
+			p.Views = append(p.Views, "//"+l)
+		}
+	}
+	for qi := range p.Nodes {
+		p.Nodes[qi] = obs.PlanNode{
+			Index:       qi,
+			Label:       q.Nodes[qi].Label,
+			Axis:        q.Nodes[qi].Axis.String(),
+			Parent:      q.Nodes[qi].Parent,
+			View:        -1,
+			ViewNode:    -1,
+			Segment:     -1,
+			ListEntries: lists[qi].Entries(),
+		}
+	}
+	return p
 }
 
 // rawStreams builds one element-scheme list per distinct element type of q

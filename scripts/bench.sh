@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# bench.sh — snapshot the full experimental evaluation into a JSON manifest.
+#
+# Usage:
+#   scripts/bench.sh              # writes BENCH_1.json in the repo root
+#   scripts/bench.sh out.json     # writes to the given file
+#
+# The manifest (schema viewjoin/bench/v1) records the git SHA, toolchain,
+# effective config, per-experiment wall times, and one Row per measurement,
+# so successive PRs can diff counters and timings against the committed
+# baseline. Counters are deterministic; times are not — compare shapes.
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_1.json}"
+go run ./cmd/vjbench -exp all -json "$out" > /dev/null

@@ -41,6 +41,7 @@ import (
 	"viewjoin/internal/engine/twigstack"
 	vjengine "viewjoin/internal/engine/viewjoin"
 	"viewjoin/internal/match"
+	"viewjoin/internal/obs"
 	"viewjoin/internal/oracle"
 	"viewjoin/internal/store"
 	"viewjoin/internal/tpq"
@@ -317,6 +318,11 @@ func (e Engine) String() string {
 
 // EvalOptions tunes evaluation.
 type EvalOptions struct {
+	// Tracer, when non-nil, receives phase spans and engine-internal events
+	// (cursor advances, pointer jumps, stack and buffer-pool activity).
+	// Passing an *obs.Recorder additionally fills Result.Trace with the full
+	// report. nil disables tracing at zero cost.
+	Tracer obs.Tracer
 	// DiskBased selects the disk-based output approach (§IV): intermediate
 	// solutions are spooled through scratch pages, trading I/O for memory.
 	DiskBased bool
@@ -359,6 +365,10 @@ type Result struct {
 	// Query.Labels order).
 	Matches [][]Node
 	Stats   Stats
+	// Trace is the full observability report of the run: plan, per-phase
+	// durations, per-node costs, jump and buffer-pool distributions. It is
+	// populated only when EvalOptions.Tracer is an *obs.Recorder.
+	Trace *obs.Report
 }
 
 // Evaluate answers q over the materialized views using the chosen engine.
@@ -381,7 +391,18 @@ func Evaluate(d *Document, q *Query, mviews []*MaterializedView, eng Engine, opt
 	}
 	var c counters.Counters
 	io := counters.NewIO(&c, opts.BufferPoolPages)
+	tr := opts.Tracer
+	if tr != nil {
+		io.Page = func(miss bool) {
+			if miss {
+				tr.Event(obs.EvPageMiss, -1, 1)
+			} else {
+				tr.Event(obs.EvPageHit, -1, 1)
+			}
+		}
+	}
 	eopts := engine.Options{
+		Tracer:         tr,
 		DiskBased:      opts.DiskBased,
 		PageSize:       opts.PageSize,
 		UnguardedJumps: opts.UnguardedJumps,
@@ -395,45 +416,80 @@ func Evaluate(d *Document, q *Query, mviews []*MaterializedView, eng Engine, opt
 	)
 	switch eng {
 	case EngineViewJoin:
-		v, err := vsq.Build(q.p, patterns)
+		v, err := buildVSQ(q, patterns, tr)
 		if err != nil {
 			return nil, err
+		}
+		if tr != nil {
+			tr.Plan(tracePlan(q.p, patterns, stores, eng, v))
+			tr.BeginPhase(obs.PhaseEvaluate)
 		}
 		var st vjengine.Stats
 		ms, st, evalErr = vjengine.Eval(d.d, v, stores, io, eopts)
+		if tr != nil {
+			tr.EndPhase(obs.PhaseEvaluate)
+		}
 		peak = int64(st.PeakWindowEntries) * 16
 	case EngineTwigStack:
-		v, err := vsq.Build(q.p, patterns)
+		v, err := buildVSQ(q, patterns, tr)
 		if err != nil {
 			return nil, err
 		}
-		lists, err := engine.BindLists(v, stores)
+		lists, err := bindLists(v, stores, tr)
 		if err != nil {
 			return nil, err
+		}
+		if tr != nil {
+			tr.Plan(tracePlan(q.p, patterns, stores, eng, v))
+			tr.BeginPhase(obs.PhaseEvaluate)
 		}
 		var st twigstack.Stats
 		ms, st = twigstack.Eval(d.d, q.p, lists, io, eopts)
+		if tr != nil {
+			tr.EndPhase(obs.PhaseEvaluate)
+		}
 		peak = int64(st.PeakWindowEntries) * 16
 	case EnginePathStack:
-		v, err := vsq.Build(q.p, patterns)
+		v, err := buildVSQ(q, patterns, tr)
 		if err != nil {
 			return nil, err
 		}
-		lists, err := engine.BindLists(v, stores)
+		lists, err := bindLists(v, stores, tr)
 		if err != nil {
 			return nil, err
 		}
-		ms, evalErr = pathstack.Eval(d.d, q.p, lists, io)
+		if tr != nil {
+			tr.Plan(tracePlan(q.p, patterns, stores, eng, v))
+			tr.BeginPhase(obs.PhaseEvaluate)
+		}
+		ms, evalErr = pathstack.Eval(d.d, q.p, lists, io, eopts)
+		if tr != nil {
+			tr.EndPhase(obs.PhaseEvaluate)
+		}
 	case EngineInterJoin:
+		if tr != nil {
+			tr.BeginPhase(obs.PhaseSegment)
+		}
 		viewPos := make([][]int, len(patterns))
 		for i, p := range patterns {
 			m, err := tpq.QueryNodeOfView(p, q.p)
 			if err != nil {
+				if tr != nil {
+					tr.EndPhase(obs.PhaseSegment)
+				}
 				return nil, err
 			}
 			viewPos[i] = m
 		}
-		ms, evalErr = interjoin.Eval(d.d, q.p, stores, viewPos, io)
+		if tr != nil {
+			tr.EndPhase(obs.PhaseSegment)
+			tr.Plan(interJoinPlan(q.p, patterns, stores, viewPos))
+			tr.BeginPhase(obs.PhaseEvaluate)
+		}
+		ms, evalErr = interjoin.Eval(d.d, q.p, stores, viewPos, io, eopts)
+		if tr != nil {
+			tr.EndPhase(obs.PhaseEvaluate)
+		}
 	default:
 		return nil, fmt.Errorf("viewjoin: unknown engine %v", eng)
 	}
@@ -454,6 +510,9 @@ func Evaluate(d *Document, q *Query, mviews []*MaterializedView, eng Engine, opt
 			Duration:        dur,
 		},
 	}
+	if tr != nil {
+		tr.BeginPhase(obs.PhaseOutput)
+	}
 	for i, m := range ms {
 		row := make([]Node, len(m))
 		for j, id := range m {
@@ -462,7 +521,109 @@ func Evaluate(d *Document, q *Query, mviews []*MaterializedView, eng Engine, opt
 		}
 		res.Matches[i] = row
 	}
+	if tr != nil {
+		tr.EndPhase(obs.PhaseOutput)
+	}
+	if rec, ok := tr.(*obs.Recorder); ok {
+		res.Trace = rec.Report(c, time.Since(start))
+	}
 	return res, nil
+}
+
+// buildVSQ wraps vsq.Build in the segment phase span.
+func buildVSQ(q *Query, patterns []*tpq.Pattern, tr obs.Tracer) (*vsq.VSQ, error) {
+	if tr != nil {
+		tr.BeginPhase(obs.PhaseSegment)
+		defer tr.EndPhase(obs.PhaseSegment)
+	}
+	return vsq.Build(q.p, patterns)
+}
+
+// bindLists wraps engine.BindLists in the bind phase span (for the engines
+// that bind here rather than inside their Eval).
+func bindLists(v *vsq.VSQ, stores []*store.ViewStore, tr obs.Tracer) ([]*store.ListFile, error) {
+	if tr != nil {
+		tr.BeginPhase(obs.PhaseBind)
+		defer tr.EndPhase(obs.PhaseBind)
+	}
+	return engine.BindLists(v, stores)
+}
+
+// tracePlan translates a view-segmented query into the plain-data plan the
+// observability layer renders.
+func tracePlan(q *tpq.Pattern, patterns []*tpq.Pattern, stores []*store.ViewStore, eng Engine, v *vsq.VSQ) *obs.Plan {
+	p := &obs.Plan{
+		Query:       q.String(),
+		Engine:      eng.String(),
+		NumSegments: len(v.Segments),
+		Nodes:       make([]obs.PlanNode, q.Size()),
+	}
+	if len(stores) > 0 {
+		p.Scheme = stores[0].Kind.String()
+	}
+	for _, vp := range patterns {
+		p.Views = append(p.Views, vp.String())
+	}
+	for qi := range p.Nodes {
+		n := obs.PlanNode{
+			Index:       qi,
+			Label:       q.Nodes[qi].Label,
+			Axis:        q.Nodes[qi].Axis.String(),
+			Parent:      q.Nodes[qi].Parent,
+			View:        v.Owner[qi],
+			ViewNode:    v.ViewNode[qi],
+			Segment:     -1,
+			ListEntries: -1,
+		}
+		if v.InQPrime[qi] {
+			n.Segment = v.SegOf[qi]
+			n.SegmentRoot = v.Segments[n.Segment].Root == qi
+			n.InterView = v.PrimeParent[qi] >= 0 && v.InterView[qi]
+		}
+		if vi, ni := v.Owner[qi], v.ViewNode[qi]; vi >= 0 && ni >= 0 &&
+			stores[vi].Kind != store.Tuple && ni < len(stores[vi].Lists) {
+			n.ListEntries = stores[vi].Lists[ni].Entries()
+		}
+		p.Nodes[qi] = n
+	}
+	return p
+}
+
+// interJoinPlan builds the plan for the segment-free InterJoin engine.
+func interJoinPlan(q *tpq.Pattern, patterns []*tpq.Pattern, stores []*store.ViewStore, viewPos [][]int) *obs.Plan {
+	p := &obs.Plan{
+		Query:  q.String(),
+		Engine: EngineInterJoin.String(),
+		Nodes:  make([]obs.PlanNode, q.Size()),
+	}
+	if len(stores) > 0 {
+		p.Scheme = stores[0].Kind.String()
+	}
+	for _, vp := range patterns {
+		p.Views = append(p.Views, vp.String())
+	}
+	for qi := range p.Nodes {
+		p.Nodes[qi] = obs.PlanNode{
+			Index:       qi,
+			Label:       q.Nodes[qi].Label,
+			Axis:        q.Nodes[qi].Axis.String(),
+			Parent:      q.Nodes[qi].Parent,
+			View:        -1,
+			ViewNode:    -1,
+			Segment:     -1,
+			ListEntries: -1,
+		}
+	}
+	for vi, positions := range viewPos {
+		for j, qi := range positions {
+			p.Nodes[qi].View = vi
+			p.Nodes[qi].ViewNode = j
+			if stores[vi].Tuples != nil {
+				p.Nodes[qi].ListEntries = stores[vi].Tuples.Entries()
+			}
+		}
+	}
+	return p
 }
 
 // EvaluateDirect answers q by brute force without views — the reference
