@@ -60,6 +60,7 @@ type manifestConfig struct {
 	Repeats         int     `json:"repeats"`
 	BufferPoolPages int     `json:"bufferPoolPages"`
 	IOCostPerPage   string  `json:"ioCostPerPage"`
+	Parallel        int     `json:"parallel"`
 }
 
 type experimentEntry struct {
@@ -87,6 +88,7 @@ func main() {
 		repeats  = flag.Int("repeats", 0, "timed runs per measurement (default 5)")
 		pool     = flag.Int("pool", 0, "buffer pool pages (default 64)")
 		ioCost   = flag.Duration("io-cost", 0, "simulated cost per page miss (default 3µs)")
+		parallel = flag.Int("parallel", 0, "batch-evaluation workers in the prepared experiment (default GOMAXPROCS)")
 		jsonOut  = flag.String("json", "", "write a machine-readable run manifest to this file")
 		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this address while running (e.g. localhost:6060)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -128,6 +130,7 @@ func main() {
 		Repeats:         *repeats,
 		BufferPoolPages: *pool,
 		IOCostPerPage:   *ioCost,
+		Parallel:        *parallel,
 		Out:             os.Stdout,
 	}
 
@@ -201,12 +204,16 @@ func main() {
 		if eff.BufferPoolPages == 0 {
 			eff.BufferPoolPages = 64
 		}
+		if eff.Parallel <= 0 {
+			eff.Parallel = runtime.GOMAXPROCS(0)
+		}
 		m.Config = manifestConfig{
 			XMarkScale:      eff.XMarkScale,
 			NasaDatasets:    eff.NasaDatasets,
 			Repeats:         eff.Repeats,
 			BufferPoolPages: eff.BufferPoolPages,
 			IOCostPerPage:   eff.IOCostPerPage.String(),
+			Parallel:        eff.Parallel,
 		}
 		buf, err := json.MarshalIndent(m, "", "  ")
 		if err != nil {

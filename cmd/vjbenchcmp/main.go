@@ -1,0 +1,125 @@
+// Command vjbenchcmp diffs two vjbench JSON manifests (schema
+// viewjoin/bench/v1): it prints the per-experiment wall-time deltas and
+// exits non-zero when any experiment present in both runs regressed by more
+// than the threshold (default 10%).
+//
+// Usage:
+//
+//	vjbenchcmp old.json new.json
+//	vjbenchcmp -threshold 0.25 old.json new.json
+//
+// Experiments present in only one manifest are reported as added/removed,
+// never as regressions. Wall times are noisy; the threshold is meant to
+// catch structural slowdowns, not scheduler jitter — rerun before trusting
+// a marginal failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+const wantSchema = "viewjoin/bench/v1"
+
+type manifest struct {
+	Schema      string `json:"schema"`
+	GitSHA      string `json:"gitSHA"`
+	Experiments []struct {
+		Name      string `json:"name"`
+		WallNanos int64  `json:"wallNanos"`
+	} `json:"experiments"`
+}
+
+func load(path string) (*manifest, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if m.Schema != wantSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, m.Schema, wantSchema)
+	}
+	return &m, nil
+}
+
+func short(sha string) string {
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	return sha
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "regression threshold as a fraction of the old wall time")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: vjbenchcmp [-threshold f] old.json new.json")
+		os.Exit(2)
+	}
+	old, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vjbenchcmp:", err)
+		os.Exit(2)
+	}
+	neu, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vjbenchcmp:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("old: %s (%s)\nnew: %s (%s)\n\n",
+		flag.Arg(0), short(old.GitSHA), flag.Arg(1), short(neu.GitSHA))
+	fmt.Printf("%-12s %12s %12s %9s\n", "experiment", "old", "new", "delta")
+
+	oldWall := make(map[string]int64, len(old.Experiments))
+	for _, e := range old.Experiments {
+		oldWall[e.Name] = e.WallNanos
+	}
+	seen := make(map[string]bool, len(neu.Experiments))
+	regressions := 0
+	for _, e := range neu.Experiments {
+		seen[e.Name] = true
+		ow, ok := oldWall[e.Name]
+		if !ok {
+			fmt.Printf("%-12s %12s %12s %9s\n", e.Name, "-", fmtNanos(e.WallNanos), "added")
+			continue
+		}
+		delta := float64(e.WallNanos-ow) / float64(ow)
+		mark := ""
+		if delta > *threshold {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-12s %12s %12s %+8.1f%%%s\n",
+			e.Name, fmtNanos(ow), fmtNanos(e.WallNanos), delta*100, mark)
+	}
+	for _, e := range old.Experiments {
+		if !seen[e.Name] {
+			fmt.Printf("%-12s %12s %12s %9s\n", e.Name, fmtNanos(e.WallNanos), "-", "removed")
+		}
+	}
+
+	if regressions > 0 {
+		fmt.Printf("\n%d experiment(s) regressed by more than %.0f%%\n", regressions, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("\nno regressions")
+}
+
+func fmtNanos(n int64) string {
+	d := time.Duration(n)
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}

@@ -154,6 +154,22 @@ func TestBenchmarkWorkloadCrossCheck(t *testing.T) {
 					if !sameMatches(res, want) {
 						t.Errorf("%s %v+%v: %d matches, want %d", name, eng, scheme, len(res.Matches), len(want.Matches))
 					}
+					// A reused prepared plan must reproduce the one-shot
+					// evaluation exactly, run after run.
+					p, err := Prepare(job.doc, q, mv, eng, nil)
+					if err != nil {
+						t.Fatalf("%s %v+%v: Prepare: %v", name, eng, scheme, err)
+					}
+					for run := 0; run < 2; run++ {
+						pres, err := p.Run()
+						if err != nil {
+							t.Fatalf("%s %v+%v: Run %d: %v", name, eng, scheme, run, err)
+						}
+						if !identicalMatches(pres, res) {
+							t.Errorf("%s %v+%v: prepared run %d diverges from one-shot (%d vs %d matches)",
+								name, eng, scheme, run, len(pres.Matches), len(res.Matches))
+						}
+					}
 				}
 			}
 			if q.IsPath() {
@@ -167,6 +183,20 @@ func TestBenchmarkWorkloadCrossCheck(t *testing.T) {
 				}
 				if !sameMatches(res, want) {
 					t.Errorf("%s IJ: %d matches, want %d", name, len(res.Matches), len(want.Matches))
+				}
+				p, err := Prepare(job.doc, q, tv, EngineInterJoin, nil)
+				if err != nil {
+					t.Fatalf("%s IJ: Prepare: %v", name, err)
+				}
+				for run := 0; run < 2; run++ {
+					pres, err := p.Run()
+					if err != nil {
+						t.Fatalf("%s IJ: Run %d: %v", name, run, err)
+					}
+					if !identicalMatches(pres, res) {
+						t.Errorf("%s IJ: prepared run %d diverges from one-shot (%d vs %d matches)",
+							name, run, len(pres.Matches), len(res.Matches))
+					}
 				}
 			}
 		}

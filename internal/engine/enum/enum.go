@@ -120,6 +120,35 @@ func NewCollector(d *xmltree.Document, q *tpq.Pattern, io *counters.IO, tr obs.T
 	return c
 }
 
+// Reset readies the collector for a fresh run over the same document and
+// query: the accounting, tracer and output options are rebound, collected
+// state is cleared, and every scratch slice keeps its capacity. The
+// previously returned match.Set is not touched (Result hands ownership to
+// the caller). PreFlush is preserved.
+func (c *Collector) Reset(io *counters.IO, tr obs.Tracer, diskBased bool, pageSize int) {
+	if pageSize == 0 {
+		pageSize = store.DefaultPageSize
+	}
+	c.io, c.tr, c.diskBased, c.pageSize = io, tr, diskBased, pageSize
+	c.out = nil
+	for qi := range c.cands {
+		c.cands[qi] = c.cands[qi][:0]
+	}
+	c.pending = c.pending[:0]
+	c.open = false
+	c.windowStart, c.windowEnd = 0, 0
+	c.entries, c.peakEntries = 0, 0
+	c.spoolIn = 0
+	for qi := range c.okStarts {
+		c.okStarts[qi] = c.okStarts[qi][:0]
+	}
+	for qi := range c.okLevels {
+		for g := range c.okLevels[qi] {
+			c.okLevels[qi][g].starts = c.okLevels[qi][g].starts[:0]
+		}
+	}
+}
+
 // Add offers a candidate for query node qi. Candidates for the query root
 // (qi == 0) drive window management: a root candidate beyond the current
 // window flushes it and opens a new one. Non-root candidates outside any

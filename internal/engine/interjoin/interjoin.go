@@ -15,10 +15,12 @@ package interjoin
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"viewjoin/internal/counters"
 	"viewjoin/internal/engine"
 	"viewjoin/internal/match"
+	"viewjoin/internal/obs"
 	"viewjoin/internal/store"
 	"viewjoin/internal/tpq"
 	"viewjoin/internal/xmltree"
@@ -58,12 +60,32 @@ func (a *labelArena) row() []store.Label {
 	return r
 }
 
-// Eval evaluates the path query q over the tuple stores of the covering
-// path views. viewPos[i] lists, for view i, the query position of each of
+// Prepared is the compile-once part of an InterJoin evaluation: the view
+// streams, materialized once by scanning the tuple files, plus the join
+// order and a pool of reusable sort/merge scratch. The streams are
+// read-only during joins (binary joins write fresh intermediate streams),
+// so a Prepared is safe for concurrent Run calls; repeated runs amortize
+// the tuple scans that dominate InterJoin's per-call setup.
+type Prepared struct {
+	d       *xmltree.Document
+	q       *tpq.Pattern
+	order   []int
+	streams []*stream
+	pool    sync.Pool // *scratch
+}
+
+// scratch holds the per-run sort and merge buffers of the binary joins,
+// reset in place between runs.
+type scratch struct {
+	upIdx, loIdx, active []int
+}
+
+// Prepare validates the view set and materializes each view's tuple file
+// as a stream. viewPos[i] lists, for view i, the query position of each of
 // its nodes (in view node order). Views must be path views and q a path
-// query.
-func Eval(d *xmltree.Document, q *tpq.Pattern, stores []*store.ViewStore, viewPos [][]int,
-	io *counters.IO, opts engine.Options) (match.Set, error) {
+// query. The scans charge io — prepare-time cost, paid once per plan.
+func Prepare(d *xmltree.Document, q *tpq.Pattern, stores []*store.ViewStore, viewPos [][]int,
+	io *counters.IO, tr obs.Tracer) (*Prepared, error) {
 	if !q.IsPath() {
 		return nil, fmt.Errorf("interjoin: %s is not a path query", q)
 	}
@@ -100,7 +122,7 @@ func Eval(d *xmltree.Document, q *tpq.Pattern, stores []*store.ViewStore, viewPo
 	// Materialize tuples of each view stream by scanning its tuple file.
 	// Scans are attributed to the first query position the view covers.
 	for vi, s := range stores {
-		cur := s.Tuples.OpenTraced(io, opts.Tracer, viewPos[vi][0])
+		cur := s.Tuples.OpenTraced(io, tr, viewPos[vi][0])
 		st := streams[vi]
 		st.arena.width = n
 		st.tuples = make([]partial, 0, s.Tuples.Entries())
@@ -112,10 +134,21 @@ func Eval(d *xmltree.Document, q *tpq.Pattern, stores []*store.ViewStore, viewPo
 			st.tuples = append(st.tuples, p)
 		}
 	}
+	return &Prepared{d: d, q: q, order: order, streams: streams}, nil
+}
 
-	acc := streams[order[0]]
-	for _, oi := range order[1:] {
-		acc = binaryJoin(q, acc, streams[oi], io)
+// Run executes the prepared join sequence once. Per-run costs are the
+// binary joins and the final verification; the view scans were charged at
+// Prepare time.
+func (p *Prepared) Run(io *counters.IO, opts engine.Options) (match.Set, error) {
+	sc, _ := p.pool.Get().(*scratch)
+	if sc == nil {
+		sc = &scratch{}
+	}
+	q, n := p.q, p.q.Size()
+	acc := p.streams[p.order[0]]
+	for _, oi := range p.order[1:] {
+		acc = binaryJoin(q, acc, p.streams[oi], io, sc)
 	}
 
 	// Final verification: pc-edges and the root axis. Ad-edges between
@@ -141,12 +174,25 @@ func Eval(d *xmltree.Document, q *tpq.Pattern, stores []*store.ViewStore, viewPo
 		}
 		m := make(match.Match, n)
 		for pos := 0; pos < n; pos++ {
-			m[pos] = d.FindByStart(t.labels[pos].Start)
+			m[pos] = p.d.FindByStart(t.labels[pos].Start)
 		}
 		out = append(out, m)
 	}
 	io.C.Matches = int64(len(out))
+	p.pool.Put(sc)
 	return out, nil
+}
+
+// Eval evaluates the path query q over the tuple stores of the covering
+// path views (one-shot Prepare + Run; the scans and joins charge the same
+// io, so counters match the historical single-call behaviour).
+func Eval(d *xmltree.Document, q *tpq.Pattern, stores []*store.ViewStore, viewPos [][]int,
+	io *counters.IO, opts engine.Options) (match.Set, error) {
+	p, err := Prepare(d, q, stores, viewPos, io, opts.Tracer)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(io, opts)
 }
 
 // binaryJoin joins the accumulated stream a (covering the topmost
@@ -161,7 +207,7 @@ func Eval(d *xmltree.Document, q *tpq.Pattern, stores []*store.ViewStore, viewPo
 // components — the sort is part of InterJoin's non-holistic cost), merged
 // with an active window pruned by the drive containment, and every other
 // adjacent cross predicate is verified per joined pair.
-func binaryJoin(q *tpq.Pattern, a, b *stream, io *counters.IO) *stream {
+func binaryJoin(q *tpq.Pattern, a, b *stream, io *counters.IO, sc *scratch) *stream {
 	merged := &stream{positions: mergePositions(a.positions, b.positions)}
 	if len(a.tuples) == 0 || len(b.tuples) == 0 {
 		return merged
@@ -210,8 +256,11 @@ func binaryJoin(q *tpq.Pattern, a, b *stream, io *counters.IO) *stream {
 	}
 
 	// Order both sides by their drive component (counted as join work).
-	upIdx := sortedBy(upSide, drive.upper, io)
-	loIdx := sortedBy(loSide, drive.lower, io)
+	// Index buffers come from the run's pooled scratch.
+	upIdx := sortedBy(upSide, drive.upper, io, sc.upIdx)
+	sc.upIdx = upIdx
+	loIdx := sortedBy(loSide, drive.lower, io, sc.loIdx)
+	sc.loIdx = loIdx
 
 	emit := func(at, bt *partial) {
 		for _, pr := range preds {
@@ -245,7 +294,7 @@ func binaryJoin(q *tpq.Pattern, a, b *stream, io *counters.IO) *stream {
 	// Structural merge: scan descendants (lower side) in drive-start order,
 	// keeping an active window of ancestor-side tuples whose drive region is
 	// still open.
-	var active []int
+	active := sc.active[:0]
 	ui := 0
 	for _, li := range loIdx {
 		lt := &loSide.tuples[li]
@@ -276,6 +325,8 @@ func binaryJoin(q *tpq.Pattern, a, b *stream, io *counters.IO) *stream {
 		}
 	}
 
+	sc.active = active
+
 	// Keep the merged stream ordered by its first position's start label.
 	first := merged.positions[0]
 	sort.SliceStable(merged.tuples, func(i, j int) bool {
@@ -285,11 +336,12 @@ func binaryJoin(q *tpq.Pattern, a, b *stream, io *counters.IO) *stream {
 }
 
 // sortedBy returns tuple indices of s ordered by the start label of the
-// given position, charging one comparison per compare.
-func sortedBy(s *stream, pos int, io *counters.IO) []int {
-	idx := make([]int, len(s.tuples))
-	for i := range idx {
-		idx[i] = i
+// given position, charging one comparison per compare. buf, when capacious
+// enough, backs the returned slice (pooled across runs).
+func sortedBy(s *stream, pos int, io *counters.IO, buf []int) []int {
+	idx := buf[:0]
+	for i := 0; i < len(s.tuples); i++ {
+		idx = append(idx, i)
 	}
 	sort.Slice(idx, func(i, j int) bool {
 		io.C.Comparisons++

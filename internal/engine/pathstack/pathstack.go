@@ -13,6 +13,7 @@ package pathstack
 
 import (
 	"fmt"
+	"sync"
 
 	"viewjoin/internal/counters"
 	"viewjoin/internal/engine"
@@ -31,22 +32,78 @@ type frame struct {
 	parentTop int
 }
 
-// Eval evaluates the path query q over the per-query-node lists using
-// PathStack and returns all tree pattern instances. It returns an error if
-// q is not a path query.
-func Eval(d *xmltree.Document, q *tpq.Pattern, lists []*store.ListFile, io *counters.IO, opts engine.Options) (match.Set, error) {
+// Prepared is the compile-once part of a PathStack evaluation: the bound
+// per-query-node lists plus a pool of reusable run scratch (cursors,
+// linked stacks, the expansion buffer). Immutable after construction and
+// safe for concurrent Run calls.
+type Prepared struct {
+	d     *xmltree.Document
+	q     *tpq.Pattern
+	lists []*store.ListFile
+	pool  sync.Pool // *scratch
+}
+
+// scratch is the per-run state of one PathStack execution, reset in place
+// between runs.
+type scratch struct {
+	curBuf []store.Cursor
+	cur    []*store.Cursor
+	stacks [][]frame
+	buf    []store.Label
+}
+
+// Prepare binds the path query q over the given lists for repeated runs.
+// It returns an error if q is not a path query.
+func Prepare(d *xmltree.Document, q *tpq.Pattern, lists []*store.ListFile) (*Prepared, error) {
 	if !q.IsPath() {
 		return nil, fmt.Errorf("pathstack: %s is not a path query", q)
 	}
-	tr := opts.Tracer
-	n := q.Size()
-	cur := make([]*store.Cursor, n)
-	for i, l := range lists {
-		cur[i] = l.OpenTraced(io, tr, i)
+	return &Prepared{d: d, q: q, lists: lists}, nil
+}
+
+// Run executes the prepared plan once, drawing scratch from the pool and
+// resetting it in place.
+func (p *Prepared) Run(io *counters.IO, opts engine.Options) (match.Set, error) {
+	sc, _ := p.pool.Get().(*scratch)
+	n := p.q.Size()
+	if sc == nil {
+		sc = &scratch{
+			curBuf: make([]store.Cursor, n),
+			cur:    make([]*store.Cursor, n),
+			stacks: make([][]frame, n),
+			buf:    make([]store.Label, n),
+		}
 	}
-	stacks := make([][]frame, n)
+	tr := opts.Tracer
+	for i, l := range p.lists {
+		sc.curBuf[i].Reset(l, io, tr, i)
+		sc.cur[i] = &sc.curBuf[i]
+	}
+	for i := range sc.stacks {
+		sc.stacks[i] = sc.stacks[i][:0]
+	}
+	out := p.eval(sc, io, tr)
+	p.pool.Put(sc)
+	return out, nil
+}
+
+// Eval evaluates the path query q over the per-query-node lists using
+// PathStack and returns all tree pattern instances (one-shot Prepare +
+// Run). It returns an error if q is not a path query.
+func Eval(d *xmltree.Document, q *tpq.Pattern, lists []*store.ListFile, io *counters.IO, opts engine.Options) (match.Set, error) {
+	p, err := Prepare(d, q, lists)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(io, opts)
+}
+
+// eval is the PathStack main loop over one run's scratch.
+func (p *Prepared) eval(sc *scratch, io *counters.IO, tr obs.Tracer) match.Set {
+	d, q := p.d, p.q
+	n := q.Size()
+	cur, stacks, buf := sc.cur, sc.stacks, sc.buf
 	var out match.Set
-	buf := make([]store.Label, n)
 
 	for {
 		// qmin: the valid cursor with the smallest start label.
@@ -102,7 +159,7 @@ func Eval(d *xmltree.Document, q *tpq.Pattern, lists []*store.ListFile, io *coun
 		cur[qmin].Next()
 	}
 	io.C.Matches = int64(len(out))
-	return out, nil
+	return out
 }
 
 // expand emits every root-to-leaf combination closed by the frame at

@@ -16,6 +16,7 @@ package twigstack
 
 import (
 	"math"
+	"sync"
 
 	"viewjoin/internal/counters"
 	"viewjoin/internal/engine"
@@ -35,33 +36,66 @@ type Stats struct {
 	PeakWindowEntries int
 }
 
+// Prepared is the compile-once part of a TwigStack evaluation: the bound
+// per-query-node lists plus a pool of reusable evaluator scratch (cursors,
+// open-region stacks, collector buffers). Immutable after construction and
+// safe for concurrent Run calls.
+type Prepared struct {
+	d     *xmltree.Document
+	q     *tpq.Pattern
+	lists []*store.ListFile
+	pool  sync.Pool // *evaluator
+}
+
 type evaluator struct {
-	d    *xmltree.Document
-	q    *tpq.Pattern
-	cur  []*store.Cursor
-	io   *counters.IO
-	tr   obs.Tracer
-	col  *enum.Collector
-	open [][]enum.Label // per query node: stack of accepted open regions
+	p      *Prepared
+	curBuf []store.Cursor
+	cur    []*store.Cursor
+	io     *counters.IO
+	tr     obs.Tracer
+	col    *enum.Collector
+	open   [][]enum.Label // per query node: stack of accepted open regions
+}
+
+// Prepare binds q's evaluation over the given lists for repeated runs.
+func Prepare(d *xmltree.Document, q *tpq.Pattern, lists []*store.ListFile) *Prepared {
+	return &Prepared{d: d, q: q, lists: lists}
+}
+
+// Run executes the prepared plan once, drawing evaluator scratch from the
+// pool and resetting it in place.
+func (p *Prepared) Run(io *counters.IO, opts engine.Options) (match.Set, Stats) {
+	e, _ := p.pool.Get().(*evaluator)
+	if e == nil {
+		n := p.q.Size()
+		e = &evaluator{
+			p:      p,
+			curBuf: make([]store.Cursor, n),
+			cur:    make([]*store.Cursor, n),
+			col:    enum.NewCollector(p.d, p.q, nil, nil, false, 0),
+			open:   make([][]enum.Label, n),
+		}
+	}
+	e.io, e.tr = io, opts.Tracer
+	e.col.Reset(io, opts.Tracer, opts.DiskBased, opts.PageSize)
+	for qi := range p.lists {
+		e.curBuf[qi].Reset(p.lists[qi], io, opts.Tracer, qi)
+		e.cur[qi] = &e.curBuf[qi]
+	}
+	for qi := range e.open {
+		e.open[qi] = e.open[qi][:0]
+	}
+	e.run()
+	out := e.col.Result()
+	st := Stats{PeakWindowEntries: e.col.PeakEntries()}
+	p.pool.Put(e)
+	return out, st
 }
 
 // Eval evaluates q over the per-query-node lists using TwigStack and
-// returns all tree pattern instances.
+// returns all tree pattern instances (one-shot Prepare + Run).
 func Eval(d *xmltree.Document, q *tpq.Pattern, lists []*store.ListFile, io *counters.IO, opts engine.Options) (match.Set, Stats) {
-	e := &evaluator{
-		d:    d,
-		q:    q,
-		cur:  make([]*store.Cursor, q.Size()),
-		io:   io,
-		tr:   opts.Tracer,
-		col:  enum.NewCollector(d, q, io, opts.Tracer, opts.DiskBased, opts.PageSize),
-		open: make([][]enum.Label, q.Size()),
-	}
-	for qi := range lists {
-		e.cur[qi] = lists[qi].OpenTraced(io, opts.Tracer, qi)
-	}
-	e.run()
-	return e.col.Result(), Stats{PeakWindowEntries: e.col.PeakEntries()}
+	return Prepare(d, q, lists).Run(io, opts)
 }
 
 // start returns the current start label of qi's cursor, or +inf when the
@@ -104,7 +138,7 @@ func (e *evaluator) accept(qi int, l enum.Label) bool {
 	if qi == 0 {
 		return true
 	}
-	p := e.q.Nodes[qi].Parent
+	p := e.p.q.Nodes[qi].Parent
 	s := e.open[p]
 	popped := 0
 	for len(s) > 0 && s[len(s)-1].End < l.Start {
@@ -146,7 +180,7 @@ func (e *evaluator) push(qi int, l enum.Label) {
 // cursors act as +inf sentinels; when the returned node's cursor is
 // exhausted, evaluation is complete.
 func (e *evaluator) getNext(qi int) int {
-	children := e.q.Nodes[qi].Children
+	children := e.p.q.Nodes[qi].Children
 	if len(children) == 0 {
 		return qi
 	}

@@ -39,6 +39,7 @@ package viewjoin
 
 import (
 	"fmt"
+	"sync"
 
 	"viewjoin/internal/counters"
 	"viewjoin/internal/engine"
@@ -58,23 +59,17 @@ type Stats struct {
 	Segments int
 }
 
-type evaluator struct {
-	d  *xmltree.Document
-	v  *vsq.VSQ
-	io *counters.IO
-	tr obs.Tracer // nil when tracing is off
-
+// Prepared is the compile-once part of a ViewJoin evaluation: the bound
+// lists, the inverse view maps, and a pool of reusable evaluator scratch
+// state. A Prepared is immutable after construction and safe for
+// concurrent Run calls; each Run takes an evaluator from the pool (or
+// allocates a fresh one) and returns it afterwards, so repeated runs pay
+// for cursor movement and enumeration only — the costs the paper's §V
+// model charges — not for setup.
+type Prepared struct {
+	d     *xmltree.Document
+	v     *vsq.VSQ
 	lists []*store.ListFile
-	cur   []*store.Cursor // cursors for Q' nodes (nil for removed nodes)
-	col   *enum.Collector
-
-	// open[qi] logs the accepted regions of qi in the current window, in
-	// ascending start order (each node's admissions follow its own cursor),
-	// with a prefix maximum of the end labels for O(log n) containment
-	// checks. This plays the role of the paper's "has a p-type ancestor in
-	// F" test (Function 3 line 12): unlike a pop-on-push stack it tolerates
-	// the out-of-document-order admissions that bulk segment adds produce.
-	open []regionLog
 
 	// viewParentQ[qi] is the query node of qi's parent within its view, or
 	// -1 when qi is a view root; viewChildSlot[qi] is qi's child-pointer
@@ -84,13 +79,39 @@ type evaluator struct {
 	// removedChildren[qi] lists the removed query nodes whose view parent
 	// is qi (extension targets).
 	removedChildren [][]int
-
 	// isSegRoot[qi] reports whether qi is the root of its segment.
 	isSegRoot []bool
 
-	// Window-extension state: extCur are lazy persistent cursors for removed
-	// nodes; extJump holds, per removed node, the child pointer captured
-	// from the first in-window candidate of its view parent.
+	primeNodes   []int // cached v.PrimeNodes()
+	removedNodes []int // cached v.RemovedNodes()
+
+	pool sync.Pool // *evaluator
+}
+
+type evaluator struct {
+	p  *Prepared
+	io *counters.IO
+	tr obs.Tracer // nil when tracing is off
+
+	// curBuf backs cur so per-run cursor state is reset in place instead of
+	// reallocated; cur[qi] is nil for removed nodes.
+	curBuf []store.Cursor
+	cur    []*store.Cursor
+	col    *enum.Collector
+
+	// open[qi] logs the accepted regions of qi in the current window, in
+	// ascending start order (each node's admissions follow its own cursor),
+	// with a prefix maximum of the end labels for O(log n) containment
+	// checks. This plays the role of the paper's "has a p-type ancestor in
+	// F" test (Function 3 line 12): unlike a pop-on-push stack it tolerates
+	// the out-of-document-order admissions that bulk segment adds produce.
+	open []regionLog
+
+	// Window-extension state: extCur are lazy persistent cursors (backed by
+	// extBuf) for removed nodes; extJump holds, per removed node, the child
+	// pointer captured from the first in-window candidate of its view
+	// parent.
+	extBuf  []store.Cursor
 	extCur  []*store.Cursor
 	extJump []store.Pointer
 	hasJump []bool
@@ -98,21 +119,16 @@ type evaluator struct {
 	winOpen bool
 	winEnd  int32
 
-	primeNodes   []int // cached v.PrimeNodes()
-	removedNodes []int // cached v.RemovedNodes()
-
 	// unguarded disables the safe-jump probe rule on scoped following
 	// pointers (ablation mode: the paper's Function 4 jumps them
 	// unconditionally; see package docs).
 	unguarded bool
 }
 
-// Eval evaluates the view-segmented query's underlying query over the
-// element-family stores of its views and returns all tree pattern
-// instances of the original query.
-func Eval(d *xmltree.Document, v *vsq.VSQ, stores []*store.ViewStore, io *counters.IO,
-	opts engine.Options) (match.Set, Stats, error) {
-	tr := opts.Tracer
+// Prepare compiles the view-segmented query against the element-family
+// stores of its views: lists are bound and the inverse view maps computed
+// once, ready for any number of Run calls over document d.
+func Prepare(d *xmltree.Document, v *vsq.VSQ, stores []*store.ViewStore, tr obs.Tracer) (*Prepared, error) {
 	if tr != nil {
 		tr.BeginPhase(obs.PhaseBind)
 	}
@@ -121,73 +137,125 @@ func Eval(d *xmltree.Document, v *vsq.VSQ, stores []*store.ViewStore, io *counte
 		tr.EndPhase(obs.PhaseBind)
 	}
 	if err != nil {
-		return nil, Stats{}, fmt.Errorf("viewjoin: %w", err)
+		return nil, fmt.Errorf("viewjoin: %w", err)
 	}
 	n := v.Query.Size()
-	e := &evaluator{
+	p := &Prepared{
 		d:               d,
 		v:               v,
-		io:              io,
-		tr:              tr,
 		lists:           lists,
-		cur:             make([]*store.Cursor, n),
-		col:             enum.NewCollector(d, v.Query, io, tr, opts.DiskBased, opts.PageSize),
-		open:            make([]regionLog, n),
 		viewParentQ:     make([]int, n),
 		viewChildSlot:   make([]int, n),
 		removedChildren: make([][]int, n),
 		isSegRoot:       make([]bool, n),
-		extCur:          make([]*store.Cursor, n),
-		extJump:         make([]store.Pointer, n),
-		hasJump:         make([]bool, n),
-		unguarded:       opts.UnguardedJumps,
+		primeNodes:      v.PrimeNodes(),
+		removedNodes:    v.RemovedNodes(),
 	}
-	e.buildViewMaps()
-	e.primeNodes = v.PrimeNodes()
-	e.removedNodes = v.RemovedNodes()
-	for _, qi := range e.primeNodes {
-		e.cur[qi] = lists[qi].OpenTraced(io, tr, qi)
-		e.isSegRoot[qi] = v.Segments[v.SegOf[qi]].Root == qi
+	p.buildViewMaps()
+	for _, qi := range p.primeNodes {
+		p.isSegRoot[qi] = v.Segments[v.SegOf[qi]].Root == qi
 	}
-	if len(e.removedNodes) > 0 {
-		e.col.PreFlush = e.extendWindow
+	return p, nil
+}
+
+// Run executes the prepared plan once: evaluator scratch state (cursors,
+// region logs, collector buffers, extension state) comes from the pool and
+// is reset in place, so a warm Run allocates only for the output.
+func (p *Prepared) Run(io *counters.IO, opts engine.Options) (match.Set, Stats, error) {
+	e, _ := p.pool.Get().(*evaluator)
+	if e == nil {
+		e = newEvaluator(p)
 	}
+	e.reset(io, opts)
 	e.run()
 	out := e.col.Result()
-	return out, Stats{PeakWindowEntries: e.col.PeakEntries(), Segments: len(v.Segments)}, nil
+	st := Stats{PeakWindowEntries: e.col.PeakEntries(), Segments: len(p.v.Segments)}
+	p.pool.Put(e)
+	return out, st, nil
+}
+
+// Eval evaluates the view-segmented query's underlying query over the
+// element-family stores of its views and returns all tree pattern
+// instances of the original query (one-shot Prepare + Run).
+func Eval(d *xmltree.Document, v *vsq.VSQ, stores []*store.ViewStore, io *counters.IO,
+	opts engine.Options) (match.Set, Stats, error) {
+	p, err := Prepare(d, v, stores, opts.Tracer)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return p.Run(io, opts)
+}
+
+// newEvaluator allocates the per-run scratch for one pooled evaluator; all
+// of it is reset in place by reset on every reuse.
+func newEvaluator(p *Prepared) *evaluator {
+	n := p.v.Query.Size()
+	e := &evaluator{
+		p:       p,
+		curBuf:  make([]store.Cursor, n),
+		cur:     make([]*store.Cursor, n),
+		col:     enum.NewCollector(p.d, p.v.Query, nil, nil, false, 0),
+		open:    make([]regionLog, n),
+		extBuf:  make([]store.Cursor, n),
+		extCur:  make([]*store.Cursor, n),
+		extJump: make([]store.Pointer, n),
+		hasJump: make([]bool, n),
+	}
+	if len(p.removedNodes) > 0 {
+		e.col.PreFlush = e.extendWindow
+	}
+	return e
+}
+
+// reset rebinds the per-run accounting and options and clears every piece
+// of scratch state, keeping capacity.
+func (e *evaluator) reset(io *counters.IO, opts engine.Options) {
+	e.io, e.tr = io, opts.Tracer
+	e.unguarded = opts.UnguardedJumps
+	e.col.Reset(io, opts.Tracer, opts.DiskBased, opts.PageSize)
+	e.winOpen, e.winEnd = false, 0
+	for _, qi := range e.p.primeNodes {
+		e.curBuf[qi].Reset(e.p.lists[qi], io, opts.Tracer, qi)
+		e.cur[qi] = &e.curBuf[qi]
+	}
+	for i := range e.open {
+		e.open[i].reset()
+		e.extCur[i] = nil
+		e.hasJump[i] = false
+	}
 }
 
 // buildViewMaps precomputes, for every query node, its view parent's query
 // node and its child-pointer slot, plus the removed-children extension map.
-func (e *evaluator) buildViewMaps() {
+func (p *Prepared) buildViewMaps() {
 	// viewNodeToQuery[vi][ni] inverts v.ViewNode.
-	inv := make([][]int, len(e.v.Views))
-	for vi, view := range e.v.Views {
+	inv := make([][]int, len(p.v.Views))
+	for vi, view := range p.v.Views {
 		inv[vi] = make([]int, view.Size())
 	}
-	for qi := 0; qi < e.v.Query.Size(); qi++ {
-		inv[e.v.Owner[qi]][e.v.ViewNode[qi]] = qi
+	for qi := 0; qi < p.v.Query.Size(); qi++ {
+		inv[p.v.Owner[qi]][p.v.ViewNode[qi]] = qi
 	}
-	for qi := 0; qi < e.v.Query.Size(); qi++ {
-		vi, ni := e.v.Owner[qi], e.v.ViewNode[qi]
-		view := e.v.Views[vi]
+	for qi := 0; qi < p.v.Query.Size(); qi++ {
+		vi, ni := p.v.Owner[qi], p.v.ViewNode[qi]
+		view := p.v.Views[vi]
 		pn := view.Nodes[ni].Parent
 		if pn == -1 {
-			e.viewParentQ[qi] = -1
-			e.viewChildSlot[qi] = -1
+			p.viewParentQ[qi] = -1
+			p.viewChildSlot[qi] = -1
 			continue
 		}
-		e.viewParentQ[qi] = inv[vi][pn]
+		p.viewParentQ[qi] = inv[vi][pn]
 		for ci, c := range view.Nodes[pn].Children {
 			if c == ni {
-				e.viewChildSlot[qi] = ci
+				p.viewChildSlot[qi] = ci
 				break
 			}
 		}
 	}
-	for _, x := range e.v.RemovedNodes() {
-		if p := e.viewParentQ[x]; p != -1 {
-			e.removedChildren[p] = append(e.removedChildren[p], x)
+	for _, x := range p.removedNodes {
+		if vp := p.viewParentQ[x]; vp != -1 {
+			p.removedChildren[vp] = append(p.removedChildren[vp], x)
 		}
 	}
 }
@@ -200,7 +268,7 @@ func (e *evaluator) start(qi int) int32 { return e.cur[qi].Item().Start }
 // document order from the root segment, add it (and its segment's aligned
 // members) to the window DAG, and let the collector flush windows.
 func (e *evaluator) run() {
-	root := e.v.RootSegment()
+	root := e.p.v.RootSegment()
 	for {
 		qi := e.getNext(root)
 		if qi == -1 {
@@ -217,13 +285,13 @@ func (e *evaluator) process(qi int) {
 	it := e.cur[qi].Item()
 	l := enum.Label{Start: it.Start, End: it.End, Level: it.Level}
 	accepted := true
-	if qi != 0 && e.isSegRoot[qi] {
+	if qi != 0 && e.p.isSegRoot[qi] {
 		e.io.C.Comparisons++
-		accepted = e.openContains(e.v.PrimeParent[qi], l.Start)
+		accepted = e.openContains(e.p.v.PrimeParent[qi], l.Start)
 	}
 	if accepted {
 		e.admit(qi, l, it)
-		if e.isSegRoot[qi] {
+		if e.p.isSegRoot[qi] {
 			e.bulkAddMembers(qi, l)
 		}
 	}
@@ -261,11 +329,11 @@ func (e *evaluator) admit(qi int, l enum.Label, it *store.Item) {
 // order coincides with list order within one file, so the minimum is
 // computable without dereferencing.
 func (e *evaluator) captureExtJumps(qi int, it *store.Item, l enum.Label) {
-	if len(e.removedChildren[qi]) == 0 || !e.winOpen || l.Start > e.winEnd {
+	if len(e.p.removedChildren[qi]) == 0 || !e.winOpen || l.Start > e.winEnd {
 		return
 	}
-	for _, x := range e.removedChildren[qi] {
-		ptr := it.Children[e.viewChildSlot[x]]
+	for _, x := range e.p.removedChildren[qi] {
+		ptr := it.Children[e.p.viewChildSlot[x]]
 		if ptr.IsNil() {
 			continue // E scheme: no pointers; extension scans sequentially
 		}
@@ -286,7 +354,7 @@ func pointerLess(a, b store.Pointer) bool {
 // root's region are solution candidates by the precomputed view joins; add
 // them all without structural comparisons and advance their cursors.
 func (e *evaluator) bulkAddMembers(rootQ int, rootL enum.Label) {
-	seg := e.v.Segments[e.v.SegOf[rootQ]]
+	seg := e.p.v.Segments[e.p.v.SegOf[rootQ]]
 	for _, m := range seg.Nodes {
 		if m == rootQ || !e.valid(m) {
 			continue
@@ -316,7 +384,7 @@ func (e *evaluator) getNext(b *vsq.Segment) int {
 	best := -1
 	bestStart := int32(0)
 	for _, bsID := range b.Children {
-		bs := e.v.Segments[bsID]
+		bs := e.p.v.Segments[bsID]
 		r := e.getNext(bs)
 		e.align(bs.Root)
 		if r != bs.Root && r != -1 && e.valid(r) {
@@ -354,7 +422,7 @@ func (e *evaluator) getNext(b *vsq.Segment) int {
 //     where safe, and reposition p's segment members through child pointers
 //     (Function 4, advancePointers).
 func (e *evaluator) align(rs int) {
-	p := e.v.PrimeParent[rs]
+	p := e.p.v.PrimeParent[rs]
 	if p == -1 {
 		return
 	}
@@ -392,7 +460,7 @@ func (e *evaluator) align(rs int) {
 // taken only when it moves forward and no open accepted region of the view
 // parent still covers the skipped range.
 func (e *evaluator) jumpViaViewParent(m int) bool {
-	vp := e.viewParentQ[m]
+	vp := e.p.viewParentQ[m]
 	if vp == -1 || e.cur[vp] == nil || !e.valid(vp) {
 		return false
 	}
@@ -407,7 +475,7 @@ func (e *evaluator) jumpViaViewParent(m int) bool {
 		}
 		return false
 	}
-	ptr := e.cur[vp].Item().Children[e.viewChildSlot[m]]
+	ptr := e.cur[vp].Item().Children[e.p.viewChildSlot[m]]
 	if ptr.IsNil() {
 		return false
 	}
@@ -442,7 +510,7 @@ func (e *evaluator) advancePointers(p int, target int32) {
 			from := e.cur[p].Position()
 			probe := *e.cur[p] // stack copy: probing must not disturb the cursor
 			probe.Seek(it.Following)
-			safe := e.unguarded || !e.lists[p].Scoped() || target == maxInt32 ||
+			safe := e.unguarded || !e.p.lists[p].Scoped() || target == maxInt32 ||
 				(probe.Valid() && probe.Item().Start <= target)
 			if safe {
 				*e.cur[p] = probe
@@ -480,8 +548,8 @@ func (e *evaluator) repositionMembers(p int) {
 	}
 	pStart := e.start(p)
 	pIt := e.cur[p].Item()
-	for _, m := range e.primeNodes {
-		if e.viewParentQ[m] != p || !e.valid(m) {
+	for _, m := range e.p.primeNodes {
+		if e.p.viewParentQ[m] != p || !e.valid(m) {
 			continue
 		}
 		if e.start(m) >= pStart {
@@ -490,7 +558,7 @@ func (e *evaluator) repositionMembers(p int) {
 		if e.openCovers(p, e.start(m), pStart) {
 			continue
 		}
-		if ptr := pIt.Children[e.viewChildSlot[m]]; !ptr.IsNil() {
+		if ptr := pIt.Children[e.p.viewChildSlot[m]]; !ptr.IsNil() {
 			from := e.cur[m].Position()
 			probe := *e.cur[m]
 			probe.Seek(ptr)
@@ -570,9 +638,10 @@ func (r *regionLog) coversRange(s, hi int32) bool {
 // parent's first in-window candidate (skipping everything before the
 // window) and scanned sequentially to the window's end.
 func (e *evaluator) extendWindow(lo, hi int32) {
-	for _, x := range e.removedNodes {
+	for _, x := range e.p.removedNodes {
 		if e.extCur[x] == nil {
-			e.extCur[x] = e.lists[x].OpenTraced(e.io, e.tr, x)
+			e.extBuf[x].Reset(e.p.lists[x], e.io, e.tr, x)
+			e.extCur[x] = &e.extBuf[x]
 		}
 		cx := e.extCur[x]
 		if e.hasJump[x] && !e.extJump[x].IsNil() {

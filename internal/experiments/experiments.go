@@ -36,6 +36,9 @@ type Config struct {
 	IOCostPerPage time.Duration
 	// Out receives the experiment's table; defaults to io.Discard.
 	Out io.Writer
+	// Parallel bounds the worker pool of the prepared experiment's batch
+	// variant (vjbench -parallel); 0 means GOMAXPROCS.
+	Parallel int
 	// Emit, when non-nil, receives one structured Row per measurement the
 	// experiment prints, so a machine-readable manifest can be produced
 	// alongside the text tables (vjbench -json).
@@ -146,6 +149,7 @@ func All() []Experiment {
 		{"table5", "Table V — memory-based vs disk-based output approaches", Table5},
 		{"ablation", "Reproduction ablations — jump guards, LEp threshold, page size", Ablation},
 		{"noviews", "Views vs raw element streams — the [22] comparison the paper builds on", NoViews},
+		{"prepared", "Prepared plans — repeated-query serving: one-shot vs Run vs EvaluateBatch", Prepared},
 	}
 }
 

@@ -83,6 +83,20 @@ func (c *Cursor) Next() {
 	}
 }
 
+// Reset repositions c at the first record of l in place, rebinding the IO
+// accounting and tracer without allocating: the prepared-plan evaluators
+// keep cursor storage across runs and Reset it per run. A nil tracer
+// disables event emission exactly like Open.
+func (c *Cursor) Reset(l *ListFile, io *counters.IO, tr obs.Tracer, node int) {
+	c.f, c.io, c.tr, c.node = l, io, tr, int32(node)
+	c.page, c.off, c.size, c.lastTouch = 0, 0, 0, -1
+	if l.entries == 0 {
+		c.valid = false
+		return
+	}
+	c.load(0, 0)
+}
+
 // Seek positions the cursor at the record addressed by the pointer and
 // charges one pointer dereference. Seeking a nil pointer invalidates the
 // cursor.

@@ -1,0 +1,340 @@
+package viewjoin
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"viewjoin/internal/counters"
+	"viewjoin/internal/engine"
+	"viewjoin/internal/engine/interjoin"
+	"viewjoin/internal/engine/pathstack"
+	"viewjoin/internal/engine/twigstack"
+	vjengine "viewjoin/internal/engine/viewjoin"
+	"viewjoin/internal/match"
+	"viewjoin/internal/obs"
+	"viewjoin/internal/store"
+	"viewjoin/internal/tpq"
+	"viewjoin/internal/vsq"
+)
+
+// PreparedQuery is a query compiled once against a document, a view set
+// and an engine, ready to be executed any number of times. Preparation
+// performs every per-plan step of Evaluate — view-set validation,
+// view-segmented query construction, list binding, inverse-position maps
+// and (for InterJoin) materializing the view streams — so Run pays only
+// the per-execution costs the paper's §V cost model charges: cursor
+// movement over the view lists, structural joins, and enumeration.
+//
+// Run draws evaluator scratch state (cursors, region logs, window buffers,
+// join scratch) from an internal sync.Pool and resets it in place instead
+// of reallocating, so a warm Run allocates only for its output.
+//
+// A PreparedQuery is immutable after Prepare and safe for concurrent Run
+// calls provided the captured EvalOptions.Tracer is nil (tracers are not
+// required to be concurrency-safe); documents and materialized views are
+// already immutable after construction.
+type PreparedQuery struct {
+	d    *Document
+	q    *Query
+	eng  Engine
+	opts EvalOptions
+	plan *obs.Plan // non-nil only when opts.Tracer != nil
+
+	// prepC holds the costs charged during preparation (InterJoin's view
+	// stream scans); the one-shot Evaluate folds them into its Stats to
+	// keep historical counter totals, while Run reports per-execution
+	// costs only — that amortization is the point of preparing.
+	prepC counters.Counters
+
+	vj *vjengine.Prepared
+	ts *twigstack.Prepared
+	ps *pathstack.Prepared
+	ij *interjoin.Prepared
+}
+
+// Prepare compiles q over the materialized views for the chosen engine.
+// The views must form a valid minimal covering set of q, exactly as for
+// Evaluate; opts (nil for defaults) is captured and applied to every Run.
+func Prepare(d *Document, q *Query, mviews []*MaterializedView, eng Engine, opts *EvalOptions) (*PreparedQuery, error) {
+	if opts == nil {
+		opts = &EvalOptions{}
+	}
+	patterns := make([]*tpq.Pattern, len(mviews))
+	stores := make([]*store.ViewStore, len(mviews))
+	for i, mv := range mviews {
+		if mv.doc.d != d.d {
+			return nil, fmt.Errorf("viewjoin: view %s materialized over a different document", mv.pattern)
+		}
+		patterns[i] = mv.pattern
+		stores[i] = mv.store
+	}
+	p := &PreparedQuery{d: d, q: q, eng: eng, opts: *opts}
+	tr := opts.Tracer
+	switch eng {
+	case EngineViewJoin:
+		v, err := buildVSQ(q, patterns, tr)
+		if err != nil {
+			return nil, err
+		}
+		p.vj, err = vjengine.Prepare(d.d, v, stores, tr)
+		if err != nil {
+			return nil, err
+		}
+		if tr != nil {
+			p.plan = tracePlan(q.p, patterns, stores, eng, v)
+		}
+	case EngineTwigStack, EnginePathStack:
+		v, err := buildVSQ(q, patterns, tr)
+		if err != nil {
+			return nil, err
+		}
+		lists, err := bindLists(v, stores, tr)
+		if err != nil {
+			return nil, err
+		}
+		if eng == EngineTwigStack {
+			p.ts = twigstack.Prepare(d.d, q.p, lists)
+		} else if p.ps, err = pathstack.Prepare(d.d, q.p, lists); err != nil {
+			return nil, err
+		}
+		if tr != nil {
+			p.plan = tracePlan(q.p, patterns, stores, eng, v)
+		}
+	case EngineInterJoin:
+		if tr != nil {
+			tr.BeginPhase(obs.PhaseSegment)
+		}
+		viewPos := make([][]int, len(patterns))
+		for i, pat := range patterns {
+			m, err := tpq.QueryNodeOfView(pat, q.p)
+			if err != nil {
+				if tr != nil {
+					tr.EndPhase(obs.PhaseSegment)
+				}
+				return nil, err
+			}
+			viewPos[i] = m
+		}
+		if tr != nil {
+			tr.EndPhase(obs.PhaseSegment)
+		}
+		io := counters.NewIO(&p.prepC, opts.BufferPoolPages)
+		if tr != nil {
+			io.Page = pageHook(tr)
+		}
+		ij, err := interjoin.Prepare(d.d, q.p, stores, viewPos, io, tr)
+		if err != nil {
+			return nil, err
+		}
+		p.ij = ij
+		if tr != nil {
+			p.plan = interJoinPlan(q.p, patterns, stores, viewPos)
+		}
+	default:
+		return nil, fmt.Errorf("viewjoin: unknown engine %v", eng)
+	}
+	return p, nil
+}
+
+// Query returns the prepared query.
+func (p *PreparedQuery) Query() *Query { return p.q }
+
+// Engine returns the engine the plan was compiled for.
+func (p *PreparedQuery) Engine() Engine { return p.eng }
+
+// Run executes the prepared plan once and returns a fresh Result. Stats
+// cover this execution only — preparation costs (for InterJoin, the view
+// stream scans) were paid at Prepare time and are not re-charged; see
+// Evaluate for the historical one-shot accounting.
+func (p *PreparedQuery) Run() (*Result, error) {
+	return p.run(time.Now(), false)
+}
+
+// pageHook adapts buffer-pool lookups into tracer page events.
+func pageHook(tr obs.Tracer) func(miss bool) {
+	return func(miss bool) {
+		if miss {
+			tr.Event(obs.EvPageMiss, -1, 1)
+		} else {
+			tr.Event(obs.EvPageHit, -1, 1)
+		}
+	}
+}
+
+// run executes the prepared plan, timing from start (which a one-shot
+// Evaluate sets before preparation so Duration keeps covering the whole
+// call). includePrep folds preparation-time counters into the Stats.
+func (p *PreparedQuery) run(start time.Time, includePrep bool) (*Result, error) {
+	var c counters.Counters
+	if includePrep {
+		c.Add(p.prepC)
+	}
+	io := counters.NewIO(&c, p.opts.BufferPoolPages)
+	tr := p.opts.Tracer
+	if tr != nil {
+		io.Page = pageHook(tr)
+		if p.plan != nil {
+			tr.Plan(p.plan)
+		}
+		tr.BeginPhase(obs.PhaseEvaluate)
+	}
+	eopts := engine.Options{
+		Tracer:         tr,
+		DiskBased:      p.opts.DiskBased,
+		PageSize:       p.opts.PageSize,
+		UnguardedJumps: p.opts.UnguardedJumps,
+	}
+	var (
+		ms      match.Set
+		peak    int64
+		evalErr error
+	)
+	switch p.eng {
+	case EngineViewJoin:
+		var st vjengine.Stats
+		ms, st, evalErr = p.vj.Run(io, eopts)
+		peak = int64(st.PeakWindowEntries) * 16
+	case EngineTwigStack:
+		var st twigstack.Stats
+		ms, st = p.ts.Run(io, eopts)
+		peak = int64(st.PeakWindowEntries) * 16
+	case EnginePathStack:
+		ms, evalErr = p.ps.Run(io, eopts)
+	case EngineInterJoin:
+		ms, evalErr = p.ij.Run(io, eopts)
+	}
+	if tr != nil {
+		tr.EndPhase(obs.PhaseEvaluate)
+	}
+	dur := time.Since(start)
+	if evalErr != nil {
+		return nil, evalErr
+	}
+
+	res := &Result{
+		Matches: make([][]Node, len(ms)),
+		Stats: Stats{
+			ElementsScanned: c.ElementsScanned,
+			Comparisons:     c.Comparisons,
+			PointerDerefs:   c.PointerDerefs,
+			PagesRead:       c.PagesRead,
+			PagesWritten:    c.PagesWritten,
+			PeakMemoryBytes: peak,
+			Duration:        dur,
+		},
+	}
+	if tr != nil {
+		tr.BeginPhase(obs.PhaseOutput)
+	}
+	for i, m := range ms {
+		row := make([]Node, len(m))
+		for j, id := range m {
+			n := p.d.d.Node(id)
+			row[j] = Node{Tag: p.d.d.TypeName(n.Type), Start: n.Start, End: n.End, Level: n.Level}
+		}
+		res.Matches[i] = row
+	}
+	if tr != nil {
+		tr.EndPhase(obs.PhaseOutput)
+	}
+	if rec, ok := tr.(*obs.Recorder); ok {
+		res.Trace = rec.Report(c, time.Since(start))
+	}
+	return res, nil
+}
+
+// BatchResult is the outcome of one query in an EvaluateBatch call.
+type BatchResult struct {
+	Result *Result
+	Err    error
+}
+
+// EvaluateBatch executes prepared queries across a bounded worker pool and
+// returns the per-query outcomes in input order. parallel bounds the
+// number of concurrent executions; <= 0 uses GOMAXPROCS. The same
+// PreparedQuery may appear (or be run) multiple times — concurrent Run
+// calls are safe as long as every query was prepared with a nil Tracer.
+func EvaluateBatch(queries []*PreparedQuery, parallel int) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(queries) {
+		parallel = len(queries)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				r, err := queries[i].Run()
+				out[i] = BatchResult{Result: r, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// parallelFor runs work(0..n-1) across a worker pool bounded by GOMAXPROCS
+// (sequentially for n <= 1). Workers pull indices from a shared counter,
+// so output determinism is the caller's: write only to slot i.
+func parallelFor(n int, work func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			work(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				work(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// buildVSQ wraps vsq.Build in the segment phase span.
+func buildVSQ(q *Query, patterns []*tpq.Pattern, tr obs.Tracer) (*vsq.VSQ, error) {
+	if tr != nil {
+		tr.BeginPhase(obs.PhaseSegment)
+		defer tr.EndPhase(obs.PhaseSegment)
+	}
+	return vsq.Build(q.p, patterns)
+}
+
+// bindLists wraps engine.BindLists in the bind phase span (for the engines
+// that bind here rather than inside their Prepare).
+func bindLists(v *vsq.VSQ, stores []*store.ViewStore, tr obs.Tracer) ([]*store.ListFile, error) {
+	if tr != nil {
+		tr.BeginPhase(obs.PhaseBind)
+		defer tr.EndPhase(obs.PhaseBind)
+	}
+	return engine.BindLists(v, stores)
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package viewjoin
+
+const raceEnabled = false

@@ -12,4 +12,10 @@
 set -eu
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_1.json}"
+# Smoke-run the Go benchmarks first (a single iteration each) so a broken
+# benchmark fails here, cheaply, instead of poisoning a long timing run.
+# VJBENCH_SKIP_SMOKE=1 skips it.
+if [ -z "${VJBENCH_SKIP_SMOKE:-}" ]; then
+	go test -run '^$' -bench . -benchtime=1x ./... > /dev/null
+fi
 go run ./cmd/vjbench -exp all -json "$out" > /dev/null

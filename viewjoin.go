@@ -32,15 +32,8 @@ import (
 	"io"
 	"time"
 
-	"viewjoin/internal/counters"
 	"viewjoin/internal/dataset/nasa"
 	"viewjoin/internal/dataset/xmark"
-	"viewjoin/internal/engine"
-	"viewjoin/internal/engine/interjoin"
-	"viewjoin/internal/engine/pathstack"
-	"viewjoin/internal/engine/twigstack"
-	vjengine "viewjoin/internal/engine/viewjoin"
-	"viewjoin/internal/match"
 	"viewjoin/internal/obs"
 	"viewjoin/internal/oracle"
 	"viewjoin/internal/store"
@@ -226,15 +219,26 @@ func (d *Document) MaterializeView(view *Query, scheme StorageScheme, opts *Mate
 	return &MaterializedView{doc: d, pattern: view.p, mat: mat, store: st}, nil
 }
 
-// MaterializeViews materializes a whole view set in one scheme.
+// MaterializeViews materializes a whole view set in one scheme. The views
+// are materialized concurrently across a worker pool bounded by GOMAXPROCS;
+// the output order always matches the input order, and on failure the error
+// of the lowest-indexed failing view is returned, so the result is
+// deterministic regardless of scheduling.
 func (d *Document) MaterializeViews(views []*Query, scheme StorageScheme) ([]*MaterializedView, error) {
 	out := make([]*MaterializedView, len(views))
-	for i, v := range views {
-		mv, err := d.MaterializeView(v, scheme, nil)
+	errs := make([]error, len(views))
+	parallelFor(len(views), func(i int) {
+		mv, err := d.MaterializeView(views[i], scheme, nil)
 		if err != nil {
-			return nil, fmt.Errorf("view %s: %w", v, err)
+			errs[i] = fmt.Errorf("view %s: %w", views[i], err)
+			return
 		}
 		out[i] = mv
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -376,177 +380,17 @@ type Result struct {
 // with pairwise disjoint element types, together covering every query
 // node); InterJoin additionally requires path views of q in the tuple
 // scheme, while the other engines require element-family schemes.
+// Evaluate is one-shot Prepare + Run: Stats.Duration covers the whole call
+// (preparation included) and the counters fold in any preparation-time
+// costs, so a repeated query is better served by preparing once and calling
+// PreparedQuery.Run.
 func Evaluate(d *Document, q *Query, mviews []*MaterializedView, eng Engine, opts *EvalOptions) (*Result, error) {
-	if opts == nil {
-		opts = &EvalOptions{}
-	}
-	patterns := make([]*tpq.Pattern, len(mviews))
-	stores := make([]*store.ViewStore, len(mviews))
-	for i, mv := range mviews {
-		if mv.doc.d != d.d {
-			return nil, fmt.Errorf("viewjoin: view %s materialized over a different document", mv.pattern)
-		}
-		patterns[i] = mv.pattern
-		stores[i] = mv.store
-	}
-	var c counters.Counters
-	io := counters.NewIO(&c, opts.BufferPoolPages)
-	tr := opts.Tracer
-	if tr != nil {
-		io.Page = func(miss bool) {
-			if miss {
-				tr.Event(obs.EvPageMiss, -1, 1)
-			} else {
-				tr.Event(obs.EvPageHit, -1, 1)
-			}
-		}
-	}
-	eopts := engine.Options{
-		Tracer:         tr,
-		DiskBased:      opts.DiskBased,
-		PageSize:       opts.PageSize,
-		UnguardedJumps: opts.UnguardedJumps,
-	}
-
 	start := time.Now()
-	var (
-		ms      match.Set
-		peak    int64
-		evalErr error
-	)
-	switch eng {
-	case EngineViewJoin:
-		v, err := buildVSQ(q, patterns, tr)
-		if err != nil {
-			return nil, err
-		}
-		if tr != nil {
-			tr.Plan(tracePlan(q.p, patterns, stores, eng, v))
-			tr.BeginPhase(obs.PhaseEvaluate)
-		}
-		var st vjengine.Stats
-		ms, st, evalErr = vjengine.Eval(d.d, v, stores, io, eopts)
-		if tr != nil {
-			tr.EndPhase(obs.PhaseEvaluate)
-		}
-		peak = int64(st.PeakWindowEntries) * 16
-	case EngineTwigStack:
-		v, err := buildVSQ(q, patterns, tr)
-		if err != nil {
-			return nil, err
-		}
-		lists, err := bindLists(v, stores, tr)
-		if err != nil {
-			return nil, err
-		}
-		if tr != nil {
-			tr.Plan(tracePlan(q.p, patterns, stores, eng, v))
-			tr.BeginPhase(obs.PhaseEvaluate)
-		}
-		var st twigstack.Stats
-		ms, st = twigstack.Eval(d.d, q.p, lists, io, eopts)
-		if tr != nil {
-			tr.EndPhase(obs.PhaseEvaluate)
-		}
-		peak = int64(st.PeakWindowEntries) * 16
-	case EnginePathStack:
-		v, err := buildVSQ(q, patterns, tr)
-		if err != nil {
-			return nil, err
-		}
-		lists, err := bindLists(v, stores, tr)
-		if err != nil {
-			return nil, err
-		}
-		if tr != nil {
-			tr.Plan(tracePlan(q.p, patterns, stores, eng, v))
-			tr.BeginPhase(obs.PhaseEvaluate)
-		}
-		ms, evalErr = pathstack.Eval(d.d, q.p, lists, io, eopts)
-		if tr != nil {
-			tr.EndPhase(obs.PhaseEvaluate)
-		}
-	case EngineInterJoin:
-		if tr != nil {
-			tr.BeginPhase(obs.PhaseSegment)
-		}
-		viewPos := make([][]int, len(patterns))
-		for i, p := range patterns {
-			m, err := tpq.QueryNodeOfView(p, q.p)
-			if err != nil {
-				if tr != nil {
-					tr.EndPhase(obs.PhaseSegment)
-				}
-				return nil, err
-			}
-			viewPos[i] = m
-		}
-		if tr != nil {
-			tr.EndPhase(obs.PhaseSegment)
-			tr.Plan(interJoinPlan(q.p, patterns, stores, viewPos))
-			tr.BeginPhase(obs.PhaseEvaluate)
-		}
-		ms, evalErr = interjoin.Eval(d.d, q.p, stores, viewPos, io, eopts)
-		if tr != nil {
-			tr.EndPhase(obs.PhaseEvaluate)
-		}
-	default:
-		return nil, fmt.Errorf("viewjoin: unknown engine %v", eng)
+	p, err := Prepare(d, q, mviews, eng, opts)
+	if err != nil {
+		return nil, err
 	}
-	dur := time.Since(start)
-	if evalErr != nil {
-		return nil, evalErr
-	}
-
-	res := &Result{
-		Matches: make([][]Node, len(ms)),
-		Stats: Stats{
-			ElementsScanned: c.ElementsScanned,
-			Comparisons:     c.Comparisons,
-			PointerDerefs:   c.PointerDerefs,
-			PagesRead:       c.PagesRead,
-			PagesWritten:    c.PagesWritten,
-			PeakMemoryBytes: peak,
-			Duration:        dur,
-		},
-	}
-	if tr != nil {
-		tr.BeginPhase(obs.PhaseOutput)
-	}
-	for i, m := range ms {
-		row := make([]Node, len(m))
-		for j, id := range m {
-			n := d.d.Node(id)
-			row[j] = Node{Tag: d.d.TypeName(n.Type), Start: n.Start, End: n.End, Level: n.Level}
-		}
-		res.Matches[i] = row
-	}
-	if tr != nil {
-		tr.EndPhase(obs.PhaseOutput)
-	}
-	if rec, ok := tr.(*obs.Recorder); ok {
-		res.Trace = rec.Report(c, time.Since(start))
-	}
-	return res, nil
-}
-
-// buildVSQ wraps vsq.Build in the segment phase span.
-func buildVSQ(q *Query, patterns []*tpq.Pattern, tr obs.Tracer) (*vsq.VSQ, error) {
-	if tr != nil {
-		tr.BeginPhase(obs.PhaseSegment)
-		defer tr.EndPhase(obs.PhaseSegment)
-	}
-	return vsq.Build(q.p, patterns)
-}
-
-// bindLists wraps engine.BindLists in the bind phase span (for the engines
-// that bind here rather than inside their Eval).
-func bindLists(v *vsq.VSQ, stores []*store.ViewStore, tr obs.Tracer) ([]*store.ListFile, error) {
-	if tr != nil {
-		tr.BeginPhase(obs.PhaseBind)
-		defer tr.EndPhase(obs.PhaseBind)
-	}
-	return engine.BindLists(v, stores)
+	return p.run(start, true)
 }
 
 // tracePlan translates a view-segmented query into the plain-data plan the
