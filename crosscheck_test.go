@@ -1,6 +1,8 @@
 package viewjoin
 
 import (
+	"bytes"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -106,6 +108,125 @@ func TestGrandCrossCheck(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Error(err)
 	}
+}
+
+// roundTripViews pushes every view through SaveView → LoadView and returns
+// the reloaded set, failing the test on any serialization error.
+func roundTripViews(t *testing.T, d *Document, mv []*MaterializedView) []*MaterializedView {
+	t.Helper()
+	out := make([]*MaterializedView, len(mv))
+	for i, v := range mv {
+		var buf bytes.Buffer
+		n, err := v.SaveView(&buf)
+		if err != nil {
+			t.Fatalf("SaveView(%s): %v", v.Pattern(), err)
+		}
+		if n != int64(buf.Len()) {
+			t.Fatalf("SaveView(%s) reported %d bytes, wrote %d", v.Pattern(), n, buf.Len())
+		}
+		lv, err := d.LoadView(&buf)
+		if err != nil {
+			t.Fatalf("LoadView(%s): %v", v.Pattern(), err)
+		}
+		out[i] = lv
+	}
+	return out
+}
+
+// TestPersistenceRoundTripCrossCheck is the persistence equivalence
+// property: for every engine and its scheme, evaluating over views that
+// went through a SaveView → LoadView round trip must be byte-identical —
+// matches and deterministic counters both — to evaluating over the
+// in-memory originals. It also pins the structured failure modes: a
+// truncated stream is an ErrViewTruncated at every cut point, and a view
+// loaded into the wrong document is a *DocMismatchError.
+func TestPersistenceRoundTripCrossCheck(t *testing.T) {
+	d := GenerateXMark(0.05)
+	for _, c := range preparedCases() {
+		t.Run(c.name, func(t *testing.T) {
+			q, mv := materializeCase(t, d, c)
+			want, err := Evaluate(d, q, mv, c.eng, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loaded := roundTripViews(t, d, mv)
+			got, err := Evaluate(d, q, loaded, c.eng, nil)
+			if err != nil {
+				t.Fatalf("Evaluate over reloaded views: %v", err)
+			}
+			if !identicalMatches(got, want) {
+				t.Fatalf("reloaded views: %d matches, in-memory %d", len(got.Matches), len(want.Matches))
+			}
+			if !sameCounters(got.Stats, want.Stats) {
+				t.Fatalf("reloaded views changed the cost: %+v vs %+v", got.Stats, want.Stats)
+			}
+			// Prepared plans over reloaded views must agree too.
+			p, err := Prepare(d, q, loaded, c.eng, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pres, err := p.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !identicalMatches(pres, want) {
+				t.Fatalf("prepared over reloaded views: %d matches, want %d", len(pres.Matches), len(want.Matches))
+			}
+		})
+	}
+
+	t.Run("Truncated", func(t *testing.T) {
+		vs, err := ParseViews("//site//item//name")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mv, err := d.MaterializeViews(vs, SchemeLEp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := mv[0].SaveView(&buf); err != nil {
+			t.Fatal(err)
+		}
+		full := buf.Bytes()
+		// Cut the stream at a spread of prefixes covering the fingerprint
+		// header, the store header, and mid-payload truncation.
+		cuts := []int{0, 1, 7, 8, 9, len(full) / 2, len(full) - 1}
+		for _, cut := range cuts {
+			_, err := d.LoadView(bytes.NewReader(full[:cut]))
+			if err == nil {
+				t.Fatalf("LoadView accepted a stream truncated to %d/%d bytes", cut, len(full))
+			}
+			if !errors.Is(err, ErrViewTruncated) {
+				t.Errorf("cut at %d: error %v does not match ErrViewTruncated", cut, err)
+			}
+		}
+	})
+
+	t.Run("DocMismatch", func(t *testing.T) {
+		other := GenerateXMark(0.03)
+		vs, err := ParseViews("//site//item//name")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mv, err := other.MaterializeViews(vs, SchemeLEp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := mv[0].SaveView(&buf); err != nil {
+			t.Fatal(err)
+		}
+		_, err = d.LoadView(&buf)
+		var dm *DocMismatchError
+		if !errors.As(err, &dm) {
+			t.Fatalf("LoadView into the wrong document: error %v (%T), want *DocMismatchError", err, err)
+		}
+		if dm.Want != d.fingerprint() || dm.Saved != other.fingerprint() {
+			t.Errorf("DocMismatchError fingerprints %x/%x, want %x/%x",
+				dm.Saved, dm.Want, other.fingerprint(), d.fingerprint())
+		}
+	})
 }
 
 // TestBenchmarkWorkloadCrossCheck runs every benchmark query of the paper's

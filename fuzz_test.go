@@ -1,0 +1,88 @@
+package viewjoin
+
+import (
+	"testing"
+
+	"viewjoin/internal/testutil"
+	"viewjoin/internal/tpq"
+)
+
+// FuzzEvaluateDifferential is the repository's differential fuzzer: the
+// fuzz bytes deterministically drive testutil's generators (via
+// testutil.ByteSource) to produce a random document, a random TPQ, and a
+// random covering view partition, and every applicable engine/scheme pair
+// is then required to agree exactly with the brute-force oracle. Any
+// divergence or panic is a bug in one of the engines, the view
+// segmentation, or the storage layer; the corpus under
+// testdata/fuzz/FuzzEvaluateDifferential pins previously-interesting
+// generator inputs.
+func FuzzEvaluateDifferential(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("viewjoin"))
+	f.Add([]byte{0x00, 0xff, 0x10, 0x20, 0x42, 0x99, 0x7f, 0x01, 0xee, 0x31})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef, 0xca, 0xfe, 0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rng := testutil.NewByteRand(data)
+		doc := &Document{d: testutil.RandomDoc(rng, 60, nil)}
+		pat := testutil.RandomPattern(rng, 4, nil)
+		q := &Query{pat}
+		want := EvaluateDirect(doc, q)
+
+		partitions := [][]*tpq.Pattern{
+			testutil.RandomViewPartition(rng, pat),
+			testutil.SingletonViews(pat),
+			testutil.WholeQueryView(pat),
+		}
+		for pi, part := range partitions {
+			views := make([]*Query, len(part))
+			for i, vp := range part {
+				views[i] = &Query{vp}
+			}
+			for _, scheme := range []StorageScheme{SchemeElement, SchemeLEp} {
+				mv, err := doc.MaterializeViews(views, scheme)
+				if err != nil {
+					t.Fatalf("partition %d scheme %v: materialize: %v", pi, scheme, err)
+				}
+				engines := []Engine{EngineViewJoin, EngineTwigStack}
+				if q.IsPath() {
+					engines = append(engines, EnginePathStack)
+				}
+				for _, eng := range engines {
+					res, err := Evaluate(doc, q, mv, eng, nil)
+					if err != nil {
+						t.Fatalf("partition %d %v+%v: %v", pi, eng, scheme, err)
+					}
+					if !sameMatches(res, want) {
+						t.Fatalf("partition %d %v+%v: %d matches, oracle %d (q=%s)",
+							pi, eng, scheme, len(res.Matches), len(want.Matches), q)
+					}
+				}
+			}
+			if q.IsPath() {
+				tv, err := doc.MaterializeViews(views, SchemeTuple)
+				if err != nil {
+					t.Fatalf("partition %d tuple: materialize: %v", pi, err)
+				}
+				res, err := Evaluate(doc, q, tv, EngineInterJoin, nil)
+				if err != nil {
+					t.Fatalf("partition %d IJ: %v", pi, err)
+				}
+				if !sameMatches(res, want) {
+					t.Fatalf("partition %d IJ: %d matches, oracle %d (q=%s)",
+						pi, len(res.Matches), len(want.Matches), q)
+				}
+			}
+		}
+
+		// The no-view baseline must agree too (general-query entry point).
+		res, err := EvaluateWithoutViews(doc, q, EngineTwigStack, nil)
+		if err != nil {
+			t.Fatalf("EvaluateWithoutViews TS: %v", err)
+		}
+		if !sameMatches(res, want) {
+			t.Fatalf("EvaluateWithoutViews TS: %d matches, oracle %d (q=%s)",
+				len(res.Matches), len(want.Matches), q)
+		}
+	})
+}

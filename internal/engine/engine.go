@@ -31,7 +31,62 @@ type Options struct {
 	// recursively; provided for the ablation experiment, which runs on
 	// data without such nesting.
 	UnguardedJumps bool
+	// Interrupt, when non-nil, is polled cooperatively from the engine main
+	// loops and the window enumeration stage; a non-nil return aborts the
+	// run with that error. The public API binds it to a context's deadline
+	// or cancellation. nil keeps the historical uninterruptible behaviour
+	// at zero hot-path cost.
+	Interrupt func() error
 }
+
+// interruptStride is how many Interrupter.Check calls elapse between real
+// polls of the underlying hook. 256 keeps the per-iteration cost to a
+// counter increment and a mask while bounding cancellation latency to a few
+// hundred cursor steps.
+const interruptStride = 256
+
+// Interrupter performs strided cooperative cancellation checks for the
+// engine hot loops. The zero value (nil hook) never interrupts and costs
+// two predictable branches per Check. The first Check always polls, so an
+// already-expired deadline aborts before any work; the error is sticky.
+type Interrupter struct {
+	f   func() error
+	n   uint32
+	err error
+}
+
+// NewInterrupter returns an Interrupter polling f (nil disables).
+func NewInterrupter(f func() error) Interrupter { return Interrupter{f: f} }
+
+// Check polls the hook every interruptStride-th call (and on the first)
+// and returns the sticky error. The hookless fast path is kept to a single
+// nil test so the compiler inlines it into the engine hot loops.
+func (ic *Interrupter) Check() error {
+	if ic.f == nil {
+		return nil
+	}
+	return ic.check()
+}
+
+func (ic *Interrupter) check() error {
+	if ic.err != nil {
+		return ic.err
+	}
+	if ic.n%interruptStride == 0 {
+		ic.err = ic.f()
+	}
+	ic.n++
+	return ic.err
+}
+
+// Err returns the sticky error recorded by a previous Check, without
+// polling.
+func (ic *Interrupter) Err() error { return ic.err }
+
+// Active reports whether a hook is installed, i.e. whether Check can ever
+// return non-nil. Engines use it to skip wiring the interrupter into
+// sub-components entirely on uninterruptible runs.
+func (ic *Interrupter) Active() bool { return ic != nil && ic.f != nil }
 
 // BindLists maps each query node to the list file that holds its
 // candidates: the list of its covering view's node, found through the

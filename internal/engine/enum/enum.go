@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"viewjoin/internal/counters"
+	"viewjoin/internal/engine"
 	"viewjoin/internal/match"
 	"viewjoin/internal/obs"
 	"viewjoin/internal/store"
@@ -61,6 +62,12 @@ type Collector struct {
 	// window's region; ViewJoin uses it to extend the window with the query
 	// nodes that were removed from Q' (§IV-B second step).
 	PreFlush func(lo, hi int32)
+
+	// ic, when non-nil, is the engine run's shared cooperative cancellation
+	// checker; enumeration polls it so a window with a huge cross product
+	// cannot outlive the request's deadline. Once it trips, flushes become
+	// no-ops and the partial output is abandoned by the engine.
+	ic *engine.Interrupter
 
 	// Reusable per-window scratch (allocated once, reused across windows).
 	ok        [][]bool
@@ -130,6 +137,7 @@ func (c *Collector) Reset(io *counters.IO, tr obs.Tracer, diskBased bool, pageSi
 		pageSize = store.DefaultPageSize
 	}
 	c.io, c.tr, c.diskBased, c.pageSize = io, tr, diskBased, pageSize
+	c.ic = nil
 	c.out = nil
 	for qi := range c.cands {
 		c.cands[qi] = c.cands[qi][:0]
@@ -208,10 +216,26 @@ func (c *Collector) append(qi int, l Label) {
 	}
 }
 
+// SetInterrupt binds the engine run's cancellation checker; enumeration
+// polls it cooperatively. Reset clears the binding, so engines rebind it
+// every run. A nil or hookless interrupter disables the checks entirely,
+// keeping the per-entry cost of uninterruptible runs at one nil test.
+func (c *Collector) SetInterrupt(ic *engine.Interrupter) {
+	if !ic.Active() {
+		ic = nil
+	}
+	c.ic = ic
+}
+
+// interrupted reports whether the bound checker has already tripped (no
+// poll — the engine loops do the polling between windows).
+func (c *Collector) interrupted() bool { return c.ic != nil && c.ic.Err() != nil }
+
 // Flush enumerates the current window and resets it. It is a no-op when no
-// window is open.
+// window is open or the run has been interrupted (the abandoned window's
+// matches would be discarded with the rest of the output anyway).
 func (c *Collector) Flush() {
-	if !c.open {
+	if !c.open || c.interrupted() {
 		return
 	}
 	if c.PreFlush != nil {
@@ -299,6 +323,9 @@ func (c *Collector) enumerate() {
 			groups[g].starts = groups[g].starts[:0]
 		}
 		for j := range list {
+			if c.ic != nil && c.ic.Check() != nil {
+				return
+			}
 			cand := list[j]
 			good := true
 			if qi == 0 && c.q.Nodes[0].Axis == tpq.Child && cand.Level != 0 {
@@ -332,10 +359,16 @@ func (c *Collector) enumerate() {
 		return
 	}
 
-	// Top-down enumeration in pattern pre-order.
+	// Top-down enumeration in pattern pre-order. The recursion polls the
+	// cancellation checker per emitted tuple: a window whose cross product
+	// explodes must still honour the request deadline (the §IV space
+	// analysis bounds the window, not its enumeration).
 	var rec func(qi int)
 	rec = func(qi int) {
 		if qi == n {
+			if c.ic != nil && c.ic.Check() != nil {
+				return
+			}
 			for k := range c.cur {
 				c.m[k] = c.d.FindByStart(c.cur[k].Start)
 			}
@@ -346,6 +379,9 @@ func (c *Collector) enumerate() {
 		list := c.cands[qi]
 		lo := searchStartsAbove(list, parent.Start)
 		for j := lo; j < len(list) && list[j].Start < parent.End; j++ {
+			if c.interrupted() {
+				return
+			}
 			c.io.C.Comparisons++
 			if !c.ok[qi][j] {
 				continue
@@ -360,6 +396,9 @@ func (c *Collector) enumerate() {
 	for j, cand := range c.cands[0] {
 		if !c.ok[0][j] {
 			continue
+		}
+		if c.interrupted() {
+			return
 		}
 		c.cur[0] = cand
 		rec(1)

@@ -78,6 +78,7 @@ type Prepared struct {
 // reset in place between runs.
 type scratch struct {
 	upIdx, loIdx, active []int
+	ic                   engine.Interrupter
 }
 
 // Prepare validates the view set and materializes each view's tuple file
@@ -145,9 +146,14 @@ func (p *Prepared) Run(io *counters.IO, opts engine.Options) (match.Set, error) 
 	if sc == nil {
 		sc = &scratch{}
 	}
+	sc.ic = engine.NewInterrupter(opts.Interrupt)
 	q, n := p.q, p.q.Size()
 	acc := p.streams[p.order[0]]
 	for _, oi := range p.order[1:] {
+		if err := sc.ic.Err(); err != nil {
+			p.pool.Put(sc)
+			return nil, err
+		}
 		acc = binaryJoin(q, acc, p.streams[oi], io, sc)
 	}
 
@@ -156,6 +162,10 @@ func (p *Prepared) Run(io *counters.IO, opts engine.Options) (match.Set, error) 
 	// implied by the view matches (intra-view).
 	var out match.Set
 	for i := range acc.tuples {
+		if err := sc.ic.Check(); err != nil {
+			p.pool.Put(sc)
+			return nil, err
+		}
 		t := &acc.tuples[i]
 		ok := true
 		if q.Nodes[0].Axis == tpq.Child && t.labels[0].Level != 0 {
@@ -177,6 +187,10 @@ func (p *Prepared) Run(io *counters.IO, opts engine.Options) (match.Set, error) 
 			m[pos] = p.d.FindByStart(t.labels[pos].Start)
 		}
 		out = append(out, m)
+	}
+	if err := sc.ic.Err(); err != nil {
+		p.pool.Put(sc)
+		return nil, err
 	}
 	io.C.Matches = int64(len(out))
 	p.pool.Put(sc)
@@ -293,10 +307,15 @@ func binaryJoin(q *tpq.Pattern, a, b *stream, io *counters.IO, sc *scratch) *str
 
 	// Structural merge: scan descendants (lower side) in drive-start order,
 	// keeping an active window of ancestor-side tuples whose drive region is
-	// still open.
+	// still open. The merge polls the run's cancellation checker: with
+	// interleaving views the intermediate result can dwarf the output (the
+	// §I criticism), so a deadline must be able to stop it mid-join.
 	active := sc.active[:0]
 	ui := 0
 	for _, li := range loIdx {
+		if sc.ic.Check() != nil {
+			break
+		}
 		lt := &loSide.tuples[li]
 		ls := lt.labels[drive.lower].Start
 		for ui < len(upIdx) && upSide.tuples[upIdx[ui]].labels[drive.upper].Start < ls {

@@ -50,6 +50,7 @@ type scratch struct {
 	cur    []*store.Cursor
 	stacks [][]frame
 	buf    []store.Label
+	ic     engine.Interrupter
 }
 
 // Prepare binds the path query q over the given lists for repeated runs.
@@ -75,6 +76,7 @@ func (p *Prepared) Run(io *counters.IO, opts engine.Options) (match.Set, error) 
 		}
 	}
 	tr := opts.Tracer
+	sc.ic = engine.NewInterrupter(opts.Interrupt)
 	for i, l := range p.lists {
 		sc.curBuf[i].Reset(l, io, tr, i)
 		sc.cur[i] = &sc.curBuf[i]
@@ -83,6 +85,10 @@ func (p *Prepared) Run(io *counters.IO, opts engine.Options) (match.Set, error) 
 		sc.stacks[i] = sc.stacks[i][:0]
 	}
 	out := p.eval(sc, io, tr)
+	if err := sc.ic.Err(); err != nil {
+		p.pool.Put(sc)
+		return nil, err
+	}
 	p.pool.Put(sc)
 	return out, nil
 }
@@ -106,6 +112,9 @@ func (p *Prepared) eval(sc *scratch, io *counters.IO, tr obs.Tracer) match.Set {
 	var out match.Set
 
 	for {
+		if sc.ic.Check() != nil {
+			return nil
+		}
 		// qmin: the valid cursor with the smallest start label.
 		qmin := -1
 		for i := 0; i < n; i++ {
@@ -150,7 +159,7 @@ func (p *Prepared) eval(sc *scratch, io *counters.IO, tr obs.Tracer) match.Set {
 			tr.Event(obs.EvStackPush, qmin, 1)
 		}
 		if pushed && qmin == n-1 {
-			expand(d, q, stacks, n-1, len(stacks[n-1])-1, buf, io, &out)
+			expand(d, q, stacks, n-1, len(stacks[n-1])-1, buf, io, &sc.ic, &out)
 			stacks[n-1] = stacks[n-1][:len(stacks[n-1])-1]
 			if tr != nil {
 				tr.Event(obs.EvStackPop, n-1, 1)
@@ -167,9 +176,12 @@ func (p *Prepared) eval(sc *scratch, io *counters.IO, tr obs.Tracer) match.Set {
 // stack up to its recorded parentTop, subject to the pc-level checks that
 // the stacks alone do not enforce.
 func expand(d *xmltree.Document, q *tpq.Pattern, stacks [][]frame, qi, fi int,
-	buf []store.Label, io *counters.IO, out *match.Set) {
+	buf []store.Label, io *counters.IO, ic *engine.Interrupter, out *match.Set) {
 	buf[qi] = stacks[qi][fi].l
 	if qi == 0 {
+		if ic.Check() != nil {
+			return
+		}
 		m := make(match.Match, len(buf))
 		for k := range buf {
 			m[k] = d.FindByStart(buf[k].Start)
@@ -178,10 +190,13 @@ func expand(d *xmltree.Document, q *tpq.Pattern, stacks [][]frame, qi, fi int,
 		return
 	}
 	for pi := stacks[qi][fi].parentTop; pi >= 0; pi-- {
+		if ic.Err() != nil {
+			return
+		}
 		io.C.Comparisons++
 		if q.Nodes[qi].Axis == tpq.Child && stacks[qi-1][pi].l.Level != buf[qi].Level-1 {
 			continue
 		}
-		expand(d, q, stacks, qi-1, pi, buf, io, out)
+		expand(d, q, stacks, qi-1, pi, buf, io, ic, out)
 	}
 }

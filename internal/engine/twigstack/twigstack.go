@@ -55,6 +55,7 @@ type evaluator struct {
 	tr     obs.Tracer
 	col    *enum.Collector
 	open   [][]enum.Label // per query node: stack of accepted open regions
+	ic     engine.Interrupter
 }
 
 // Prepare binds q's evaluation over the given lists for repeated runs.
@@ -63,8 +64,9 @@ func Prepare(d *xmltree.Document, q *tpq.Pattern, lists []*store.ListFile) *Prep
 }
 
 // Run executes the prepared plan once, drawing evaluator scratch from the
-// pool and resetting it in place.
-func (p *Prepared) Run(io *counters.IO, opts engine.Options) (match.Set, Stats) {
+// pool and resetting it in place. The only error condition is a trip of
+// opts.Interrupt (cooperative cancellation).
+func (p *Prepared) Run(io *counters.IO, opts engine.Options) (match.Set, Stats, error) {
 	e, _ := p.pool.Get().(*evaluator)
 	if e == nil {
 		n := p.q.Size()
@@ -77,7 +79,9 @@ func (p *Prepared) Run(io *counters.IO, opts engine.Options) (match.Set, Stats) 
 		}
 	}
 	e.io, e.tr = io, opts.Tracer
+	e.ic = engine.NewInterrupter(opts.Interrupt)
 	e.col.Reset(io, opts.Tracer, opts.DiskBased, opts.PageSize)
+	e.col.SetInterrupt(&e.ic)
 	for qi := range p.lists {
 		e.curBuf[qi].Reset(p.lists[qi], io, opts.Tracer, qi)
 		e.cur[qi] = &e.curBuf[qi]
@@ -86,15 +90,19 @@ func (p *Prepared) Run(io *counters.IO, opts engine.Options) (match.Set, Stats) 
 		e.open[qi] = e.open[qi][:0]
 	}
 	e.run()
+	if err := e.ic.Err(); err != nil {
+		p.pool.Put(e)
+		return nil, Stats{}, err
+	}
 	out := e.col.Result()
 	st := Stats{PeakWindowEntries: e.col.PeakEntries()}
 	p.pool.Put(e)
-	return out, st
+	return out, st, nil
 }
 
 // Eval evaluates q over the per-query-node lists using TwigStack and
 // returns all tree pattern instances (one-shot Prepare + Run).
-func Eval(d *xmltree.Document, q *tpq.Pattern, lists []*store.ListFile, io *counters.IO, opts engine.Options) (match.Set, Stats) {
+func Eval(d *xmltree.Document, q *tpq.Pattern, lists []*store.ListFile, io *counters.IO, opts engine.Options) (match.Set, Stats, error) {
 	return Prepare(d, q, lists).Run(io, opts)
 }
 
@@ -117,6 +125,9 @@ func (e *evaluator) end(qi int) int32 {
 
 func (e *evaluator) run() {
 	for {
+		if e.ic.Check() != nil {
+			return
+		}
 		qact := e.getNext(0)
 		if !e.cur[qact].Valid() {
 			break
@@ -202,6 +213,9 @@ func (e *evaluator) getNext(qi int) int {
 	}
 	// Skip qi-nodes that cannot contain all child candidates.
 	for e.cur[qi].Valid() && e.end(qi) < e.start(qmax) {
+		if e.ic.Check() != nil {
+			return qi
+		}
 		e.io.C.Comparisons++
 		e.cur[qi].Next()
 	}

@@ -35,7 +35,10 @@ func evalWith(t testing.TB, d *xmltree.Document, q *tpq.Pattern, vs []*tpq.Patte
 	}
 	var c counters.Counters
 	io := counters.NewIO(&c, 0)
-	got, st := Eval(d, q, lists, io, opts)
+	got, st, err := Eval(d, q, lists, io, opts)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", q, err)
+	}
 	return got, st, c
 }
 

@@ -119,6 +119,10 @@ type evaluator struct {
 	winOpen bool
 	winEnd  int32
 
+	// ic is the run's cooperative cancellation checker, polled from the
+	// main loop and shared with the collector's enumeration stage.
+	ic engine.Interrupter
+
 	// unguarded disables the safe-jump probe rule on scoped following
 	// pointers (ablation mode: the paper's Function 4 jumps them
 	// unconditionally; see package docs).
@@ -168,6 +172,12 @@ func (p *Prepared) Run(io *counters.IO, opts engine.Options) (match.Set, Stats, 
 	}
 	e.reset(io, opts)
 	e.run()
+	if err := e.ic.Err(); err != nil {
+		// Interrupted: abandon the partial output. The evaluator still goes
+		// back to the pool — reset clears every piece of scratch on reuse.
+		p.pool.Put(e)
+		return nil, Stats{}, err
+	}
 	out := e.col.Result()
 	st := Stats{PeakWindowEntries: e.col.PeakEntries(), Segments: len(p.v.Segments)}
 	p.pool.Put(e)
@@ -212,7 +222,9 @@ func newEvaluator(p *Prepared) *evaluator {
 func (e *evaluator) reset(io *counters.IO, opts engine.Options) {
 	e.io, e.tr = io, opts.Tracer
 	e.unguarded = opts.UnguardedJumps
+	e.ic = engine.NewInterrupter(opts.Interrupt)
 	e.col.Reset(io, opts.Tracer, opts.DiskBased, opts.PageSize)
+	e.col.SetInterrupt(&e.ic)
 	e.winOpen, e.winEnd = false, 0
 	for _, qi := range e.p.primeNodes {
 		e.curBuf[qi].Reset(e.p.lists[qi], io, opts.Tracer, qi)
@@ -270,6 +282,9 @@ func (e *evaluator) start(qi int) int32 { return e.cur[qi].Item().Start }
 func (e *evaluator) run() {
 	root := e.p.v.RootSegment()
 	for {
+		if e.ic.Check() != nil {
+			return
+		}
 		qi := e.getNext(root)
 		if qi == -1 {
 			break
@@ -427,6 +442,9 @@ func (e *evaluator) align(rs int) {
 		return
 	}
 	for {
+		if e.ic.Check() != nil {
+			return
+		}
 		if !e.valid(rs) {
 			// No further rs candidates: remaining p entries can only start
 			// after every collected rs candidate, so they are useless too.
@@ -503,6 +521,9 @@ const maxInt32 = int32(1<<31 - 1)
 func (e *evaluator) advancePointers(p int, target int32) {
 	moved := false
 	for e.valid(p) && e.cur[p].Item().End < target {
+		if e.ic.Check() != nil {
+			return
+		}
 		e.io.C.Comparisons++
 		it := e.cur[p].Item()
 		jumped := false

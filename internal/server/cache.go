@@ -1,0 +1,81 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"viewjoin"
+)
+
+// planKey identifies one cached plan: a document, the canonical query
+// text, the engine, and the canonical (sorted, ";"-joined) view-name set.
+// Query and view names are canonical pattern renderings, so two requests
+// that differ only in whitespace or view order share a plan.
+type planKey struct {
+	doc    string
+	query  string
+	engine viewjoin.Engine
+	views  string
+}
+
+// planCache is a bounded LRU of prepared plans. PreparedQuery values are
+// immutable and safe for concurrent Run (they are always prepared with a
+// nil tracer here), so a cached plan can be handed to any number of
+// in-flight requests; eviction merely drops the cache's reference.
+type planCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used; values are *planEntry
+	items map[planKey]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type planEntry struct {
+	key  planKey
+	plan *viewjoin.PreparedQuery
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{cap: capacity, ll: list.New(), items: make(map[planKey]*list.Element)}
+}
+
+// get returns the cached plan for k, promoting it to most recently used.
+func (c *planCache) get(k planKey) *viewjoin.PreparedQuery {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*planEntry).plan
+}
+
+// put inserts a freshly prepared plan, evicting the least recently used
+// entry when over capacity. A concurrent put of the same key (two requests
+// racing through the same miss) keeps the existing entry.
+func (c *planCache) put(k planKey, p *viewjoin.PreparedQuery) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&planEntry{key: k, plan: p})
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.items, el.Value.(*planEntry).key)
+		c.evictions++
+	}
+}
+
+// stats snapshots the cache counters and current size.
+func (c *planCache) stats() (hits, misses, evictions int64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, c.ll.Len()
+}

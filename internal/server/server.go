@@ -1,0 +1,706 @@
+// Package server implements the vjserve HTTP daemon: a registry of
+// documents and materialized views loaded at startup, a bounded LRU cache
+// of prepared query plans, and a JSON query API with per-request
+// deadlines, admission control, and an observability surface.
+//
+// The serving model follows the paper's cost split directly: everything
+// §V charges once per plan (view-set validation, view-segmented query
+// construction, list binding, InterJoin's view scans) is paid at Prepare
+// time and amortized across requests through the plan cache, while each
+// request pays only the per-execution costs (cursor movement, structural
+// joins, enumeration) via PreparedQuery.RunContext on pooled scratch.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"viewjoin"
+	"viewjoin/internal/obs"
+)
+
+// Schema identifiers of the JSON documents the server emits. Query
+// responses and access-log lines embed trace reports in the existing
+// viewjoin/trace/v1 schema.
+const (
+	ResponseSchema = "viewjoin/serve/v1"
+	MetricsSchema  = "viewjoin/metrics/v1"
+	AccessSchema   = "viewjoin/access/v1"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// serving-appropriate default.
+type Config struct {
+	// CacheSize bounds the plan cache (prepared plans, LRU). Default 128.
+	CacheSize int
+	// Workers bounds concurrent query evaluations. Default 4.
+	Workers int
+	// QueueDepth bounds how many admitted requests may wait for a worker
+	// slot before new arrivals are shed with 429. 0 means shed whenever all
+	// workers are busy; negative means an unbounded queue.
+	QueueDepth int
+	// DefaultTimeout bounds requests that do not carry their own
+	// timeout_ms. Default 10s.
+	DefaultTimeout time.Duration
+	// AccessLog, when non-nil, receives one JSON line (schema
+	// viewjoin/access/v1) per query request.
+	AccessLog io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 128
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// docEntry is one registered document with its named views. Views are
+// keyed by the canonical rendering of their pattern.
+type docEntry struct {
+	doc   *viewjoin.Document
+	views map[string]*viewjoin.MaterializedView
+	order []string // registration order, for /documents listings
+}
+
+// Server is the shared state of the daemon. All fields are safe for
+// concurrent use once serving starts; documents and views are registered
+// before the listener is opened and immutable afterwards.
+type Server struct {
+	cfg   Config
+	docs  map[string]*docEntry
+	cache *planCache
+
+	sem    chan struct{} // worker slots
+	queued atomic.Int64  // admitted requests waiting for a slot
+
+	mu       sync.Mutex // guards draining + wg.Add pairing
+	draining bool
+	wg       sync.WaitGroup
+
+	prepares atomic.Int64 // plans built (misses that did the Prepare work)
+	requests atomic.Int64
+	shed     atomic.Int64
+	timeouts atomic.Int64
+	failures atomic.Int64
+	inFlight atomic.Int64
+
+	histMu  sync.Mutex
+	latency map[string]*obs.Histogram // engine name -> run latency (µs)
+
+	logMu sync.Mutex
+
+	// testEvalGate, when non-nil, is received from while holding a worker
+	// slot, before evaluation; testEvalStarted is called just before the
+	// receive. Tests use the pair to hold a worker busy deterministically.
+	testEvalGate    chan struct{}
+	testEvalStarted func()
+}
+
+// New builds a Server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		docs:    make(map[string]*docEntry),
+		cache:   newPlanCache(cfg.CacheSize),
+		sem:     make(chan struct{}, cfg.Workers),
+		latency: make(map[string]*obs.Histogram),
+	}
+}
+
+// AddDocument registers a document under a name. Not safe to call once
+// serving has started.
+func (s *Server) AddDocument(name string, d *viewjoin.Document) error {
+	if name == "" {
+		return errors.New("server: empty document name")
+	}
+	if _, ok := s.docs[name]; ok {
+		return fmt.Errorf("server: document %q already registered", name)
+	}
+	s.docs[name] = &docEntry{doc: d, views: make(map[string]*viewjoin.MaterializedView)}
+	return nil
+}
+
+// AddView registers a materialized view under its document. The view is
+// addressable in requests by the canonical rendering of its pattern
+// (e.g. "//site//item//name"). Not safe to call once serving has started.
+func (s *Server) AddView(docName string, mv *viewjoin.MaterializedView) error {
+	e, ok := s.docs[docName]
+	if !ok {
+		return fmt.Errorf("server: unknown document %q", docName)
+	}
+	name := mv.Pattern().String()
+	if _, ok := e.views[name]; ok {
+		return fmt.Errorf("server: view %s already registered for document %q", name, docName)
+	}
+	e.views[name] = mv
+	e.order = append(e.order, name)
+	return nil
+}
+
+// Handler returns the HTTP handler serving the full API surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/debug/trace", s.handleTrace)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/documents", s.handleDocuments)
+	return mux
+}
+
+// Drain puts the server into draining mode — new query requests are
+// rejected with 503 — and blocks until every in-flight request has
+// finished. It is the SIGTERM path of cmd/vjserve.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// queryRequest is the body of POST /query and POST /debug/trace.
+type queryRequest struct {
+	Document  string   `json:"document"`
+	Query     string   `json:"query"`
+	Engine    string   `json:"engine"`               // VJ (default), TS, PS, IJ
+	Views     []string `json:"views,omitempty"`      // registered view names; default: all views of the document
+	TimeoutMS int64    `json:"timeout_ms,omitempty"` // 0: server default
+	Limit     int      `json:"limit"`                // max match rows returned; 0: count only
+}
+
+// queryResponse is the body of a successful POST /query.
+type queryResponse struct {
+	Schema     string       `json:"schema"`
+	Document   string       `json:"document"`
+	Query      string       `json:"query"`
+	Engine     string       `json:"engine"`
+	Views      []string     `json:"views"`
+	Cache      string       `json:"cache"` // "hit" or "miss"
+	MatchCount int          `json:"match_count"`
+	Matches    [][]nodeJSON `json:"matches,omitempty"`
+	Stats      statsJSON    `json:"stats"`
+	DurationUS int64        `json:"duration_us"`
+	Trace      *obs.Report  `json:"trace,omitempty"`
+}
+
+type nodeJSON struct {
+	Tag   string `json:"tag"`
+	Start int32  `json:"start"`
+	End   int32  `json:"end"`
+	Level int32  `json:"level"`
+}
+
+type statsJSON struct {
+	ElementsScanned int64 `json:"elements_scanned"`
+	Comparisons     int64 `json:"comparisons"`
+	PointerDerefs   int64 `json:"pointer_derefs"`
+	PagesRead       int64 `json:"pages_read"`
+	PagesWritten    int64 `json:"pages_written"`
+	PeakMemoryBytes int64 `json:"peak_memory_bytes"`
+}
+
+// errorResponse is the body of every failed request: the stage that
+// failed, the error text, and — for timeouts — an explicit statement that
+// no partial results were produced (aborted evaluations return nothing).
+type errorResponse struct {
+	Stage   string `json:"stage"`
+	Error   string `json:"error"`
+	Partial bool   `json:"partial"`
+	Timeout bool   `json:"timeout,omitempty"`
+}
+
+func writeError(w http.ResponseWriter, status int, stage string, err error, timeout bool) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Stage: stage, Error: err.Error(), Timeout: timeout})
+}
+
+// admit performs admission control: reject while draining, shed when the
+// worker queue is full, otherwise block for a worker slot. On success it
+// returns a release func and stage ""; on failure, a status and stage.
+func (s *Server) admit() (release func(), status int, stage string, err error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, http.StatusServiceUnavailable, "admission", errors.New("server is draining")
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	acquired := false
+	select {
+	case s.sem <- struct{}{}:
+		acquired = true
+	default:
+	}
+	if !acquired {
+		if s.cfg.QueueDepth >= 0 {
+			if q := s.queued.Add(1); q > int64(s.cfg.QueueDepth) {
+				s.queued.Add(-1)
+				s.wg.Done()
+				s.shed.Add(1)
+				return nil, http.StatusTooManyRequests, "admission",
+					fmt.Errorf("queue full (%d workers busy, %d queued)", s.cfg.Workers, s.cfg.QueueDepth)
+			}
+			s.sem <- struct{}{}
+			s.queued.Add(-1)
+		} else {
+			s.sem <- struct{}{}
+		}
+	}
+	s.inFlight.Add(1)
+	return func() {
+		s.inFlight.Add(-1)
+		<-s.sem
+		s.wg.Done()
+	}, 0, "", nil
+}
+
+// resolve looks up the document, parses the query, resolves the view
+// names (all registered views when none are named) and the engine.
+func (s *Server) resolve(req *queryRequest) (*docEntry, *viewjoin.Query, viewjoin.Engine, []string, []*viewjoin.MaterializedView, int, string, error) {
+	e, ok := s.docs[req.Document]
+	if !ok {
+		return nil, nil, 0, nil, nil, http.StatusNotFound, "resolve", fmt.Errorf("unknown document %q", req.Document)
+	}
+	q, err := viewjoin.ParseQuery(req.Query)
+	if err != nil {
+		return nil, nil, 0, nil, nil, http.StatusBadRequest, "parse", err
+	}
+	eng := viewjoin.EngineViewJoin
+	if req.Engine != "" {
+		eng, err = ParseEngine(req.Engine)
+		if err != nil {
+			return nil, nil, 0, nil, nil, http.StatusBadRequest, "parse", err
+		}
+	}
+	names := req.Views
+	if len(names) == 0 {
+		names = e.order
+	}
+	canon := make([]string, 0, len(names))
+	mviews := make([]*viewjoin.MaterializedView, 0, len(names))
+	for _, n := range names {
+		// Accept any spelling that parses to a registered pattern.
+		vq, err := viewjoin.ParseQuery(n)
+		if err != nil {
+			return nil, nil, 0, nil, nil, http.StatusBadRequest, "parse", fmt.Errorf("view %q: %w", n, err)
+		}
+		key := vq.String()
+		mv, ok := e.views[key]
+		if !ok {
+			return nil, nil, 0, nil, nil, http.StatusNotFound, "resolve",
+				fmt.Errorf("view %s not registered for document %q", key, req.Document)
+		}
+		canon = append(canon, key)
+		mviews = append(mviews, mv)
+	}
+	sort.Strings(canon)
+	return e, q, eng, canon, mviews, 0, "", nil
+}
+
+// plan returns a prepared plan for the request, from the cache when
+// possible. The bool reports whether this was a cache hit. Plans are
+// always prepared with nil options (no tracer), which is what makes them
+// shareable across concurrent requests.
+func (s *Server) plan(req *queryRequest, e *docEntry, q *viewjoin.Query, eng viewjoin.Engine, canon []string, mviews []*viewjoin.MaterializedView) (*viewjoin.PreparedQuery, bool, error) {
+	key := planKey{doc: req.Document, query: q.String(), engine: eng, views: strings.Join(canon, ";")}
+	if p := s.cache.get(key); p != nil {
+		return p, true, nil
+	}
+	p, err := viewjoin.Prepare(e.doc, q, mviews, eng, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	s.prepares.Add(1)
+	s.cache.put(key, p)
+	return p, false, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.serveQuery(w, r, false)
+}
+
+// handleTrace is POST /query with tracing: it bypasses the plan cache
+// (tracers are not concurrency-safe, so traced plans are never shared),
+// prepares fresh with an obs.Recorder, and embeds the viewjoin/trace/v1
+// report in the response and the access log line.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	s.serveQuery(w, r, true)
+}
+
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, traced bool) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "request", errors.New("POST required"), false)
+		return
+	}
+	s.requests.Add(1)
+	started := time.Now()
+	var req queryRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		s.failures.Add(1)
+		writeError(w, http.StatusBadRequest, "request", err, false)
+		return
+	}
+
+	release, status, stage, err := s.admit()
+	if err != nil {
+		s.logAccess(&req, status, stage, 0, "", time.Since(started), err)
+		writeError(w, status, stage, err, false)
+		return
+	}
+	defer release()
+
+	e, q, eng, canon, mviews, status, stage, err := s.resolve(&req)
+	if err != nil {
+		s.failures.Add(1)
+		s.logAccess(&req, status, stage, 0, "", time.Since(started), err)
+		writeError(w, status, stage, err, false)
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := contextWithTimeout(r, timeout)
+	defer cancel()
+
+	// The gate sits between deadline creation and evaluation: a test that
+	// holds it past the deadline gets a deterministic expiry at the
+	// engine's upfront interrupt check.
+	if s.testEvalGate != nil {
+		if s.testEvalStarted != nil {
+			s.testEvalStarted()
+		}
+		<-s.testEvalGate
+	}
+
+	var res *viewjoin.Result
+	cacheState := "bypass"
+	if traced {
+		rec := obs.NewRecorder()
+		p, err := viewjoin.Prepare(e.doc, q, mviews, eng, &viewjoin.EvalOptions{Tracer: rec})
+		if err == nil {
+			s.prepares.Add(1)
+			res, err = p.RunContext(ctx)
+		}
+		if err != nil {
+			s.fail(w, &req, q, eng, started, err)
+			return
+		}
+	} else {
+		p, hit, err := s.plan(&req, e, q, eng, canon, mviews)
+		if err != nil {
+			s.failures.Add(1)
+			s.logAccess(&req, http.StatusUnprocessableEntity, "prepare", 0, "", time.Since(started), err)
+			writeError(w, http.StatusUnprocessableEntity, "prepare", err, false)
+			return
+		}
+		cacheState = "miss"
+		if hit {
+			cacheState = "hit"
+		}
+		res, err = p.RunContext(ctx)
+		if err != nil {
+			s.fail(w, &req, q, eng, started, err)
+			return
+		}
+	}
+
+	s.observeLatency(eng, res.Stats.Duration)
+	resp := queryResponse{
+		Schema:     ResponseSchema,
+		Document:   req.Document,
+		Query:      q.String(),
+		Engine:     eng.String(),
+		Views:      canon,
+		Cache:      cacheState,
+		MatchCount: len(res.Matches),
+		Stats: statsJSON{
+			ElementsScanned: res.Stats.ElementsScanned,
+			Comparisons:     res.Stats.Comparisons,
+			PointerDerefs:   res.Stats.PointerDerefs,
+			PagesRead:       res.Stats.PagesRead,
+			PagesWritten:    res.Stats.PagesWritten,
+			PeakMemoryBytes: res.Stats.PeakMemoryBytes,
+		},
+		DurationUS: res.Stats.Duration.Microseconds(),
+		Trace:      res.Trace,
+	}
+	if req.Limit > 0 {
+		n := len(res.Matches)
+		if n > req.Limit {
+			n = req.Limit
+		}
+		resp.Matches = make([][]nodeJSON, n)
+		for i := 0; i < n; i++ {
+			row := make([]nodeJSON, len(res.Matches[i]))
+			for j, nd := range res.Matches[i] {
+				row[j] = nodeJSON{Tag: nd.Tag, Start: nd.Start, End: nd.End, Level: nd.Level}
+			}
+			resp.Matches[i] = row
+		}
+	}
+	s.logAccess(&req, http.StatusOK, "", len(res.Matches), cacheState, time.Since(started), nil)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// fail maps an evaluation error to its HTTP shape: a *CanceledError from a
+// deadline is 504 with partial=false and timeout=true; anything else is a
+// 422 evaluate error.
+func (s *Server) fail(w http.ResponseWriter, req *queryRequest, q *viewjoin.Query, eng viewjoin.Engine, started time.Time, err error) {
+	var ce *viewjoin.CanceledError
+	if errors.As(err, &ce) {
+		s.timeouts.Add(1)
+		s.logAccess(req, http.StatusGatewayTimeout, "evaluate", 0, "", time.Since(started), err)
+		writeError(w, http.StatusGatewayTimeout, "evaluate", err, true)
+		return
+	}
+	s.failures.Add(1)
+	s.logAccess(req, http.StatusUnprocessableEntity, "evaluate", 0, "", time.Since(started), err)
+	writeError(w, http.StatusUnprocessableEntity, "evaluate", err, false)
+}
+
+// observeLatency records one run duration in the per-engine histogram
+// (microseconds; power-of-two buckets shared with the trace reports).
+func (s *Server) observeLatency(eng viewjoin.Engine, d time.Duration) {
+	s.histMu.Lock()
+	h := s.latency[eng.String()]
+	if h == nil {
+		h = &obs.Histogram{}
+		s.latency[eng.String()] = h
+	}
+	h.Add(d.Microseconds())
+	s.histMu.Unlock()
+}
+
+// accessLine is one viewjoin/access/v1 log record.
+type accessLine struct {
+	Schema     string   `json:"schema"`
+	Time       string   `json:"time"`
+	Document   string   `json:"document"`
+	Query      string   `json:"query"`
+	Engine     string   `json:"engine"`
+	Views      []string `json:"views,omitempty"`
+	Status     int      `json:"status"`
+	Stage      string   `json:"stage,omitempty"`
+	Cache      string   `json:"cache,omitempty"`
+	Matches    int      `json:"matches"`
+	DurationUS int64    `json:"duration_us"`
+	Error      string   `json:"error,omitempty"`
+}
+
+func (s *Server) logAccess(req *queryRequest, status int, stage string, matches int, cache string, d time.Duration, err error) {
+	if s.cfg.AccessLog == nil {
+		return
+	}
+	line := accessLine{
+		Schema:     AccessSchema,
+		Time:       time.Now().UTC().Format(time.RFC3339Nano),
+		Document:   req.Document,
+		Query:      req.Query,
+		Engine:     req.Engine,
+		Views:      req.Views,
+		Status:     status,
+		Stage:      stage,
+		Cache:      cache,
+		Matches:    matches,
+		DurationUS: d.Microseconds(),
+	}
+	if err != nil {
+		line.Error = err.Error()
+	}
+	buf, merr := json.Marshal(line)
+	if merr != nil {
+		return
+	}
+	s.logMu.Lock()
+	s.cfg.AccessLog.Write(append(buf, '\n'))
+	s.logMu.Unlock()
+}
+
+// metricsResponse is the body of GET /metrics.
+type metricsResponse struct {
+	Schema    string              `json:"schema"`
+	PlanCache planCacheMetrics    `json:"plan_cache"`
+	Requests  requestMetrics      `json:"requests"`
+	LatencyUS map[string]histJSON `json:"latency_us"`
+	Documents int                 `json:"documents"`
+}
+
+type planCacheMetrics struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Prepares  int64 `json:"prepares"`
+	Size      int   `json:"size"`
+	Capacity  int   `json:"capacity"`
+}
+
+type requestMetrics struct {
+	Total    int64 `json:"total"`
+	Shed     int64 `json:"shed"`
+	Timeouts int64 `json:"timeouts"`
+	Failures int64 `json:"failures"`
+	InFlight int64 `json:"in_flight"`
+	Queued   int64 `json:"queued"`
+	Draining bool  `json:"draining"`
+}
+
+type histJSON struct {
+	N       int64            `json:"n"`
+	SumUS   int64            `json:"sum_us"`
+	MaxUS   int64            `json:"max_us"`
+	Buckets []histBucketJSON `json:"buckets"` // nonzero buckets only
+}
+
+type histBucketJSON struct {
+	LE int64 `json:"le"` // inclusive upper bound (µs)
+	N  int64 `json:"n"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hits, misses, evictions, size := s.cache.stats()
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	resp := metricsResponse{
+		Schema: MetricsSchema,
+		PlanCache: planCacheMetrics{
+			Hits: hits, Misses: misses, Evictions: evictions,
+			Prepares: s.prepares.Load(), Size: size, Capacity: s.cfg.CacheSize,
+		},
+		Requests: requestMetrics{
+			Total:    s.requests.Load(),
+			Shed:     s.shed.Load(),
+			Timeouts: s.timeouts.Load(),
+			Failures: s.failures.Load(),
+			InFlight: s.inFlight.Load(),
+			Queued:   s.queued.Load(),
+			Draining: draining,
+		},
+		LatencyUS: make(map[string]histJSON),
+		Documents: len(s.docs),
+	}
+	s.histMu.Lock()
+	for name, h := range s.latency {
+		hj := histJSON{N: h.N, SumUS: h.Sum, MaxUS: h.Max}
+		for i, n := range h.Count {
+			if n > 0 {
+				hj.Buckets = append(hj.Buckets, histBucketJSON{LE: obs.BucketUpper(i), N: n})
+			}
+		}
+		resp.LatencyUS[name] = hj
+	}
+	s.histMu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	status := "ok"
+	if draining {
+		status = "draining"
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(map[string]any{"status": status, "in_flight": s.inFlight.Load()})
+}
+
+// documentInfo is one entry of GET /documents.
+type documentInfo struct {
+	Name  string     `json:"name"`
+	Nodes int        `json:"nodes"`
+	Views []viewInfo `json:"views"`
+}
+
+type viewInfo struct {
+	Pattern   string `json:"pattern"`
+	Scheme    string `json:"scheme"`
+	Entries   int    `json:"entries"`
+	SizeBytes int64  `json:"size_bytes"`
+}
+
+func (s *Server) handleDocuments(w http.ResponseWriter, r *http.Request) {
+	names := make([]string, 0, len(s.docs))
+	for n := range s.docs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]documentInfo, 0, len(names))
+	for _, n := range names {
+		e := s.docs[n]
+		di := documentInfo{Name: n, Nodes: e.doc.NumNodes()}
+		for _, vn := range e.order {
+			mv := e.views[vn]
+			di.Views = append(di.Views, viewInfo{
+				Pattern:   vn,
+				Scheme:    mv.Scheme().String(),
+				Entries:   mv.NumEntries(),
+				SizeBytes: mv.SizeBytes(),
+			})
+		}
+		out = append(out, di)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// contextWithTimeout derives the per-request evaluation context: the
+// HTTP request's context (so client disconnects cancel the run too)
+// bounded by the request's deadline.
+func contextWithTimeout(r *http.Request, timeout time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), timeout)
+}
+
+// ParseEngine resolves the request spelling of an engine (as in the
+// paper's experiments: VJ, TS, PS, IJ).
+func ParseEngine(s string) (viewjoin.Engine, error) {
+	switch strings.ToUpper(s) {
+	case "VJ":
+		return viewjoin.EngineViewJoin, nil
+	case "TS":
+		return viewjoin.EngineTwigStack, nil
+	case "PS":
+		return viewjoin.EnginePathStack, nil
+	case "IJ":
+		return viewjoin.EngineInterJoin, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q (want VJ, TS, PS, IJ)", s)
+}
+
+// ParseScheme resolves the request spelling of a storage scheme.
+func ParseScheme(s string) (viewjoin.StorageScheme, error) {
+	switch strings.ToUpper(s) {
+	case "E":
+		return viewjoin.SchemeElement, nil
+	case "LE":
+		return viewjoin.SchemeLE, nil
+	case "LEP":
+		return viewjoin.SchemeLEp, nil
+	case "T":
+		return viewjoin.SchemeTuple, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q (want E, LE, LEp, T)", s)
+}

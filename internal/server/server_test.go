@@ -1,0 +1,628 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"viewjoin"
+)
+
+const (
+	testQuery = "//site//item[//description//keyword]/name"
+	testViews = "//site//item//name; //description//keyword"
+)
+
+// newTestServer builds a Server over a small XMark document with the
+// standard Q14-style view set materialized in LEp.
+func newTestServer(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	s := New(cfg)
+	d := viewjoin.GenerateXMark(0.05)
+	if err := s.AddDocument("xmark", d); err != nil {
+		t.Fatal(err)
+	}
+	views, err := viewjoin.ParseViews(testViews)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mviews, err := d.MaterializeViews(views, viewjoin.SchemeLEp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mv := range mviews {
+		if err := s.AddView("xmark", mv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// post sends one query request and decodes the response body into out
+// (which may be nil), returning the HTTP status.
+func post(t testing.TB, ts *httptest.Server, path string, req any, out any) int {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s response: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getMetrics(t testing.TB, ts *httptest.Server) metricsResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m metricsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestQueryCacheAccounting pins the plan-cache contract: the first request
+// for a plan is a miss that prepares once, every identical request after
+// it is a hit that performs no Prepare work (the prepares counter must not
+// move), different engines get distinct entries, and all of it is
+// reported on /metrics. Results must agree with the library evaluation.
+func TestQueryCacheAccounting(t *testing.T) {
+	var log bytes.Buffer
+	s := newTestServer(t, Config{AccessLog: &log})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	d := viewjoin.GenerateXMark(0.05)
+	q := viewjoin.MustParseQuery(testQuery)
+	want := viewjoin.EvaluateDirect(d, q)
+
+	var first queryResponse
+	if st := post(t, ts, "/query", queryRequest{Document: "xmark", Query: testQuery, Engine: "VJ"}, &first); st != http.StatusOK {
+		t.Fatalf("first request: status %d", st)
+	}
+	if first.Schema != ResponseSchema {
+		t.Errorf("schema %q, want %q", first.Schema, ResponseSchema)
+	}
+	if first.Cache != "miss" {
+		t.Errorf("first request cache=%q, want miss", first.Cache)
+	}
+	if first.MatchCount != len(want.Matches) {
+		t.Errorf("match_count %d, want %d", first.MatchCount, len(want.Matches))
+	}
+
+	const hitRuns = 5
+	for i := 0; i < hitRuns; i++ {
+		var r queryResponse
+		if st := post(t, ts, "/query", queryRequest{Document: "xmark", Query: testQuery, Engine: "VJ"}, &r); st != http.StatusOK {
+			t.Fatalf("hit %d: status %d", i, st)
+		}
+		if r.Cache != "hit" {
+			t.Errorf("hit %d: cache=%q, want hit", i, r.Cache)
+		}
+		if r.MatchCount != first.MatchCount {
+			t.Errorf("hit %d: match_count %d, want %d", i, r.MatchCount, first.MatchCount)
+		}
+	}
+
+	// The same plan under a different engine is a distinct cache entry.
+	var ts2 queryResponse
+	if st := post(t, ts, "/query", queryRequest{Document: "xmark", Query: testQuery, Engine: "TS"}, &ts2); st != http.StatusOK {
+		t.Fatalf("TS request: status %d", st)
+	}
+	if ts2.Cache != "miss" {
+		t.Errorf("TS request cache=%q, want miss", ts2.Cache)
+	}
+	if ts2.MatchCount != first.MatchCount {
+		t.Errorf("TS match_count %d, want %d", ts2.MatchCount, first.MatchCount)
+	}
+
+	m := getMetrics(t, ts)
+	if m.Schema != MetricsSchema {
+		t.Errorf("metrics schema %q, want %q", m.Schema, MetricsSchema)
+	}
+	if m.PlanCache.Hits != hitRuns {
+		t.Errorf("hits = %d, want %d", m.PlanCache.Hits, hitRuns)
+	}
+	if m.PlanCache.Misses != 2 {
+		t.Errorf("misses = %d, want 2", m.PlanCache.Misses)
+	}
+	// The pin: hits performed no Prepare work — exactly one plan was built
+	// per miss, none per hit.
+	if m.PlanCache.Prepares != 2 {
+		t.Errorf("prepares = %d, want 2 (hit path must not Prepare)", m.PlanCache.Prepares)
+	}
+	if m.PlanCache.Size != 2 {
+		t.Errorf("cache size = %d, want 2", m.PlanCache.Size)
+	}
+	if m.Requests.Total != int64(hitRuns+2) {
+		t.Errorf("requests total = %d, want %d", m.Requests.Total, hitRuns+2)
+	}
+	if h, ok := m.LatencyUS["VJ"]; !ok || h.N != int64(hitRuns+1) {
+		t.Errorf("VJ latency histogram: %+v, want n=%d", h, hitRuns+1)
+	}
+
+	// Access log: one viewjoin/access/v1 line per request.
+	lines := strings.Split(strings.TrimSpace(log.String()), "\n")
+	if len(lines) != hitRuns+2 {
+		t.Fatalf("access log has %d lines, want %d", len(lines), hitRuns+2)
+	}
+	var al accessLine
+	if err := json.Unmarshal([]byte(lines[0]), &al); err != nil {
+		t.Fatalf("access line: %v", err)
+	}
+	if al.Schema != AccessSchema || al.Status != http.StatusOK || al.Cache != "miss" {
+		t.Errorf("first access line %+v", al)
+	}
+}
+
+// TestQueryCacheHitAllocations pins that the cache-hit lookup itself does
+// no Prepare work at the allocation level: a hit through planCache.get
+// allocates nothing.
+func TestQueryCacheHitAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	s := newTestServer(t, Config{})
+	e := s.docs["xmark"]
+	req := &queryRequest{Document: "xmark", Query: testQuery, Engine: "VJ"}
+	q, err := viewjoin.ParseQuery(testQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, eng, canon, mviews, _, _, rerr := s.resolve(req)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if _, hit, err := s.plan(req, e, q, eng, canon, mviews); err != nil || hit {
+		t.Fatalf("warmup plan: hit=%v err=%v", hit, err)
+	}
+	key := planKey{doc: "xmark", query: q.String(), engine: eng, views: strings.Join(canon, ";")}
+	allocs := testing.AllocsPerRun(100, func() {
+		if p := s.cache.get(key); p == nil {
+			t.Fatal("cache lost the plan")
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("cache hit allocates %.1f objects per lookup, want 0", allocs)
+	}
+	if got := s.prepares.Load(); got != 1 {
+		t.Errorf("prepares = %d after hit-only lookups, want 1", got)
+	}
+}
+
+// TestQueryDeadlineExpiry holds the evaluation gate past the request
+// deadline: the response must be a 504 with the structured timeout shape
+// (partial=false), and the very same plan must serve a correct 200
+// immediately afterwards — the pooled evaluator scratch survives the
+// aborted run (the -race run of this test is the leak check).
+func TestQueryDeadlineExpiry(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	gate := make(chan struct{})
+	started := make(chan struct{}, 1)
+	s.testEvalGate = gate
+	s.testEvalStarted = func() { started <- struct{}{} }
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := queryRequest{Document: "xmark", Query: testQuery, Engine: "VJ", TimeoutMS: 5}
+	type reply struct {
+		status int
+		body   errorResponse
+	}
+	done := make(chan reply, 1)
+	go func() {
+		var er errorResponse
+		st := post(t, ts, "/query", req, &er)
+		done <- reply{st, er}
+	}()
+	<-started
+	// The deadline was set before the gate; once it has certainly passed,
+	// release the request into evaluation.
+	time.Sleep(20 * time.Millisecond)
+	gate <- struct{}{}
+	r := <-done
+	if r.status != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (body %+v)", r.status, r.body)
+	}
+	if r.body.Partial {
+		t.Errorf("timeout response claims partial results: %+v", r.body)
+	}
+	if !r.body.Timeout {
+		t.Errorf("timeout response not flagged as timeout: %+v", r.body)
+	}
+	if r.body.Stage != "evaluate" {
+		t.Errorf("timeout stage %q, want evaluate", r.body.Stage)
+	}
+
+	// Same plan, sane deadline: must evaluate cleanly on the recycled
+	// scratch, as a cache hit.
+	var ok queryResponse
+	go func() { <-started; gate <- struct{}{} }()
+	if st := post(t, ts, "/query", queryRequest{Document: "xmark", Query: testQuery, Engine: "VJ"}, &ok); st != http.StatusOK {
+		t.Fatalf("post-timeout request: status %d", st)
+	}
+	if ok.Cache != "hit" {
+		t.Errorf("post-timeout cache=%q, want hit (the aborted run built the plan)", ok.Cache)
+	}
+	d := viewjoin.GenerateXMark(0.05)
+	want := viewjoin.EvaluateDirect(d, viewjoin.MustParseQuery(testQuery))
+	if ok.MatchCount != len(want.Matches) {
+		t.Errorf("post-timeout match_count %d, want %d", ok.MatchCount, len(want.Matches))
+	}
+	m := getMetrics(t, ts)
+	if m.Requests.Timeouts != 1 {
+		t.Errorf("timeouts = %d, want 1", m.Requests.Timeouts)
+	}
+}
+
+// TestQueryShedding saturates the single worker and pins the 429 path:
+// with QueueDepth 0, a second request must be shed immediately with the
+// structured admission error and counted on /metrics.
+func TestQueryShedding(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 0})
+	gate := make(chan struct{})
+	started := make(chan struct{}, 1)
+	s.testEvalGate = gate
+	s.testEvalStarted = func() { started <- struct{}{} }
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := queryRequest{Document: "xmark", Query: testQuery, Engine: "VJ"}
+	firstDone := make(chan int, 1)
+	go func() {
+		var r queryResponse
+		firstDone <- post(t, ts, "/query", req, &r)
+	}()
+	<-started // the worker slot is now held
+
+	var er errorResponse
+	if st := post(t, ts, "/query", req, &er); st != http.StatusTooManyRequests {
+		t.Fatalf("saturated request: status %d, want 429 (body %+v)", st, er)
+	}
+	if er.Stage != "admission" {
+		t.Errorf("shed stage %q, want admission", er.Stage)
+	}
+
+	gate <- struct{}{}
+	if st := <-firstDone; st != http.StatusOK {
+		t.Fatalf("first request: status %d", st)
+	}
+	m := getMetrics(t, ts)
+	if m.Requests.Shed != 1 {
+		t.Errorf("shed = %d, want 1", m.Requests.Shed)
+	}
+	if m.Requests.Total != 2 {
+		t.Errorf("total = %d, want 2", m.Requests.Total)
+	}
+}
+
+// TestQueryQueueing verifies the queue between the workers and the
+// shedding threshold: with QueueDepth 1, one request may wait for the
+// busy worker and completes; only the one after it is shed.
+func TestQueryQueueing(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	gate := make(chan struct{})
+	started := make(chan struct{}, 2)
+	s.testEvalGate = gate
+	s.testEvalStarted = func() { started <- struct{}{} }
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := queryRequest{Document: "xmark", Query: testQuery, Engine: "VJ"}
+	results := make(chan int, 2)
+	go func() {
+		var r queryResponse
+		results <- post(t, ts, "/query", req, &r)
+	}()
+	<-started // worker busy
+	go func() {
+		var r queryResponse
+		results <- post(t, ts, "/query", req, &r)
+	}()
+	// Wait until the second request is queued (deterministically visible
+	// through the queued gauge).
+	for i := 0; s.queued.Load() == 0; i++ {
+		if i > 5000 {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var er errorResponse
+	if st := post(t, ts, "/query", req, &er); st != http.StatusTooManyRequests {
+		t.Fatalf("third request: status %d, want 429", st)
+	}
+
+	gate <- struct{}{} // finish first; second leaves the queue and evaluates
+	<-started
+	gate <- struct{}{}
+	for i := 0; i < 2; i++ {
+		if st := <-results; st != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, st)
+		}
+	}
+}
+
+// TestGracefulDrain pins the SIGTERM path: draining rejects new queries
+// with 503 and flips /healthz, while the in-flight request completes
+// normally and Drain returns only after it has.
+func TestGracefulDrain(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	gate := make(chan struct{})
+	started := make(chan struct{}, 1)
+	s.testEvalGate = gate
+	s.testEvalStarted = func() { started <- struct{}{} }
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := queryRequest{Document: "xmark", Query: testQuery, Engine: "VJ"}
+	inflight := make(chan int, 1)
+	go func() {
+		var r queryResponse
+		inflight <- post(t, ts, "/query", req, &r)
+	}()
+	<-started
+
+	drained := make(chan struct{})
+	go func() {
+		s.Drain()
+		close(drained)
+	}()
+	// Drain flips the flag before blocking; wait until /healthz sees it.
+	for i := 0; ; i++ {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h struct {
+			Status string `json:"status"`
+		}
+		json.NewDecoder(resp.Body).Decode(&h)
+		resp.Body.Close()
+		if h.Status == "draining" {
+			if resp.StatusCode != http.StatusServiceUnavailable {
+				t.Errorf("draining healthz status %d, want 503", resp.StatusCode)
+			}
+			break
+		}
+		if i > 5000 {
+			t.Fatal("server never reported draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var er errorResponse
+	if st := post(t, ts, "/query", req, &er); st != http.StatusServiceUnavailable {
+		t.Fatalf("query while draining: status %d, want 503", st)
+	}
+	if er.Stage != "admission" {
+		t.Errorf("draining stage %q, want admission", er.Stage)
+	}
+
+	select {
+	case <-drained:
+		t.Fatal("Drain returned while a request was still in flight")
+	default:
+	}
+	gate <- struct{}{}
+	if st := <-inflight; st != http.StatusOK {
+		t.Fatalf("in-flight request during drain: status %d", st)
+	}
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain did not return after the in-flight request finished")
+	}
+}
+
+// TestDebugTrace pins the tracing endpoint: it bypasses the plan cache,
+// and the response embeds a full viewjoin/trace/v1 report.
+func TestDebugTrace(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var r queryResponse
+	if st := post(t, ts, "/debug/trace", queryRequest{Document: "xmark", Query: testQuery, Engine: "VJ"}, &r); st != http.StatusOK {
+		t.Fatalf("trace request: status %d", st)
+	}
+	if r.Cache != "bypass" {
+		t.Errorf("trace cache=%q, want bypass", r.Cache)
+	}
+	if r.Trace == nil {
+		t.Fatal("trace response has no embedded report")
+	}
+	if r.Trace.Schema != "viewjoin/trace/v1" {
+		t.Errorf("trace schema %q, want viewjoin/trace/v1", r.Trace.Schema)
+	}
+	if len(r.Trace.Phases) == 0 {
+		t.Error("trace report has no phases")
+	}
+	m := getMetrics(t, ts)
+	if m.PlanCache.Size != 0 {
+		t.Errorf("trace request populated the plan cache (size %d)", m.PlanCache.Size)
+	}
+}
+
+// TestQueryErrors pins the structured-error statuses: unknown document
+// (404), bad query (400), unknown view (404), unknown engine (400), and
+// an engine/scheme mismatch at prepare time (422).
+func TestQueryErrors(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name   string
+		req    queryRequest
+		status int
+		stage  string
+	}{
+		{"unknown document", queryRequest{Document: "nope", Query: testQuery}, http.StatusNotFound, "resolve"},
+		{"bad query", queryRequest{Document: "xmark", Query: "//a["}, http.StatusBadRequest, "parse"},
+		{"unknown view", queryRequest{Document: "xmark", Query: testQuery, Views: []string{"//nosuch//view"}}, http.StatusNotFound, "resolve"},
+		{"bad engine", queryRequest{Document: "xmark", Query: testQuery, Engine: "XX"}, http.StatusBadRequest, "parse"},
+		{"engine mismatch", queryRequest{Document: "xmark", Query: testQuery, Engine: "IJ"}, http.StatusUnprocessableEntity, "prepare"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var er errorResponse
+			if st := post(t, ts, "/query", c.req, &er); st != c.status {
+				t.Fatalf("status %d, want %d (body %+v)", st, c.status, er)
+			}
+			if er.Stage != c.stage {
+				t.Errorf("stage %q, want %q", er.Stage, c.stage)
+			}
+			if er.Error == "" {
+				t.Error("empty error text")
+			}
+		})
+	}
+}
+
+// TestCacheEviction fills a capacity-2 cache with three plans and checks
+// LRU order: the least recently used entry is the one evicted.
+func TestCacheEviction(t *testing.T) {
+	s := newTestServer(t, Config{CacheSize: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	reqs := []queryRequest{
+		{Document: "xmark", Query: testQuery, Engine: "VJ"},
+		{Document: "xmark", Query: testQuery, Engine: "TS"},
+		{Document: "xmark", Query: "//site//item//name", Engine: "VJ", Views: []string{"//site//item//name"}},
+	}
+	for i, r := range reqs {
+		var resp queryResponse
+		if st := post(t, ts, "/query", r, &resp); st != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, st)
+		}
+	}
+	m := getMetrics(t, ts)
+	if m.PlanCache.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", m.PlanCache.Evictions)
+	}
+	if m.PlanCache.Size != 2 {
+		t.Errorf("size = %d, want 2", m.PlanCache.Size)
+	}
+	// The VJ plan (request 0) was the LRU victim: the TS plan is still
+	// cached, and rerunning the victim is a miss. (Order matters — the
+	// re-miss inserts and evicts again.)
+	var r1 queryResponse
+	post(t, ts, "/query", reqs[1], &r1)
+	if r1.Cache != "hit" {
+		t.Errorf("retained plan came back as %q, want hit", r1.Cache)
+	}
+	var r0 queryResponse
+	post(t, ts, "/query", reqs[0], &r0)
+	if r0.Cache != "miss" {
+		t.Errorf("evicted plan came back as %q, want miss", r0.Cache)
+	}
+}
+
+// TestConcurrentQueries hammers the full stack — admission, cache, pooled
+// scratch — from many goroutines; with -race this is the server-level
+// isolation proof. Every response must carry the same match count.
+func TestConcurrentQueries(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 4, QueueDepth: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var warm queryResponse
+	if st := post(t, ts, "/query", queryRequest{Document: "xmark", Query: testQuery, Engine: "VJ"}, &warm); st != http.StatusOK {
+		t.Fatalf("warmup: status %d", st)
+	}
+
+	const goroutines = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*2)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			eng := []string{"VJ", "TS"}[g%2]
+			for i := 0; i < 3; i++ {
+				var r queryResponse
+				st := post(t, ts, "/query", queryRequest{Document: "xmark", Query: testQuery, Engine: eng}, &r)
+				if st != http.StatusOK {
+					errs <- fmt.Errorf("goroutine %d run %d: status %d", g, i, st)
+					return
+				}
+				if r.MatchCount != warm.MatchCount {
+					errs <- fmt.Errorf("goroutine %d run %d (%s): %d matches, want %d", g, i, eng, r.MatchCount, warm.MatchCount)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestDocumentsEndpoint sanity-checks the registry listing.
+func TestDocumentsEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/documents")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var docs []documentInfo
+	if err := json.NewDecoder(resp.Body).Decode(&docs); err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 1 || docs[0].Name != "xmark" {
+		t.Fatalf("documents = %+v", docs)
+	}
+	if len(docs[0].Views) != 2 {
+		t.Errorf("views = %+v, want 2", docs[0].Views)
+	}
+	if docs[0].Views[0].Scheme != "LEp" {
+		t.Errorf("scheme %q, want LEp", docs[0].Views[0].Scheme)
+	}
+}
+
+// TestMatchRows verifies the limit parameter returns bounded match rows.
+func TestMatchRows(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	var r queryResponse
+	if st := post(t, ts, "/query", queryRequest{Document: "xmark", Query: testQuery, Engine: "VJ", Limit: 3}, &r); st != http.StatusOK {
+		t.Fatalf("status %d", st)
+	}
+	if r.MatchCount < 3 {
+		t.Skipf("document too small: %d matches", r.MatchCount)
+	}
+	if len(r.Matches) != 3 {
+		t.Fatalf("returned %d rows, want 3", len(r.Matches))
+	}
+	for _, row := range r.Matches {
+		if len(row) == 0 || row[0].Tag == "" {
+			t.Fatalf("malformed row %+v", row)
+		}
+	}
+}

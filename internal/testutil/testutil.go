@@ -15,6 +15,52 @@ import (
 // Labels is the default element vocabulary used by random documents.
 var Labels = []string{"a", "b", "c", "d", "e", "f", "g", "h"}
 
+// ByteSource is a rand.Source64 that replays a fixed byte string, letting
+// fuzz targets drive the package's random generators directly from fuzzer
+// input: every generated document/query/view partition is a deterministic
+// function of the bytes, so the fuzzer's corpus mutations explore the
+// generator space. Once the bytes run out it falls back to a splitmix64
+// stream seeded from them, so short inputs still yield full structures.
+type ByteSource struct {
+	data []byte
+	pos  int
+	seq  uint64
+}
+
+// NewByteRand returns a *rand.Rand drawing from data.
+func NewByteRand(data []byte) *rand.Rand {
+	s := &ByteSource{data: data}
+	for _, b := range data {
+		s.seq = s.seq*1099511628211 + uint64(b)
+	}
+	return rand.New(s)
+}
+
+func (s *ByteSource) Uint64() uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		var b byte
+		if s.pos < len(s.data) {
+			b = s.data[s.pos]
+			s.pos++
+		} else {
+			// splitmix64 step on the exhausted tail.
+			s.seq += 0x9e3779b97f4a7c15
+			z := s.seq
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			b = byte(z ^ (z >> 31))
+		}
+		v = v<<8 | uint64(b)
+	}
+	return v
+}
+
+func (s *ByteSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Seed is a no-op; a ByteSource's stream is fixed by its data.
+func (s *ByteSource) Seed(int64) {}
+
 // RandomDoc builds a random document of up to maxNodes elements drawn from
 // the given label vocabulary (Labels when labels is nil). The root is always
 // labelled "root" so that every other label can appear at any depth.

@@ -2,32 +2,72 @@ package tpq
 
 import "testing"
 
-// FuzzParse checks that the TPQ parser never panics and that every
-// successfully parsed pattern is valid and round-trips through String.
+// FuzzParse checks that the TPQ parser never panics, that every
+// successfully parsed pattern is valid, round-trips through String, and
+// that the rendered form is canonical (rendering is a fixed point of
+// parse∘render). ParseGeneral must behave identically on everything the
+// unique-label parser accepts, and must itself round-trip on inputs only
+// it accepts (repeated labels).
 func FuzzParse(f *testing.F) {
 	for _, seed := range []string{
 		"//a", "/a/b", "//a//b", "//a/b[//c/d]//e",
 		"//journal[//suffix][title]/date/year",
 		"//a[", "a//b", "//a[b][c][d]", "//a[//b[//c[//d]]]",
 		"//x-1.y_2", "[", "]", "///", "//a//", " // a / b ",
+		"//a//b//a", "//section//figure//section", "//a[//a]",
 	} {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, s string) {
 		p, err := Parse(s)
-		if err != nil {
+		if err == nil {
+			if verr := p.Validate(); verr != nil {
+				t.Fatalf("Parse(%q) accepted invalid pattern: %v", s, verr)
+			}
+			rendered := p.String()
+			p2, err := Parse(rendered)
+			if err != nil {
+				t.Fatalf("Parse(%q).String() = %q does not re-parse: %v", s, rendered, err)
+			}
+			if !p.Equal(p2) {
+				t.Fatalf("Parse(%q): round trip through %q changed the pattern", s, rendered)
+			}
+			// The rendered form must be canonical: rendering the re-parse
+			// reproduces it byte for byte, so String is a stable key (the
+			// serving plan cache and trace reports rely on this).
+			if again := p2.String(); again != rendered {
+				t.Fatalf("Parse(%q): rendering is not idempotent (%q -> %q)", s, rendered, again)
+			}
+			// Anything the unique-label parser accepts, the general parser
+			// must parse to the same pattern.
+			pg, err := ParseGeneral(s)
+			if err != nil {
+				t.Fatalf("ParseGeneral(%q) rejected input Parse accepted: %v", s, err)
+			}
+			if !p.Equal(pg) {
+				t.Fatalf("ParseGeneral(%q) = %s, Parse = %s", s, pg, p)
+			}
+		}
+
+		// ParseGeneral accepts a superset (repeated labels); its successes
+		// must satisfy the same round-trip and canonicality properties.
+		g, gerr := ParseGeneral(s)
+		if gerr != nil {
+			if err == nil {
+				t.Fatalf("ParseGeneral(%q) rejected input Parse accepted: %v", s, gerr)
+			}
 			return
 		}
-		if verr := p.Validate(); verr != nil {
-			t.Fatalf("Parse(%q) accepted invalid pattern: %v", s, verr)
+		rendered := g.String()
+		g2, gerr := ParseGeneral(rendered)
+		if gerr != nil {
+			t.Fatalf("ParseGeneral(%q).String() = %q does not re-parse: %v", s, rendered, gerr)
 		}
-		rendered := p.String()
-		p2, err := Parse(rendered)
-		if err != nil {
-			t.Fatalf("Parse(%q).String() = %q does not re-parse: %v", s, rendered, err)
+		if !g.Equal(g2) {
+			t.Fatalf("ParseGeneral(%q): round trip through %q changed the pattern", s, rendered)
 		}
-		if !p.Equal(p2) {
-			t.Fatalf("Parse(%q): round trip through %q changed the pattern", s, rendered)
+		if again := g2.String(); again != rendered {
+			t.Fatalf("ParseGeneral(%q): rendering is not idempotent (%q -> %q)", s, rendered, again)
 		}
 	})
 }

@@ -67,6 +67,12 @@ func EvaluateWithoutViews(d *Document, q *Query, eng Engine, opts *EvalOptions) 
 		tr.Plan(rawStreamPlan(q.p, eng, lists))
 	}
 	eopts := engine.Options{Tracer: tr, DiskBased: opts.DiskBased, PageSize: opts.PageSize}
+	if ctx := opts.Context; ctx != nil {
+		eopts.Interrupt = contextInterrupt(ctx, eng, q.String())
+		if err := eopts.Interrupt(); err != nil {
+			return nil, err
+		}
+	}
 
 	start := time.Now()
 	var ms match.Set
@@ -75,7 +81,7 @@ func EvaluateWithoutViews(d *Document, q *Query, eng Engine, opts *EvalOptions) 
 	}
 	switch eng {
 	case EngineTwigStack:
-		ms, _ = twigstack.Eval(d.d, q.p, lists, io, eopts)
+		ms, _, err = twigstack.Eval(d.d, q.p, lists, io, eopts)
 	case EnginePathStack:
 		ms, err = pathstack.Eval(d.d, q.p, lists, io, eopts)
 	default:

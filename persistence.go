@@ -2,12 +2,33 @@ package viewjoin
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
 	"viewjoin/internal/store"
 	"viewjoin/internal/xmltree"
 )
+
+// ErrViewTruncated reports that a saved-view stream ended before the
+// serialized content it promised — a partial write, a truncated file, or a
+// stream cut mid-transfer. LoadView errors match it with errors.Is.
+var ErrViewTruncated = errors.New("viewjoin: saved view is truncated")
+
+// DocMismatchError reports that a saved view was materialized from a
+// different document than the one it is being loaded into: the view's
+// pointers and region labels are only meaningful for its own document.
+// LoadView errors match it with errors.As.
+type DocMismatchError struct {
+	// Saved and Want are the structural fingerprints of the view's original
+	// document and of the document passed to LoadView.
+	Saved, Want uint64
+}
+
+func (e *DocMismatchError) Error() string {
+	return fmt.Sprintf("viewjoin: view was saved against a different document (fingerprint %x != %x)",
+		e.Saved, e.Want)
+}
 
 // SaveView serializes a materialized view (scheme, pattern, and paged
 // content) so it can be reloaded later with LoadView instead of being
@@ -35,17 +56,27 @@ func (v *MaterializedView) SaveView(w io.Writer) (int64, error) {
 func (d *Document) LoadView(r io.Reader) (*MaterializedView, error) {
 	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("viewjoin: load view: %w", err)
+		return nil, loadErr(err)
 	}
 	if got := binary.LittleEndian.Uint64(hdr[:]); got != d.fingerprint() {
-		return nil, fmt.Errorf("viewjoin: view was saved against a different document (fingerprint %x != %x)",
-			got, d.fingerprint())
+		return nil, &DocMismatchError{Saved: got, Want: d.fingerprint()}
 	}
 	st, err := store.ReadViewStore(r)
 	if err != nil {
-		return nil, fmt.Errorf("viewjoin: load view: %w", err)
+		return nil, loadErr(err)
 	}
 	return &MaterializedView{doc: d, pattern: st.View, store: st}, nil
+}
+
+// loadErr wraps a low-level read error for LoadView, folding the two EOF
+// flavors into ErrViewTruncated: io.EOF from a header read and
+// io.ErrUnexpectedEOF from a partial body both mean the stream ended
+// before the content the format promised.
+func loadErr(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("viewjoin: load view: %w: %w", ErrViewTruncated, err)
+	}
+	return fmt.Errorf("viewjoin: load view: %w", err)
 }
 
 // fingerprint computes a cheap structural fingerprint of the document

@@ -1,6 +1,7 @@
 package viewjoin
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -148,9 +149,22 @@ func (p *PreparedQuery) Engine() Engine { return p.eng }
 // Run executes the prepared plan once and returns a fresh Result. Stats
 // cover this execution only — preparation costs (for InterJoin, the view
 // stream scans) were paid at Prepare time and are not re-charged; see
-// Evaluate for the historical one-shot accounting.
+// Evaluate for the historical one-shot accounting. A context captured in
+// the prepare-time EvalOptions bounds the run; RunContext supplies a
+// per-request context instead.
 func (p *PreparedQuery) Run() (*Result, error) {
-	return p.run(time.Now(), false)
+	return p.run(p.opts.Context, time.Now(), false)
+}
+
+// RunContext is Run bounded by ctx: cancellation or deadline expiry aborts
+// the engine at its next cooperative checkpoint and returns a
+// *CanceledError (no partial results, and the pooled evaluator scratch is
+// recycled normally). ctx overrides any context captured at Prepare time;
+// a nil ctx runs uninterruptible. This is the serving entry point: one
+// immutable PreparedQuery, many concurrent requests, each with its own
+// deadline.
+func (p *PreparedQuery) RunContext(ctx context.Context) (*Result, error) {
+	return p.run(ctx, time.Now(), false)
 }
 
 // pageHook adapts buffer-pool lookups into tracer page events.
@@ -166,8 +180,20 @@ func pageHook(tr obs.Tracer) func(miss bool) {
 
 // run executes the prepared plan, timing from start (which a one-shot
 // Evaluate sets before preparation so Duration keeps covering the whole
-// call). includePrep folds preparation-time counters into the Stats.
-func (p *PreparedQuery) run(start time.Time, includePrep bool) (*Result, error) {
+// call). includePrep folds preparation-time counters into the Stats. A
+// non-nil ctx installs a cooperative interrupt hook in the engine options;
+// the hook wraps the context error in a *CanceledError so callers see
+// which query and engine were aborted.
+func (p *PreparedQuery) run(ctx context.Context, start time.Time, includePrep bool) (*Result, error) {
+	var interrupt func() error
+	if ctx != nil {
+		interrupt = contextInterrupt(ctx, p.eng, p.q.String())
+		// Check upfront so an already-expired deadline aborts before any
+		// engine work, independent of the engines' check strides.
+		if err := interrupt(); err != nil {
+			return nil, err
+		}
+	}
 	var c counters.Counters
 	if includePrep {
 		c.Add(p.prepC)
@@ -186,6 +212,7 @@ func (p *PreparedQuery) run(start time.Time, includePrep bool) (*Result, error) 
 		DiskBased:      p.opts.DiskBased,
 		PageSize:       p.opts.PageSize,
 		UnguardedJumps: p.opts.UnguardedJumps,
+		Interrupt:      interrupt,
 	}
 	var (
 		ms      match.Set
@@ -199,7 +226,7 @@ func (p *PreparedQuery) run(start time.Time, includePrep bool) (*Result, error) 
 		peak = int64(st.PeakWindowEntries) * 16
 	case EngineTwigStack:
 		var st twigstack.Stats
-		ms, st = p.ts.Run(io, eopts)
+		ms, st, evalErr = p.ts.Run(io, eopts)
 		peak = int64(st.PeakWindowEntries) * 16
 	case EnginePathStack:
 		ms, evalErr = p.ps.Run(io, eopts)

@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# ci.sh — the repository's single CI entry point.
+#
+# Usage:
+#   scripts/ci.sh
+#
+# Runs, in order:
+#   1. tier-1 verify: go build, go vet, go test, go test -race (ROADMAP.md)
+#   2. fuzz smoke: 10s each of FuzzParse (internal/tpq) and
+#      FuzzEvaluateDifferential (root), seeded from the committed corpora
+#   3. bench gate: a fresh manifest via scripts/bench.sh compared against
+#      the committed BENCH_2.json baseline with scripts/benchcmp.sh
+#      (>10% wall-time regression fails; VJCI_SKIP_BENCH=1 skips the gate
+#      on machines where timings are meaningless, e.g. shared runners)
+#
+# Environment:
+#   VJCI_FUZZTIME        per-target fuzz budget (default 10s)
+#   VJCI_SKIP_BENCH=1    skip the bench regression gate
+#   VJBENCHCMP_THRESHOLD regression threshold for the gate (default 0.10)
+set -eu
+cd "$(dirname "$0")/.."
+
+fuzztime="${VJCI_FUZZTIME:-10s}"
+
+echo "== tier-1: build"
+go build ./...
+echo "== tier-1: vet"
+go vet ./...
+echo "== tier-1: test"
+go test ./...
+echo "== tier-1: test -race"
+go test -race ./...
+
+echo "== fuzz smoke: FuzzParse ($fuzztime)"
+go test -run '^$' -fuzz '^FuzzParse$' -fuzztime "$fuzztime" ./internal/tpq
+echo "== fuzz smoke: FuzzEvaluateDifferential ($fuzztime)"
+go test -run '^$' -fuzz '^FuzzEvaluateDifferential$' -fuzztime "$fuzztime" .
+
+if [ -n "${VJCI_SKIP_BENCH:-}" ]; then
+	echo "== bench gate: skipped (VJCI_SKIP_BENCH)"
+else
+	echo "== bench gate: fresh manifest vs BENCH_2.json"
+	tmp="$(mktemp -t vjci-bench-XXXXXX.json)"
+	trap 'rm -f "$tmp"' EXIT
+	VJBENCH_SKIP_SMOKE=1 scripts/bench.sh "$tmp"
+	scripts/benchcmp.sh BENCH_2.json "$tmp"
+fi
+
+echo "== ci: OK"

@@ -28,6 +28,7 @@
 package viewjoin
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -327,6 +328,14 @@ type EvalOptions struct {
 	// Passing an *obs.Recorder additionally fills Result.Trace with the full
 	// report. nil disables tracing at zero cost.
 	Tracer obs.Tracer
+	// Context, when non-nil, bounds the evaluation: cancellation or deadline
+	// expiry aborts the engine main loops and the window enumeration at the
+	// next cooperative checkpoint (every few hundred cursor steps), and the
+	// call returns a *CanceledError wrapping the context's error. No partial
+	// results are returned. nil keeps evaluation uninterruptible at zero
+	// hot-path cost. For a PreparedQuery shared across requests, prefer
+	// PreparedQuery.RunContext over capturing a per-request context here.
+	Context context.Context
 	// DiskBased selects the disk-based output approach (§IV): intermediate
 	// solutions are spooled through scratch pages, trading I/O for memory.
 	DiskBased bool
@@ -390,7 +399,49 @@ func Evaluate(d *Document, q *Query, mviews []*MaterializedView, eng Engine, opt
 	if err != nil {
 		return nil, err
 	}
-	return p.run(start, true)
+	return p.run(p.opts.Context, start, true)
+}
+
+// CanceledError reports an evaluation aborted by its context (cancellation
+// or deadline expiry). No partial results accompany it: the run's output is
+// discarded and its pooled scratch is recycled. Unwrap yields the context's
+// error, so errors.Is(err, context.DeadlineExceeded) and
+// errors.Is(err, context.Canceled) work as usual.
+type CanceledError struct {
+	// Engine and Query identify the aborted evaluation.
+	Engine Engine
+	Query  string
+	// Cause is the context's error (context.Canceled or
+	// context.DeadlineExceeded).
+	Cause error
+}
+
+// Error implements error.
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("viewjoin: evaluation of %s via %s aborted: %v", e.Query, e.Engine, e.Cause)
+}
+
+// Unwrap exposes the context error for errors.Is.
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
+// contextInterrupt builds the cooperative-cancellation hook the engines
+// poll. Besides ctx.Err() it compares any deadline against the wall clock
+// directly: on a single-CPU machine the context's timer goroutine can be
+// starved by the evaluation loop, leaving ctx.Err() nil long past expiry,
+// whereas a direct clock read trips at the next poll regardless of
+// scheduling.
+func contextInterrupt(ctx context.Context, eng Engine, q string) func() error {
+	dl, hasDL := ctx.Deadline()
+	return func() error {
+		cerr := ctx.Err()
+		if cerr == nil && hasDL && !time.Now().Before(dl) {
+			cerr = context.DeadlineExceeded
+		}
+		if cerr != nil {
+			return &CanceledError{Engine: eng, Query: q, Cause: cerr}
+		}
+		return nil
+	}
 }
 
 // tracePlan translates a view-segmented query into the plain-data plan the
