@@ -67,6 +67,10 @@ type experimentEntry struct {
 	Name      string `json:"name"`
 	Title     string `json:"title"`
 	WallNanos int64  `json:"wallNanos"`
+	// Allocs is the number of heap allocations the experiment performed
+	// (runtime mallocs delta across the run). vjbenchcmp gates on it
+	// alongside wall time; absent/zero in pre-v1-allocs manifests.
+	Allocs uint64 `json:"allocs,omitempty"`
 }
 
 // gitSHA resolves the commit the binary is benchmarking, or "unknown"
@@ -160,14 +164,18 @@ func main() {
 
 	run := func(e experiments.Experiment) {
 		fmt.Printf("=== %s: %s\n", e.Name, e.Title)
+		var msBefore, msAfter runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		start := time.Now()
 		if err := e.Run(cfg); err != nil {
 			fail(1, "vjbench: %s: %v\n", e.Name, err)
 		}
 		wall := time.Since(start)
+		runtime.ReadMemStats(&msAfter)
 		if m != nil {
 			m.Experiments = append(m.Experiments, experimentEntry{
 				Name: e.Name, Title: e.Title, WallNanos: int64(wall),
+				Allocs: msAfter.Mallocs - msBefore.Mallocs,
 			})
 		}
 		fmt.Printf("=== %s done in %v\n\n", e.Name, wall.Round(time.Millisecond))

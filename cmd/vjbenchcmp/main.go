@@ -1,7 +1,7 @@
 // Command vjbenchcmp diffs two vjbench JSON manifests (schema
-// viewjoin/bench/v1): it prints the per-experiment wall-time deltas and
-// exits non-zero when any experiment present in both runs regressed by more
-// than the threshold (default 10%).
+// viewjoin/bench/v1): it prints the per-experiment wall-time and
+// allocation deltas and exits non-zero when any experiment present in both
+// runs regressed by more than the threshold (default 10%) on either axis.
 //
 // Usage:
 //
@@ -9,9 +9,12 @@
 //	vjbenchcmp -threshold 0.25 old.json new.json
 //
 // Experiments present in only one manifest are reported as added/removed,
-// never as regressions. Wall times are noisy; the threshold is meant to
-// catch structural slowdowns, not scheduler jitter — rerun before trusting
-// a marginal failure.
+// never as regressions. Allocation counts are only compared when both
+// manifests carry them (older manifests predate the field); unlike wall
+// time they are near-deterministic, so an alloc regression is a real code
+// change, not noise. Wall times are noisy; the threshold is meant to catch
+// structural slowdowns, not scheduler jitter — rerun before trusting a
+// marginal failure.
 package main
 
 import (
@@ -30,6 +33,7 @@ type manifest struct {
 	Experiments []struct {
 		Name      string `json:"name"`
 		WallNanos int64  `json:"wallNanos"`
+		Allocs    uint64 `json:"allocs"`
 	} `json:"experiments"`
 }
 
@@ -56,7 +60,7 @@ func short(sha string) string {
 }
 
 func main() {
-	threshold := flag.Float64("threshold", 0.10, "regression threshold as a fraction of the old wall time")
+	threshold := flag.Float64("threshold", 0.10, "regression threshold as a fraction of the old value (wall time and allocs)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: vjbenchcmp [-threshold f] old.json new.json")
@@ -75,29 +79,53 @@ func main() {
 
 	fmt.Printf("old: %s (%s)\nnew: %s (%s)\n\n",
 		flag.Arg(0), short(old.GitSHA), flag.Arg(1), short(neu.GitSHA))
-	fmt.Printf("%-12s %12s %12s %9s\n", "experiment", "old", "new", "delta")
+	fmt.Printf("%-12s %12s %12s %9s %14s %14s %9s\n",
+		"experiment", "old", "new", "delta", "old allocs", "new allocs", "delta")
 
-	oldWall := make(map[string]int64, len(old.Experiments))
+	type oldEntry struct {
+		wall   int64
+		allocs uint64
+	}
+	oldBy := make(map[string]oldEntry, len(old.Experiments))
 	for _, e := range old.Experiments {
-		oldWall[e.Name] = e.WallNanos
+		oldBy[e.Name] = oldEntry{e.WallNanos, e.Allocs}
 	}
 	seen := make(map[string]bool, len(neu.Experiments))
 	regressions := 0
 	for _, e := range neu.Experiments {
 		seen[e.Name] = true
-		ow, ok := oldWall[e.Name]
+		o, ok := oldBy[e.Name]
 		if !ok {
-			fmt.Printf("%-12s %12s %12s %9s\n", e.Name, "-", fmtNanos(e.WallNanos), "added")
+			fmt.Printf("%-12s %12s %12s %9s %14s %14s %9s\n",
+				e.Name, "-", fmtNanos(e.WallNanos), "added", "-", fmtAllocs(e.Allocs), "")
 			continue
 		}
-		delta := float64(e.WallNanos-ow) / float64(ow)
+		wallDelta := float64(e.WallNanos-o.wall) / float64(o.wall)
 		mark := ""
-		if delta > *threshold {
-			mark = "  REGRESSION"
+		if wallDelta > *threshold {
+			mark = "  REGRESSION(time)"
 			regressions++
 		}
-		fmt.Printf("%-12s %12s %12s %+8.1f%%%s\n",
-			e.Name, fmtNanos(ow), fmtNanos(e.WallNanos), delta*100, mark)
+		// Allocs are gated only when both runs recorded them: a zero count
+		// means the manifest predates the field (or the experiment genuinely
+		// never allocated, in which case there is nothing to regress from
+		// measurably either).
+		allocsStr, allocsDeltaStr := "-", ""
+		if o.allocs > 0 && e.Allocs > 0 {
+			allocsDelta := float64(e.Allocs) - float64(o.allocs)
+			rel := allocsDelta / float64(o.allocs)
+			allocsStr = fmtAllocs(e.Allocs)
+			allocsDeltaStr = fmt.Sprintf("%+8.1f%%", rel*100)
+			if rel > *threshold {
+				mark += "  REGRESSION(allocs)"
+				regressions++
+			}
+		} else if e.Allocs > 0 {
+			allocsStr = fmtAllocs(e.Allocs)
+		}
+		fmt.Printf("%-12s %12s %12s %+8.1f%% %14s %14s %9s%s\n",
+			e.Name, fmtNanos(o.wall), fmtNanos(e.WallNanos), wallDelta*100,
+			fmtAllocs(o.allocs), allocsStr, allocsDeltaStr, mark)
 	}
 	for _, e := range old.Experiments {
 		if !seen[e.Name] {
@@ -106,7 +134,7 @@ func main() {
 	}
 
 	if regressions > 0 {
-		fmt.Printf("\n%d experiment(s) regressed by more than %.0f%%\n", regressions, *threshold*100)
+		fmt.Printf("\n%d regression(s) of more than %.0f%% (wall time or allocs)\n", regressions, *threshold*100)
 		os.Exit(1)
 	}
 	fmt.Println("\nno regressions")
@@ -121,5 +149,18 @@ func fmtNanos(n int64) string {
 		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
 	default:
 		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+func fmtAllocs(n uint64) string {
+	switch {
+	case n == 0:
+		return "-"
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1_000:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
 	}
 }

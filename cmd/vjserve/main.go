@@ -107,12 +107,11 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		}
 		sort.Strings(paths)
 		for _, p := range paths {
-			f, err := os.Open(p)
+			data, err := os.ReadFile(p)
 			if err != nil {
 				return fail(stderr, "load", err, exitOther)
 			}
-			mv, err := doc.LoadView(f)
-			f.Close()
+			mv, err := doc.LoadViewBytes(data)
 			if err != nil {
 				return fail(stderr, "load", fmt.Errorf("load %s: %w", p, err), exitOther)
 			}

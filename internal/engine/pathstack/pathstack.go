@@ -46,8 +46,8 @@ type Prepared struct {
 // scratch is the per-run state of one PathStack execution, reset in place
 // between runs.
 type scratch struct {
-	curBuf []store.Cursor
-	cur    []*store.Cursor
+	curBuf []store.ListCursor
+	cur    []*store.ListCursor
 	stacks [][]frame
 	buf    []store.Label
 	ic     engine.Interrupter
@@ -69,8 +69,8 @@ func (p *Prepared) Run(io *counters.IO, opts engine.Options) (match.Set, error) 
 	n := p.q.Size()
 	if sc == nil {
 		sc = &scratch{
-			curBuf: make([]store.Cursor, n),
-			cur:    make([]*store.Cursor, n),
+			curBuf: make([]store.ListCursor, n),
+			cur:    make([]*store.ListCursor, n),
 			stacks: make([][]frame, n),
 			buf:    make([]store.Label, n),
 		}

@@ -49,8 +49,8 @@ type Prepared struct {
 
 type evaluator struct {
 	p      *Prepared
-	curBuf []store.Cursor
-	cur    []*store.Cursor
+	curBuf []store.ListCursor
+	cur    []*store.ListCursor
 	io     *counters.IO
 	tr     obs.Tracer
 	col    *enum.Collector
@@ -72,8 +72,8 @@ func (p *Prepared) Run(io *counters.IO, opts engine.Options) (match.Set, Stats, 
 		n := p.q.Size()
 		e = &evaluator{
 			p:      p,
-			curBuf: make([]store.Cursor, n),
-			cur:    make([]*store.Cursor, n),
+			curBuf: make([]store.ListCursor, n),
+			cur:    make([]*store.ListCursor, n),
 			col:    enum.NewCollector(p.d, p.q, nil, nil, false, 0),
 			open:   make([][]enum.Label, n),
 		}

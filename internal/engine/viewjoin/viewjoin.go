@@ -95,8 +95,8 @@ type evaluator struct {
 
 	// curBuf backs cur so per-run cursor state is reset in place instead of
 	// reallocated; cur[qi] is nil for removed nodes.
-	curBuf []store.Cursor
-	cur    []*store.Cursor
+	curBuf []store.ListCursor
+	cur    []*store.ListCursor
 	col    *enum.Collector
 
 	// open[qi] logs the accepted regions of qi in the current window, in
@@ -111,8 +111,8 @@ type evaluator struct {
 	// extBuf) for removed nodes; extJump holds, per removed node, the child
 	// pointer captured from the first in-window candidate of its view
 	// parent.
-	extBuf  []store.Cursor
-	extCur  []*store.Cursor
+	extBuf  []store.ListCursor
+	extCur  []*store.ListCursor
 	extJump []store.Pointer
 	hasJump []bool
 
@@ -202,12 +202,12 @@ func newEvaluator(p *Prepared) *evaluator {
 	n := p.v.Query.Size()
 	e := &evaluator{
 		p:       p,
-		curBuf:  make([]store.Cursor, n),
-		cur:     make([]*store.Cursor, n),
+		curBuf:  make([]store.ListCursor, n),
+		cur:     make([]*store.ListCursor, n),
 		col:     enum.NewCollector(p.d, p.v.Query, nil, nil, false, 0),
 		open:    make([]regionLog, n),
-		extBuf:  make([]store.Cursor, n),
-		extCur:  make([]*store.Cursor, n),
+		extBuf:  make([]store.ListCursor, n),
+		extCur:  make([]*store.ListCursor, n),
 		extJump: make([]store.Pointer, n),
 		hasJump: make([]bool, n),
 	}
@@ -340,9 +340,9 @@ func (e *evaluator) admit(qi int, l enum.Label, it *store.Item) {
 // in-window candidates toward each of its removed view children. The
 // minimum over all parents is a lower bound on every extension-relevant
 // entry (a single parent's pointer is not: with pc-edges, a nested parent's
-// child can precede the first parent's first child). Pointer (page, offset)
-// order coincides with list order within one file, so the minimum is
-// computable without dereferencing.
+// child can precede the first parent's first child). Pointers are record
+// offsets, so their order coincides with list order within one file and
+// the minimum is computable without dereferencing.
 func (e *evaluator) captureExtJumps(qi int, it *store.Item, l enum.Label) {
 	if len(e.p.removedChildren[qi]) == 0 || !e.winOpen || l.Start > e.winEnd {
 		return
@@ -352,16 +352,11 @@ func (e *evaluator) captureExtJumps(qi int, it *store.Item, l enum.Label) {
 		if ptr.IsNil() {
 			continue // E scheme: no pointers; extension scans sequentially
 		}
-		if !e.hasJump[x] || pointerLess(ptr, e.extJump[x]) {
+		if !e.hasJump[x] || ptr < e.extJump[x] {
 			e.extJump[x] = ptr
 			e.hasJump[x] = true
 		}
 	}
-}
-
-// pointerLess orders pointers by their position within a list file.
-func pointerLess(a, b store.Pointer) bool {
-	return a.Page < b.Page || (a.Page == b.Page && a.Off < b.Off)
 }
 
 // bulkAddMembers is the paper's addNodes: when a segment root is accepted,
@@ -508,7 +503,8 @@ func (e *evaluator) jumpViaViewParent(m int) bool {
 	}
 	*e.cur[m] = probe
 	if e.tr != nil {
-		e.tr.Event(obs.EvJumpTaken, m, int64(ptr.Page-from.Page))
+		l := e.p.lists[m]
+		e.tr.Event(obs.EvJumpTaken, m, int64(l.PageOf(ptr)-l.PageOf(from)))
 	}
 	return true
 }
@@ -537,7 +533,8 @@ func (e *evaluator) advancePointers(p int, target int32) {
 				*e.cur[p] = probe
 				jumped = true
 				if e.tr != nil {
-					e.tr.Event(obs.EvJumpTaken, p, int64(it.Following.Page-from.Page))
+					l := e.p.lists[p]
+					e.tr.Event(obs.EvJumpTaken, p, int64(l.PageOf(it.Following)-l.PageOf(from)))
 				}
 			} else if e.tr != nil {
 				e.tr.Event(obs.EvJumpRefused, p, 1)
@@ -588,7 +585,8 @@ func (e *evaluator) repositionMembers(p int) {
 			if !probe.Valid() || probe.Item().Start > e.start(m) {
 				*e.cur[m] = probe
 				if e.tr != nil {
-					e.tr.Event(obs.EvJumpTaken, m, int64(ptr.Page-from.Page))
+					l := e.p.lists[m]
+					e.tr.Event(obs.EvJumpTaken, m, int64(l.PageOf(ptr)-l.PageOf(from)))
 				}
 			} else if e.tr != nil {
 				e.tr.Event(obs.EvJumpRefused, m, 1)
@@ -672,7 +670,8 @@ func (e *evaluator) extendWindow(lo, hi int32) {
 			if probe.Valid() && (!cx.Valid() || probe.Item().Start >= cx.Item().Start) {
 				*cx = probe
 				if e.tr != nil {
-					e.tr.Event(obs.EvJumpTaken, x, int64(e.extJump[x].Page-from.Page))
+					l := e.p.lists[x]
+					e.tr.Event(obs.EvJumpTaken, x, int64(l.PageOf(e.extJump[x])-l.PageOf(from)))
 				}
 			}
 		}

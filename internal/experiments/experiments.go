@@ -79,6 +79,10 @@ type Row struct {
 	// SizeBytes / Pointers describe materialized views (storage rows).
 	SizeBytes int64 `json:"sizeBytes,omitempty"`
 	Pointers  int   `json:"pointers,omitempty"`
+
+	// Allocs is the average heap allocation count of the measured
+	// operation (cold-start rows).
+	Allocs uint64 `json:"allocs,omitempty"`
 }
 
 // emit sends one row to the manifest sink, if one is installed.
@@ -150,6 +154,7 @@ func All() []Experiment {
 		{"ablation", "Reproduction ablations — jump guards, LEp threshold, page size", Ablation},
 		{"noviews", "Views vs raw element streams — the [22] comparison the paper builds on", NoViews},
 		{"prepared", "Prepared plans — repeated-query serving: one-shot vs Run vs EvaluateBatch", Prepared},
+		{"coldload", "View cold-start — zero-copy LoadView vs re-materialization, time and allocs", ColdLoad},
 	}
 }
 

@@ -46,7 +46,7 @@ func TestEventAccumulation(t *testing.T) {
 	r.Event(EvScan, 2, 3)
 	r.Event(EvScan, 0, 1)
 	r.Event(EvCursorAdvance, 2, 1)
-	r.Event(EvJumpTaken, 2, 7)   // magnitude = skip pages, counts as 1 jump
+	r.Event(EvJumpTaken, 2, 7) // magnitude = skip pages, counts as 1 jump
 	r.Event(EvJumpRefused, 2, 1)
 	r.Event(EvStackPush, 0, 4)
 	r.Event(EvStackPop, 0, 4)
@@ -81,8 +81,8 @@ func TestHistogramBuckets(t *testing.T) {
 	h.Add(2)
 	h.Add(3)
 	h.Add(4)
-	h.Add(1 << 40) // clamps to the last bucket
-	h.Add(-5)      // negative clamps to 0
+	h.Add(1 << 40)       // clamps to the last bucket
+	h.Add(-5)            // negative clamps to 0
 	if h.Count[0] != 2 { // 0 and -5
 		t.Errorf("bucket 0 = %d, want 2", h.Count[0])
 	}

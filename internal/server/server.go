@@ -79,7 +79,10 @@ type docEntry struct {
 
 // Server is the shared state of the daemon. All fields are safe for
 // concurrent use once serving starts; documents and views are registered
-// before the listener is opened and immutable afterwards.
+// before the listener is opened and immutable afterwards. View stores are
+// flat page-aligned buffers read through per-request cursors, so every
+// worker evaluates off the same immutable segments — no per-request copy
+// or decode of view data.
 type Server struct {
 	cfg   Config
 	docs  map[string]*docEntry

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"testing"
 
 	"viewjoin/internal/counters"
@@ -66,6 +67,32 @@ func BenchmarkTupleScan(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(s.Tuples.Entries()), "tuples")
+}
+
+// BenchmarkLoadViewStore measures view cold-start — deserializing a saved
+// store — per scheme. The zero-copy loader slices segments out of the
+// input buffer, so time is dominated by pointer validation and
+// allocs/op stays O(lists) regardless of record count (ReportAllocs makes
+// the zero-copy property visible in the benchmark output).
+func BenchmarkLoadViewStore(b *testing.B) {
+	for _, kind := range []Kind{Tuple, Element, Linked, LinkedPartial} {
+		s := benchView(b, kind)
+		var buf bytes.Buffer
+		if _, err := s.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+		data := buf.Bytes()
+		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := ReadViewStoreBytes(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(s.NumPages()), "pages")
+		})
+	}
 }
 
 // BenchmarkBuild measures store construction (serialization) per scheme.

@@ -5,6 +5,7 @@ import (
 
 	"viewjoin/internal/counters"
 	"viewjoin/internal/obs"
+	"viewjoin/internal/views"
 )
 
 // Item is one decoded record: a region label plus whatever pointers the
@@ -17,152 +18,160 @@ type Item struct {
 	Children          [MaxChildren]Pointer
 }
 
-// Cursor is a forward cursor over a ListFile with random access via stored
-// pointers. Every record decode is charged as one element scanned, and
-// page accesses are charged through the IO buffer pool.
-type Cursor struct {
-	f         *ListFile
-	io        *counters.IO
-	tr        obs.Tracer // nil when tracing is off
-	node      int32      // query node for event attribution (-1 untraced)
-	page      int32
-	off       uint16
-	size      int // byte size of the current record
-	item      Item
-	valid     bool
-	lastTouch int32 // last page charged to the pool, -1 initially
+// ListCursor is a forward cursor over a ListFile with random access via
+// stored pointers. Every record decode is charged as one element scanned,
+// and page accesses are charged through the IO buffer pool on the real
+// page boundaries of each flat segment — the labels segment and every
+// materialized pointer segment are touched per record, like the paper's
+// cost model charges a scan over a linked-element file. ListCursor is a
+// plain value: copying it yields an independent cursor at the same
+// position (the engines' probe idiom).
+type ListCursor struct {
+	f    *ListFile
+	io   *counters.IO
+	tr   obs.Tracer // nil when tracing is off
+	node int32      // query node for event attribution (-1 untraced)
+	idx  int32
+	// last page charged to the pool per segment (labels, then pointer
+	// classes), -1 initially.
+	lastPage [1 + numPtrSegs]int32
+	item     Item
+	valid    bool
 }
 
 // Open returns a cursor positioned at the first record (invalid for an
 // empty list).
-func (l *ListFile) Open(io *counters.IO) *Cursor {
+func (l *ListFile) Open(io *counters.IO) *ListCursor {
 	return l.OpenTraced(io, nil, -1)
 }
 
 // OpenTraced is Open with an optional tracer: every record decode emits an
 // EvScan and every sequential advance an EvCursorAdvance attributed to the
 // given query node. A nil tracer is exactly Open.
-func (l *ListFile) OpenTraced(io *counters.IO, tr obs.Tracer, node int) *Cursor {
-	c := &Cursor{f: l, io: io, tr: tr, node: int32(node), lastTouch: -1}
-	if l.entries == 0 {
-		c.valid = false
-		return c
-	}
-	c.load(0, 0)
+func (l *ListFile) OpenTraced(io *counters.IO, tr obs.Tracer, node int) *ListCursor {
+	c := &ListCursor{}
+	c.Reset(l, io, tr, node)
 	return c
 }
 
+// OpenCursor implements Source.
+func (l *ListFile) OpenCursor(io *counters.IO, tr obs.Tracer, node int) Cursor {
+	return l.OpenTraced(io, tr, node)
+}
+
 // Valid reports whether the cursor is positioned on a record.
-func (c *Cursor) Valid() bool { return c.valid }
+func (c *ListCursor) Valid() bool { return c.valid }
 
 // Item returns the current record. It must only be called when Valid.
-func (c *Cursor) Item() *Item { return &c.item }
+func (c *ListCursor) Item() *Item { return &c.item }
+
+// Ordinal returns the current record's offset in the list. It must only be
+// called when Valid.
+func (c *ListCursor) Ordinal() int { return int(c.idx) }
 
 // Next advances to the next record in list order; the cursor becomes
 // invalid at the end of the list.
-func (c *Cursor) Next() {
+func (c *ListCursor) Next() {
 	if !c.valid {
 		return
 	}
 	if c.tr != nil {
 		c.tr.Event(obs.EvCursorAdvance, int(c.node), 1)
 	}
-	off := c.off + uint16(c.size)
-	page := c.page
-	for {
-		if page >= int32(len(c.f.pages)) {
-			c.valid = false
-			return
-		}
-		if off < c.f.pageUsed[page] {
-			c.load(page, off)
-			return
-		}
-		page++
-		off = 0
+	if c.idx+1 >= int32(c.f.entries) {
+		c.valid = false
+		return
 	}
+	c.load(c.idx + 1)
 }
 
 // Reset repositions c at the first record of l in place, rebinding the IO
 // accounting and tracer without allocating: the prepared-plan evaluators
 // keep cursor storage across runs and Reset it per run. A nil tracer
 // disables event emission exactly like Open.
-func (c *Cursor) Reset(l *ListFile, io *counters.IO, tr obs.Tracer, node int) {
+func (c *ListCursor) Reset(l *ListFile, io *counters.IO, tr obs.Tracer, node int) {
 	c.f, c.io, c.tr, c.node = l, io, tr, int32(node)
-	c.page, c.off, c.size, c.lastTouch = 0, 0, 0, -1
+	c.idx = 0
+	for i := range c.lastPage {
+		c.lastPage[i] = -1
+	}
+	// Clear the whole record once so child slots beyond the new file's
+	// childCount never leak stale pointers from a previous binding (load
+	// only rewrites the slots the file materializes).
+	c.item = Item{Following: NilPointer, Descendant: NilPointer}
+	for i := range c.item.Children {
+		c.item.Children[i] = NilPointer
+	}
 	if l.entries == 0 {
 		c.valid = false
 		return
 	}
-	c.load(0, 0)
+	c.load(0)
 }
 
 // Seek positions the cursor at the record addressed by the pointer and
-// charges one pointer dereference. Seeking a nil pointer invalidates the
-// cursor.
-func (c *Cursor) Seek(p Pointer) {
+// charges one pointer dereference. Seeking a nil or out-of-range pointer
+// invalidates the cursor.
+func (c *ListCursor) Seek(p Pointer) {
 	c.io.C.PointerDerefs++
-	if p.IsNil() {
+	if p.IsNil() || int(p) >= c.f.entries {
 		c.valid = false
 		return
 	}
-	c.load(p.Page, p.Off)
+	c.load(int32(p))
 }
 
 // Position returns the pointer addressing the current record.
-func (c *Cursor) Position() Pointer {
-	return Pointer{Page: c.page, Off: c.off}
-}
+func (c *ListCursor) Position() Pointer { return Pointer(c.idx) }
 
 // Clone returns an independent cursor at the same position, sharing the
 // same IO accounting.
-func (c *Cursor) Clone() *Cursor {
+func (c *ListCursor) Clone() *ListCursor {
 	cc := *c
 	return &cc
 }
 
-// load decodes the record at (page, off).
-func (c *Cursor) load(page int32, off uint16) {
-	if c.lastTouch != page {
-		c.io.Touch(c.f.token, page)
-		c.lastTouch = page
+// load decodes the record at offset i, touching the page of every present
+// segment: the record's fields are striped across the labels segment and
+// the materialized pointer segments, so a scan pays each segment's pages —
+// this is what makes a linked-element file cost more pages to scan than an
+// element file of the same list, as in §V.
+func (c *ListCursor) load(i int32) {
+	f := c.f
+	if pg := f.labels.page(i); c.lastPage[0] != pg {
+		c.io.Touch(f.labels.token, pg)
+		c.lastPage[0] = pg
 	}
 	c.io.C.ElementsScanned++
 	if c.tr != nil {
 		c.tr.Event(obs.EvScan, int(c.node), 1)
 	}
-	buf := c.f.pages[page][off:]
-	c.item.Start = int32(binary.LittleEndian.Uint32(buf[0:]))
-	c.item.End = int32(binary.LittleEndian.Uint32(buf[4:]))
-	c.item.Level = int32(binary.LittleEndian.Uint32(buf[8:]))
-	n := headerBytes
-	c.item.Following = NilPointer
-	c.item.Descendant = NilPointer
-	for i := 0; i < c.f.childCount; i++ {
-		c.item.Children[i] = NilPointer
+	rec := f.labels.rec(i)
+	c.item.Start = int32(binary.LittleEndian.Uint32(rec[0:]))
+	c.item.End = int32(binary.LittleEndian.Uint32(rec[4:]))
+	c.item.Level = int32(binary.LittleEndian.Uint32(rec[8:]))
+	c.item.Following = c.loadPtr(segFollowing, i)
+	c.item.Descendant = c.loadPtr(segDescendant, i)
+	for ci := 0; ci < f.childCount; ci++ {
+		c.item.Children[ci] = c.loadPtr(segChild0+ci, i)
 	}
-	if c.f.kind != Element {
-		flags := buf[headerBytes]
-		n++
-		read := func() Pointer {
-			p := Pointer{
-				Page: int32(binary.LittleEndian.Uint32(buf[n:])),
-				Off:  binary.LittleEndian.Uint16(buf[n+4:]),
-			}
-			n += pointerBytes
-			return p
-		}
-		if flags&flagFollowing != 0 {
-			c.item.Following = read()
-		}
-		if flags&flagDescendant != 0 {
-			c.item.Descendant = read()
-		}
-		for i := 0; i < c.f.childCount; i++ {
-			if flags&(1<<(flagChild0+i)) != 0 {
-				c.item.Children[i] = read()
-			}
-		}
+	c.idx, c.valid = i, true
+}
+
+// loadPtr reads pointer class s of record i, charging the segment page on
+// boundary crossings. An absent class reads as NilPointer for free.
+func (c *ListCursor) loadPtr(s int, i int32) Pointer {
+	seg := &c.f.ptrs[s]
+	if !seg.present() {
+		return NilPointer
 	}
-	c.page, c.off, c.size, c.valid = page, off, n, true
+	if pg := seg.page(i); c.lastPage[1+s] != pg {
+		c.io.Touch(seg.token, pg)
+		c.lastPage[1+s] = pg
+	}
+	v := int32(binary.LittleEndian.Uint32(seg.rec(i)))
+	if v == views.NoPointer {
+		return NilPointer
+	}
+	return Pointer(v)
 }

@@ -6,26 +6,39 @@ import (
 	"fmt"
 	"io"
 
-	"viewjoin/internal/counters"
 	"viewjoin/internal/tpq"
 )
 
-// On-disk container format for a materialized view store:
+// On-disk container format (version 2) for a materialized view store:
 //
 //	magic "VJST", version byte, kind byte, pageSize u32,
 //	pattern nodes (count u16, then per node: label, axis, parent index),
-//	then either the tuple file or the list files, each as
-//	  header fields + pageUsed[] + raw pages.
+//	then the body header — tuple: arity u32, entries u32;
+//	lists: count u32, per list {childCount u8, scoped u8, entries u32,
+//	pointers u32, segMask u16} —
+//	zero padding to the next page boundary,
+//	then every segment's pages verbatim, in file order (per list: labels,
+//	then present pointer classes ascending; segMask bit i set means
+//	pointer class i has a segment).
 //
-// The format is independent of host byte order (little-endian throughout)
-// and self-contained: the view pattern is encoded structurally so node
-// indices — which key the list files — survive exactly. It does not embed
-// the document: a loaded store is only meaningful against the same
-// document it was built from (the public API records a fingerprint).
+// Segment lengths are fully derived from the header (entries, record
+// width, page size), so the body carries no per-segment framing: loading
+// slices each segment straight out of the input buffer with no per-record
+// decoding, and the padding keeps every segment page-aligned in the file —
+// the bytes on disk are the runtime representation (mmap-ready). The
+// format is independent of host byte order (little-endian throughout) and
+// self-contained: the view pattern is encoded structurally so node indices
+// — which key the list files — survive exactly. It does not embed the
+// document: a loaded store is only meaningful against the same document it
+// was built from (the public API records a fingerprint).
 const (
 	persistMagic   = "VJST"
-	persistVersion = 1
+	persistVersion = 2
 )
+
+// maxEntries caps per-file record counts on load; far above any real
+// workload, it bounds allocation from hostile headers.
+const maxEntries = 1 << 27
 
 // WriteTo serializes the store. It implements io.WriterTo.
 func (s *ViewStore) WriteTo(w io.Writer) (int64, error) {
@@ -51,10 +64,11 @@ func (s *ViewStore) WriteTo(w io.Writer) (int64, error) {
 		write(int16(n.Parent))
 	}
 
+	var segments []*segment
 	if s.Kind == Tuple {
 		write(uint32(s.Tuples.arity))
 		write(uint32(s.Tuples.entries))
-		writePages(cw, write, s.Tuples.pages, s.Tuples.pageUsed)
+		segments = s.Tuples.segs()
 	} else {
 		write(uint32(len(s.Lists)))
 		for _, l := range s.Lists {
@@ -62,7 +76,18 @@ func (s *ViewStore) WriteTo(w io.Writer) (int64, error) {
 			write(boolByte(l.scoped))
 			write(uint32(l.entries))
 			write(uint32(l.pointers))
-			writePages(cw, write, l.pages, l.pageUsed)
+			write(l.segMask())
+			segments = append(segments, l.segs()...)
+		}
+	}
+	// Pad the header to a page boundary so every segment is page-aligned in
+	// the file.
+	if pad := (s.PageSize - int(cw.n)%s.PageSize) % s.PageSize; pad > 0 && cw.err == nil {
+		_, cw.err = cw.Write(make([]byte, pad))
+	}
+	for _, seg := range segments {
+		if cw.err == nil {
+			_, cw.err = cw.Write(seg.data)
 		}
 	}
 	if cw.err == nil {
@@ -71,72 +96,78 @@ func (s *ViewStore) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, cw.err
 }
 
-func writePages(cw *countingWriter, write func(any), pages [][]byte, used []uint16) {
-	write(uint32(len(pages)))
-	write(used)
-	for _, p := range pages {
-		if cw.err == nil {
-			_, cw.err = cw.Write(p)
-		}
+// ReadViewStore deserializes a store written by WriteTo. It reads the
+// stream fully and then adopts the buffer via ReadViewStoreBytes; callers
+// that already hold the file bytes should call ReadViewStoreBytes directly
+// to skip the copy.
+func ReadViewStore(r io.Reader) (*ViewStore, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: read: %w", err)
 	}
+	return ReadViewStoreBytes(data)
 }
 
-// ReadViewStore deserializes a store written by WriteTo.
-func ReadViewStore(r io.Reader) (*ViewStore, error) {
-	br := bufio.NewReader(r)
-	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+// ReadViewStoreBytes deserializes a store from an in-memory (or memory-
+// mapped) file image without copying or decoding records: after header
+// validation, each flat segment is a slice of data, shared immutably. The
+// caller must not mutate data afterwards. Pointer segments are verified to
+// address only records inside their target lists, so following a pointer
+// from a corrupted or hostile file can never read out of bounds at
+// evaluation time.
+func ReadViewStoreBytes(data []byte) (*ViewStore, error) {
+	rd := &sliceReader{data: data}
 
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("store: read header: %w", err)
+	magic := rd.bytes(4, "magic")
+	if rd.err != nil {
+		return nil, rd.err
 	}
 	if string(magic) != persistMagic {
 		return nil, fmt.Errorf("store: bad magic %q", magic)
 	}
-	var version, kind uint8
-	var pageSize uint32
-	if err := read(&version); err != nil {
-		return nil, err
-	}
-	if version != persistVersion {
+	version := rd.u8("version")
+	if rd.err == nil && version != persistVersion {
 		return nil, fmt.Errorf("store: unsupported version %d", version)
 	}
-	if err := read(&kind); err != nil {
-		return nil, err
-	}
-	if Kind(kind) < Tuple || Kind(kind) > LinkedPartial {
+	kind := Kind(rd.u8("kind"))
+	if rd.err == nil && (kind < Tuple || kind > LinkedPartial) {
 		return nil, fmt.Errorf("store: bad kind %d", kind)
 	}
-	if err := read(&pageSize); err != nil {
-		return nil, err
+	pageSize := int(rd.u32("page size"))
+	if rd.err != nil {
+		return nil, rd.err
 	}
-	if pageSize == 0 || pageSize > 1<<20 {
+	if pageSize < labelBytes || pageSize > 1<<20 {
 		return nil, fmt.Errorf("store: bad page size %d", pageSize)
 	}
-	var numNodes uint16
-	if err := read(&numNodes); err != nil {
+	pat, err := readPattern(rd)
+	if err != nil {
 		return nil, err
+	}
+
+	s := &ViewStore{Kind: kind, View: pat, PageSize: pageSize}
+	if kind == Tuple {
+		return readTupleBody(rd, s)
+	}
+	return readListBody(rd, s)
+}
+
+func readPattern(rd *sliceReader) (*tpq.Pattern, error) {
+	numNodes := int(rd.u16("pattern size"))
+	if rd.err != nil {
+		return nil, rd.err
 	}
 	if numNodes == 0 || numNodes > 1024 {
 		return nil, fmt.Errorf("store: implausible pattern size %d", numNodes)
 	}
 	pat := &tpq.Pattern{Nodes: make([]tpq.Node, numNodes)}
 	for i := range pat.Nodes {
-		var labelLen uint16
-		if err := read(&labelLen); err != nil {
-			return nil, err
-		}
-		label := make([]byte, labelLen)
-		if _, err := io.ReadFull(br, label); err != nil {
-			return nil, err
-		}
-		var axis uint8
-		var parent int16
-		if err := read(&axis); err != nil {
-			return nil, err
-		}
-		if err := read(&parent); err != nil {
-			return nil, err
+		labelLen := int(rd.u16("label length"))
+		label := rd.bytes(labelLen, "label")
+		axis := rd.u8("axis")
+		parent := int16(rd.u16("parent"))
+		if rd.err != nil {
+			return nil, rd.err
 		}
 		pat.Nodes[i] = tpq.Node{Label: string(label), Axis: tpq.Axis(axis), Parent: int(parent)}
 		if parent >= 0 {
@@ -149,76 +180,118 @@ func ReadViewStore(r io.Reader) (*ViewStore, error) {
 	if err := pat.Validate(); err != nil {
 		return nil, fmt.Errorf("store: stored pattern: %w", err)
 	}
+	return pat, nil
+}
 
-	s := &ViewStore{Kind: Kind(kind), View: pat, PageSize: int(pageSize)}
-	if s.Kind == Tuple {
-		var arity, entries uint32
-		if err := read(&arity); err != nil {
-			return nil, err
-		}
-		if err := read(&entries); err != nil {
-			return nil, err
-		}
-		if int(arity) != pat.Size() {
-			return nil, fmt.Errorf("store: tuple arity %d for %d-node pattern", arity, pat.Size())
-		}
-		pages, used, err := readPages(br, read, int(pageSize))
-		if err != nil {
-			return nil, err
-		}
-		s.Tuples = &TupleFile{
-			pageSize: int(pageSize),
-			arity:    int(arity),
-			entries:  int(entries),
-			pages:    pages,
-			pageUsed: used,
-			token:    tokenSeq.Add(1),
-		}
-		return s, nil
+func readTupleBody(rd *sliceReader, s *ViewStore) (*ViewStore, error) {
+	arity := int(rd.u32("tuple arity"))
+	entries := int(rd.u32("tuple entries"))
+	if rd.err != nil {
+		return nil, rd.err
 	}
-
-	var numLists uint32
-	if err := read(&numLists); err != nil {
+	if arity != s.View.Size() {
+		return nil, fmt.Errorf("store: tuple arity %d for %d-node pattern", arity, s.View.Size())
+	}
+	if entries > maxEntries {
+		return nil, fmt.Errorf("store: implausible tuple count %d", entries)
+	}
+	recSize := arity * labelBytes
+	if recSize > s.PageSize {
+		return nil, fmt.Errorf("store: tuple record size %d exceeds page size %d", recSize, s.PageSize)
+	}
+	rd.pad(s.PageSize)
+	f := &TupleFile{arity: arity, entries: entries}
+	f.seg = adopt(rd.bytes(int(segBytes(entries, recSize, s.PageSize)), "tuple segment"),
+		recSize, s.PageSize)
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	if err := rd.end(); err != nil {
 		return nil, err
 	}
-	if int(numLists) != pat.Size() {
+	s.Tuples = f
+	return s, nil
+}
+
+// listHeader is one list's decoded body-header entry.
+type listHeader struct {
+	childCount int
+	scoped     bool
+	entries    int
+	pointers   int
+	segMask    uint16
+}
+
+func readListBody(rd *sliceReader, s *ViewStore) (*ViewStore, error) {
+	pat := s.View
+	numLists := int(rd.u32("list count"))
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	if numLists != pat.Size() {
 		return nil, fmt.Errorf("store: %d lists for %d-node pattern", numLists, pat.Size())
 	}
-	s.Lists = make([]*ListFile, numLists)
-	for i := range s.Lists {
-		var childCount, scoped uint8
-		var entries, pointers uint32
-		if err := read(&childCount); err != nil {
-			return nil, err
+	hdrs := make([]listHeader, numLists)
+	for i := range hdrs {
+		h := listHeader{
+			childCount: int(rd.u8("child count")),
+			scoped:     rd.u8("scoped flag") != 0,
+			entries:    int(rd.u32("list entries")),
+			pointers:   int(rd.u32("pointer count")),
+			segMask:    rd.u16("segment mask"),
 		}
-		if err := read(&scoped); err != nil {
-			return nil, err
+		if rd.err != nil {
+			return nil, rd.err
 		}
-		if err := read(&entries); err != nil {
-			return nil, err
-		}
-		if err := read(&pointers); err != nil {
-			return nil, err
-		}
-		if int(childCount) != len(pat.Nodes[i].Children) {
+		if h.childCount != len(pat.Nodes[i].Children) {
 			return nil, fmt.Errorf("store: list %d has %d child pointers for %d pattern children",
-				i, childCount, len(pat.Nodes[i].Children))
+				i, h.childCount, len(pat.Nodes[i].Children))
 		}
-		pages, used, err := readPages(br, read, int(pageSize))
-		if err != nil {
-			return nil, err
+		if h.childCount > MaxChildren {
+			return nil, fmt.Errorf("store: list %d child count %d exceeds %d", i, h.childCount, MaxChildren)
 		}
-		s.Lists[i] = &ListFile{
+		if h.entries > maxEntries {
+			return nil, fmt.Errorf("store: implausible entry count %d in list %d", h.entries, i)
+		}
+		if s.Kind == Element && h.segMask != 0 {
+			return nil, fmt.Errorf("store: element-scheme list %d declares pointer segments %#x", i, h.segMask)
+		}
+		if h.entries == 0 && h.segMask != 0 {
+			return nil, fmt.Errorf("store: empty list %d declares pointer segments %#x", i, h.segMask)
+		}
+		if hi := h.segMask >> (segChild0 + h.childCount); hi != 0 {
+			return nil, fmt.Errorf("store: list %d declares out-of-range pointer segments %#x", i, h.segMask)
+		}
+		hdrs[i] = h
+	}
+	rd.pad(s.PageSize)
+
+	s.Lists = make([]*ListFile, numLists)
+	for i, h := range hdrs {
+		l := &ListFile{
 			kind:       s.Kind,
-			pageSize:   int(pageSize),
-			childCount: int(childCount),
-			scoped:     scoped != 0,
-			entries:    int(entries),
-			pointers:   int(pointers),
-			pages:      pages,
-			pageUsed:   used,
-			token:      tokenSeq.Add(1),
+			pageSize:   s.PageSize,
+			childCount: h.childCount,
+			scoped:     h.scoped,
+			entries:    h.entries,
+			pointers:   h.pointers,
 		}
+		l.labels = adopt(rd.bytes(int(segBytes(h.entries, labelBytes, s.PageSize)),
+			fmt.Sprintf("list %d labels", i)), labelBytes, s.PageSize)
+		for class := 0; class < numPtrSegs; class++ {
+			if h.segMask&(1<<class) == 0 {
+				continue
+			}
+			l.ptrs[class] = adopt(rd.bytes(int(segBytes(h.entries, ptrBytes, s.PageSize)),
+				fmt.Sprintf("list %d pointer segment %d", i, class)), ptrBytes, s.PageSize)
+		}
+		if rd.err != nil {
+			return nil, rd.err
+		}
+		s.Lists[i] = l
+	}
+	if err := rd.end(); err != nil {
+		return nil, err
 	}
 	if err := s.validatePointers(); err != nil {
 		return nil, err
@@ -226,70 +299,110 @@ func ReadViewStore(r io.Reader) (*ViewStore, error) {
 	return s, nil
 }
 
-// validatePointers walks every loaded record and checks that each
-// materialized pointer addresses a record inside its target list, so that
-// following a pointer from a corrupted or hostile file can never read out
-// of bounds at evaluation time. Structurally broken records (truncated
-// mid-pointer) surface as a decode panic, which is converted to an error.
-func (s *ViewStore) validatePointers() (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("store: corrupt record data: %v", r)
-		}
-	}()
-	inBounds := func(l *ListFile, p Pointer) bool {
-		if p.IsNil() {
-			return true
-		}
-		return int(p.Page) < len(l.pages) && p.Off < l.pageUsed[p.Page]
-	}
-	var c counters.Counters
-	io := counters.NewIO(&c, -1)
+// validatePointers checks every materialized pointer segment: each stored
+// offset must be nil or address a record inside its target list, and the
+// total non-nil count must match each list's header. The scan touches only
+// the pointer segments — the labels stay undecoded, preserving the
+// zero-copy load — and runs in one pass per segment.
+func (s *ViewStore) validatePointers() error {
 	for q, l := range s.Lists {
 		children := s.View.Nodes[q].Children
-		n := 0
-		for cur := l.Open(io); cur.Valid(); cur.Next() {
-			it := cur.Item()
-			if !inBounds(l, it.Following) || !inBounds(l, it.Descendant) {
-				return fmt.Errorf("store: list %d record %d: pointer out of bounds", q, n)
+		target := func(class int) int {
+			if class >= segChild0 {
+				return s.Lists[children[class-segChild0]].entries
 			}
-			for ci := range children {
-				if !inBounds(s.Lists[children[ci]], it.Children[ci]) {
-					return fmt.Errorf("store: list %d record %d child %d: pointer out of bounds", q, n, ci)
-				}
-			}
-			n++
+			return l.entries
 		}
-		if n != l.entries {
-			return fmt.Errorf("store: list %d decodes to %d records, header says %d", q, n, l.entries)
+		nonNil := 0
+		for class := 0; class < numPtrSegs; class++ {
+			seg := &l.ptrs[class]
+			if !seg.present() {
+				continue
+			}
+			limit := int32(target(class))
+			for i := int32(0); i < int32(l.entries); i++ {
+				v := int32(binary.LittleEndian.Uint32(seg.rec(i)))
+				if v == -1 {
+					continue
+				}
+				if v < 0 || v >= limit {
+					return fmt.Errorf("store: list %d record %d: pointer %d out of bounds [0,%d)",
+						q, i, v, limit)
+				}
+				nonNil++
+			}
+		}
+		if nonNil != l.pointers {
+			return fmt.Errorf("store: list %d holds %d pointers, header says %d", q, nonNil, l.pointers)
 		}
 	}
 	return nil
 }
 
-func readPages(br io.Reader, read func(any) error, pageSize int) ([][]byte, []uint16, error) {
-	var numPages uint32
-	if err := read(&numPages); err != nil {
-		return nil, nil, err
+// sliceReader walks a byte buffer; short reads surface as
+// io.ErrUnexpectedEOF-wrapped errors so the public persistence layer can
+// fold them into ErrViewTruncated.
+type sliceReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// bytes returns the next n bytes as a shared (not copied) sub-slice,
+// capacity-capped so adopters cannot grow into neighbouring segments.
+func (r *sliceReader) bytes(n int, what string) []byte {
+	if r.err != nil {
+		return nil
 	}
-	if numPages > 1<<24 {
-		return nil, nil, fmt.Errorf("store: implausible page count %d", numPages)
+	if n < 0 || r.off+n > len(r.data) {
+		r.err = fmt.Errorf("store: truncated reading %s: %w", what, io.ErrUnexpectedEOF)
+		return nil
 	}
-	used := make([]uint16, numPages)
-	if err := read(used); err != nil {
-		return nil, nil, err
+	b := r.data[r.off : r.off+n : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *sliceReader) u8(what string) uint8 {
+	b := r.bytes(1, what)
+	if r.err != nil {
+		return 0
 	}
-	pages := make([][]byte, numPages)
-	for i := range pages {
-		pages[i] = make([]byte, pageSize)
-		if _, err := io.ReadFull(br, pages[i]); err != nil {
-			return nil, nil, err
-		}
-		if int(used[i]) > pageSize {
-			return nil, nil, fmt.Errorf("store: page %d used %d > page size %d", i, used[i], pageSize)
-		}
+	return b[0]
+}
+
+func (r *sliceReader) u16(what string) uint16 {
+	b := r.bytes(2, what)
+	if r.err != nil {
+		return 0
 	}
-	return pages, used, nil
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *sliceReader) u32(what string) uint32 {
+	b := r.bytes(4, what)
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// pad skips to the next page boundary (where the segments start).
+func (r *sliceReader) pad(pageSize int) {
+	if n := (pageSize - r.off%pageSize) % pageSize; n > 0 {
+		r.bytes(n, "header padding")
+	}
+}
+
+// end verifies the whole buffer was consumed.
+func (r *sliceReader) end() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.data) {
+		return fmt.Errorf("store: %d trailing bytes after store body", len(r.data)-r.off)
+	}
+	return nil
 }
 
 func boolByte(b bool) uint8 {

@@ -1,5 +1,5 @@
 // Package store implements the paper's four physical storage schemes for
-// materialized TPQ views as simulated paged files:
+// materialized TPQ views as paged flat-buffer files:
 //
 //   - Tuple (T): each view match stored as an n-tuple of region labels,
 //     sorted by composite start key (InterJoin's scheme, §I).
@@ -7,14 +7,22 @@
 //     region labels in document order, no pointers.
 //   - Linked-element (LE): element lists plus materialized child,
 //     descendant and following pointers encoding the conceptual DAG
-//     (§III-A/B). Pointers are (page, byte-offset) pairs, as in the paper.
+//     (§III-A/B). Pointers are record offsets into the target list.
 //   - Partial linked-element (LEp): LE with the §III-C heuristic — child
 //     pointers always materialized; following/descendant pointers only when
 //     the pointed node is more than one entry away.
 //
-// Files are sequences of fixed-size pages; records never span pages. All
-// reads go through cursors that account elements scanned and page fetches
-// into counters.Counters.
+// Every file is a structure-of-arrays: fixed-width records split across
+// page-aligned byte segments (one segment for the region labels, one per
+// materialized pointer class), with records never spanning page
+// boundaries. The segments are the persistence format — SaveView writes
+// them verbatim and LoadView slices them out of one buffer, so the disk
+// bytes are the runtime representation (zero-copy, mmap-ready).
+//
+// All reads go through cursors that account elements scanned and real page
+// boundaries of the flat segments into counters.Counters. The uniform face
+// of both file types is the Source interface; the uniform reader is the
+// Cursor interface.
 package store
 
 import (
@@ -22,6 +30,8 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"viewjoin/internal/counters"
+	"viewjoin/internal/obs"
 	"viewjoin/internal/tpq"
 	"viewjoin/internal/views"
 )
@@ -71,40 +81,154 @@ func (k Kind) Policy() views.PointerPolicy {
 // DefaultPageSize is the page size used when 0 is passed to Build.
 const DefaultPageSize = 4096
 
-// Pointer addresses a record as a (page, byte offset) pair within a list
-// file, exactly as stored on disk (§III-B).
-type Pointer struct {
-	Page int32
-	Off  uint16
-}
+// Pointer addresses a record by its offset (ordinal) within a list file —
+// the position the views layer computes, stored on disk as a little-endian
+// int32. NilPointer (-1) is the null pointer. Pointers order exactly like
+// list positions, so "earlier in the list" is plain <.
+type Pointer int32
 
 // NilPointer is the null pointer.
-var NilPointer = Pointer{Page: -1}
+const NilPointer Pointer = -1
 
 // IsNil reports whether p is the null pointer.
-func (p Pointer) IsNil() bool { return p.Page < 0 }
-
-// flag bits for LE/LEp records: which pointers follow the header.
-const (
-	flagFollowing  = 1 << 0
-	flagDescendant = 1 << 1
-	flagChild0     = 2 // child i uses bit flagChild0+i
-)
+func (p Pointer) IsNil() bool { return p < 0 }
 
 // MaxChildren is the maximum number of child pointers per view node the
-// record format supports (6 child-presence bits remain in the flags byte).
+// record format supports.
 const MaxChildren = 6
 
+// Pointer-segment indices of a ListFile: following, descendant, then one
+// per child edge.
 const (
-	headerBytes  = 12 // start, end, level
-	pointerBytes = 6  // page(4) + offset(2)
+	segFollowing  = 0
+	segDescendant = 1
+	segChild0     = 2
+	numPtrSegs    = segChild0 + MaxChildren
+)
+
+const (
+	labelBytes = 12 // start, end, level (little-endian int32 each)
+	ptrBytes   = 4  // record offset (little-endian int32)
 )
 
 var tokenSeq atomic.Uintptr
 
-// ViewStore is one materialized view laid out on simulated disk in a given
-// scheme. Element-family schemes populate Lists (one file per view node);
-// the tuple scheme populates Tuples.
+// Source is the uniform face of one paged flat-buffer file of fixed-width
+// records. Both physical file types implement it: *ListFile (the
+// element-family schemes E/LE/LEp) and *TupleFile (the tuple scheme T).
+// Generic layers — persistence, size accounting, plan rendering — operate
+// on Sources; the engines use the concrete types for typed record access.
+type Source interface {
+	// Kind returns the storage scheme the file belongs to.
+	Kind() Kind
+	// Entries returns the number of records.
+	Entries() int
+	// NumPages returns the total page count across the file's segments —
+	// the quantity the paper's §V cost formulas charge for a full scan.
+	NumPages() int
+	// SizeBytes returns the page-granular on-disk size.
+	SizeBytes() int64
+	// PayloadBytes returns the record bytes excluding page padding.
+	PayloadBytes() int64
+	// OpenCursor returns a Cursor on the first record, accounting into io
+	// and (optionally) emitting per-record events attributed to the given
+	// query node through tr. A nil tracer disables events.
+	OpenCursor(io *counters.IO, tr obs.Tracer, node int) Cursor
+
+	// segs returns the file's present segments in persistence order; it is
+	// unexported so only this package's paged files can be Sources.
+	segs() []*segment
+}
+
+// Cursor is the uniform forward reader over a Source: every record decode
+// charges one element scanned and page touches on the real page boundaries
+// of the flat segments. Concrete cursors (*ListCursor, *TupleCursor) add
+// typed record access and pointer/index seeks.
+type Cursor interface {
+	// Valid reports whether the cursor is positioned on a record.
+	Valid() bool
+	// Next advances to the next record in file order; the cursor becomes
+	// invalid at the end.
+	Next()
+	// Ordinal returns the current record's offset in the file. It must
+	// only be called when Valid.
+	Ordinal() int
+}
+
+// segment is one page-aligned flat buffer of fixed-width records. Records
+// never span page boundaries: record i lives on page i/perPage at byte
+// offset (i%perPage)*recSize within the page, and the tail of each page
+// that cannot fit a whole record is zero padding. The buffer length is a
+// whole number of pages, so the segment can be persisted verbatim and
+// adopted back by slicing.
+type segment struct {
+	data     []byte
+	pageSize int
+	recSize  int
+	perPage  int
+	token    uintptr // buffer-pool identity
+}
+
+// newSegment allocates a zeroed segment for the given record count.
+func newSegment(entries, recSize, pageSize int) segment {
+	s := segment{
+		pageSize: pageSize,
+		recSize:  recSize,
+		perPage:  pageSize / recSize,
+		token:    tokenSeq.Add(1),
+	}
+	if entries > 0 {
+		pages := (entries + s.perPage - 1) / s.perPage
+		s.data = make([]byte, pages*pageSize)
+	}
+	return s
+}
+
+// adopt binds the segment to an existing buffer (a slice of a loaded or
+// mapped file) without copying.
+func adopt(data []byte, recSize, pageSize int) segment {
+	return segment{
+		data:     data,
+		pageSize: pageSize,
+		recSize:  recSize,
+		perPage:  pageSize / recSize,
+		token:    tokenSeq.Add(1),
+	}
+}
+
+// segBytes returns the byte length a segment of entries records occupies,
+// in whole pages.
+func segBytes(entries, recSize, pageSize int) int64 {
+	if entries == 0 {
+		return 0
+	}
+	perPage := pageSize / recSize
+	pages := (int64(entries) + int64(perPage) - 1) / int64(perPage)
+	return pages * int64(pageSize)
+}
+
+func (s *segment) present() bool { return s.data != nil }
+
+func (s *segment) pages() int {
+	if s.pageSize == 0 {
+		return 0
+	}
+	return len(s.data) / s.pageSize
+}
+
+// page returns the page number record i lives on.
+func (s *segment) page(i int32) int32 { return i / int32(s.perPage) }
+
+// rec returns the record bytes of record i.
+func (s *segment) rec(i int32) []byte {
+	p := int(i) / s.perPage
+	off := p*s.pageSize + (int(i)%s.perPage)*s.recSize
+	return s.data[off : off+s.recSize]
+}
+
+// ViewStore is one materialized view laid out in flat paged segments in a
+// given scheme. Element-family schemes populate Lists (one file per view
+// node); the tuple scheme populates Tuples.
 type ViewStore struct {
 	Kind     Kind
 	View     *tpq.Pattern
@@ -113,9 +237,24 @@ type ViewStore struct {
 	Tuples   *TupleFile
 }
 
-// Build lays out the materialized view m in the given scheme. For LE/LEp it
-// uses m's pointers reduced per the scheme's policy; Element drops them;
-// Tuple serializes m.Matches(). pageSize 0 means DefaultPageSize.
+// Sources returns the store's files behind the uniform Source interface,
+// in view-node order (a single element for the tuple scheme).
+func (s *ViewStore) Sources() []Source {
+	if s.Tuples != nil {
+		return []Source{s.Tuples}
+	}
+	out := make([]Source, len(s.Lists))
+	for i, l := range s.Lists {
+		out[i] = l
+	}
+	return out
+}
+
+// Build lays out the materialized view m in the given scheme. The views
+// layer's pointer positions are emitted directly as record offsets —
+// LinkedPartial applies the §III-C reduction inline, Element drops the
+// pointer segments, and Tuple serializes m.Matches(). pageSize 0 means
+// DefaultPageSize.
 func Build(m *views.Materialized, kind Kind, pageSize int) (*ViewStore, error) {
 	if pageSize == 0 {
 		pageSize = DefaultPageSize
@@ -129,8 +268,7 @@ func Build(m *views.Materialized, kind Kind, pageSize int) (*ViewStore, error) {
 		s.Tuples = tf
 		return s, nil
 	}
-	mm := m.ApplyPolicy(kind.Policy())
-	lists, err := buildListFiles(mm, kind, pageSize)
+	lists, err := buildListFiles(m, kind, pageSize)
 	if err != nil {
 		return nil, err
 	}
@@ -150,28 +288,27 @@ func MustBuild(m *views.Materialized, kind Kind, pageSize int) *ViewStore {
 // SizeBytes returns the on-disk size in page-granular bytes.
 func (s *ViewStore) SizeBytes() int64 {
 	var n int64
-	for _, l := range s.Lists {
-		n += int64(len(l.pages)) * int64(s.PageSize)
-	}
-	if s.Tuples != nil {
-		n += int64(len(s.Tuples.pages)) * int64(s.PageSize)
+	for _, src := range s.Sources() {
+		n += src.SizeBytes()
 	}
 	return n
 }
 
-// PayloadBytes returns the number of record bytes actually written,
+// PayloadBytes returns the number of record bytes actually stored,
 // excluding page padding.
 func (s *ViewStore) PayloadBytes() int64 {
 	var n int64
-	for _, l := range s.Lists {
-		for _, u := range l.pageUsed {
-			n += int64(u)
-		}
+	for _, src := range s.Sources() {
+		n += src.PayloadBytes()
 	}
-	if s.Tuples != nil {
-		for _, u := range s.Tuples.pageUsed {
-			n += int64(u)
-		}
+	return n
+}
+
+// NumPages returns the total page count across all files and segments.
+func (s *ViewStore) NumPages() int {
+	n := 0
+	for _, src := range s.Sources() {
+		n += src.NumPages()
 	}
 	return n
 }
@@ -187,28 +324,31 @@ func (s *ViewStore) NumPointers() int {
 
 // TotalEntries returns the total record count across lists (or tuples).
 func (s *ViewStore) TotalEntries() int {
-	if s.Tuples != nil {
-		return s.Tuples.entries
-	}
 	n := 0
-	for _, l := range s.Lists {
-		n += l.entries
+	for _, src := range s.Sources() {
+		n += src.Entries()
 	}
 	return n
 }
 
-// ListFile is one on-disk list of records for a single view node.
+// ListFile is one flat paged list of records for a single view node: a
+// labels segment (12-byte records) plus one 4-byte-record pointer segment
+// per materialized pointer class. A pointer class whose pointers are all
+// null occupies no segment at all — the E scheme stores only labels, and
+// LEp's reduction shrinks the file by whole segments.
 type ListFile struct {
 	kind       Kind
 	pageSize   int
-	childCount int  // child pointers per record
+	childCount int  // child pointer classes of the view node
 	scoped     bool // following pointers are scoped to a parent view node
-	pages      [][]byte
-	pageUsed   []uint16
 	entries    int
-	pointers   int
-	token      uintptr
+	pointers   int // non-null pointers across all segments
+	labels     segment
+	ptrs       [numPtrSegs]segment // absent classes have nil data
 }
+
+// Kind returns the scheme the list belongs to.
+func (l *ListFile) Kind() Kind { return l.kind }
 
 // Entries returns the number of records in the list.
 func (l *ListFile) Entries() int { return l.entries }
@@ -219,38 +359,74 @@ func (l *ListFile) Entries() int { return l.entries }
 // scoped ones only under the safe-jump rule (see engine/viewjoin).
 func (l *ListFile) Scoped() bool { return l.scoped }
 
-// buildListFiles serializes every list of mm. Two passes across all lists:
-// the first computes each record's (page, offset) location (record sizes
-// are known up front), the second encodes records with pointer positions —
-// including cross-list child pointers — resolved to locations.
-func buildListFiles(mm *views.Materialized, kind Kind, pageSize int) ([]*ListFile, error) {
-	nq := mm.View.Size()
-	files := make([]*ListFile, nq)
-	locs := make([][]Pointer, nq) // per list, per entry
-
-	recSize := func(e *views.Entry) int {
-		if kind == Element {
-			return headerBytes
-		}
-		n := headerBytes + 1
-		if e.Following != views.NoPointer {
-			n += pointerBytes
-		}
-		if e.Descendant != views.NoPointer {
-			n += pointerBytes
-		}
-		for _, c := range e.Children {
-			if c != views.NoPointer {
-				n += pointerBytes
-			}
-		}
-		return n
+// NumPages returns the page count across the list's segments.
+func (l *ListFile) NumPages() int {
+	n := l.labels.pages()
+	for i := range l.ptrs {
+		n += l.ptrs[i].pages()
 	}
+	return n
+}
 
-	// Pass 1: place records of every list.
+// SizeBytes returns the page-granular on-disk size.
+func (l *ListFile) SizeBytes() int64 { return int64(l.NumPages()) * int64(l.pageSize) }
+
+// PayloadBytes returns the record bytes excluding page padding.
+func (l *ListFile) PayloadBytes() int64 {
+	n := int64(l.entries) * labelBytes
+	for i := range l.ptrs {
+		if l.ptrs[i].present() {
+			n += int64(l.entries) * ptrBytes
+		}
+	}
+	return n
+}
+
+// PageOf returns the labels-segment page of the record addressed by p —
+// the list's notion of "which page a record lives on" for jump-distance
+// accounting. p must not be nil.
+func (l *ListFile) PageOf(p Pointer) int32 { return l.labels.page(int32(p)) }
+
+// segs returns the present segments in persistence order: labels first,
+// then pointer classes ascending.
+func (l *ListFile) segs() []*segment {
+	out := make([]*segment, 0, 1+numPtrSegs)
+	if l.labels.present() {
+		out = append(out, &l.labels)
+	}
+	for i := range l.ptrs {
+		if l.ptrs[i].present() {
+			out = append(out, &l.ptrs[i])
+		}
+	}
+	return out
+}
+
+// segMask returns the presence bitmap of the pointer segments (bit i set
+// when pointer class i is materialized).
+func (l *ListFile) segMask() uint16 {
+	var m uint16
+	for i := range l.ptrs {
+		if l.ptrs[i].present() {
+			m |= 1 << i
+		}
+	}
+	return m
+}
+
+// buildListFiles serializes every list of m in one pass: the views layer's
+// pointer positions are already record offsets, so records are emitted
+// directly with the scheme's pointer policy applied inline — no
+// intermediate reduced copy, no location resolution.
+func buildListFiles(m *views.Materialized, kind Kind, pageSize int) ([]*ListFile, error) {
+	if labelBytes > pageSize {
+		return nil, fmt.Errorf("store: record size %d exceeds page size %d", labelBytes, pageSize)
+	}
+	nq := m.View.Size()
+	files := make([]*ListFile, nq)
 	for q := 0; q < nq; q++ {
-		list := mm.Lists[q]
-		childCount := len(mm.View.Nodes[q].Children)
+		list := m.Lists[q]
+		childCount := len(m.View.Nodes[q].Children)
 		if childCount > MaxChildren {
 			return nil, fmt.Errorf("store: view node %d has %d children; record format supports %d",
 				q, childCount, MaxChildren)
@@ -259,83 +435,64 @@ func buildListFiles(mm *views.Materialized, kind Kind, pageSize int) ([]*ListFil
 			kind:       kind,
 			pageSize:   pageSize,
 			childCount: childCount,
-			scoped:     mm.View.Nodes[q].Parent != -1,
+			scoped:     m.View.Nodes[q].Parent != -1,
 			entries:    len(list),
-			token:      tokenSeq.Add(1),
 		}
-		locs[q] = make([]Pointer, len(list))
-		page, off := int32(0), 0
+		lf.labels = newSegment(len(list), labelBytes, pageSize)
 		for i := range list {
-			sz := recSize(&list[i])
-			if sz > pageSize {
-				return nil, fmt.Errorf("store: record size %d exceeds page size %d", sz, pageSize)
+			rec := lf.labels.rec(int32(i))
+			binary.LittleEndian.PutUint32(rec[0:], uint32(list[i].Start))
+			binary.LittleEndian.PutUint32(rec[4:], uint32(list[i].End))
+			binary.LittleEndian.PutUint32(rec[8:], uint32(list[i].Level))
+		}
+		if kind != Element {
+			lf.fillPtrSeg(segFollowing, len(list), func(i int) int32 {
+				return reduce(kind, list[i].Following, int32(i))
+			})
+			lf.fillPtrSeg(segDescendant, len(list), func(i int) int32 {
+				return reduce(kind, list[i].Descendant, int32(i))
+			})
+			for ci := 0; ci < childCount; ci++ {
+				ci := ci
+				lf.fillPtrSeg(segChild0+ci, len(list), func(i int) int32 {
+					return list[i].Children[ci]
+				})
 			}
-			if off+sz > pageSize {
-				page++
-				off = 0
-			}
-			locs[q][i] = Pointer{Page: page, Off: uint16(off)}
-			off += sz
 		}
-		numPages := 0
-		if len(list) > 0 {
-			numPages = int(page) + 1
-		}
-		lf.pages = make([][]byte, numPages)
-		for i := range lf.pages {
-			lf.pages[i] = make([]byte, pageSize)
-		}
-		lf.pageUsed = make([]uint16, numPages)
 		files[q] = lf
 	}
+	return files, nil
+}
 
-	// Pass 2: encode.
-	for q := 0; q < nq; q++ {
-		lf := files[q]
-		list := mm.Lists[q]
-		resolve := func(target int, pos int32) Pointer {
-			if pos == views.NoPointer {
-				return NilPointer
-			}
-			return locs[target][pos]
-		}
-		for i := range list {
-			e := &list[i]
-			loc := locs[q][i]
-			buf := lf.pages[loc.Page][loc.Off:]
-			binary.LittleEndian.PutUint32(buf[0:], uint32(e.Start))
-			binary.LittleEndian.PutUint32(buf[4:], uint32(e.End))
-			binary.LittleEndian.PutUint32(buf[8:], uint32(e.Level))
-			n := headerBytes
-			if kind != Element {
-				flags := byte(0)
-				n++ // flags byte written below, after pointers are known
-				put := func(p Pointer) {
-					binary.LittleEndian.PutUint32(buf[n:], uint32(p.Page))
-					binary.LittleEndian.PutUint16(buf[n+4:], p.Off)
-					n += pointerBytes
-					lf.pointers++
-				}
-				if e.Following != views.NoPointer {
-					flags |= flagFollowing
-					put(resolve(q, e.Following))
-				}
-				if e.Descendant != views.NoPointer {
-					flags |= flagDescendant
-					put(resolve(q, e.Descendant))
-				}
-				for ci, c := range e.Children {
-					if c != views.NoPointer {
-						flags |= 1 << (flagChild0 + ci)
-						put(resolve(mm.View.Nodes[q].Children[ci], c))
-					}
-				}
-				buf[headerBytes] = flags
-			}
-			if used := int(loc.Off) + n; used > int(lf.pageUsed[loc.Page]) {
-				lf.pageUsed[loc.Page] = uint16(used)
-			}
+// reduce applies the LEp heuristic (§III-C) to a following/descendant
+// position: the pointer is kept only when the pointed record is more than
+// one entry away. Linked keeps every pointer.
+func reduce(kind Kind, pos, i int32) int32 {
+	if kind == LinkedPartial && pos != views.NoPointer && pos <= i+1 {
+		return views.NoPointer
+	}
+	return pos
+}
+
+// fillPtrSeg materializes one pointer class as a flat int32 segment. A
+// class with no non-null pointer occupies no segment.
+func (l *ListFile) fillPtrSeg(class, entries int, val func(i int) int32) {
+	present := false
+	for i := 0; i < entries; i++ {
+		if val(i) != views.NoPointer {
+			present = true
+			break
 		}
 	}
-	return files, nil
+	if !present {
+		return
+	}
+	l.ptrs[class] = newSegment(entries, ptrBytes, l.pageSize)
+	for i := 0; i < entries; i++ {
+		v := val(i)
+		binary.LittleEndian.PutUint32(l.ptrs[class].rec(int32(i)), uint32(v))
+		if v != views.NoPointer {
+			l.pointers++
+		}
+	}
 }

@@ -11,14 +11,12 @@ import (
 
 // TupleFile is the on-disk form of the tuple (T) scheme: every match of the
 // view as a fixed-size record of n region labels, sorted by the composite
-// key (e1.start, ..., en.start) — InterJoin's storage (§I).
+// key (e1.start, ..., en.start) — InterJoin's storage (§I). It is a single
+// flat paged segment of arity×12-byte records.
 type TupleFile struct {
-	pageSize int
-	arity    int // view nodes per tuple
-	pages    [][]byte
-	pageUsed []uint16
-	entries  int
-	token    uintptr
+	arity   int // view nodes per tuple
+	entries int
+	seg     segment
 }
 
 // Arity returns the number of nodes per tuple.
@@ -27,38 +25,45 @@ func (f *TupleFile) Arity() int { return f.arity }
 // Entries returns the number of tuples.
 func (f *TupleFile) Entries() int { return f.entries }
 
+// Kind returns Tuple.
+func (f *TupleFile) Kind() Kind { return Tuple }
+
+// NumPages returns the file's page count.
+func (f *TupleFile) NumPages() int { return f.seg.pages() }
+
+// SizeBytes returns the page-granular on-disk size.
+func (f *TupleFile) SizeBytes() int64 { return int64(len(f.seg.data)) }
+
+// PayloadBytes returns the record bytes excluding page padding.
+func (f *TupleFile) PayloadBytes() int64 { return int64(f.entries) * int64(f.arity) * labelBytes }
+
+// segs returns the file's single segment.
+func (f *TupleFile) segs() []*segment {
+	if !f.seg.present() {
+		return nil
+	}
+	return []*segment{&f.seg}
+}
+
 func buildTupleFile(m *views.Materialized, pageSize int) (*TupleFile, error) {
 	arity := m.View.Size()
-	recSize := arity * headerBytes
+	recSize := arity * labelBytes
 	if recSize > pageSize {
 		return nil, fmt.Errorf("store: tuple record size %d exceeds page size %d", recSize, pageSize)
 	}
 	matches := m.Matches()
 	f := &TupleFile{
-		pageSize: pageSize,
-		arity:    arity,
-		entries:  len(matches),
-		token:    tokenSeq.Add(1),
+		arity:   arity,
+		entries: len(matches),
+		seg:     newSegment(len(matches), recSize, pageSize),
 	}
-	perPage := pageSize / recSize
-	numPages := (len(matches) + perPage - 1) / perPage
-	f.pages = make([][]byte, numPages)
-	for i := range f.pages {
-		f.pages[i] = make([]byte, pageSize)
-	}
-	f.pageUsed = make([]uint16, numPages)
 	for i, mt := range matches {
-		page := i / perPage
-		off := (i % perPage) * recSize
-		buf := f.pages[page][off:]
+		rec := f.seg.rec(int32(i))
 		for j, id := range mt {
 			n := m.Doc.Node(id)
-			binary.LittleEndian.PutUint32(buf[j*headerBytes:], uint32(n.Start))
-			binary.LittleEndian.PutUint32(buf[j*headerBytes+4:], uint32(n.End))
-			binary.LittleEndian.PutUint32(buf[j*headerBytes+8:], uint32(n.Level))
-		}
-		if used := off + recSize; used > int(f.pageUsed[page]) {
-			f.pageUsed[page] = uint16(used)
+			binary.LittleEndian.PutUint32(rec[j*labelBytes:], uint32(n.Start))
+			binary.LittleEndian.PutUint32(rec[j*labelBytes+4:], uint32(n.End))
+			binary.LittleEndian.PutUint32(rec[j*labelBytes+8:], uint32(n.Level))
 		}
 	}
 	return f, nil
@@ -108,6 +113,11 @@ func (f *TupleFile) OpenTraced(io *counters.IO, tr obs.Tracer, node int) *TupleC
 	return c
 }
 
+// OpenCursor implements Source.
+func (f *TupleFile) OpenCursor(io *counters.IO, tr obs.Tracer, node int) Cursor {
+	return f.OpenTraced(io, tr, node)
+}
+
 // Valid reports whether the cursor is positioned on a tuple.
 func (c *TupleCursor) Valid() bool { return c.valid }
 
@@ -116,6 +126,9 @@ func (c *TupleCursor) Item() *TupleItem { return &c.item }
 
 // Index returns the current tuple's ordinal position.
 func (c *TupleCursor) Index() int { return c.idx }
+
+// Ordinal returns the current tuple's ordinal position (Cursor interface).
+func (c *TupleCursor) Ordinal() int { return c.idx }
 
 // Next advances to the next tuple.
 func (c *TupleCursor) Next() {
@@ -143,24 +156,20 @@ func (c *TupleCursor) SeekIndex(i int) {
 }
 
 func (c *TupleCursor) load(i int) {
-	recSize := c.f.arity * headerBytes
-	perPage := c.f.pageSize / recSize
-	page := int32(i / perPage)
-	off := (i % perPage) * recSize
-	if c.lastTouch != page {
-		c.io.Touch(c.f.token, page)
+	if page := c.f.seg.page(int32(i)); c.lastTouch != page {
+		c.io.Touch(c.f.seg.token, page)
 		c.lastTouch = page
 	}
 	c.io.C.ElementsScanned += int64(c.f.arity)
 	if c.tr != nil {
 		c.tr.Event(obs.EvScan, int(c.node), int64(c.f.arity))
 	}
-	buf := c.f.pages[page][off:]
+	rec := c.f.seg.rec(int32(i))
 	for j := 0; j < c.f.arity; j++ {
 		c.item.Labels[j] = Label{
-			Start: int32(binary.LittleEndian.Uint32(buf[j*headerBytes:])),
-			End:   int32(binary.LittleEndian.Uint32(buf[j*headerBytes+4:])),
-			Level: int32(binary.LittleEndian.Uint32(buf[j*headerBytes+8:])),
+			Start: int32(binary.LittleEndian.Uint32(rec[j*labelBytes:])),
+			End:   int32(binary.LittleEndian.Uint32(rec[j*labelBytes+4:])),
+			Level: int32(binary.LittleEndian.Uint32(rec[j*labelBytes+8:])),
 		}
 	}
 	c.idx, c.valid = i, true

@@ -68,6 +68,27 @@ func (d *Document) LoadView(r io.Reader) (*MaterializedView, error) {
 	return &MaterializedView{doc: d, pattern: st.View, store: st}, nil
 }
 
+// LoadViewBytes is LoadView over an in-memory file image, and is the
+// zero-copy path: the returned view's paged segments are slices of data,
+// adopted without decoding or copying records. The caller must not mutate
+// data after a successful load (reading a whole file with os.ReadFile, or
+// memory-mapping it read-only, both satisfy this). Views loaded this way
+// can be served concurrently: the segments are immutable and every reader
+// carries its own cursor state.
+func (d *Document) LoadViewBytes(data []byte) (*MaterializedView, error) {
+	if len(data) < 8 {
+		return nil, loadErr(fmt.Errorf("reading fingerprint: %w", io.ErrUnexpectedEOF))
+	}
+	if got := binary.LittleEndian.Uint64(data[:8]); got != d.fingerprint() {
+		return nil, &DocMismatchError{Saved: got, Want: d.fingerprint()}
+	}
+	st, err := store.ReadViewStoreBytes(data[8:])
+	if err != nil {
+		return nil, loadErr(err)
+	}
+	return &MaterializedView{doc: d, pattern: st.View, store: st}, nil
+}
+
 // loadErr wraps a low-level read error for LoadView, folding the two EOF
 // flavors into ErrViewTruncated: io.EOF from a header read and
 // io.ErrUnexpectedEOF from a partial body both mean the stream ended

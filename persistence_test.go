@@ -2,6 +2,7 @@ package viewjoin
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -49,6 +50,77 @@ func TestSaveLoadViewRoundTrip(t *testing.T) {
 		if !sameMatches(res, want) {
 			t.Fatalf("%v: loaded views give %d matches, want %d", scheme, len(res.Matches), len(want.Matches))
 		}
+	}
+}
+
+// TestLoadViewBytesZeroCopy: the zero-copy loader is behaviorally
+// identical to LoadView — same evaluation results, same structured errors
+// (ErrViewTruncated for every truncation point, DocMismatchError for a
+// foreign document).
+func TestLoadViewBytesZeroCopy(t *testing.T) {
+	d := GenerateNasa(120)
+	q := MustParseQuery("//field//footnote//para")
+	vs, err := ParseViews("//field//para; //footnote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := EvaluateDirect(d, q)
+
+	for _, scheme := range []StorageScheme{SchemeElement, SchemeLE, SchemeLEp, SchemeTuple} {
+		mv, err := d.MaterializeViews(vs, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded := make([]*MaterializedView, len(mv))
+		for i, v := range mv {
+			var buf bytes.Buffer
+			if _, err := v.SaveView(&buf); err != nil {
+				t.Fatal(err)
+			}
+			loaded[i], err = d.LoadViewBytes(buf.Bytes())
+			if err != nil {
+				t.Fatalf("%v: LoadViewBytes: %v", scheme, err)
+			}
+			if loaded[i].Scheme() != scheme || loaded[i].NumEntries() != v.NumEntries() ||
+				loaded[i].NumPointers() != v.NumPointers() {
+				t.Fatalf("%v: loaded view metadata differs", scheme)
+			}
+		}
+		eng := EngineViewJoin
+		if scheme == SchemeTuple {
+			eng = EngineInterJoin
+		}
+		res, err := Evaluate(d, q, loaded, eng, nil)
+		if err != nil {
+			t.Fatalf("%v: evaluate over byte-loaded views: %v", scheme, err)
+		}
+		if !sameMatches(res, want) {
+			t.Fatalf("%v: byte-loaded views give %d matches, want %d", scheme, len(res.Matches), len(want.Matches))
+		}
+	}
+}
+
+func TestLoadViewBytesTruncation(t *testing.T) {
+	d := GenerateNasa(100)
+	v, err := d.MaterializeView(MustParseQuery("//field//para"), SchemeLE, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := v.SaveView(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for _, n := range []int{0, 4, 8, 12, len(good) / 2, len(good) - 1} {
+		_, err := d.LoadViewBytes(good[:n])
+		if !errors.Is(err, ErrViewTruncated) {
+			t.Errorf("truncation at %d/%d: err = %v, want ErrViewTruncated", n, len(good), err)
+		}
+	}
+	d2 := GenerateNasa(101)
+	var mismatch *DocMismatchError
+	if _, err := d2.LoadViewBytes(good); !errors.As(err, &mismatch) {
+		t.Errorf("foreign document: err = %v, want DocMismatchError", err)
 	}
 }
 

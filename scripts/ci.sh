@@ -5,22 +5,39 @@
 #   scripts/ci.sh
 #
 # Runs, in order:
-#   1. tier-1 verify: go build, go vet, go test, go test -race (ROADMAP.md)
-#   2. fuzz smoke: 10s each of FuzzParse (internal/tpq) and
-#      FuzzEvaluateDifferential (root), seeded from the committed corpora
-#   3. bench gate: a fresh manifest via scripts/bench.sh compared against
-#      the committed BENCH_2.json baseline with scripts/benchcmp.sh
-#      (>10% wall-time regression fails; VJCI_SKIP_BENCH=1 skips the gate
-#      on machines where timings are meaningless, e.g. shared runners)
+#   1. gofmt: no file may need reformatting
+#   2. tier-1 verify: go build, go vet, go test, go test -race (ROADMAP.md)
+#   3. store coverage floor: the storage layer is the persistence trust
+#      boundary; its statement coverage must stay >= VJCI_STORE_COV (85%)
+#   4. govulncheck, when the tool is installed (skipped, not failed, when
+#      absent — hermetic runners don't fetch tools)
+#   5. fuzz smoke: 10s each of FuzzParse (internal/tpq),
+#      FuzzReadViewStore (internal/store), and FuzzEvaluateDifferential
+#      (root), seeded from the committed corpora
+#   6. bench gate: a fresh manifest via scripts/bench.sh compared against
+#      the committed BENCH_3.json baseline with scripts/benchcmp.sh
+#      (>10% wall-time or allocs regression fails; VJCI_SKIP_BENCH=1 skips
+#      the gate on machines where timings are meaningless, e.g. shared
+#      runners)
 #
 # Environment:
 #   VJCI_FUZZTIME        per-target fuzz budget (default 10s)
+#   VJCI_STORE_COV       minimum internal/store coverage %% (default 85)
 #   VJCI_SKIP_BENCH=1    skip the bench regression gate
 #   VJBENCHCMP_THRESHOLD regression threshold for the gate (default 0.10)
 set -eu
 cd "$(dirname "$0")/.."
 
 fuzztime="${VJCI_FUZZTIME:-10s}"
+store_cov="${VJCI_STORE_COV:-85}"
+
+echo "== gofmt"
+unformatted="$(gofmt -l . 2>/dev/null || true)"
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need reformatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 
 echo "== tier-1: build"
 go build ./...
@@ -31,19 +48,40 @@ go test ./...
 echo "== tier-1: test -race"
 go test -race ./...
 
+echo "== store coverage floor (>= ${store_cov}%)"
+cov="$(go test -count=1 -cover ./internal/store | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')"
+if [ -z "$cov" ]; then
+	echo "store coverage: could not parse coverage output" >&2
+	exit 1
+fi
+if ! awk -v c="$cov" -v floor="$store_cov" 'BEGIN { exit !(c+0 >= floor+0) }'; then
+	echo "store coverage ${cov}% is below the ${store_cov}% floor" >&2
+	exit 1
+fi
+echo "store coverage: ${cov}%"
+
+if command -v govulncheck >/dev/null 2>&1; then
+	echo "== govulncheck"
+	govulncheck ./...
+else
+	echo "== govulncheck: not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"
+fi
+
 echo "== fuzz smoke: FuzzParse ($fuzztime)"
 go test -run '^$' -fuzz '^FuzzParse$' -fuzztime "$fuzztime" ./internal/tpq
+echo "== fuzz smoke: FuzzReadViewStore ($fuzztime)"
+go test -run '^$' -fuzz '^FuzzReadViewStore$' -fuzztime "$fuzztime" ./internal/store
 echo "== fuzz smoke: FuzzEvaluateDifferential ($fuzztime)"
 go test -run '^$' -fuzz '^FuzzEvaluateDifferential$' -fuzztime "$fuzztime" .
 
 if [ -n "${VJCI_SKIP_BENCH:-}" ]; then
 	echo "== bench gate: skipped (VJCI_SKIP_BENCH)"
 else
-	echo "== bench gate: fresh manifest vs BENCH_2.json"
+	echo "== bench gate: fresh manifest vs BENCH_3.json"
 	tmp="$(mktemp -t vjci-bench-XXXXXX.json)"
 	trap 'rm -f "$tmp"' EXIT
 	VJBENCH_SKIP_SMOKE=1 scripts/bench.sh "$tmp"
-	scripts/benchcmp.sh BENCH_2.json "$tmp"
+	scripts/benchcmp.sh BENCH_3.json "$tmp"
 fi
 
 echo "== ci: OK"
