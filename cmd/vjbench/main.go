@@ -61,6 +61,7 @@ type manifestConfig struct {
 	BufferPoolPages int     `json:"bufferPoolPages"`
 	IOCostPerPage   string  `json:"ioCostPerPage"`
 	Parallel        int     `json:"parallel"`
+	Shards          int     `json:"shards"`
 }
 
 type experimentEntry struct {
@@ -93,6 +94,7 @@ func main() {
 		pool     = flag.Int("pool", 0, "buffer pool pages (default 64)")
 		ioCost   = flag.Duration("io-cost", 0, "simulated cost per page miss (default 3µs)")
 		parallel = flag.Int("parallel", 0, "batch-evaluation workers in the prepared experiment (default GOMAXPROCS)")
+		shards   = flag.Int("shards", 0, "intra-query partitions in the shards experiment (default 4)")
 		jsonOut  = flag.String("json", "", "write a machine-readable run manifest to this file")
 		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this address while running (e.g. localhost:6060)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -135,6 +137,7 @@ func main() {
 		BufferPoolPages: *pool,
 		IOCostPerPage:   *ioCost,
 		Parallel:        *parallel,
+		Shards:          *shards,
 		Out:             os.Stdout,
 	}
 
@@ -215,6 +218,9 @@ func main() {
 		if eff.Parallel <= 0 {
 			eff.Parallel = runtime.GOMAXPROCS(0)
 		}
+		if eff.Shards <= 0 {
+			eff.Shards = 4
+		}
 		m.Config = manifestConfig{
 			XMarkScale:      eff.XMarkScale,
 			NasaDatasets:    eff.NasaDatasets,
@@ -222,6 +228,7 @@ func main() {
 			BufferPoolPages: eff.BufferPoolPages,
 			IOCostPerPage:   eff.IOCostPerPage.String(),
 			Parallel:        eff.Parallel,
+			Shards:          eff.Shards,
 		}
 		buf, err := json.MarshalIndent(m, "", "  ")
 		if err != nil {

@@ -8,6 +8,7 @@
 //	vjquery -q '//site//item' -xmark 0.5            # run against a generated doc
 //	vjquery -q '//a//b' -load 'views/*.vjview' doc.xml  # reuse saved views
 //	vjquery -q '//a//b//a' -general -raw doc.xml    # general query, no views
+//	vjquery -q '//a//b' -views '//a; //b' -parallel 4 doc.xml # partitioned run
 //	vjquery -q '//a//b' -views '//a; //b' -explain doc.xml   # EXPLAIN report
 //	vjquery -q '//a//b' -views '//a; //b' -json doc.xml      # trace as JSON
 //
@@ -70,6 +71,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		loadGlob  = fs.String("load", "", "load saved views matching this glob (from vjmaterialize) instead of materializing")
 		raw       = fs.Bool("raw", false, "evaluate over raw element streams without views (TS/PS only)")
 		general   = fs.Bool("general", false, "allow repeated element types in the query (implies -raw)")
+		parallel  = fs.Int("parallel", 0, "evaluate with up to this many range partitions (0 or 1 = sequential, -1 = GOMAXPROCS)")
 		explain   = fs.Bool("explain", false, "print an EXPLAIN-style report: plan, per-phase and per-node costs")
 		jsonOut   = fs.Bool("json", false, "write the evaluation trace as one JSON document to stdout")
 	)
@@ -92,7 +94,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *explain || *jsonOut {
 		rec = obs.NewRecorder()
 	}
-	opts := &viewjoin.EvalOptions{DiskBased: *diskBased}
+	opts := &viewjoin.EvalOptions{DiskBased: *diskBased, Parallelism: *parallel}
 	if rec != nil {
 		opts.Tracer = rec
 	}
@@ -237,9 +239,9 @@ func report(stdout, human io.Writer, res *viewjoin.Result, explain, jsonOut bool
 // maxPrint matches. maxPrint <= 0 suppresses all match output, header
 // included (stats still print).
 func printResult(w io.Writer, query *viewjoin.Query, engine viewjoin.Engine, res *viewjoin.Result, maxPrint int) {
-	fmt.Fprintf(w, "stats: scanned=%d comparisons=%d derefs=%d pagesRead=%d pagesWritten=%d\n",
+	fmt.Fprintf(w, "stats: scanned=%d comparisons=%d derefs=%d pagesRead=%d pagesWritten=%d partitions=%d\n",
 		res.Stats.ElementsScanned, res.Stats.Comparisons, res.Stats.PointerDerefs,
-		res.Stats.PagesRead, res.Stats.PagesWritten)
+		res.Stats.PagesRead, res.Stats.PagesWritten, res.Stats.Partitions)
 	if maxPrint <= 0 {
 		return
 	}

@@ -10,7 +10,7 @@
 //
 // Endpoints:
 //
-//	POST /query        {"document","query","engine","views","timeout_ms","limit"}
+//	POST /query        {"document","query","engine","views","timeout_ms","limit","parallel"}
 //	POST /debug/trace  same body; returns the viewjoin/trace/v1 report inline
 //	GET  /metrics      plan-cache and request counters, per-engine latency
 //	GET  /healthz      liveness ("ok" or "draining")
@@ -69,6 +69,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		cacheSize = fs.Int("cache", 128, "plan cache capacity (prepared plans)")
 		workers   = fs.Int("workers", 4, "concurrent query evaluations")
 		queue     = fs.Int("queue", 16, "admitted requests that may wait for a worker before 429 shedding (negative: unbounded)")
+		maxPar    = fs.Int("max-parallel", 1, "cap on the per-request 'parallel' partition knob (1 = parallel evaluation disabled)")
 		timeout   = fs.Duration("timeout", 10*time.Second, "default per-request deadline")
 		jsonLog   = fs.Bool("json", false, "write one viewjoin/access/v1 JSON line per request to stdout")
 	)
@@ -86,6 +87,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		DefaultTimeout: *timeout,
+		MaxParallel:    *maxPar,
 	}
 	if *jsonLog {
 		cfg.AccessLog = stdout

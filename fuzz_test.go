@@ -1,6 +1,7 @@
 package viewjoin
 
 import (
+	"context"
 	"testing"
 
 	"viewjoin/internal/testutil"
@@ -34,6 +35,9 @@ func FuzzEvaluateDifferential(f *testing.F) {
 			testutil.SingletonViews(pat),
 			testutil.WholeQueryView(pat),
 		}
+		// Partition target for the parallel path, drawn after every other
+		// generator so existing corpus entries keep their doc/query/views.
+		k := 2 + rng.Intn(3)
 		for pi, part := range partitions {
 			views := make([]*Query, len(part))
 			for i, vp := range part {
@@ -57,6 +61,20 @@ func FuzzEvaluateDifferential(f *testing.F) {
 						t.Fatalf("partition %d %v+%v: %d matches, oracle %d (q=%s)",
 							pi, eng, scheme, len(res.Matches), len(want.Matches), q)
 					}
+					// The range-partitioned run must be byte-identical to
+					// the sequential result, not just set-equal.
+					p, err := Prepare(doc, q, mv, eng, nil)
+					if err != nil {
+						t.Fatalf("partition %d %v+%v: prepare: %v", pi, eng, scheme, err)
+					}
+					pres, err := p.RunParallel(context.Background(), k)
+					if err != nil {
+						t.Fatalf("partition %d %v+%v k=%d: %v", pi, eng, scheme, k, err)
+					}
+					if !identicalMatches(pres, res) {
+						t.Fatalf("partition %d %v+%v k=%d: parallel diverged from sequential (%d vs %d matches, q=%s)",
+							pi, eng, scheme, k, len(pres.Matches), len(res.Matches), q)
+					}
 				}
 			}
 			if q.IsPath() {
@@ -71,6 +89,18 @@ func FuzzEvaluateDifferential(f *testing.F) {
 				if !sameMatches(res, want) {
 					t.Fatalf("partition %d IJ: %d matches, oracle %d (q=%s)",
 						pi, len(res.Matches), len(want.Matches), q)
+				}
+				p, err := Prepare(doc, q, tv, EngineInterJoin, nil)
+				if err != nil {
+					t.Fatalf("partition %d IJ: prepare: %v", pi, err)
+				}
+				pres, err := p.RunParallel(context.Background(), k)
+				if err != nil {
+					t.Fatalf("partition %d IJ k=%d: %v", pi, k, err)
+				}
+				if !identicalMatches(pres, res) {
+					t.Fatalf("partition %d IJ k=%d: parallel diverged from sequential (%d vs %d matches, q=%s)",
+						pi, k, len(pres.Matches), len(res.Matches), q)
 				}
 			}
 		}

@@ -8,7 +8,10 @@
 // hardware.
 package counters
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Counters accumulates the cost measures of one query evaluation.
 type Counters struct {
@@ -55,6 +58,10 @@ type IO struct {
 	cap  int
 	seq  int64
 	last map[pageKey]int64 // key -> last-use sequence
+	// stall is the simulated device latency charged per pool miss; debt
+	// accumulates unslept latency (see SetStall).
+	stall time.Duration
+	debt  time.Duration
 }
 
 type pageKey struct {
@@ -91,6 +98,7 @@ func (io *IO) Touch(file uintptr, page int32) bool {
 		if io.Page != nil {
 			io.Page(true)
 		}
+		io.stallMiss()
 		return true
 	}
 	k := pageKey{file, page}
@@ -109,6 +117,7 @@ func (io *IO) Touch(file uintptr, page int32) bool {
 	if io.Page != nil {
 		io.Page(true)
 	}
+	io.stallMiss()
 	return true
 }
 
@@ -128,3 +137,52 @@ func (io *IO) evict() {
 
 // Write records n pages written (disk-based output approach).
 func (io *IO) Write(n int64) { io.C.PagesWritten += n }
+
+// stallQuantum batches simulated miss latencies into sleeps long enough to
+// be above the platform timer floor; the self-correcting debt accounting
+// in stallMiss keeps the total stall accurate regardless of how coarse
+// individual sleeps turn out to be.
+const stallQuantum = time.Millisecond
+
+// SetStall makes every subsequent pool miss cost d of real wall time on
+// the calling goroutine, turning the arithmetic I/O cost model into an
+// actual stall. Latency is accrued as debt and paid in sleeps of at least
+// stallQuantum, with the measured sleep duration subtracted from the debt,
+// so the total time slept tracks misses x d even when the platform timer
+// floor is far coarser than d. Blocked goroutines release the processor,
+// which is exactly what lets partitioned evaluation overlap its simulated
+// device waits. d <= 0 disables stalling (the default).
+func (io *IO) SetStall(d time.Duration) { io.stall = d }
+
+// stallMiss accrues one miss of latency and sleeps when enough debt has
+// built up.
+func (io *IO) stallMiss() {
+	if io.stall <= 0 {
+		return
+	}
+	io.debt += io.stall
+	if io.debt < stallQuantum {
+		return
+	}
+	t0 := time.Now()
+	time.Sleep(io.debt)
+	io.debt -= time.Since(t0)
+	if io.debt < 0 {
+		io.debt = 0
+	}
+}
+
+// DrainStall pays any remaining sub-quantum latency debt. Runs that stall
+// call it once at the end so short evaluations are not systematically
+// under-charged.
+func (io *IO) DrainStall() {
+	if io.stall <= 0 || io.debt <= 0 {
+		return
+	}
+	t0 := time.Now()
+	time.Sleep(io.debt)
+	io.debt -= time.Since(t0)
+	if io.debt < 0 {
+		io.debt = 0
+	}
+}

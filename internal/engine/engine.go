@@ -37,6 +37,12 @@ type Options struct {
 	// or cancellation. nil keeps the historical uninterruptible behaviour
 	// at zero hot-path cost.
 	Interrupt func() error
+	// Restrict, when non-nil, narrows the run to a start-range slice of
+	// the document: every list cursor is bound to the records whose start
+	// labels fall in the restriction's span for its query node (Root for
+	// node 0, Body for the rest). Partitioned evaluation runs one
+	// restricted job per document chunk; nil keeps the whole document.
+	Restrict *Restriction
 }
 
 // interruptStride is how many Interrupter.Check calls elapse between real

@@ -148,13 +148,17 @@ func (p *Prepared) Run(io *counters.IO, opts engine.Options) (match.Set, error) 
 	}
 	sc.ic = engine.NewInterrupter(opts.Interrupt)
 	q, n := p.q, p.q.Size()
-	acc := p.streams[p.order[0]]
+	streams := p.streams
+	if opts.Restrict != nil {
+		streams = restrictStreams(p.streams, opts.Restrict)
+	}
+	acc := streams[p.order[0]]
 	for _, oi := range p.order[1:] {
 		if err := sc.ic.Err(); err != nil {
 			p.pool.Put(sc)
 			return nil, err
 		}
-		acc = binaryJoin(q, acc, p.streams[oi], io, sc)
+		acc = binaryJoin(q, acc, streams[oi], io, sc)
 	}
 
 	// Final verification: pc-edges and the root axis. Ad-edges between
@@ -194,7 +198,84 @@ func (p *Prepared) Run(io *counters.IO, opts engine.Options) (match.Set, error) 
 	}
 	io.C.Matches = int64(len(out))
 	p.pool.Put(sc)
+	// Join construction orders tuples by the accumulated stream's first
+	// position only; canonicalize to full lexicographic document order so
+	// sequential and partitioned runs are byte-comparable.
+	out.Sort()
 	return out, nil
+}
+
+// restrictStreams returns per-run copies of the prepared streams holding
+// only the tuples every covered position of which the restriction admits:
+// spine positions keep ancestors overlapping the partition body, every
+// other position must start inside it. The label rows are shared with the
+// prepared streams — they are read-only during joins. A path match binds
+// its anchor inside the body and confines deeper positions to the anchor
+// binding's subtree while spine bindings contain it, so the filtered
+// streams retain exactly the tuples that can contribute to this
+// partition's matches.
+func restrictStreams(streams []*stream, r *engine.Restriction) []*stream {
+	out := make([]*stream, len(streams))
+	for i, s := range streams {
+		fs := &stream{positions: s.positions}
+		for j := range s.tuples {
+			t := &s.tuples[j]
+			keep := true
+			for _, pos := range s.positions {
+				if !r.Admits(pos, t.labels[pos].Start, t.labels[pos].End) {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				fs.tuples = append(fs.tuples, *t)
+			}
+		}
+		out[i] = fs
+	}
+	return out
+}
+
+// AnchorSpans returns the document regions of every candidate binding of
+// query position pos (the tuples of the one stream covering pos), in
+// stream order. Partition planners cut the document between the merged
+// spans so that no candidate's subtree crosses a partition boundary.
+func (p *Prepared) AnchorSpans(pos int) []engine.Span {
+	for _, s := range p.streams {
+		covered := false
+		for _, sp := range s.positions {
+			if sp == pos {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+		out := make([]engine.Span, len(s.tuples))
+		for i := range s.tuples {
+			l := &s.tuples[i].labels[pos]
+			out[i] = engine.Span{Lo: l.Start, Hi: l.End}
+		}
+		return out
+	}
+	return nil
+}
+
+// WeightIn estimates the work of a partition restricted to [lo, hi): the
+// tuples each stream contributes, weighted by arity. Streams are ordered
+// by their first covered position's start, so the count is a binary
+// search per stream.
+func (p *Prepared) WeightIn(lo, hi int32) int64 {
+	var w int64
+	for _, s := range p.streams {
+		first := s.positions[0]
+		at := func(i int) int32 { return s.tuples[i].labels[first].Start }
+		a := sort.Search(len(s.tuples), func(i int) bool { return at(i) >= lo })
+		b := sort.Search(len(s.tuples), func(i int) bool { return at(i) >= hi })
+		w += int64(b-a) * int64(len(s.positions))
+	}
+	return w
 }
 
 // Eval evaluates the path query q over the tuple stores of the covering

@@ -53,6 +53,10 @@ type scratch struct {
 	ic     engine.Interrupter
 }
 
+// Lists returns the per-query-node list files the plan is bound to, for
+// partition planning.
+func (p *Prepared) Lists() []*store.ListFile { return p.lists }
+
 // Prepare binds the path query q over the given lists for repeated runs.
 // It returns an error if q is not a path query.
 func Prepare(d *xmltree.Document, q *tpq.Pattern, lists []*store.ListFile) (*Prepared, error) {
@@ -78,7 +82,7 @@ func (p *Prepared) Run(io *counters.IO, opts engine.Options) (match.Set, error) 
 	tr := opts.Tracer
 	sc.ic = engine.NewInterrupter(opts.Interrupt)
 	for i, l := range p.lists {
-		sc.curBuf[i].Reset(l, io, tr, i)
+		engine.ResetCursor(&sc.curBuf[i], l, io, tr, i, opts.Restrict)
 		sc.cur[i] = &sc.curBuf[i]
 	}
 	for i := range sc.stacks {
@@ -90,6 +94,11 @@ func (p *Prepared) Run(io *counters.IO, opts engine.Options) (match.Set, error) 
 		return nil, err
 	}
 	p.pool.Put(sc)
+	// The linked stacks emit leaf-major (ancestor combinations enumerated
+	// newest-first); canonicalize to the lexicographic document order the
+	// other engines produce so sequential and partitioned runs are
+	// byte-comparable.
+	out.Sort()
 	return out, nil
 }
 

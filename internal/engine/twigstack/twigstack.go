@@ -63,6 +63,10 @@ func Prepare(d *xmltree.Document, q *tpq.Pattern, lists []*store.ListFile) *Prep
 	return &Prepared{d: d, q: q, lists: lists}
 }
 
+// Lists returns the per-query-node list files the plan is bound to, for
+// partition planning.
+func (p *Prepared) Lists() []*store.ListFile { return p.lists }
+
 // Run executes the prepared plan once, drawing evaluator scratch from the
 // pool and resetting it in place. The only error condition is a trip of
 // opts.Interrupt (cooperative cancellation).
@@ -83,7 +87,7 @@ func (p *Prepared) Run(io *counters.IO, opts engine.Options) (match.Set, Stats, 
 	e.col.Reset(io, opts.Tracer, opts.DiskBased, opts.PageSize)
 	e.col.SetInterrupt(&e.ic)
 	for qi := range p.lists {
-		e.curBuf[qi].Reset(p.lists[qi], io, opts.Tracer, qi)
+		engine.ResetCursor(&e.curBuf[qi], p.lists[qi], io, opts.Tracer, qi, opts.Restrict)
 		e.cur[qi] = &e.curBuf[qi]
 	}
 	for qi := range e.open {

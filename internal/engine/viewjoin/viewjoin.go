@@ -127,6 +127,11 @@ type evaluator struct {
 	// pointers (ablation mode: the paper's Function 4 jumps them
 	// unconditionally; see package docs).
 	unguarded bool
+
+	// restrict is the run's partition restriction (nil = whole document);
+	// kept so the lazily-opened extension cursors bind to the same list
+	// slice as the prime cursors.
+	restrict *engine.Restriction
 }
 
 // Prepare compiles the view-segmented query against the element-family
@@ -161,6 +166,10 @@ func Prepare(d *xmltree.Document, v *vsq.VSQ, stores []*store.ViewStore, tr obs.
 	}
 	return p, nil
 }
+
+// Lists returns the per-query-node list files the plan is bound to, for
+// partition planning.
+func (p *Prepared) Lists() []*store.ListFile { return p.lists }
 
 // Run executes the prepared plan once: evaluator scratch state (cursors,
 // region logs, collector buffers, extension state) comes from the pool and
@@ -222,12 +231,13 @@ func newEvaluator(p *Prepared) *evaluator {
 func (e *evaluator) reset(io *counters.IO, opts engine.Options) {
 	e.io, e.tr = io, opts.Tracer
 	e.unguarded = opts.UnguardedJumps
+	e.restrict = opts.Restrict
 	e.ic = engine.NewInterrupter(opts.Interrupt)
 	e.col.Reset(io, opts.Tracer, opts.DiskBased, opts.PageSize)
 	e.col.SetInterrupt(&e.ic)
 	e.winOpen, e.winEnd = false, 0
 	for _, qi := range e.p.primeNodes {
-		e.curBuf[qi].Reset(e.p.lists[qi], io, opts.Tracer, qi)
+		engine.ResetCursor(&e.curBuf[qi], e.p.lists[qi], io, opts.Tracer, qi, opts.Restrict)
 		e.cur[qi] = &e.curBuf[qi]
 	}
 	for i := range e.open {
@@ -659,7 +669,7 @@ func (r *regionLog) coversRange(s, hi int32) bool {
 func (e *evaluator) extendWindow(lo, hi int32) {
 	for _, x := range e.p.removedNodes {
 		if e.extCur[x] == nil {
-			e.extBuf[x].Reset(e.p.lists[x], e.io, e.tr, x)
+			engine.ResetCursor(&e.extBuf[x], e.p.lists[x], e.io, e.tr, x, e.restrict)
 			e.extCur[x] = &e.extBuf[x]
 		}
 		cx := e.extCur[x]

@@ -39,6 +39,9 @@ type Config struct {
 	// Parallel bounds the worker pool of the prepared experiment's batch
 	// variant (vjbench -parallel); 0 means GOMAXPROCS.
 	Parallel int
+	// Shards is the intra-query partition count the shards experiment
+	// compares against sequential evaluation (vjbench -shards; default 4).
+	Shards int
 	// Emit, when non-nil, receives one structured Row per measurement the
 	// experiment prints, so a machine-readable manifest can be produced
 	// alongside the text tables (vjbench -json).
@@ -124,6 +127,9 @@ func (c Config) withDefaults() Config {
 	if c.IOCostPerPage <= 0 {
 		c.IOCostPerPage = 3 * time.Microsecond
 	}
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
 	if c.Out == nil {
 		c.Out = io.Discard
 	}
@@ -155,6 +161,7 @@ func All() []Experiment {
 		{"noviews", "Views vs raw element streams — the [22] comparison the paper builds on", NoViews},
 		{"prepared", "Prepared plans — repeated-query serving: one-shot vs Run vs EvaluateBatch", Prepared},
 		{"coldload", "View cold-start — zero-copy LoadView vs re-materialization, time and allocs", ColdLoad},
+		{"shards", "Range-partitioned parallel evaluation — RunParallel k=1 vs k=N under I/O stalls", Shards},
 	}
 }
 

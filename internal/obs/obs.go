@@ -98,6 +98,11 @@ const (
 	EvPageHit
 	// EvPageMiss: a page touch charged as a read (pool miss).
 	EvPageMiss
+	// EvPartition: one partition of a range-partitioned parallel run
+	// completed; the event magnitude is the partition's wall time in
+	// nanoseconds (each event counts as one partition, and the duration
+	// feeds the partition-span histogram).
+	EvPartition
 
 	numEvents
 )
@@ -121,6 +126,8 @@ func (e Event) String() string {
 		return "pageHit"
 	case EvPageMiss:
 		return "pageMiss"
+	case EvPartition:
+		return "partition"
 	default:
 		return "unknown"
 	}
@@ -129,7 +136,7 @@ func (e Event) String() string {
 // Events lists every event kind.
 func Events() []Event {
 	return []Event{EvScan, EvCursorAdvance, EvJumpTaken, EvJumpRefused,
-		EvStackPush, EvStackPop, EvPageHit, EvPageMiss}
+		EvStackPush, EvStackPop, EvPageHit, EvPageMiss, EvPartition}
 }
 
 // Tracer receives phases and events from an evaluation. A nil Tracer
@@ -225,6 +232,9 @@ type Metrics struct {
 	Nodes []NodeMetrics
 	// JumpSkipPages summarizes the page distance skipped by taken jumps.
 	JumpSkipPages Histogram
+	// PartitionNanos summarizes the wall time of the partitions of a
+	// range-partitioned parallel run (empty for sequential runs).
+	PartitionNanos Histogram
 	// Duration is the total wall-clock time across all phases plus any
 	// untraced remainder the caller reports.
 	Duration time.Duration
@@ -286,6 +296,10 @@ func (r *Recorder) Event(e Event, node int, n int64) {
 	if e == EvJumpTaken {
 		count = 1
 		r.m.JumpSkipPages.Add(n)
+	}
+	if e == EvPartition {
+		count = 1
+		r.m.PartitionNanos.Add(n)
 	}
 	r.m.EventCounts[e] += count
 	if node < 0 {

@@ -35,6 +35,9 @@ type Report struct {
 	// JumpSkipPages is the distribution of page distances skipped by
 	// taken pointer jumps; empty when no jump was taken.
 	JumpSkipPages []HistBucket `json:"jumpSkipPages"`
+	// PartitionNanos is the distribution of per-partition wall times of a
+	// range-partitioned parallel run; empty for sequential runs.
+	PartitionNanos []HistBucket `json:"partitionNanos,omitempty"`
 
 	// Counters mirrors the run's deterministic counters.
 	Counters CountersReport `json:"counters"`
@@ -119,6 +122,12 @@ func (r *Recorder) Report(c counters.Counters, total time.Duration) *Report {
 			rep.JumpSkipPages = append(rep.JumpSkipPages, HistBucket{Upper: BucketUpper(i), Count: h.Count[i]})
 		}
 	}
+	ph := &m.PartitionNanos
+	for i := 0; i < HistogramBuckets; i++ {
+		if ph.Count[i] != 0 {
+			rep.PartitionNanos = append(rep.PartitionNanos, HistBucket{Upper: BucketUpper(i), Count: ph.Count[i]})
+		}
+	}
 	return rep
 }
 
@@ -195,6 +204,18 @@ func (rep *Report) WriteExplain(w io.Writer) error {
 			parts = append(parts, fmt.Sprintf("<=%d:%d", hb.Upper, hb.Count))
 		}
 		fmt.Fprintln(&b, strings.Join(parts, " "))
+	}
+	if len(rep.PartitionNanos) > 0 {
+		var n int64
+		for _, hb := range rep.PartitionNanos {
+			n += hb.Count
+		}
+		fmt.Fprintf(&b, "partitions: %d (wall time histogram ns: ", n)
+		var parts []string
+		for _, hb := range rep.PartitionNanos {
+			parts = append(parts, fmt.Sprintf("<=%d:%d", hb.Upper, hb.Count))
+		}
+		fmt.Fprintf(&b, "%s)\n", strings.Join(parts, " "))
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

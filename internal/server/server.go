@@ -51,6 +51,12 @@ type Config struct {
 	// DefaultTimeout bounds requests that do not carry their own
 	// timeout_ms. Default 10s.
 	DefaultTimeout time.Duration
+	// MaxParallel caps the per-request "parallel" knob: a request may ask
+	// for up to this many range partitions (PreparedQuery.RunParallel);
+	// higher asks are clamped silently. The default 1 disables parallel
+	// evaluation — each request then costs exactly one worker's CPU, which
+	// is what the Workers bound assumes.
+	MaxParallel int
 	// AccessLog, when non-nil, receives one JSON line (schema
 	// viewjoin/access/v1) per query request.
 	AccessLog io.Writer
@@ -65,6 +71,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxParallel <= 0 {
+		c.MaxParallel = 1
 	}
 	return c
 }
@@ -185,6 +194,7 @@ type queryRequest struct {
 	Views     []string `json:"views,omitempty"`      // registered view names; default: all views of the document
 	TimeoutMS int64    `json:"timeout_ms,omitempty"` // 0: server default
 	Limit     int      `json:"limit"`                // max match rows returned; 0: count only
+	Parallel  int      `json:"parallel,omitempty"`   // range partitions; clamped to the server's MaxParallel; <=1: sequential
 }
 
 // queryResponse is the body of a successful POST /query.
@@ -216,6 +226,7 @@ type statsJSON struct {
 	PagesRead       int64 `json:"pages_read"`
 	PagesWritten    int64 `json:"pages_written"`
 	PeakMemoryBytes int64 `json:"peak_memory_bytes"`
+	Partitions      int   `json:"partitions"`
 }
 
 // errorResponse is the body of every failed request: the stage that
@@ -395,6 +406,20 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, traced bool)
 		<-s.testEvalGate
 	}
 
+	// The per-request parallelism ask, clamped to the server cap. k <= 1
+	// keeps the sequential path; RunParallel degrades to it anyway when the
+	// plan yields no cuts, so the clamp only bounds worst-case goroutines.
+	k := req.Parallel
+	if k > s.cfg.MaxParallel {
+		k = s.cfg.MaxParallel
+	}
+	runPlan := func(p *viewjoin.PreparedQuery) (*viewjoin.Result, error) {
+		if k > 1 {
+			return p.RunParallel(ctx, k)
+		}
+		return p.RunContext(ctx)
+	}
+
 	var res *viewjoin.Result
 	cacheState := "bypass"
 	if traced {
@@ -402,7 +427,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, traced bool)
 		p, err := viewjoin.Prepare(e.doc, q, mviews, eng, &viewjoin.EvalOptions{Tracer: rec})
 		if err == nil {
 			s.prepares.Add(1)
-			res, err = p.RunContext(ctx)
+			res, err = runPlan(p)
 		}
 		if err != nil {
 			s.fail(w, &req, q, eng, started, err)
@@ -420,7 +445,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, traced bool)
 		if hit {
 			cacheState = "hit"
 		}
-		res, err = p.RunContext(ctx)
+		res, err = runPlan(p)
 		if err != nil {
 			s.fail(w, &req, q, eng, started, err)
 			return
@@ -443,6 +468,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, traced bool)
 			PagesRead:       res.Stats.PagesRead,
 			PagesWritten:    res.Stats.PagesWritten,
 			PeakMemoryBytes: res.Stats.PeakMemoryBytes,
+			Partitions:      res.Stats.Partitions,
 		},
 		DurationUS: res.Stats.Duration.Microseconds(),
 		Trace:      res.Trace,

@@ -626,3 +626,45 @@ func TestMatchRows(t *testing.T) {
 		}
 	}
 }
+
+// TestParallelKnob pins the per-request parallelism contract: a request's
+// "parallel" field routes the run through range partitioning (reported via
+// stats.partitions) only up to the server's MaxParallel cap, the result is
+// identical to the sequential answer, and the default cap of 1 disables
+// the mechanism entirely.
+func TestParallelKnob(t *testing.T) {
+	s := newTestServer(t, Config{MaxParallel: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var seq, par queryResponse
+	req := queryRequest{Document: "xmark", Query: testQuery, Engine: "VJ"}
+	if st := post(t, ts, "/query", req, &seq); st != http.StatusOK {
+		t.Fatalf("sequential: status %d", st)
+	}
+	req.Parallel = 8 // asks past the cap: clamped to 4, not rejected
+	if st := post(t, ts, "/query", req, &par); st != http.StatusOK {
+		t.Fatalf("parallel: status %d", st)
+	}
+	if par.MatchCount != seq.MatchCount {
+		t.Fatalf("parallel found %d matches, sequential %d", par.MatchCount, seq.MatchCount)
+	}
+	if seq.Stats.Partitions != 1 {
+		t.Errorf("sequential run reported %d partitions, want 1", seq.Stats.Partitions)
+	}
+	if par.Stats.Partitions < 2 || par.Stats.Partitions > 4 {
+		t.Errorf("parallel run reported %d partitions, want 2..4", par.Stats.Partitions)
+	}
+
+	// Default configuration: the knob is a no-op.
+	s2 := newTestServer(t, Config{})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	var capped queryResponse
+	if st := post(t, ts2, "/query", queryRequest{Document: "xmark", Query: testQuery, Engine: "VJ", Parallel: 8}, &capped); st != http.StatusOK {
+		t.Fatalf("capped: status %d", st)
+	}
+	if capped.Stats.Partitions != 1 {
+		t.Errorf("capped run reported %d partitions, want 1", capped.Stats.Partitions)
+	}
+}

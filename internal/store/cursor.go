@@ -32,6 +32,11 @@ type ListCursor struct {
 	tr   obs.Tracer // nil when tracing is off
 	node int32      // query node for event attribution (-1 untraced)
 	idx  int32
+	// lo/hi bound the visible record offsets to [lo, hi): Reset opens the
+	// whole list (lo=0, hi=entries); ResetRange narrows the window for
+	// partitioned evaluation. Next stops at hi; Seek treats hi as the end
+	// of the list and clamps targets below lo up to lo.
+	lo, hi int32
 	// last page charged to the pool per segment (labels, then pointer
 	// classes), -1 initially.
 	lastPage [1 + numPtrSegs]int32
@@ -78,7 +83,7 @@ func (c *ListCursor) Next() {
 	if c.tr != nil {
 		c.tr.Event(obs.EvCursorAdvance, int(c.node), 1)
 	}
-	if c.idx+1 >= int32(c.f.entries) {
+	if c.idx+1 >= c.hi {
 		c.valid = false
 		return
 	}
@@ -90,8 +95,25 @@ func (c *ListCursor) Next() {
 // keep cursor storage across runs and Reset it per run. A nil tracer
 // disables event emission exactly like Open.
 func (c *ListCursor) Reset(l *ListFile, io *counters.IO, tr obs.Tracer, node int) {
+	c.ResetRange(l, io, tr, node, 0, l.entries)
+}
+
+// ResetRange is Reset restricted to the record offsets [lo, hi): the
+// cursor starts at lo, Next exhausts at hi, and Seek clamps targets below
+// lo up to lo while treating targets at or beyond hi as past-the-end.
+// Bounds are clipped to the list; an empty window yields an invalid
+// cursor. This is how partitioned evaluation gives each worker a
+// start-range slice of every list without copying any pages.
+func (c *ListCursor) ResetRange(l *ListFile, io *counters.IO, tr obs.Tracer, node, lo, hi int) {
 	c.f, c.io, c.tr, c.node = l, io, tr, int32(node)
-	c.idx = 0
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > l.entries {
+		hi = l.entries
+	}
+	c.lo, c.hi = int32(lo), int32(hi)
+	c.idx = c.lo
 	for i := range c.lastPage {
 		c.lastPage[i] = -1
 	}
@@ -102,20 +124,27 @@ func (c *ListCursor) Reset(l *ListFile, io *counters.IO, tr obs.Tracer, node int
 	for i := range c.item.Children {
 		c.item.Children[i] = NilPointer
 	}
-	if l.entries == 0 {
+	if c.lo >= c.hi {
 		c.valid = false
 		return
 	}
-	c.load(0)
+	c.load(c.lo)
 }
 
 // Seek positions the cursor at the record addressed by the pointer and
-// charges one pointer dereference. Seeking a nil or out-of-range pointer
-// invalidates the cursor.
+// charges one pointer dereference. Seeking a nil pointer or one at or
+// beyond the cursor's upper bound invalidates the cursor; a pointer below
+// the lower bound clamps to the first in-range record (the nearest one the
+// window admits — safe because every jump site refuses to move a cursor
+// backwards, so a clamped target is never followed past live state).
 func (c *ListCursor) Seek(p Pointer) {
 	c.io.C.PointerDerefs++
-	if p.IsNil() || int(p) >= c.f.entries {
+	if p.IsNil() || int32(p) >= c.hi {
 		c.valid = false
+		return
+	}
+	if int32(p) < c.lo {
+		c.load(c.lo)
 		return
 	}
 	c.load(int32(p))

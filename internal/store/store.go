@@ -387,6 +387,36 @@ func (l *ListFile) PayloadBytes() int64 {
 // accounting. p must not be nil.
 func (l *ListFile) PageOf(p Pointer) int32 { return l.labels.page(int32(p)) }
 
+// LabelAt decodes the region label of record i without charging the cost
+// model: it is a planning accessor (partition weighing, doc-root probes),
+// not an evaluation read. i must be in [0, Entries()).
+func (l *ListFile) LabelAt(i int) Label {
+	rec := l.labels.rec(int32(i))
+	return Label{
+		Start: int32(binary.LittleEndian.Uint32(rec[0:])),
+		End:   int32(binary.LittleEndian.Uint32(rec[4:])),
+		Level: int32(binary.LittleEndian.Uint32(rec[8:])),
+	}
+}
+
+// SeekStart returns the offset of the first record whose start label is
+// >= s, or Entries() when no such record exists. Lists are laid out in
+// document order, so the labels segment is start-sorted and the lookup is
+// a binary search over raw label records; like LabelAt it is a planning
+// accessor and charges nothing.
+func (l *ListFile) SeekStart(s int32) int {
+	lo, hi := 0, l.entries
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int32(binary.LittleEndian.Uint32(l.labels.rec(int32(mid)))) < s {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // segs returns the present segments in persistence order: labels first,
 // then pointer classes ascending.
 func (l *ListFile) segs() []*segment {

@@ -61,19 +61,54 @@ func (s *ByteSource) Int63() int64 { return int64(s.Uint64() >> 1) }
 // Seed is a no-op; a ByteSource's stream is fixed by its data.
 func (s *ByteSource) Seed(int64) {}
 
+// DocShape bounds a generated document: at most MaxNodes elements below
+// the root, nesting at most MaxDepth levels deep (root is level 0), and at
+// most MaxFanout children under any one element. Zero or negative fields
+// fall back to the stated defaults.
+type DocShape struct {
+	MaxNodes  int // default 60
+	MaxDepth  int // default 10
+	MaxFanout int // default unbounded (limited only by MaxNodes)
+}
+
+func (s DocShape) withDefaults() DocShape {
+	if s.MaxNodes <= 0 {
+		s.MaxNodes = 60
+	}
+	if s.MaxDepth <= 0 {
+		s.MaxDepth = 10
+	}
+	return s
+}
+
 // RandomDoc builds a random document of up to maxNodes elements drawn from
 // the given label vocabulary (Labels when labels is nil). The root is always
 // labelled "root" so that every other label can appear at any depth.
 func RandomDoc(rng *rand.Rand, maxNodes int, labels []string) *xmltree.Document {
+	return RandomDocShaped(rng, DocShape{MaxNodes: maxNodes}, labels)
+}
+
+// RandomDocShaped builds a random document within the stated shape bounds,
+// drawing element labels from labels (Labels when nil). The root is always
+// labelled "root" so that every other label can appear at any depth. The
+// generator is deterministic in rng, so a fixed seed reproduces the
+// document exactly.
+func RandomDocShaped(rng *rand.Rand, shape DocShape, labels []string) *xmltree.Document {
 	if labels == nil {
 		labels = Labels
 	}
+	shape = shape.withDefaults()
 	b := xmltree.NewBuilder()
-	budget := 1 + rng.Intn(maxNodes)
+	budget := 1 + rng.Intn(shape.MaxNodes)
 	b.Begin("root")
 	var rec func(depth int)
 	rec = func(depth int) {
-		for budget > 0 && depth < 10 && rng.Intn(3) != 0 {
+		fanout := 0
+		for budget > 0 && depth < shape.MaxDepth && rng.Intn(3) != 0 {
+			if shape.MaxFanout > 0 && fanout >= shape.MaxFanout {
+				return
+			}
+			fanout++
 			budget--
 			b.Begin(labels[rng.Intn(len(labels))])
 			rec(depth + 1)

@@ -1,0 +1,298 @@
+package viewjoin
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"viewjoin/internal/counters"
+	"viewjoin/internal/engine"
+	"viewjoin/internal/engine/twigstack"
+	vjengine "viewjoin/internal/engine/viewjoin"
+	"viewjoin/internal/match"
+	"viewjoin/internal/obs"
+	"viewjoin/internal/store"
+	"viewjoin/internal/tpq"
+)
+
+// This file implements range-partitioned parallel evaluation: one prepared
+// plan executed as K independent jobs over disjoint start-label slices of
+// the document, with outputs merged back into sequential order.
+//
+// Partitions are anchored at the bottom of the query's unary spine — the
+// first query node with other than exactly one child. A match binds the
+// spine to an ancestor chain of its anchor binding and confines every
+// other node to the anchor binding's subtree, so cutting the document
+// between the merged subtree spans of the anchor's candidates assigns
+// each match to exactly one chunk: the one containing its anchor binding.
+// Each job evaluates with non-spine nodes range-restricted to its chunk
+// and spine nodes admitted when they overlap it. See DESIGN.md,
+// "Range-partitioned parallel evaluation", for the full argument.
+
+// partitionInfo is what the planner needs from a prepared engine: the
+// document regions of the anchor node's candidates (to place cuts that no
+// match can straddle) and an estimated byte weight of a start range (to
+// balance chunks).
+type partitionInfo interface {
+	AnchorSpans(qi int) []engine.Span
+	WeightIn(lo, hi int32) int64
+}
+
+// listInfo adapts the list-file engines (ViewJoin, TwigStack, PathStack)
+// to partitionInfo: node qi's candidates are the records of lists[qi],
+// and weight is the payload bytes of every list's slice — the same
+// quantity the page-cost model charges for scanning the slice.
+type listInfo struct {
+	lists []*store.ListFile
+}
+
+func (li listInfo) AnchorSpans(qi int) []engine.Span {
+	if qi >= len(li.lists) || li.lists[qi] == nil {
+		return nil
+	}
+	l := li.lists[qi]
+	out := make([]engine.Span, l.Entries())
+	for i := range out {
+		lb := l.LabelAt(i)
+		out[i] = engine.Span{Lo: lb.Start, Hi: lb.End}
+	}
+	return out
+}
+
+func (li listInfo) WeightIn(lo, hi int32) int64 {
+	var w int64
+	for _, l := range li.lists {
+		if l == nil {
+			continue
+		}
+		n := l.Entries()
+		if n == 0 {
+			continue
+		}
+		rec := l.PayloadBytes() / int64(n)
+		w += int64(engine.CountInSpan(l, engine.Span{Lo: lo, Hi: hi})) * rec
+	}
+	return w
+}
+
+func (p *PreparedQuery) partitionInfo() partitionInfo {
+	switch p.eng {
+	case EngineViewJoin:
+		return listInfo{p.vj.Lists()}
+	case EngineTwigStack:
+		return listInfo{p.ts.Lists()}
+	case EnginePathStack:
+		return listInfo{p.ps.Lists()}
+	case EngineInterJoin:
+		return p.ij
+	}
+	return nil
+}
+
+// parallelism resolves the prepare-time Parallelism option: 0 or 1 means
+// sequential, negative means GOMAXPROCS.
+func (p *PreparedQuery) parallelism() int {
+	k := p.opts.Parallelism
+	if k < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return k
+}
+
+// anchorNode walks the query's unary spine — the maximal pre-order prefix
+// in which every node has exactly one child — and returns the index of its
+// bottom: the first node with zero or several children. It returns -1 when
+// the pattern's spine nodes are not laid out consecutively in pre-order
+// (hand-built patterns), which the planner treats as unpartitionable.
+func anchorNode(nodes []tpq.Node) int {
+	b := 0
+	for len(nodes[b].Children) == 1 {
+		c := nodes[b].Children[0]
+		if c != b+1 {
+			return -1
+		}
+		b = c
+	}
+	return b
+}
+
+// planPartitions builds the job list for a K-way partitioned run, or nil
+// when the query cannot be usefully partitioned — callers fall back to
+// the sequential path, so partitioning degrades but never errors.
+//
+// The cut points come from the anchor node's candidates: their document
+// regions, merged into disjoint blobs (MergeSpans), are the only places a
+// match's anchor binding can live, and no blob's subtree extends into
+// another. The blobs are coalesced into at most k chunks balanced by
+// estimated page weight; each chunk becomes one job whose restriction
+// pins the spine above it and bounds everything else inside it. A single
+// blob (e.g. a query anchored at the document root) admits no cut and
+// yields no parallelism.
+func (p *PreparedQuery) planPartitions(k int) []engine.Restriction {
+	if k <= 1 {
+		return nil
+	}
+	b := anchorNode(p.q.p.Nodes)
+	if b < 0 {
+		return nil
+	}
+	info := p.partitionInfo()
+	if info == nil {
+		return nil
+	}
+	blobs := engine.MergeSpans(info.AnchorSpans(b))
+	if len(blobs) <= 1 {
+		return nil
+	}
+	chunks := engine.CoalesceSpans(blobs, func(s engine.Span) int64 {
+		return info.WeightIn(s.Lo, s.Hi)
+	}, k)
+	if len(chunks) <= 1 {
+		return nil
+	}
+	jobs := make([]engine.Restriction, len(chunks))
+	for i, ch := range chunks {
+		jobs[i] = engine.Restriction{Spine: b, Body: ch}
+	}
+	return jobs
+}
+
+// RunParallel executes the prepared plan as a range-partitioned parallel
+// run across up to k workers (k <= 0 uses GOMAXPROCS) and returns a Result
+// byte-identical to Run's: same matches in the same order, counters summed
+// across partitions, PeakMemoryBytes the largest single partition's peak,
+// and Stats.Partitions the number of jobs executed. When the plan yields
+// fewer than two jobs the run degrades to the sequential path. ctx bounds
+// every partition cooperatively, exactly as RunContext; a nil ctx runs
+// uninterruptible. Safe for concurrent use under the same conditions as
+// Run (prepare-time Tracer must be nil for concurrent calls).
+func (p *PreparedQuery) RunParallel(ctx context.Context, k int) (*Result, error) {
+	return p.runParallel(ctx, k, time.Now(), false)
+}
+
+// jobOut is one partition's outcome, written only by its worker.
+type jobOut struct {
+	ms   match.Set
+	c    counters.Counters
+	peak int64
+	dur  time.Duration
+	err  error
+}
+
+// runParallel plans and executes a partitioned run. Partitions run with
+// nil tracers (Tracer implementations are not concurrency-safe); the
+// orchestrator instead emits one EvPartition event per job carrying its
+// wall time, so traced runs still expose the partition-span distribution.
+func (p *PreparedQuery) runParallel(ctx context.Context, k int, start time.Time, includePrep bool) (*Result, error) {
+	if k <= 0 {
+		k = runtime.GOMAXPROCS(0)
+	}
+	jobs := p.planPartitions(k)
+	if len(jobs) <= 1 {
+		return p.run(ctx, start, includePrep)
+	}
+	var interrupt func() error
+	if ctx != nil {
+		interrupt = contextInterrupt(ctx, p.eng, p.q.String())
+		if err := interrupt(); err != nil {
+			return nil, err
+		}
+	}
+	tr := p.opts.Tracer
+	if tr != nil {
+		if p.plan != nil {
+			tr.Plan(p.plan)
+		}
+		tr.BeginPhase(obs.PhaseEvaluate)
+	}
+	outs := make([]jobOut, len(jobs))
+	workers := k
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				outs[i] = p.runJob(&jobs[i], interrupt)
+			}
+		}()
+	}
+	wg.Wait()
+	if tr != nil {
+		for i := range outs {
+			tr.Event(obs.EvPartition, -1, int64(outs[i].dur))
+		}
+		tr.EndPhase(obs.PhaseEvaluate)
+	}
+	var c counters.Counters
+	if includePrep {
+		c.Add(p.prepC)
+	}
+	var (
+		total int
+		peak  int64
+	)
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, outs[i].err
+		}
+		c.Add(outs[i].c)
+		if outs[i].peak > peak {
+			peak = outs[i].peak
+		}
+		total += len(outs[i].ms)
+	}
+	ms := make(match.Set, 0, total)
+	for i := range outs {
+		ms = append(ms, outs[i].ms...)
+	}
+	// Jobs bound disjoint anchor ranges but spine bindings above them are
+	// not chunk-ordered, so restore the canonical lexicographic order every
+	// sequential engine emits.
+	ms.Sort()
+	return p.buildResult(ms, c, peak, len(jobs), start, tr), nil
+}
+
+// runJob executes one partition with its own counters and its own buffer
+// pool of the configured size (pools simulate per-cursor-set caching and
+// cannot be shared across goroutines).
+func (p *PreparedQuery) runJob(r *engine.Restriction, interrupt func() error) jobOut {
+	t0 := time.Now()
+	var out jobOut
+	io := counters.NewIO(&out.c, p.opts.BufferPoolPages)
+	io.SetStall(p.opts.IOLatency)
+	eopts := engine.Options{
+		DiskBased:      p.opts.DiskBased,
+		PageSize:       p.opts.PageSize,
+		UnguardedJumps: p.opts.UnguardedJumps,
+		Interrupt:      interrupt,
+		Restrict:       r,
+	}
+	switch p.eng {
+	case EngineViewJoin:
+		var st vjengine.Stats
+		out.ms, st, out.err = p.vj.Run(io, eopts)
+		out.peak = int64(st.PeakWindowEntries) * 16
+	case EngineTwigStack:
+		var st twigstack.Stats
+		out.ms, st, out.err = p.ts.Run(io, eopts)
+		out.peak = int64(st.PeakWindowEntries) * 16
+	case EnginePathStack:
+		out.ms, out.err = p.ps.Run(io, eopts)
+	case EngineInterJoin:
+		out.ms, out.err = p.ij.Run(io, eopts)
+	}
+	io.DrainStall()
+	out.dur = time.Since(t0)
+	return out
+}

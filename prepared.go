@@ -199,6 +199,7 @@ func (p *PreparedQuery) run(ctx context.Context, start time.Time, includePrep bo
 		c.Add(p.prepC)
 	}
 	io := counters.NewIO(&c, p.opts.BufferPoolPages)
+	io.SetStall(p.opts.IOLatency)
 	tr := p.opts.Tracer
 	if tr != nil {
 		io.Page = pageHook(tr)
@@ -233,14 +234,21 @@ func (p *PreparedQuery) run(ctx context.Context, start time.Time, includePrep bo
 	case EngineInterJoin:
 		ms, evalErr = p.ij.Run(io, eopts)
 	}
+	io.DrainStall()
 	if tr != nil {
 		tr.EndPhase(obs.PhaseEvaluate)
 	}
-	dur := time.Since(start)
 	if evalErr != nil {
 		return nil, evalErr
 	}
+	return p.buildResult(ms, c, peak, 1, start, tr), nil
+}
 
+// buildResult renders an engine's match set into the public Result,
+// stamping the run's counters into Stats and resolving node bindings
+// (shared by the sequential and partitioned paths).
+func (p *PreparedQuery) buildResult(ms match.Set, c counters.Counters, peak int64, partitions int,
+	start time.Time, tr obs.Tracer) *Result {
 	res := &Result{
 		Matches: make([][]Node, len(ms)),
 		Stats: Stats{
@@ -250,7 +258,8 @@ func (p *PreparedQuery) run(ctx context.Context, start time.Time, includePrep bo
 			PagesRead:       c.PagesRead,
 			PagesWritten:    c.PagesWritten,
 			PeakMemoryBytes: peak,
-			Duration:        dur,
+			Duration:        time.Since(start),
+			Partitions:      partitions,
 		},
 	}
 	if tr != nil {
@@ -270,7 +279,7 @@ func (p *PreparedQuery) run(ctx context.Context, start time.Time, includePrep bo
 	if rec, ok := tr.(*obs.Recorder); ok {
 		res.Trace = rec.Report(c, time.Since(start))
 	}
-	return res, nil
+	return res
 }
 
 // BatchResult is the outcome of one query in an EvaluateBatch call.

@@ -9,13 +9,16 @@
 #   2. tier-1 verify: go build, go vet, go test, go test -race (ROADMAP.md)
 #   3. store coverage floor: the storage layer is the persistence trust
 #      boundary; its statement coverage must stay >= VJCI_STORE_COV (85%)
+#   3b. engine coverage floor: the evaluation engines (internal/engine/...)
+#      carry the partition-correctness burden; their aggregate statement
+#      coverage must stay >= VJCI_ENGINE_COV (80%)
 #   4. govulncheck, when the tool is installed (skipped, not failed, when
 #      absent — hermetic runners don't fetch tools)
 #   5. fuzz smoke: 10s each of FuzzParse (internal/tpq),
 #      FuzzReadViewStore (internal/store), and FuzzEvaluateDifferential
 #      (root), seeded from the committed corpora
 #   6. bench gate: a fresh manifest via scripts/bench.sh compared against
-#      the committed BENCH_3.json baseline with scripts/benchcmp.sh
+#      the committed BENCH_4.json baseline with scripts/benchcmp.sh
 #      (>10% wall-time or allocs regression fails; VJCI_SKIP_BENCH=1 skips
 #      the gate on machines where timings are meaningless, e.g. shared
 #      runners)
@@ -23,6 +26,7 @@
 # Environment:
 #   VJCI_FUZZTIME        per-target fuzz budget (default 10s)
 #   VJCI_STORE_COV       minimum internal/store coverage %% (default 85)
+#   VJCI_ENGINE_COV      minimum internal/engine/... coverage %% (default 80)
 #   VJCI_SKIP_BENCH=1    skip the bench regression gate
 #   VJBENCHCMP_THRESHOLD regression threshold for the gate (default 0.10)
 set -eu
@@ -30,6 +34,7 @@ cd "$(dirname "$0")/.."
 
 fuzztime="${VJCI_FUZZTIME:-10s}"
 store_cov="${VJCI_STORE_COV:-85}"
+engine_cov="${VJCI_ENGINE_COV:-80}"
 
 echo "== gofmt"
 unformatted="$(gofmt -l . 2>/dev/null || true)"
@@ -60,6 +65,21 @@ if ! awk -v c="$cov" -v floor="$store_cov" 'BEGIN { exit !(c+0 >= floor+0) }'; t
 fi
 echo "store coverage: ${cov}%"
 
+echo "== engine coverage floor (>= ${engine_cov}%)"
+engprof="$(mktemp -t vjci-engcov-XXXXXX.out)"
+go test -count=1 -coverprofile "$engprof" ./internal/engine/... >/dev/null
+ecov="$(go tool cover -func "$engprof" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')"
+rm -f "$engprof"
+if [ -z "$ecov" ]; then
+	echo "engine coverage: could not parse coverage output" >&2
+	exit 1
+fi
+if ! awk -v c="$ecov" -v floor="$engine_cov" 'BEGIN { exit !(c+0 >= floor+0) }'; then
+	echo "engine coverage ${ecov}% is below the ${engine_cov}% floor" >&2
+	exit 1
+fi
+echo "engine coverage: ${ecov}%"
+
 if command -v govulncheck >/dev/null 2>&1; then
 	echo "== govulncheck"
 	govulncheck ./...
@@ -77,11 +97,11 @@ go test -run '^$' -fuzz '^FuzzEvaluateDifferential$' -fuzztime "$fuzztime" .
 if [ -n "${VJCI_SKIP_BENCH:-}" ]; then
 	echo "== bench gate: skipped (VJCI_SKIP_BENCH)"
 else
-	echo "== bench gate: fresh manifest vs BENCH_3.json"
+	echo "== bench gate: fresh manifest vs BENCH_4.json"
 	tmp="$(mktemp -t vjci-bench-XXXXXX.json)"
 	trap 'rm -f "$tmp"' EXIT
 	VJBENCH_SKIP_SMOKE=1 scripts/bench.sh "$tmp"
-	scripts/benchcmp.sh BENCH_3.json "$tmp"
+	scripts/benchcmp.sh BENCH_4.json "$tmp"
 fi
 
 echo "== ci: OK"

@@ -351,6 +351,22 @@ type EvalOptions struct {
 	// for ablation studies on data without such nesting (the benchmark
 	// datasets qualify).
 	UnguardedJumps bool
+	// Parallelism requests range-partitioned parallel evaluation: the
+	// document is split into up to Parallelism chunks at top-level subtree
+	// boundaries and evaluated by a bounded worker group, with outputs
+	// merged in document order — identical to the sequential result. 0 and
+	// 1 evaluate sequentially; negative means GOMAXPROCS. See
+	// PreparedQuery.RunParallel for the partitioning rules and their
+	// effect on Stats.
+	Parallelism int
+	// IOLatency, when positive, charges every simulated buffer-pool page
+	// miss as real wall time: the evaluating goroutine stalls for this
+	// long per miss (batched above the platform timer floor, with the
+	// total kept accurate). Sequential runs pay the stalls serially;
+	// partitioned runs overlap them across workers, exactly as concurrent
+	// range reads overlap on a real device. Zero (the default) keeps the
+	// historical arithmetic-only cost model.
+	IOLatency time.Duration
 }
 
 // Stats reports the deterministic cost of an evaluation.
@@ -365,10 +381,14 @@ type Stats struct {
 	PagesRead    int64
 	PagesWritten int64
 	// PeakMemoryBytes estimates the largest in-memory intermediate state
-	// (the paper's |F_max|); 0 for engines that do not track it.
+	// (the paper's |F_max|); 0 for engines that do not track it. For
+	// partitioned runs this is the largest single partition's peak.
 	PeakMemoryBytes int64
 	// Duration is the wall-clock evaluation time.
 	Duration time.Duration
+	// Partitions is the number of document partitions evaluated: 1 for a
+	// sequential run, the planned partition-job count for a parallel one.
+	Partitions int
 }
 
 // Result is the answer to a query: all tree pattern instances, one node
@@ -398,6 +418,9 @@ func Evaluate(d *Document, q *Query, mviews []*MaterializedView, eng Engine, opt
 	p, err := Prepare(d, q, mviews, eng, opts)
 	if err != nil {
 		return nil, err
+	}
+	if k := p.parallelism(); k > 1 {
+		return p.runParallel(p.opts.Context, k, start, true)
 	}
 	return p.run(p.opts.Context, start, true)
 }
