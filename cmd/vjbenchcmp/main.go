@@ -1,20 +1,27 @@
-// Command vjbenchcmp diffs two vjbench JSON manifests (schema
-// viewjoin/bench/v1): it prints the per-experiment wall-time and
+// Command vjbenchcmp diffs two vjbench or vjload JSON manifests. The
+// schema is auto-detected from the files; both must carry the same one.
+//
+// For viewjoin/bench/v1 it prints the per-experiment wall-time and
 // allocation deltas and exits non-zero when any experiment present in both
 // runs regressed by more than the threshold (default 10%) on either axis.
+//
+// For viewjoin/load/v1 it diffs the serving latency quantiles
+// (p50/p95/p99) and the achieved QPS: a quantile growing past the
+// threshold, or throughput dropping past it, is a regression.
 //
 // Usage:
 //
 //	vjbenchcmp old.json new.json
 //	vjbenchcmp -threshold 0.25 old.json new.json
+//	vjbenchcmp baseline.load.json fresh.load.json
 //
 // Experiments present in only one manifest are reported as added/removed,
 // never as regressions. Allocation counts are only compared when both
 // manifests carry them (older manifests predate the field); unlike wall
 // time they are near-deterministic, so an alloc regression is a real code
-// change, not noise. Wall times are noisy; the threshold is meant to catch
-// structural slowdowns, not scheduler jitter — rerun before trusting a
-// marginal failure.
+// change, not noise. Wall times and serving latencies are noisy; the
+// threshold is meant to catch structural slowdowns, not scheduler jitter —
+// rerun before trusting a marginal failure.
 package main
 
 import (
@@ -25,9 +32,12 @@ import (
 	"time"
 )
 
-const wantSchema = "viewjoin/bench/v1"
+const (
+	benchSchema = "viewjoin/bench/v1"
+	loadSchema  = "viewjoin/load/v1"
+)
 
-type manifest struct {
+type benchManifest struct {
 	Schema      string `json:"schema"`
 	GitSHA      string `json:"gitSHA"`
 	Experiments []struct {
@@ -37,19 +47,38 @@ type manifest struct {
 	} `json:"experiments"`
 }
 
-func load(path string) (*manifest, error) {
+type loadManifest struct {
+	Schema      string  `json:"schema"`
+	GitSHA      string  `json:"gitSHA"`
+	Sent        int64   `json:"sent"`
+	Completed   int64   `json:"completed"`
+	Shed        int64   `json:"shed"`
+	Timeouts    int64   `json:"timeouts"`
+	Errors      int64   `json:"errors"`
+	AchievedQPS float64 `json:"achievedQPS"`
+	LatencyUS   struct {
+		N      int64 `json:"n"`
+		P50US  int64 `json:"p50US"`
+		P95US  int64 `json:"p95US"`
+		P99US  int64 `json:"p99US"`
+		P999US int64 `json:"p999US"`
+	} `json:"latencyUS"`
+}
+
+// readSchema peeks at the manifest's schema field without committing to a
+// layout.
+func readSchema(path string) (string, []byte, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return "", nil, err
 	}
-	var m manifest
-	if err := json.Unmarshal(buf, &m); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+	var probe struct {
+		Schema string `json:"schema"`
 	}
-	if m.Schema != wantSchema {
-		return nil, fmt.Errorf("%s: schema %q, want %q", path, m.Schema, wantSchema)
+	if err := json.Unmarshal(buf, &probe); err != nil {
+		return "", nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return &m, nil
+	return probe.Schema, buf, nil
 }
 
 func short(sha string) string {
@@ -60,22 +89,51 @@ func short(sha string) string {
 }
 
 func main() {
-	threshold := flag.Float64("threshold", 0.10, "regression threshold as a fraction of the old value (wall time and allocs)")
+	threshold := flag.Float64("threshold", 0.10, "regression threshold as a fraction of the old value")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: vjbenchcmp [-threshold f] old.json new.json")
 		os.Exit(2)
 	}
-	old, err := load(flag.Arg(0))
+	oldSchema, oldBuf, err := readSchema(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vjbenchcmp:", err)
 		os.Exit(2)
 	}
-	neu, err := load(flag.Arg(1))
+	newSchema, newBuf, err := readSchema(flag.Arg(1))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vjbenchcmp:", err)
 		os.Exit(2)
 	}
+	if oldSchema != newSchema {
+		fmt.Fprintf(os.Stderr, "vjbenchcmp: schema mismatch: %s is %q, %s is %q\n",
+			flag.Arg(0), oldSchema, flag.Arg(1), newSchema)
+		os.Exit(2)
+	}
+
+	var regressions int
+	switch oldSchema {
+	case benchSchema:
+		regressions = compareBench(oldBuf, newBuf, *threshold)
+	case loadSchema:
+		regressions = compareLoad(oldBuf, newBuf, *threshold)
+	default:
+		fmt.Fprintf(os.Stderr, "vjbenchcmp: unsupported schema %q (want %q or %q)\n",
+			oldSchema, benchSchema, loadSchema)
+		os.Exit(2)
+	}
+
+	if regressions > 0 {
+		fmt.Printf("\n%d regression(s) of more than %.0f%%\n", regressions, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("\nno regressions")
+}
+
+func compareBench(oldBuf, newBuf []byte, threshold float64) int {
+	var old, neu benchManifest
+	mustUnmarshal(oldBuf, &old)
+	mustUnmarshal(newBuf, &neu)
 
 	fmt.Printf("old: %s (%s)\nnew: %s (%s)\n\n",
 		flag.Arg(0), short(old.GitSHA), flag.Arg(1), short(neu.GitSHA))
@@ -102,7 +160,7 @@ func main() {
 		}
 		wallDelta := float64(e.WallNanos-o.wall) / float64(o.wall)
 		mark := ""
-		if wallDelta > *threshold {
+		if wallDelta > threshold {
 			mark = "  REGRESSION(time)"
 			regressions++
 		}
@@ -116,7 +174,7 @@ func main() {
 			rel := allocsDelta / float64(o.allocs)
 			allocsStr = fmtAllocs(e.Allocs)
 			allocsDeltaStr = fmt.Sprintf("%+8.1f%%", rel*100)
-			if rel > *threshold {
+			if rel > threshold {
 				mark += "  REGRESSION(allocs)"
 				regressions++
 			}
@@ -132,12 +190,56 @@ func main() {
 			fmt.Printf("%-12s %12s %12s %9s\n", e.Name, fmtNanos(e.WallNanos), "-", "removed")
 		}
 	}
+	return regressions
+}
 
-	if regressions > 0 {
-		fmt.Printf("\n%d regression(s) of more than %.0f%% (wall time or allocs)\n", regressions, *threshold*100)
-		os.Exit(1)
+// compareLoad diffs two load/v1 manifests: latency quantiles regress
+// upward, achieved throughput regresses downward. A baseline quantile of
+// zero (no completed requests) cannot be compared and is skipped.
+func compareLoad(oldBuf, newBuf []byte, threshold float64) int {
+	var old, neu loadManifest
+	mustUnmarshal(oldBuf, &old)
+	mustUnmarshal(newBuf, &neu)
+
+	fmt.Printf("old: %s (%s)\nnew: %s (%s)\n\n",
+		flag.Arg(0), short(old.GitSHA), flag.Arg(1), short(neu.GitSHA))
+	fmt.Printf("%-14s %14s %14s %9s\n", "metric", "old", "new", "delta")
+
+	regressions := 0
+	row := func(name string, o, n float64, fmtVal func(float64) string, worseWhenUp bool) {
+		if o == 0 {
+			fmt.Printf("%-14s %14s %14s %9s\n", name, "-", fmtVal(n), "")
+			return
+		}
+		rel := (n - o) / o
+		mark := ""
+		if (worseWhenUp && rel > threshold) || (!worseWhenUp && -rel > threshold) {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-14s %14s %14s %+8.1f%%%s\n", name, fmtVal(o), fmtVal(n), rel*100, mark)
 	}
-	fmt.Println("\nno regressions")
+	us := func(v float64) string { return fmtNanos(int64(v) * 1000) }
+	qps := func(v float64) string { return fmt.Sprintf("%.1f/s", v) }
+	count := func(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+	row("p50", float64(old.LatencyUS.P50US), float64(neu.LatencyUS.P50US), us, true)
+	row("p95", float64(old.LatencyUS.P95US), float64(neu.LatencyUS.P95US), us, true)
+	row("p99", float64(old.LatencyUS.P99US), float64(neu.LatencyUS.P99US), us, true)
+	row("achieved qps", old.AchievedQPS, neu.AchievedQPS, qps, false)
+	// Informational rows: counts depend on the offered schedule, not code
+	// quality, so they never gate.
+	fmt.Printf("%-14s %14s %14s\n", "completed", count(float64(old.Completed)), count(float64(neu.Completed)))
+	fmt.Printf("%-14s %14s %14s\n", "shed", count(float64(old.Shed)), count(float64(neu.Shed)))
+	fmt.Printf("%-14s %14s %14s\n", "errors", count(float64(old.Errors+old.Timeouts)), count(float64(neu.Errors+neu.Timeouts)))
+	return regressions
+}
+
+func mustUnmarshal(buf []byte, v any) {
+	if err := json.Unmarshal(buf, v); err != nil {
+		fmt.Fprintln(os.Stderr, "vjbenchcmp:", err)
+		os.Exit(2)
+	}
 }
 
 func fmtNanos(n int64) string {

@@ -10,11 +10,13 @@
 //
 // Endpoints:
 //
-//	POST /query        {"document","query","engine","views","timeout_ms","limit","parallel"}
-//	POST /debug/trace  same body; returns the viewjoin/trace/v1 report inline
-//	GET  /metrics      plan-cache and request counters, per-engine latency
-//	GET  /healthz      liveness ("ok" or "draining")
-//	GET  /documents    registered documents and views
+//	POST /query          {"document","query","engine","views","timeout_ms","limit","parallel"}
+//	POST /debug/trace    same body; returns the viewjoin/trace/v1 report inline
+//	GET  /debug/slowlog  flight recorder: N slowest + N most recent requests with full traces
+//	GET  /debug/plans    per-plan aggregates of every cached plan (viewjoin/plans/v1)
+//	GET  /metrics        plan-cache and request counters, latency quantiles, per-plan table
+//	GET  /healthz        liveness ("ok" or "draining")
+//	GET  /documents      registered documents and views
 //
 // On SIGINT/SIGTERM the server stops accepting queries (503), drains
 // in-flight requests, and exits 0. -json writes one viewjoin/access/v1
@@ -72,6 +74,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		maxPar    = fs.Int("max-parallel", 1, "cap on the per-request 'parallel' partition knob (1 = parallel evaluation disabled)")
 		timeout   = fs.Duration("timeout", 10*time.Second, "default per-request deadline")
 		jsonLog   = fs.Bool("json", false, "write one viewjoin/access/v1 JSON line per request to stdout")
+		slowSize  = fs.Int("slowlog-size", 8, "slow-query flight recorder depth (N slowest + N most recent, with full traces); 0 disables")
+		slowMS    = fs.Int64("slowlog-ms", 100, "wall-time threshold for the slow set, in milliseconds (0: every request eligible)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitOther
@@ -83,11 +87,13 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	}
 
 	cfg := server.Config{
-		CacheSize:      *cacheSize,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		DefaultTimeout: *timeout,
-		MaxParallel:    *maxPar,
+		CacheSize:        *cacheSize,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		DefaultTimeout:   *timeout,
+		MaxParallel:      *maxPar,
+		SlowlogSize:      *slowSize,
+		SlowlogThreshold: time.Duration(*slowMS) * time.Millisecond,
 	}
 	if *jsonLog {
 		cfg.AccessLog = stdout

@@ -26,6 +26,16 @@ type Counters struct {
 	PagesRead int64
 	// PagesWritten counts pages written (disk-based output approach).
 	PagesWritten int64
+	// PageHits counts page touches served from the buffer pool without a
+	// read; PagesRead + PageHits is the total touch count, so the hit
+	// ratio of a run is PageHits / (PageHits + PagesRead).
+	PageHits int64
+	// JumpsTaken / JumpsRefused count materialized pointer jumps followed
+	// and refused (safe-jump probe, open-region cover, stale pointers).
+	// Unlike the tracer's per-node events these are recorded on every run,
+	// so serving-side aggregation sees them without tracing overhead.
+	JumpsTaken   int64
+	JumpsRefused int64
 	// Matches counts output tree pattern instances.
 	Matches int64
 }
@@ -37,13 +47,17 @@ func (c *Counters) Add(o Counters) {
 	c.PointerDerefs += o.PointerDerefs
 	c.PagesRead += o.PagesRead
 	c.PagesWritten += o.PagesWritten
+	c.PageHits += o.PageHits
+	c.JumpsTaken += o.JumpsTaken
+	c.JumpsRefused += o.JumpsRefused
 	c.Matches += o.Matches
 }
 
 // String renders the counters compactly.
 func (c *Counters) String() string {
-	return fmt.Sprintf("scanned=%d cmp=%d deref=%d pagesR=%d pagesW=%d matches=%d",
-		c.ElementsScanned, c.Comparisons, c.PointerDerefs, c.PagesRead, c.PagesWritten, c.Matches)
+	return fmt.Sprintf("scanned=%d cmp=%d deref=%d pagesR=%d pagesW=%d pageHits=%d jumps=%d/%d matches=%d",
+		c.ElementsScanned, c.Comparisons, c.PointerDerefs, c.PagesRead, c.PagesWritten,
+		c.PageHits, c.JumpsTaken, c.JumpsRefused, c.Matches)
 }
 
 // IO simulates a buffer pool in front of the paged store: page touches that
@@ -104,6 +118,7 @@ func (io *IO) Touch(file uintptr, page int32) bool {
 	k := pageKey{file, page}
 	if _, ok := io.last[k]; ok {
 		io.last[k] = io.seq
+		io.C.PageHits++
 		if io.Page != nil {
 			io.Page(false)
 		}

@@ -138,6 +138,23 @@ func Prepare(d *xmltree.Document, q *tpq.Pattern, stores []*store.ViewStore, vie
 	return &Prepared{d: d, q: q, order: order, streams: streams}, nil
 }
 
+// Footprint estimates the plan-resident bytes of the materialized view
+// streams. Unlike the list-file engines, InterJoin copies every view tuple
+// into prepared streams at Prepare time, so its cached plans carry real
+// weight: one fixed-width label row (12 bytes per query position) plus a
+// slice header per tuple.
+func (p *Prepared) Footprint() int64 {
+	var f int64
+	for _, s := range p.streams {
+		f += int64(len(s.positions)) * 8
+		if len(s.tuples) > 0 {
+			per := int64(24 + 12*len(s.tuples[0].labels))
+			f += int64(len(s.tuples)) * per
+		}
+	}
+	return f
+}
+
 // Run executes the prepared join sequence once. Per-run costs are the
 // binary joins and the final verification; the view scans were charged at
 // Prepare time.

@@ -57,6 +57,12 @@ type scratch struct {
 // partition planning.
 func (p *Prepared) Lists() []*store.ListFile { return p.lists }
 
+// Footprint estimates the plan-resident bytes beyond the shared document
+// and view stores: PathStack binds references to existing list files, so
+// a cached plan carries only those bindings. Pooled run scratch is
+// excluded.
+func (p *Prepared) Footprint() int64 { return int64(len(p.lists)) * 8 }
+
 // Prepare binds the path query q over the given lists for repeated runs.
 // It returns an error if q is not a path query.
 func Prepare(d *xmltree.Document, q *tpq.Pattern, lists []*store.ListFile) (*Prepared, error) {

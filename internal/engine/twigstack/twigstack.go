@@ -67,6 +67,12 @@ func Prepare(d *xmltree.Document, q *tpq.Pattern, lists []*store.ListFile) *Prep
 // partition planning.
 func (p *Prepared) Lists() []*store.ListFile { return p.lists }
 
+// Footprint estimates the plan-resident bytes beyond the shared document
+// and view stores: TwigStack binds references to existing list files, so
+// a cached plan carries only those bindings. Pooled evaluator scratch is
+// per-run, recycled state and is excluded.
+func (p *Prepared) Footprint() int64 { return int64(len(p.lists)) * 8 }
+
 // Run executes the prepared plan once, drawing evaluator scratch from the
 // pool and resetting it in place. The only error condition is a trip of
 // opts.Interrupt (cooperative cancellation).

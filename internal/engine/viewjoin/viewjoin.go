@@ -171,6 +171,19 @@ func Prepare(d *xmltree.Document, v *vsq.VSQ, stores []*store.ViewStore, tr obs.
 // partition planning.
 func (p *Prepared) Lists() []*store.ListFile { return p.lists }
 
+// Footprint estimates the plan-resident bytes beyond the shared document
+// and view stores: the per-query-node segmentation tables built at
+// Prepare time plus the list bindings. Pooled evaluator scratch is per-run,
+// recycled state and is excluded.
+func (p *Prepared) Footprint() int64 {
+	f := int64(len(p.viewParentQ))*8 + int64(len(p.viewChildSlot))*8 + int64(len(p.isSegRoot))
+	f += int64(len(p.primeNodes)+len(p.removedNodes)) * 8
+	for _, rc := range p.removedChildren {
+		f += 24 + int64(len(rc))*8
+	}
+	return f + int64(len(p.lists))*8
+}
+
 // Run executes the prepared plan once: evaluator scratch state (cursors,
 // region logs, collector buffers, extension state) comes from the pool and
 // is reset in place, so a warm Run allocates only for the output.
@@ -493,6 +506,7 @@ func (e *evaluator) jumpViaViewParent(m int) bool {
 		return false
 	}
 	if e.openCovers(vp, mStart, vpStart) {
+		e.io.C.JumpsRefused++
 		if e.tr != nil {
 			e.tr.Event(obs.EvJumpRefused, m, 1)
 		}
@@ -506,12 +520,14 @@ func (e *evaluator) jumpViaViewParent(m int) bool {
 	probe := *e.cur[m]
 	probe.Seek(ptr)
 	if probe.Valid() && probe.Item().Start <= mStart {
+		e.io.C.JumpsRefused++
 		if e.tr != nil {
 			e.tr.Event(obs.EvJumpRefused, m, 1)
 		}
 		return false // stale/backward pointer: fall back to sequential
 	}
 	*e.cur[m] = probe
+	e.io.C.JumpsTaken++
 	if e.tr != nil {
 		l := e.p.lists[m]
 		e.tr.Event(obs.EvJumpTaken, m, int64(l.PageOf(ptr)-l.PageOf(from)))
@@ -542,12 +558,16 @@ func (e *evaluator) advancePointers(p int, target int32) {
 			if safe {
 				*e.cur[p] = probe
 				jumped = true
+				e.io.C.JumpsTaken++
 				if e.tr != nil {
 					l := e.p.lists[p]
 					e.tr.Event(obs.EvJumpTaken, p, int64(l.PageOf(it.Following)-l.PageOf(from)))
 				}
-			} else if e.tr != nil {
-				e.tr.Event(obs.EvJumpRefused, p, 1)
+			} else {
+				e.io.C.JumpsRefused++
+				if e.tr != nil {
+					e.tr.Event(obs.EvJumpRefused, p, 1)
+				}
 			}
 		}
 		if !jumped {
@@ -594,12 +614,16 @@ func (e *evaluator) repositionMembers(p int) {
 			// rewind and re-add entries.
 			if !probe.Valid() || probe.Item().Start > e.start(m) {
 				*e.cur[m] = probe
+				e.io.C.JumpsTaken++
 				if e.tr != nil {
 					l := e.p.lists[m]
 					e.tr.Event(obs.EvJumpTaken, m, int64(l.PageOf(ptr)-l.PageOf(from)))
 				}
-			} else if e.tr != nil {
-				e.tr.Event(obs.EvJumpRefused, m, 1)
+			} else {
+				e.io.C.JumpsRefused++
+				if e.tr != nil {
+					e.tr.Event(obs.EvJumpRefused, m, 1)
+				}
 			}
 		} else {
 			for e.valid(m) && e.start(m) < pStart && !e.openCovers(p, e.start(m), pStart) {
@@ -679,6 +703,7 @@ func (e *evaluator) extendWindow(lo, hi int32) {
 			probe.Seek(e.extJump[x])
 			if probe.Valid() && (!cx.Valid() || probe.Item().Start >= cx.Item().Start) {
 				*cx = probe
+				e.io.C.JumpsTaken++
 				if e.tr != nil {
 					l := e.p.lists[x]
 					e.tr.Event(obs.EvJumpTaken, x, int64(l.PageOf(e.extJump[x])-l.PageOf(from)))

@@ -19,6 +19,7 @@
 package obs
 
 import (
+	"math"
 	"math/bits"
 	"time"
 
@@ -215,6 +216,81 @@ func BucketUpper(i int) int64 {
 		return 0
 	}
 	return 1<<uint(i) - 1
+}
+
+// Merge folds o into h: bucket-wise counts, N, Sum, and the running Max.
+// Histograms over the same unit merge exactly (the buckets are fixed), so
+// per-worker or per-partition histograms can be combined without loss.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range h.Count {
+		h.Count[i] += o.Count[i]
+	}
+	h.N += o.N
+	h.Sum += o.Sum
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+}
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) of the observed values
+// from the log-scaled buckets: the bucket holding the ceil(q·N)-th smallest
+// observation is located and the value interpolated linearly by rank within
+// the bucket's [lower, upper] range. The estimate is exact for bucket 0
+// (value 0) and within one power of two otherwise; the top bucket — and any
+// bucket whose range exceeds the observed maximum — is clamped to Max, so a
+// saturated histogram never reports a value beyond what was seen. An empty
+// histogram reports 0; q ≥ 1 reports Max.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.N == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := int64(math.Ceil(q * float64(h.N)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < HistogramBuckets; i++ {
+		c := h.Count[i]
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo := int64(0)
+			if i > 0 {
+				lo = BucketUpper(i-1) + 1
+			}
+			hi := BucketUpper(i)
+			if hi > h.Max || i == HistogramBuckets-1 {
+				// Either the observed maximum lands inside this bucket,
+				// or this is the top bucket, which absorbs every value
+				// beyond its nominal range — in both cases Max is the
+				// true upper bound.
+				hi = h.Max
+			}
+			if hi < lo {
+				return hi
+			}
+			frac := float64(rank-cum) / float64(c)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum += c
+	}
+	return h.Max
+}
+
+// Mean returns the average observed value, or 0 for an empty histogram.
+// Unlike Quantile it is exact: Sum and N are tracked directly.
+func (h *Histogram) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
 }
 
 // Metrics is the aggregated snapshot a Recorder accumulates: the shared

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"viewjoin"
+	"viewjoin/internal/obs"
 )
 
 // planKey identifies one cached plan: a document, the canonical query
@@ -22,6 +23,13 @@ type planKey struct {
 // immutable and safe for concurrent Run (they are always prepared with a
 // nil tracer here), so a cached plan can be handed to any number of
 // in-flight requests; eviction merely drops the cache's reference.
+//
+// Every entry carries an obs.Aggregate that accumulates the outcomes of
+// all runs of that plan — run count, latency quantiles, page hit/miss
+// ratio, jump-refused rate — and a footprint estimate for cache memory
+// accounting. The aggregate lives and dies with the entry: evicting a
+// plan discards its history, which is the right scope for feedback (a
+// re-prepared plan starts observing fresh).
 type planCache struct {
 	mu    sync.Mutex
 	cap   int
@@ -29,19 +37,24 @@ type planCache struct {
 	items map[planKey]*list.Element
 
 	hits, misses, evictions int64
+	footprint               int64 // summed FootprintBytes of resident plans
 }
 
+// planEntry is one cached plan. All fields are set before the entry is
+// published and immutable afterwards; agg is internally synchronized.
 type planEntry struct {
-	key  planKey
-	plan *viewjoin.PreparedQuery
+	key       planKey
+	plan      *viewjoin.PreparedQuery
+	agg       *obs.Aggregate
+	footprint int64
 }
 
 func newPlanCache(capacity int) *planCache {
 	return &planCache{cap: capacity, ll: list.New(), items: make(map[planKey]*list.Element)}
 }
 
-// get returns the cached plan for k, promoting it to most recently used.
-func (c *planCache) get(k planKey) *viewjoin.PreparedQuery {
+// get returns the cached entry for k, promoting it to most recently used.
+func (c *planCache) get(k planKey) *planEntry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[k]
@@ -51,31 +64,50 @@ func (c *planCache) get(k planKey) *viewjoin.PreparedQuery {
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	return el.Value.(*planEntry).plan
+	return el.Value.(*planEntry)
 }
 
 // put inserts a freshly prepared plan, evicting the least recently used
-// entry when over capacity. A concurrent put of the same key (two requests
-// racing through the same miss) keeps the existing entry.
-func (c *planCache) put(k planKey, p *viewjoin.PreparedQuery) {
+// entry when over capacity, and returns the resident entry. A concurrent
+// put of the same key (two requests racing through the same miss) keeps
+// the existing entry, so the racing losers fold their run outcomes into
+// the winner's aggregate.
+func (c *planCache) put(k planKey, p *viewjoin.PreparedQuery) *planEntry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[k]; ok {
 		c.ll.MoveToFront(el)
-		return
+		return el.Value.(*planEntry)
 	}
-	c.items[k] = c.ll.PushFront(&planEntry{key: k, plan: p})
+	e := &planEntry{key: k, plan: p, agg: &obs.Aggregate{}, footprint: p.FootprintBytes()}
+	c.items[k] = c.ll.PushFront(e)
+	c.footprint += e.footprint
 	for c.ll.Len() > c.cap {
 		el := c.ll.Back()
 		c.ll.Remove(el)
-		delete(c.items, el.Value.(*planEntry).key)
+		evicted := el.Value.(*planEntry)
+		delete(c.items, evicted.key)
+		c.footprint -= evicted.footprint
 		c.evictions++
 	}
+	return e
 }
 
-// stats snapshots the cache counters and current size.
-func (c *planCache) stats() (hits, misses, evictions int64, size int) {
+// stats snapshots the cache counters, current size, and the summed
+// footprint estimate of resident plans.
+func (c *planCache) stats() (hits, misses, evictions int64, size int, footprint int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, c.evictions, c.ll.Len()
+	return c.hits, c.misses, c.evictions, c.ll.Len(), c.footprint
+}
+
+// entries snapshots the resident entries, most recently used first.
+func (c *planCache) entries() []*planEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*planEntry, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*planEntry))
+	}
+	return out
 }

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func getPlans(t testing.TB, ts *httptest.Server) plansResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/debug/plans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/plans status %d", resp.StatusCode)
+	}
+	var p plansResponse
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func findPlan(rows []planMetrics, engine string) *planMetrics {
+	for i := range rows {
+		if rows[i].Engine == engine {
+			return &rows[i]
+		}
+	}
+	return nil
+}
+
+// TestPlanAggregates pins the per-plan observability contract: every
+// resident cache entry appears on /metrics with its run count, latency
+// quantiles and footprint; successful runs and failures fold into the
+// right entry; and /debug/plans exposes the full summed counter record.
+func TestPlanAggregates(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := queryRequest{Document: "xmark", Query: testQuery, Engine: "VJ"}
+	const vjRuns = 3
+	var matchCount int
+	for i := 0; i < vjRuns; i++ {
+		var r queryResponse
+		if st := post(t, ts, "/query", req, &r); st != http.StatusOK {
+			t.Fatalf("VJ run %d: status %d", i, st)
+		}
+		matchCount = r.MatchCount
+	}
+	tsReq := req
+	tsReq.Engine = "TS"
+	if st := post(t, ts, "/query", tsReq, nil); st != http.StatusOK {
+		t.Fatalf("TS run: status %d", st)
+	}
+
+	// One deadline expiry against the cached VJ plan: counted as an error
+	// on that plan's aggregate, not as a run.
+	gate := make(chan struct{})
+	started := make(chan struct{}, 1)
+	s.testEvalGate = gate
+	s.testEvalStarted = func() { started <- struct{}{} }
+	timeoutReq := req
+	timeoutReq.TimeoutMS = 5
+	done := make(chan int, 1)
+	go func() {
+		done <- post(t, ts, "/query", timeoutReq, nil)
+	}()
+	<-started
+	time.Sleep(20 * time.Millisecond)
+	gate <- struct{}{}
+	if st := <-done; st != http.StatusGatewayTimeout {
+		t.Fatalf("timeout request: status %d, want 504", st)
+	}
+	s.testEvalGate = nil
+
+	m := getMetrics(t, ts)
+	if m.UptimeMS < 0 {
+		t.Errorf("uptime_ms %d, want >= 0", m.UptimeMS)
+	}
+	if len(m.Plans) != 2 {
+		t.Fatalf("plans table has %d rows, want one per cache entry (2): %+v", len(m.Plans), m.Plans)
+	}
+	if m.PlanCache.FootprintBytes <= 0 {
+		t.Errorf("plan cache footprint %d, want > 0", m.PlanCache.FootprintBytes)
+	}
+
+	vj := findPlan(m.Plans, "VJ")
+	if vj == nil {
+		t.Fatal("no VJ row in plans table")
+	}
+	if vj.Runs != vjRuns {
+		t.Errorf("VJ runs %d, want %d", vj.Runs, vjRuns)
+	}
+	if vj.Errors != 1 {
+		t.Errorf("VJ errors %d, want 1 (the deadline expiry)", vj.Errors)
+	}
+	if vj.LatencyUS.N != vjRuns {
+		t.Errorf("VJ latency N %d, want %d", vj.LatencyUS.N, vjRuns)
+	}
+	if vj.LatencyUS.P50US <= 0 || vj.LatencyUS.P99US < vj.LatencyUS.P50US {
+		t.Errorf("VJ latency quantiles implausible: %+v", vj.LatencyUS)
+	}
+	if vj.FootprintBytes <= 0 {
+		t.Errorf("VJ footprint %d, want > 0", vj.FootprintBytes)
+	}
+	if tsRow := findPlan(m.Plans, "TS"); tsRow == nil || tsRow.Runs != 1 {
+		t.Errorf("TS row missing or wrong runs: %+v", tsRow)
+	}
+
+	// The engine-level latency histograms now report quantiles.
+	if h, ok := m.LatencyUS["VJ"]; !ok || h.N != vjRuns || h.P50US <= 0 {
+		t.Errorf("engine latency histogram: %+v", m.LatencyUS["VJ"])
+	}
+	// Partition accounting: all four successful runs were sequential.
+	if m.Partitions.N != vjRuns+1 || m.Partitions.MaxUS != 1 {
+		t.Errorf("partitions histogram N=%d Max=%d, want N=%d Max=1", m.Partitions.N, m.Partitions.MaxUS, vjRuns+1)
+	}
+	if m.Requests.Timeouts != 1 || m.Requests.Canceled != 0 {
+		t.Errorf("timeouts=%d canceled=%d, want 1, 0", m.Requests.Timeouts, m.Requests.Canceled)
+	}
+
+	p := getPlans(t, ts)
+	if p.Schema != PlansSchema {
+		t.Errorf("plans schema %q, want %q", p.Schema, PlansSchema)
+	}
+	if len(p.Plans) != 2 {
+		t.Fatalf("/debug/plans has %d rows, want 2", len(p.Plans))
+	}
+	var vjd *planDetail
+	for i := range p.Plans {
+		if p.Plans[i].Engine == "VJ" {
+			vjd = &p.Plans[i]
+		}
+	}
+	if vjd == nil {
+		t.Fatal("no VJ row on /debug/plans")
+	}
+	if vjd.Counters.ElementsScanned <= 0 {
+		t.Errorf("VJ summed elements_scanned %d, want > 0", vjd.Counters.ElementsScanned)
+	}
+	if want := int64(vjRuns * matchCount); vjd.Counters.Matches != want {
+		t.Errorf("VJ summed matches %d, want %d", vjd.Counters.Matches, want)
+	}
+}

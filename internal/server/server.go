@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"viewjoin"
+	"viewjoin/internal/counters"
 	"viewjoin/internal/obs"
 )
 
@@ -35,6 +36,7 @@ const (
 	ResponseSchema = "viewjoin/serve/v1"
 	MetricsSchema  = "viewjoin/metrics/v1"
 	AccessSchema   = "viewjoin/access/v1"
+	PlansSchema    = "viewjoin/plans/v1"
 )
 
 // Config tunes a Server. The zero value is usable: every field has a
@@ -60,6 +62,16 @@ type Config struct {
 	// AccessLog, when non-nil, receives one JSON line (schema
 	// viewjoin/access/v1) per query request.
 	AccessLog io.Writer
+	// SlowlogSize enables the slow-query flight recorder: the server
+	// retains full traces of the N slowest and the N most recent requests,
+	// served at GET /debug/slowlog. 0 (the default) disables the recorder
+	// — and with it the per-request tracing it requires, keeping the
+	// serving hot path allocation-free.
+	SlowlogSize int
+	// SlowlogThreshold admits a request to the slow set only when its wall
+	// time (admission to response) meets it; the recent ring receives every
+	// request regardless. 0 makes every request eligible.
+	SlowlogThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -108,11 +120,16 @@ type Server struct {
 	requests atomic.Int64
 	shed     atomic.Int64
 	timeouts atomic.Int64
+	canceled atomic.Int64 // client cancellations (disconnects), distinct from deadline expiry
 	failures atomic.Int64
 	inFlight atomic.Int64
 
-	histMu  sync.Mutex
-	latency map[string]*obs.Histogram // engine name -> run latency (µs)
+	start   time.Time // serving start, for uptime reporting
+	slowlog *slowlog  // nil when Config.SlowlogSize is 0
+
+	histMu     sync.Mutex
+	latency    map[string]*obs.Histogram // engine name -> run latency (µs)
+	partitions obs.Histogram             // partitions per successful run
 
 	logMu sync.Mutex
 
@@ -126,13 +143,18 @@ type Server struct {
 // New builds a Server with the given configuration.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		docs:    make(map[string]*docEntry),
 		cache:   newPlanCache(cfg.CacheSize),
 		sem:     make(chan struct{}, cfg.Workers),
 		latency: make(map[string]*obs.Histogram),
+		start:   time.Now(),
 	}
+	if cfg.SlowlogSize > 0 {
+		s.slowlog = newSlowlog(cfg.SlowlogSize, cfg.SlowlogThreshold)
+	}
+	return s
 }
 
 // AddDocument registers a document under a name. Not safe to call once
@@ -170,6 +192,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/debug/trace", s.handleTrace)
+	mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
+	mux.HandleFunc("/debug/plans", s.handlePlans)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/documents", s.handleDocuments)
@@ -225,8 +249,42 @@ type statsJSON struct {
 	PointerDerefs   int64 `json:"pointer_derefs"`
 	PagesRead       int64 `json:"pages_read"`
 	PagesWritten    int64 `json:"pages_written"`
+	PageHits        int64 `json:"page_hits"`
+	JumpsTaken      int64 `json:"jumps_taken"`
+	JumpsRefused    int64 `json:"jumps_refused"`
 	PeakMemoryBytes int64 `json:"peak_memory_bytes"`
 	Partitions      int   `json:"partitions"`
+}
+
+func statsOf(st viewjoin.Stats) statsJSON {
+	return statsJSON{
+		ElementsScanned: st.ElementsScanned,
+		Comparisons:     st.Comparisons,
+		PointerDerefs:   st.PointerDerefs,
+		PagesRead:       st.PagesRead,
+		PagesWritten:    st.PagesWritten,
+		PageHits:        st.PageHits,
+		JumpsTaken:      st.JumpsTaken,
+		JumpsRefused:    st.JumpsRefused,
+		PeakMemoryBytes: st.PeakMemoryBytes,
+		Partitions:      st.Partitions,
+	}
+}
+
+// countersOf lifts the public per-run Stats back into the internal counter
+// record an obs.Aggregate folds, so per-plan aggregation works off the
+// deterministic counters every untraced run already produces.
+func countersOf(st viewjoin.Stats) counters.Counters {
+	return counters.Counters{
+		ElementsScanned: st.ElementsScanned,
+		Comparisons:     st.Comparisons,
+		PointerDerefs:   st.PointerDerefs,
+		PagesRead:       st.PagesRead,
+		PagesWritten:    st.PagesWritten,
+		PageHits:        st.PageHits,
+		JumpsTaken:      st.JumpsTaken,
+		JumpsRefused:    st.JumpsRefused,
+	}
 }
 
 // errorResponse is the body of every failed request: the stage that
@@ -329,22 +387,22 @@ func (s *Server) resolve(req *queryRequest) (*docEntry, *viewjoin.Query, viewjoi
 	return e, q, eng, canon, mviews, 0, "", nil
 }
 
-// plan returns a prepared plan for the request, from the cache when
-// possible. The bool reports whether this was a cache hit. Plans are
-// always prepared with nil options (no tracer), which is what makes them
-// shareable across concurrent requests.
-func (s *Server) plan(req *queryRequest, e *docEntry, q *viewjoin.Query, eng viewjoin.Engine, canon []string, mviews []*viewjoin.MaterializedView) (*viewjoin.PreparedQuery, bool, error) {
+// plan returns a cache entry (plan plus its per-plan aggregate) for the
+// request, preparing and inserting on a miss. The bool reports whether
+// this was a cache hit. Plans are always prepared with nil options (no
+// tracer), which is what makes them shareable across concurrent requests;
+// per-request tracing attaches via RunTraced instead.
+func (s *Server) plan(req *queryRequest, e *docEntry, q *viewjoin.Query, eng viewjoin.Engine, canon []string, mviews []*viewjoin.MaterializedView) (*planEntry, bool, error) {
 	key := planKey{doc: req.Document, query: q.String(), engine: eng, views: strings.Join(canon, ";")}
-	if p := s.cache.get(key); p != nil {
-		return p, true, nil
+	if ent := s.cache.get(key); ent != nil {
+		return ent, true, nil
 	}
 	p, err := viewjoin.Prepare(e.doc, q, mviews, eng, nil)
 	if err != nil {
 		return nil, false, err
 	}
 	s.prepares.Add(1)
-	s.cache.put(key, p)
-	return p, false, nil
+	return s.cache.put(key, p), false, nil
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -375,7 +433,11 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, traced bool)
 
 	release, status, stage, err := s.admit()
 	if err != nil {
-		s.logAccess(&req, status, stage, 0, "", time.Since(started), err)
+		outcome := "shed"
+		if status == http.StatusServiceUnavailable {
+			outcome = "drain"
+		}
+		s.logAccess(&req, status, stage, 0, "", 0, outcome, time.Since(started), err)
 		writeError(w, status, stage, err, false)
 		return
 	}
@@ -384,7 +446,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, traced bool)
 	e, q, eng, canon, mviews, status, stage, err := s.resolve(&req)
 	if err != nil {
 		s.failures.Add(1)
-		s.logAccess(&req, status, stage, 0, "", time.Since(started), err)
+		s.logAccess(&req, status, stage, 0, "", 0, "error", time.Since(started), err)
 		writeError(w, status, stage, err, false)
 		return
 	}
@@ -413,7 +475,19 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, traced bool)
 	if k > s.cfg.MaxParallel {
 		k = s.cfg.MaxParallel
 	}
+	// With the flight recorder enabled, every request runs under its own
+	// obs.Recorder via RunTraced — the cached plan stays shared and
+	// untraced, only this execution is observed. The threshold is applied
+	// after the run (a query is only known to be slow once it finished),
+	// so the recorder must always be on to have the trace when it matters.
+	var rec *obs.Recorder
+	if traced || s.slowlog != nil {
+		rec = obs.NewRecorder()
+	}
 	runPlan := func(p *viewjoin.PreparedQuery) (*viewjoin.Result, error) {
+		if rec != nil {
+			return p.RunTraced(ctx, k, rec)
+		}
 		if k > 1 {
 			return p.RunParallel(ctx, k)
 		}
@@ -421,23 +495,24 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, traced bool)
 	}
 
 	var res *viewjoin.Result
+	var ent *planEntry // nil on the traced cache-bypass path
 	cacheState := "bypass"
 	if traced {
-		rec := obs.NewRecorder()
-		p, err := viewjoin.Prepare(e.doc, q, mviews, eng, &viewjoin.EvalOptions{Tracer: rec})
+		p, err := viewjoin.Prepare(e.doc, q, mviews, eng, nil)
 		if err == nil {
 			s.prepares.Add(1)
 			res, err = runPlan(p)
 		}
 		if err != nil {
-			s.fail(w, &req, q, eng, started, err)
+			s.fail(w, &req, canon, nil, cacheState, started, err)
 			return
 		}
 	} else {
-		p, hit, err := s.plan(&req, e, q, eng, canon, mviews)
+		var hit bool
+		ent, hit, err = s.plan(&req, e, q, eng, canon, mviews)
 		if err != nil {
 			s.failures.Add(1)
-			s.logAccess(&req, http.StatusUnprocessableEntity, "prepare", 0, "", time.Since(started), err)
+			s.logAccess(&req, http.StatusUnprocessableEntity, "prepare", 0, "", 0, "error", time.Since(started), err)
 			writeError(w, http.StatusUnprocessableEntity, "prepare", err, false)
 			return
 		}
@@ -445,14 +520,20 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, traced bool)
 		if hit {
 			cacheState = "hit"
 		}
-		res, err = runPlan(p)
+		res, err = runPlan(ent.plan)
 		if err != nil {
-			s.fail(w, &req, q, eng, started, err)
+			s.fail(w, &req, canon, ent, cacheState, started, err)
 			return
 		}
 	}
 
 	s.observeLatency(eng, res.Stats.Duration)
+	s.observePartitions(res.Stats.Partitions)
+	if ent != nil {
+		cs := countersOf(res.Stats)
+		cs.Matches = int64(len(res.Matches))
+		ent.agg.AddRun(cs, res.Stats.Duration)
+	}
 	resp := queryResponse{
 		Schema:     ResponseSchema,
 		Document:   req.Document,
@@ -461,17 +542,31 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, traced bool)
 		Views:      canon,
 		Cache:      cacheState,
 		MatchCount: len(res.Matches),
-		Stats: statsJSON{
-			ElementsScanned: res.Stats.ElementsScanned,
-			Comparisons:     res.Stats.Comparisons,
-			PointerDerefs:   res.Stats.PointerDerefs,
-			PagesRead:       res.Stats.PagesRead,
-			PagesWritten:    res.Stats.PagesWritten,
-			PeakMemoryBytes: res.Stats.PeakMemoryBytes,
-			Partitions:      res.Stats.Partitions,
-		},
+		Stats:      statsOf(res.Stats),
 		DurationUS: res.Stats.Duration.Microseconds(),
-		Trace:      res.Trace,
+	}
+	if traced {
+		// Only the explicit /debug/trace surface embeds the report; the
+		// recorder a slowlog-enabled /query runs under feeds the flight
+		// recorder, not the response body.
+		resp.Trace = res.Trace
+	}
+	if s.slowlog != nil {
+		s.slowlog.observe(slowlogEntry{
+			Time:       time.Now().UTC().Format(time.RFC3339Nano),
+			Document:   req.Document,
+			Query:      q.String(),
+			Engine:     eng.String(),
+			Views:      canon,
+			Status:     http.StatusOK,
+			Outcome:    "ok",
+			Cache:      cacheState,
+			Matches:    len(res.Matches),
+			Partitions: res.Stats.Partitions,
+			WallUS:     time.Since(started).Microseconds(),
+			RunUS:      res.Stats.Duration.Microseconds(),
+			Trace:      res.Trace,
+		})
 	}
 	if req.Limit > 0 {
 		n := len(res.Matches)
@@ -487,25 +582,61 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, traced bool)
 			resp.Matches[i] = row
 		}
 	}
-	s.logAccess(&req, http.StatusOK, "", len(res.Matches), cacheState, time.Since(started), nil)
+	s.logAccess(&req, http.StatusOK, "", len(res.Matches), cacheState, res.Stats.Partitions, "ok", time.Since(started), nil)
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
 }
 
+// statusClientClosedRequest is the nginx-convention status for a request
+// aborted by its client; Go's net/http has no name for it.
+const statusClientClosedRequest = 499
+
 // fail maps an evaluation error to its HTTP shape: a *CanceledError from a
-// deadline is 504 with partial=false and timeout=true; anything else is a
-// 422 evaluate error.
-func (s *Server) fail(w http.ResponseWriter, req *queryRequest, q *viewjoin.Query, eng viewjoin.Engine, started time.Time, err error) {
+// deadline is 504 with partial=false and timeout=true, one from a client
+// disconnect is 499 with outcome "canceled"; anything else is a 422
+// evaluate error. The failure is folded into the plan's aggregate (ent may
+// be nil on the cache-bypass path) and, when the flight recorder is on,
+// retained there — an aborted run has no trace, but the request identity
+// and wall time are exactly what a slow-query post-mortem needs.
+func (s *Server) fail(w http.ResponseWriter, req *queryRequest, canon []string, ent *planEntry,
+	cacheState string, started time.Time, err error) {
+	status := http.StatusUnprocessableEntity
+	outcome := "error"
+	timeout := false
 	var ce *viewjoin.CanceledError
 	if errors.As(err, &ce) {
-		s.timeouts.Add(1)
-		s.logAccess(req, http.StatusGatewayTimeout, "evaluate", 0, "", time.Since(started), err)
-		writeError(w, http.StatusGatewayTimeout, "evaluate", err, true)
-		return
+		if errors.Is(err, context.Canceled) {
+			s.canceled.Add(1)
+			status = statusClientClosedRequest
+			outcome = "canceled"
+		} else {
+			s.timeouts.Add(1)
+			status = http.StatusGatewayTimeout
+			outcome = "timeout"
+			timeout = true
+		}
+	} else {
+		s.failures.Add(1)
 	}
-	s.failures.Add(1)
-	s.logAccess(req, http.StatusUnprocessableEntity, "evaluate", 0, "", time.Since(started), err)
-	writeError(w, http.StatusUnprocessableEntity, "evaluate", err, false)
+	if ent != nil {
+		ent.agg.AddError()
+	}
+	if s.slowlog != nil {
+		s.slowlog.observe(slowlogEntry{
+			Time:     time.Now().UTC().Format(time.RFC3339Nano),
+			Document: req.Document,
+			Query:    req.Query,
+			Engine:   req.Engine,
+			Views:    canon,
+			Status:   status,
+			Outcome:  outcome,
+			Cache:    cacheState,
+			WallUS:   time.Since(started).Microseconds(),
+			Error:    err.Error(),
+		})
+	}
+	s.logAccess(req, status, "evaluate", 0, cacheState, 0, outcome, time.Since(started), err)
+	writeError(w, status, "evaluate", err, timeout)
 }
 
 // observeLatency records one run duration in the per-engine histogram
@@ -521,7 +652,19 @@ func (s *Server) observeLatency(eng viewjoin.Engine, d time.Duration) {
 	s.histMu.Unlock()
 }
 
-// accessLine is one viewjoin/access/v1 log record.
+// observePartitions records how many range partitions a successful run
+// executed (1 for sequential), building the distribution /metrics reports.
+func (s *Server) observePartitions(n int) {
+	s.histMu.Lock()
+	s.partitions.Add(int64(n))
+	s.histMu.Unlock()
+}
+
+// accessLine is one viewjoin/access/v1 log record. Outcome classifies how
+// the request ended (ok, timeout, canceled, shed, drain, error) and
+// Partitions records how many range partitions the run executed, so a log
+// scan can separate deadline expiries from client disconnects and see
+// which requests actually went parallel.
 type accessLine struct {
 	Schema     string   `json:"schema"`
 	Time       string   `json:"time"`
@@ -532,12 +675,15 @@ type accessLine struct {
 	Status     int      `json:"status"`
 	Stage      string   `json:"stage,omitempty"`
 	Cache      string   `json:"cache,omitempty"`
+	Outcome    string   `json:"outcome"`
 	Matches    int      `json:"matches"`
+	Partitions int      `json:"partitions,omitempty"`
 	DurationUS int64    `json:"duration_us"`
 	Error      string   `json:"error,omitempty"`
 }
 
-func (s *Server) logAccess(req *queryRequest, status int, stage string, matches int, cache string, d time.Duration, err error) {
+func (s *Server) logAccess(req *queryRequest, status int, stage string, matches int, cache string,
+	partitions int, outcome string, d time.Duration, err error) {
 	if s.cfg.AccessLog == nil {
 		return
 	}
@@ -551,7 +697,9 @@ func (s *Server) logAccess(req *queryRequest, status int, stage string, matches 
 		Status:     status,
 		Stage:      stage,
 		Cache:      cache,
+		Outcome:    outcome,
 		Matches:    matches,
+		Partitions: partitions,
 		DurationUS: d.Microseconds(),
 	}
 	if err != nil {
@@ -568,80 +716,207 @@ func (s *Server) logAccess(req *queryRequest, status int, stage string, matches 
 
 // metricsResponse is the body of GET /metrics.
 type metricsResponse struct {
-	Schema    string              `json:"schema"`
-	PlanCache planCacheMetrics    `json:"plan_cache"`
-	Requests  requestMetrics      `json:"requests"`
-	LatencyUS map[string]histJSON `json:"latency_us"`
-	Documents int                 `json:"documents"`
+	Schema     string              `json:"schema"`
+	UptimeMS   int64               `json:"uptime_ms"`
+	PlanCache  planCacheMetrics    `json:"plan_cache"`
+	Requests   requestMetrics      `json:"requests"`
+	LatencyUS  map[string]histJSON `json:"latency_us"`
+	Partitions histJSON            `json:"partitions"` // partitions per successful run
+	Plans      []planMetrics       `json:"plans"`      // one row per resident cache entry, MRU first
+	Documents  int                 `json:"documents"`
 }
 
 type planCacheMetrics struct {
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Evictions int64 `json:"evictions"`
-	Prepares  int64 `json:"prepares"`
-	Size      int   `json:"size"`
-	Capacity  int   `json:"capacity"`
+	Hits           int64 `json:"hits"`
+	Misses         int64 `json:"misses"`
+	Evictions      int64 `json:"evictions"`
+	Prepares       int64 `json:"prepares"`
+	Size           int   `json:"size"`
+	Capacity       int   `json:"capacity"`
+	FootprintBytes int64 `json:"footprint_bytes"` // estimated resident bytes of cached plans
 }
 
 type requestMetrics struct {
 	Total    int64 `json:"total"`
 	Shed     int64 `json:"shed"`
 	Timeouts int64 `json:"timeouts"`
+	Canceled int64 `json:"canceled"`
 	Failures int64 `json:"failures"`
 	InFlight int64 `json:"in_flight"`
 	Queued   int64 `json:"queued"`
 	Draining bool  `json:"draining"`
 }
 
+// histJSON summarizes a latency histogram as quantile estimates rather
+// than raw bucket dumps: p50/p95/p99/p999 interpolated from the
+// power-of-two buckets (within one bucket of exact, clamped to the
+// observed maximum).
 type histJSON struct {
-	N       int64            `json:"n"`
-	SumUS   int64            `json:"sum_us"`
-	MaxUS   int64            `json:"max_us"`
-	Buckets []histBucketJSON `json:"buckets"` // nonzero buckets only
+	N      int64 `json:"n"`
+	SumUS  int64 `json:"sum_us"`
+	MaxUS  int64 `json:"max_us"`
+	P50US  int64 `json:"p50_us"`
+	P95US  int64 `json:"p95_us"`
+	P99US  int64 `json:"p99_us"`
+	P999US int64 `json:"p999_us"`
 }
 
-type histBucketJSON struct {
-	LE int64 `json:"le"` // inclusive upper bound (µs)
-	N  int64 `json:"n"`
+func histOf(h *obs.Histogram) histJSON {
+	return histJSON{
+		N: h.N, SumUS: h.Sum, MaxUS: h.Max,
+		P50US:  h.Quantile(0.50),
+		P95US:  h.Quantile(0.95),
+		P99US:  h.Quantile(0.99),
+		P999US: h.Quantile(0.999),
+	}
+}
+
+// planMetrics is one row of the per-plan table: the plan identity plus
+// the aggregate of every run it has served since entering the cache.
+type planMetrics struct {
+	Document        string   `json:"document"`
+	Query           string   `json:"query"`
+	Engine          string   `json:"engine"`
+	Views           string   `json:"views"`
+	Runs            int64    `json:"runs"`
+	Errors          int64    `json:"errors"`
+	LatencyUS       histJSON `json:"latency_us"`
+	PageHitRatio    float64  `json:"page_hit_ratio"`
+	JumpRefusedRate float64  `json:"jump_refused_rate"`
+	FootprintBytes  int64    `json:"footprint_bytes"`
+}
+
+// planRows renders the cache's resident entries as per-plan metric rows,
+// most recently used first.
+func (s *Server) planRows() []planMetrics {
+	ents := s.cache.entries()
+	rows := make([]planMetrics, 0, len(ents))
+	for _, ent := range ents {
+		snap := ent.agg.Snapshot()
+		rows = append(rows, planMetrics{
+			Document:        ent.key.doc,
+			Query:           ent.key.query,
+			Engine:          ent.key.engine.String(),
+			Views:           ent.key.views,
+			Runs:            snap.Runs,
+			Errors:          snap.Errors,
+			LatencyUS:       histOf(&snap.LatencyUS),
+			PageHitRatio:    snap.PageHitRatio(),
+			JumpRefusedRate: snap.JumpRefusedRate(),
+			FootprintBytes:  ent.footprint,
+		})
+	}
+	return rows
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	hits, misses, evictions, size := s.cache.stats()
+	hits, misses, evictions, size, footprint := s.cache.stats()
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
 	resp := metricsResponse{
-		Schema: MetricsSchema,
+		Schema:   MetricsSchema,
+		UptimeMS: time.Since(s.start).Milliseconds(),
 		PlanCache: planCacheMetrics{
 			Hits: hits, Misses: misses, Evictions: evictions,
 			Prepares: s.prepares.Load(), Size: size, Capacity: s.cfg.CacheSize,
+			FootprintBytes: footprint,
 		},
 		Requests: requestMetrics{
 			Total:    s.requests.Load(),
 			Shed:     s.shed.Load(),
 			Timeouts: s.timeouts.Load(),
+			Canceled: s.canceled.Load(),
 			Failures: s.failures.Load(),
 			InFlight: s.inFlight.Load(),
 			Queued:   s.queued.Load(),
 			Draining: draining,
 		},
 		LatencyUS: make(map[string]histJSON),
+		Plans:     s.planRows(),
 		Documents: len(s.docs),
 	}
 	s.histMu.Lock()
 	for name, h := range s.latency {
-		hj := histJSON{N: h.N, SumUS: h.Sum, MaxUS: h.Max}
-		for i, n := range h.Count {
-			if n > 0 {
-				hj.Buckets = append(hj.Buckets, histBucketJSON{LE: obs.BucketUpper(i), N: n})
-			}
-		}
-		resp.LatencyUS[name] = hj
+		resp.LatencyUS[name] = histOf(h)
 	}
+	resp.Partitions = histOf(&s.partitions)
 	s.histMu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
+}
+
+// plansResponse is the body of GET /debug/plans: the per-plan table with
+// the full summed counter record per plan, beyond the compact ratios the
+// /metrics table carries.
+type plansResponse struct {
+	Schema string       `json:"schema"`
+	Plans  []planDetail `json:"plans"`
+}
+
+type planDetail struct {
+	planMetrics
+	Counters planCountersJSON `json:"counters"`
+}
+
+// planCountersJSON is the summed deterministic counter record of every
+// run a plan served — the observed analogue of the §V cost-model terms.
+type planCountersJSON struct {
+	ElementsScanned int64 `json:"elements_scanned"`
+	Comparisons     int64 `json:"comparisons"`
+	PointerDerefs   int64 `json:"pointer_derefs"`
+	PagesRead       int64 `json:"pages_read"`
+	PagesWritten    int64 `json:"pages_written"`
+	PageHits        int64 `json:"page_hits"`
+	JumpsTaken      int64 `json:"jumps_taken"`
+	JumpsRefused    int64 `json:"jumps_refused"`
+	Matches         int64 `json:"matches"`
+}
+
+func (s *Server) handlePlans(w http.ResponseWriter, r *http.Request) {
+	ents := s.cache.entries()
+	resp := plansResponse{Schema: PlansSchema, Plans: make([]planDetail, 0, len(ents))}
+	for _, ent := range ents {
+		snap := ent.agg.Snapshot()
+		resp.Plans = append(resp.Plans, planDetail{
+			planMetrics: planMetrics{
+				Document:        ent.key.doc,
+				Query:           ent.key.query,
+				Engine:          ent.key.engine.String(),
+				Views:           ent.key.views,
+				Runs:            snap.Runs,
+				Errors:          snap.Errors,
+				LatencyUS:       histOf(&snap.LatencyUS),
+				PageHitRatio:    snap.PageHitRatio(),
+				JumpRefusedRate: snap.JumpRefusedRate(),
+				FootprintBytes:  ent.footprint,
+			},
+			Counters: planCountersJSON{
+				ElementsScanned: snap.Counters.ElementsScanned,
+				Comparisons:     snap.Counters.Comparisons,
+				PointerDerefs:   snap.Counters.PointerDerefs,
+				PagesRead:       snap.Counters.PagesRead,
+				PagesWritten:    snap.Counters.PagesWritten,
+				PageHits:        snap.Counters.PageHits,
+				JumpsTaken:      snap.Counters.JumpsTaken,
+				JumpsRefused:    snap.Counters.JumpsRefused,
+				Matches:         snap.Counters.Matches,
+			},
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleSlowlog serves the flight recorder's snapshot (schema
+// viewjoin/slowlog/v1), or 404 when the recorder is disabled.
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	if s.slowlog == nil {
+		writeError(w, http.StatusNotFound, "slowlog", errors.New("slow-query log disabled (start with -slowlog-size > 0)"), false)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.slowlog.snapshot())
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

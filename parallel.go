@@ -169,7 +169,7 @@ func (p *PreparedQuery) planPartitions(k int) []engine.Restriction {
 // uninterruptible. Safe for concurrent use under the same conditions as
 // Run (prepare-time Tracer must be nil for concurrent calls).
 func (p *PreparedQuery) RunParallel(ctx context.Context, k int) (*Result, error) {
-	return p.runParallel(ctx, k, time.Now(), false)
+	return p.runParallel(ctx, k, time.Now(), false, p.opts.Tracer)
 }
 
 // jobOut is one partition's outcome, written only by its worker.
@@ -185,13 +185,13 @@ type jobOut struct {
 // nil tracers (Tracer implementations are not concurrency-safe); the
 // orchestrator instead emits one EvPartition event per job carrying its
 // wall time, so traced runs still expose the partition-span distribution.
-func (p *PreparedQuery) runParallel(ctx context.Context, k int, start time.Time, includePrep bool) (*Result, error) {
+func (p *PreparedQuery) runParallel(ctx context.Context, k int, start time.Time, includePrep bool, tr obs.Tracer) (*Result, error) {
 	if k <= 0 {
 		k = runtime.GOMAXPROCS(0)
 	}
 	jobs := p.planPartitions(k)
 	if len(jobs) <= 1 {
-		return p.run(ctx, start, includePrep)
+		return p.run(ctx, start, includePrep, tr)
 	}
 	var interrupt func() error
 	if ctx != nil {
@@ -200,10 +200,9 @@ func (p *PreparedQuery) runParallel(ctx context.Context, k int, start time.Time,
 			return nil, err
 		}
 	}
-	tr := p.opts.Tracer
 	if tr != nil {
-		if p.plan != nil {
-			tr.Plan(p.plan)
+		if pl := p.lazyPlan(); pl != nil {
+			tr.Plan(pl)
 		}
 		tr.BeginPhase(obs.PhaseEvaluate)
 	}

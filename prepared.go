@@ -36,13 +36,28 @@ import (
 // A PreparedQuery is immutable after Prepare and safe for concurrent Run
 // calls provided the captured EvalOptions.Tracer is nil (tracers are not
 // required to be concurrency-safe); documents and materialized views are
-// already immutable after construction.
+// already immutable after construction. RunTraced attaches a tracer to a
+// single execution instead, so concurrent traced runs of one shared plan
+// are safe as long as each call brings its own tracer.
 type PreparedQuery struct {
 	d    *Document
 	q    *Query
 	eng  Engine
 	opts EvalOptions
-	plan *obs.Plan // non-nil only when opts.Tracer != nil
+
+	// plan is the obs.Plan delivered to tracers. Prepare builds it eagerly
+	// when it was given a tracer; otherwise planOnce builds it on the first
+	// traced run (RunTraced on a plan prepared untraced, e.g. out of a
+	// serving cache), keeping the untraced hot path allocation-free.
+	plan     *obs.Plan
+	planOnce sync.Once
+
+	// Plan inputs retained for the lazy obs.Plan build and for footprint
+	// accounting; all are immutable after Prepare.
+	patterns []*tpq.Pattern
+	stores   []*store.ViewStore
+	v        *vsq.VSQ // VJ/TS/PS only
+	viewPos  [][]int  // IJ only
 
 	// prepC holds the costs charged during preparation (InterJoin's view
 	// stream scans); the one-shot Evaluate folds them into its Stats to
@@ -72,7 +87,7 @@ func Prepare(d *Document, q *Query, mviews []*MaterializedView, eng Engine, opts
 		patterns[i] = mv.pattern
 		stores[i] = mv.store
 	}
-	p := &PreparedQuery{d: d, q: q, eng: eng, opts: *opts}
+	p := &PreparedQuery{d: d, q: q, eng: eng, opts: *opts, patterns: patterns, stores: stores}
 	tr := opts.Tracer
 	switch eng {
 	case EngineViewJoin:
@@ -80,6 +95,7 @@ func Prepare(d *Document, q *Query, mviews []*MaterializedView, eng Engine, opts
 		if err != nil {
 			return nil, err
 		}
+		p.v = v
 		p.vj, err = vjengine.Prepare(d.d, v, stores, tr)
 		if err != nil {
 			return nil, err
@@ -92,6 +108,7 @@ func Prepare(d *Document, q *Query, mviews []*MaterializedView, eng Engine, opts
 		if err != nil {
 			return nil, err
 		}
+		p.v = v
 		lists, err := bindLists(v, stores, tr)
 		if err != nil {
 			return nil, err
@@ -131,6 +148,7 @@ func Prepare(d *Document, q *Query, mviews []*MaterializedView, eng Engine, opts
 			return nil, err
 		}
 		p.ij = ij
+		p.viewPos = viewPos
 		if tr != nil {
 			p.plan = interJoinPlan(q.p, patterns, stores, viewPos)
 		}
@@ -146,6 +164,31 @@ func (p *PreparedQuery) Query() *Query { return p.q }
 // Engine returns the engine the plan was compiled for.
 func (p *PreparedQuery) Engine() Engine { return p.eng }
 
+// FootprintBytes estimates the bytes a cached PreparedQuery keeps resident
+// beyond the shared document and materialized views: the engine's prepared
+// state (for InterJoin, the materialized view streams — the dominant term)
+// plus the retained plan inputs. It is an arithmetic estimate for cache
+// accounting, not a precise heap measurement.
+func (p *PreparedQuery) FootprintBytes() int64 {
+	var f int64
+	switch p.eng {
+	case EngineViewJoin:
+		f = p.vj.Footprint()
+	case EngineTwigStack:
+		f = p.ts.Footprint()
+	case EnginePathStack:
+		f = p.ps.Footprint()
+	case EngineInterJoin:
+		f = p.ij.Footprint()
+		for _, m := range p.viewPos {
+			f += 24 + int64(len(m))*8
+		}
+	}
+	// Retained plan-input references and the PreparedQuery shell itself.
+	f += int64(len(p.patterns)+len(p.stores))*8 + 256
+	return f
+}
+
 // Run executes the prepared plan once and returns a fresh Result. Stats
 // cover this execution only — preparation costs (for InterJoin, the view
 // stream scans) were paid at Prepare time and are not re-charged; see
@@ -153,7 +196,7 @@ func (p *PreparedQuery) Engine() Engine { return p.eng }
 // the prepare-time EvalOptions bounds the run; RunContext supplies a
 // per-request context instead.
 func (p *PreparedQuery) Run() (*Result, error) {
-	return p.run(p.opts.Context, time.Now(), false)
+	return p.run(p.opts.Context, time.Now(), false, p.opts.Tracer)
 }
 
 // RunContext is Run bounded by ctx: cancellation or deadline expiry aborts
@@ -164,7 +207,23 @@ func (p *PreparedQuery) Run() (*Result, error) {
 // immutable PreparedQuery, many concurrent requests, each with its own
 // deadline.
 func (p *PreparedQuery) RunContext(ctx context.Context) (*Result, error) {
-	return p.run(ctx, time.Now(), false)
+	return p.run(ctx, time.Now(), false, p.opts.Tracer)
+}
+
+// RunTraced executes the prepared plan once with tr observing this single
+// execution, overriding any prepare-time Tracer. k > 1 requests a
+// range-partitioned parallel run across up to k workers (as RunParallel);
+// k <= 1 keeps the sequential path. Because the tracer travels with the
+// call rather than the plan, concurrent RunTraced calls on one shared
+// PreparedQuery are safe provided every call supplies its own tracer —
+// this is how a serving layer records full traces of requests running
+// cached (untraced) plans. A nil tr runs untraced, identically to
+// RunContext/RunParallel.
+func (p *PreparedQuery) RunTraced(ctx context.Context, k int, tr obs.Tracer) (*Result, error) {
+	if k > 1 {
+		return p.runParallel(ctx, k, time.Now(), false, tr)
+	}
+	return p.run(ctx, time.Now(), false, tr)
 }
 
 // pageHook adapts buffer-pool lookups into tracer page events.
@@ -178,13 +237,33 @@ func pageHook(tr obs.Tracer) func(miss bool) {
 	}
 }
 
+// lazyPlan returns the obs.Plan for tracer delivery, building it on first
+// use when Prepare ran untraced. The build is pure (it only walks the
+// retained patterns, stores and segmentation), so sync.Once makes the
+// result safe to share across concurrent traced runs.
+func (p *PreparedQuery) lazyPlan() *obs.Plan {
+	p.planOnce.Do(func() {
+		if p.plan != nil {
+			return // built eagerly by a traced Prepare
+		}
+		if p.eng == EngineInterJoin {
+			p.plan = interJoinPlan(p.q.p, p.patterns, p.stores, p.viewPos)
+		} else {
+			p.plan = tracePlan(p.q.p, p.patterns, p.stores, p.eng, p.v)
+		}
+	})
+	return p.plan
+}
+
 // run executes the prepared plan, timing from start (which a one-shot
 // Evaluate sets before preparation so Duration keeps covering the whole
 // call). includePrep folds preparation-time counters into the Stats. A
 // non-nil ctx installs a cooperative interrupt hook in the engine options;
 // the hook wraps the context error in a *CanceledError so callers see
-// which query and engine were aborted.
-func (p *PreparedQuery) run(ctx context.Context, start time.Time, includePrep bool) (*Result, error) {
+// which query and engine were aborted. tr observes this execution only —
+// the Run/RunContext entry points pass the prepare-time Tracer, RunTraced
+// a per-call one.
+func (p *PreparedQuery) run(ctx context.Context, start time.Time, includePrep bool, tr obs.Tracer) (*Result, error) {
 	var interrupt func() error
 	if ctx != nil {
 		interrupt = contextInterrupt(ctx, p.eng, p.q.String())
@@ -200,11 +279,10 @@ func (p *PreparedQuery) run(ctx context.Context, start time.Time, includePrep bo
 	}
 	io := counters.NewIO(&c, p.opts.BufferPoolPages)
 	io.SetStall(p.opts.IOLatency)
-	tr := p.opts.Tracer
 	if tr != nil {
 		io.Page = pageHook(tr)
-		if p.plan != nil {
-			tr.Plan(p.plan)
+		if pl := p.lazyPlan(); pl != nil {
+			tr.Plan(pl)
 		}
 		tr.BeginPhase(obs.PhaseEvaluate)
 	}
@@ -257,6 +335,9 @@ func (p *PreparedQuery) buildResult(ms match.Set, c counters.Counters, peak int6
 			PointerDerefs:   c.PointerDerefs,
 			PagesRead:       c.PagesRead,
 			PagesWritten:    c.PagesWritten,
+			PageHits:        c.PageHits,
+			JumpsTaken:      c.JumpsTaken,
+			JumpsRefused:    c.JumpsRefused,
 			PeakMemoryBytes: peak,
 			Duration:        time.Since(start),
 			Partitions:      partitions,

@@ -9,6 +9,11 @@
 # effective config, per-experiment wall times, and one Row per measurement,
 # so successive PRs can diff counters and timings against the committed
 # baseline. Counters are deterministic; times are not — compare shapes.
+#
+# A serving-latency manifest (schema viewjoin/load/v1, from cmd/vjload
+# driving the full vjserve handler stack in-process) is written alongside
+# as ${out%.json}.load.json; VJBENCH_SKIP_LOAD=1 skips it. Both manifests
+# diff with scripts/benchcmp.sh, which detects the schema.
 set -eu
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_1.json}"
@@ -19,3 +24,8 @@ if [ -z "${VJBENCH_SKIP_SMOKE:-}" ]; then
 	go test -run '^$' -bench . -benchtime=1x ./... > /dev/null
 fi
 go run ./cmd/vjbench -exp all -json "$out" > /dev/null
+if [ -z "${VJBENCH_SKIP_LOAD:-}" ]; then
+	go run ./cmd/vjload -xmark 0.05 -qps 300 -duration 3s -seed 1 \
+		-mix '//site//item[//description//keyword]/name; //site//item//name @ //site//item//name' \
+		-json "${out%.json}.load.json"
+fi

@@ -12,29 +12,40 @@
 #   3b. engine coverage floor: the evaluation engines (internal/engine/...)
 #      carry the partition-correctness burden; their aggregate statement
 #      coverage must stay >= VJCI_ENGINE_COV (80%)
+#   3c. server coverage floor: the serving layer owns admission, outcome
+#      accounting and the flight recorder; its statement coverage must
+#      stay >= VJCI_SERVER_COV (80%)
 #   4. govulncheck, when the tool is installed (skipped, not failed, when
 #      absent — hermetic runners don't fetch tools)
 #   5. fuzz smoke: 10s each of FuzzParse (internal/tpq),
 #      FuzzReadViewStore (internal/store), and FuzzEvaluateDifferential
 #      (root), seeded from the committed corpora
+#   5b. vjload smoke: a 1s in-process open-loop run at low QPS; the load
+#      path must produce a well-formed viewjoin/load/v1 manifest
 #   6. bench gate: a fresh manifest via scripts/bench.sh compared against
 #      the committed BENCH_4.json baseline with scripts/benchcmp.sh
 #      (>10% wall-time or allocs regression fails; VJCI_SKIP_BENCH=1 skips
 #      the gate on machines where timings are meaningless, e.g. shared
-#      runners)
+#      runners). The serving-latency manifest bench.sh writes alongside is
+#      gated against BENCH_4.load.json with a wider threshold
+#      (VJBENCHCMP_LOAD_THRESHOLD, default 0.50) — cross-machine latency
+#      quantiles are far noisier than single-process wall times.
 #
 # Environment:
 #   VJCI_FUZZTIME        per-target fuzz budget (default 10s)
 #   VJCI_STORE_COV       minimum internal/store coverage %% (default 85)
 #   VJCI_ENGINE_COV      minimum internal/engine/... coverage %% (default 80)
-#   VJCI_SKIP_BENCH=1    skip the bench regression gate
-#   VJBENCHCMP_THRESHOLD regression threshold for the gate (default 0.10)
+#   VJCI_SERVER_COV      minimum internal/server coverage %% (default 80)
+#   VJCI_SKIP_BENCH=1    skip the bench and load regression gates
+#   VJBENCHCMP_THRESHOLD regression threshold for the bench gate (default 0.10)
+#   VJBENCHCMP_LOAD_THRESHOLD  threshold for the load gate (default 0.50)
 set -eu
 cd "$(dirname "$0")/.."
 
 fuzztime="${VJCI_FUZZTIME:-10s}"
 store_cov="${VJCI_STORE_COV:-85}"
 engine_cov="${VJCI_ENGINE_COV:-80}"
+server_cov="${VJCI_SERVER_COV:-80}"
 
 echo "== gofmt"
 unformatted="$(gofmt -l . 2>/dev/null || true)"
@@ -80,6 +91,18 @@ if ! awk -v c="$ecov" -v floor="$engine_cov" 'BEGIN { exit !(c+0 >= floor+0) }';
 fi
 echo "engine coverage: ${ecov}%"
 
+echo "== server coverage floor (>= ${server_cov}%)"
+scov="$(go test -count=1 -cover ./internal/server | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')"
+if [ -z "$scov" ]; then
+	echo "server coverage: could not parse coverage output" >&2
+	exit 1
+fi
+if ! awk -v c="$scov" -v floor="$server_cov" 'BEGIN { exit !(c+0 >= floor+0) }'; then
+	echo "server coverage ${scov}% is below the ${server_cov}% floor" >&2
+	exit 1
+fi
+echo "server coverage: ${scov}%"
+
 if command -v govulncheck >/dev/null 2>&1; then
 	echo "== govulncheck"
 	govulncheck ./...
@@ -94,14 +117,27 @@ go test -run '^$' -fuzz '^FuzzReadViewStore$' -fuzztime "$fuzztime" ./internal/s
 echo "== fuzz smoke: FuzzEvaluateDifferential ($fuzztime)"
 go test -run '^$' -fuzz '^FuzzEvaluateDifferential$' -fuzztime "$fuzztime" .
 
+echo "== vjload smoke: 1s in-process open-loop run"
+loadtmp="$(mktemp -t vjci-load-XXXXXX.json)"
+go run ./cmd/vjload -xmark 0.02 -qps 50 -duration 1s -seed 1 -json "$loadtmp"
+if ! grep -q '"schema": "viewjoin/load/v1"' "$loadtmp"; then
+	echo "vjload smoke: manifest missing viewjoin/load/v1 schema" >&2
+	rm -f "$loadtmp"
+	exit 1
+fi
+rm -f "$loadtmp"
+
 if [ -n "${VJCI_SKIP_BENCH:-}" ]; then
 	echo "== bench gate: skipped (VJCI_SKIP_BENCH)"
 else
 	echo "== bench gate: fresh manifest vs BENCH_4.json"
 	tmp="$(mktemp -t vjci-bench-XXXXXX.json)"
-	trap 'rm -f "$tmp"' EXIT
+	trap 'rm -f "$tmp" "${tmp%.json}.load.json"' EXIT
 	VJBENCH_SKIP_SMOKE=1 scripts/bench.sh "$tmp"
 	scripts/benchcmp.sh BENCH_4.json "$tmp"
+	echo "== load gate: fresh serving-latency manifest vs BENCH_4.load.json"
+	VJBENCHCMP_THRESHOLD="${VJBENCHCMP_LOAD_THRESHOLD:-0.50}" \
+		scripts/benchcmp.sh BENCH_4.load.json "${tmp%.json}.load.json"
 fi
 
 echo "== ci: OK"

@@ -380,6 +380,15 @@ type Stats struct {
 	// PagesRead / PagesWritten count simulated page I/O.
 	PagesRead    int64
 	PagesWritten int64
+	// PageHits counts page touches served from the simulated buffer pool
+	// without a read; the pool hit ratio is PageHits/(PageHits+PagesRead).
+	PageHits int64
+	// JumpsTaken / JumpsRefused count materialized pointer jumps followed
+	// and refused (safe-jump probe, open-region cover, stale pointers) —
+	// zero for engines without pointer jumps. Recorded on every run, so
+	// serving-side aggregation observes them without a tracer.
+	JumpsTaken   int64
+	JumpsRefused int64
 	// PeakMemoryBytes estimates the largest in-memory intermediate state
 	// (the paper's |F_max|); 0 for engines that do not track it. For
 	// partitioned runs this is the largest single partition's peak.
@@ -420,9 +429,9 @@ func Evaluate(d *Document, q *Query, mviews []*MaterializedView, eng Engine, opt
 		return nil, err
 	}
 	if k := p.parallelism(); k > 1 {
-		return p.runParallel(p.opts.Context, k, start, true)
+		return p.runParallel(p.opts.Context, k, start, true, p.opts.Tracer)
 	}
-	return p.run(p.opts.Context, start, true)
+	return p.run(p.opts.Context, start, true, p.opts.Tracer)
 }
 
 // CanceledError reports an evaluation aborted by its context (cancellation
