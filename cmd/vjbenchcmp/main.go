@@ -6,8 +6,9 @@
 // runs regressed by more than the threshold (default 10%) on either axis.
 //
 // For viewjoin/load/v1 it diffs the serving latency quantiles
-// (p50/p95/p99) and the achieved QPS: a quantile growing past the
-// threshold, or throughput dropping past it, is a regression.
+// (p50/p95/p99), the time-to-first-match quantiles, and the achieved QPS:
+// a quantile growing past the threshold, or throughput dropping past it,
+// is a regression.
 //
 // Usage:
 //
@@ -48,21 +49,24 @@ type benchManifest struct {
 }
 
 type loadManifest struct {
-	Schema      string  `json:"schema"`
-	GitSHA      string  `json:"gitSHA"`
-	Sent        int64   `json:"sent"`
-	Completed   int64   `json:"completed"`
-	Shed        int64   `json:"shed"`
-	Timeouts    int64   `json:"timeouts"`
-	Errors      int64   `json:"errors"`
-	AchievedQPS float64 `json:"achievedQPS"`
-	LatencyUS   struct {
-		N      int64 `json:"n"`
-		P50US  int64 `json:"p50US"`
-		P95US  int64 `json:"p95US"`
-		P99US  int64 `json:"p99US"`
-		P999US int64 `json:"p999US"`
-	} `json:"latencyUS"`
+	Schema       string        `json:"schema"`
+	GitSHA       string        `json:"gitSHA"`
+	Sent         int64         `json:"sent"`
+	Completed    int64         `json:"completed"`
+	Shed         int64         `json:"shed"`
+	Timeouts     int64         `json:"timeouts"`
+	Errors       int64         `json:"errors"`
+	AchievedQPS  float64       `json:"achievedQPS"`
+	LatencyUS    loadQuantiles `json:"latencyUS"`
+	FirstMatchUS loadQuantiles `json:"firstMatchUS"`
+}
+
+type loadQuantiles struct {
+	N      int64 `json:"n"`
+	P50US  int64 `json:"p50US"`
+	P95US  int64 `json:"p95US"`
+	P99US  int64 `json:"p99US"`
+	P999US int64 `json:"p999US"`
 }
 
 // readSchema peeks at the manifest's schema field without committing to a
@@ -226,6 +230,13 @@ func compareLoad(oldBuf, newBuf []byte, threshold float64) int {
 	row("p50", float64(old.LatencyUS.P50US), float64(neu.LatencyUS.P50US), us, true)
 	row("p95", float64(old.LatencyUS.P95US), float64(neu.LatencyUS.P95US), us, true)
 	row("p99", float64(old.LatencyUS.P99US), float64(neu.LatencyUS.P99US), us, true)
+	// Time-to-first-match gates like the completion latencies: a paging
+	// client's perceived latency regressing matters even when the full-run
+	// quantiles hold. Zero baselines (manifest predates the field, or no
+	// request produced a match) skip the gate via row's o==0 path.
+	row("ttfm p50", float64(old.FirstMatchUS.P50US), float64(neu.FirstMatchUS.P50US), us, true)
+	row("ttfm p95", float64(old.FirstMatchUS.P95US), float64(neu.FirstMatchUS.P95US), us, true)
+	row("ttfm p99", float64(old.FirstMatchUS.P99US), float64(neu.FirstMatchUS.P99US), us, true)
 	row("achieved qps", old.AchievedQPS, neu.AchievedQPS, qps, false)
 	// Informational rows: counts depend on the offered schedule, not code
 	// quality, so they never gate.

@@ -15,7 +15,10 @@
 // A class may scope itself to specific registered views with
 // 'query @ view1, view2' (comma-separated); without '@' the server uses
 // every view registered for the document, which fails preparation when a
-// registered view is not a subpattern of the query.
+// registered view is not a subpattern of the query. A trailing '# N'
+// caps the class at N matches ('query @ views # 20'), exercising the
+// server's first-k pushdown; limited classes also report time-to-first-
+// match quantiles in the manifest.
 //
 // Without -target, vjload builds an in-process server from -xmark/-views
 // and drives its HTTP handler directly — no sockets, same serving stack —
@@ -37,6 +40,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"os/exec"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -88,19 +92,24 @@ func summarize(h *obs.Histogram) histSummary {
 
 // manifest is the viewjoin/load/v1 run report.
 type manifest struct {
-	Schema      string                 `json:"schema"`
-	GitSHA      string                 `json:"gitSHA"`
-	StartedAt   string                 `json:"startedAt"`
-	Config      loadConfig             `json:"config"`
-	Sent        int64                  `json:"sent"`
-	Completed   int64                  `json:"completed"` // 200s
-	Shed        int64                  `json:"shed"`      // 429s
-	Timeouts    int64                  `json:"timeouts"`  // 504s
-	Errors      int64                  `json:"errors"`    // everything else
-	Dropped     int64                  `json:"dropped"`   // client-side: inflight cap hit
-	AchievedQPS float64                `json:"achievedQPS"`
-	LatencyUS   histSummary            `json:"latencyUS"` // completed requests only
-	ByQuery     map[string]histSummary `json:"byQuery"`
+	Schema      string      `json:"schema"`
+	GitSHA      string      `json:"gitSHA"`
+	StartedAt   string      `json:"startedAt"`
+	Config      loadConfig  `json:"config"`
+	Sent        int64       `json:"sent"`
+	Completed   int64       `json:"completed"` // 200s
+	Shed        int64       `json:"shed"`      // 429s
+	Timeouts    int64       `json:"timeouts"`  // 504s
+	Errors      int64       `json:"errors"`    // everything else
+	Dropped     int64       `json:"dropped"`   // client-side: inflight cap hit
+	AchievedQPS float64     `json:"achievedQPS"`
+	LatencyUS   histSummary `json:"latencyUS"` // completed requests only
+	// FirstMatchUS is the distribution of server-reported time-to-first-
+	// match (stats.first_match_us) over completed requests that produced
+	// at least one match; it is the latency a paging client perceives.
+	FirstMatchUS      histSummary            `json:"firstMatchUS"`
+	ByQuery           map[string]histSummary `json:"byQuery"`
+	ByQueryFirstMatch map[string]histSummary `json:"byQueryFirstMatch"`
 }
 
 func gitSHA() string {
@@ -116,6 +125,24 @@ type outcome struct {
 	class     int // index into the query mix
 	status    int
 	latencyUS int64
+	firstUS   int64 // server-reported time-to-first-match, 0 when absent
+}
+
+// respProbe extracts the one response field the generator accounts for;
+// the rest of the body is skipped, not validated.
+type respProbe struct {
+	Stats struct {
+		FirstMatchUS int64 `json:"first_match_us"`
+	} `json:"stats"`
+}
+
+// probeFirstMatch pulls stats.first_match_us out of a 200 response body.
+func probeFirstMatch(body []byte) int64 {
+	var p respProbe
+	if json.Unmarshal(body, &p) != nil {
+		return 0
+	}
+	return p.Stats.FirstMatchUS
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -154,19 +181,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	// The dispatch function hides live-vs-inprocess: both go through the
 	// same serving handler stack; only the transport differs.
-	var dispatch func(body []byte) int
+	var dispatch func(body []byte) (int, int64)
 	cfgTarget := *target
 	if *target != "" {
 		client := &http.Client{}
 		url := strings.TrimRight(*target, "/") + "/query"
-		dispatch = func(body []byte) int {
+		dispatch = func(body []byte) (int, int64) {
 			resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 			if err != nil {
-				return 0
+				return 0, 0
 			}
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			return resp.StatusCode
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				io.Copy(io.Discard, resp.Body)
+				return resp.StatusCode, 0
+			}
+			b, err := io.ReadAll(resp.Body)
+			if err != nil {
+				return resp.StatusCode, 0
+			}
+			return resp.StatusCode, probeFirstMatch(b)
 		}
 	} else {
 		cfgTarget = "inprocess"
@@ -175,11 +209,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "vjload: %v\n", err)
 			return 1
 		}
-		dispatch = func(body []byte) int {
+		dispatch = func(body []byte) (int, int64) {
 			rec := httptest.NewRecorder()
 			req := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body))
 			handler.ServeHTTP(rec, req)
-			return rec.Code
+			if rec.Code != http.StatusOK {
+				return rec.Code, 0
+			}
+			return rec.Code, probeFirstMatch(rec.Body.Bytes())
 		}
 	}
 
@@ -192,6 +229,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if len(c.views) > 0 {
 			body["views"] = c.views
+		}
+		if c.limit > 0 {
+			body["limit"] = c.limit
 		}
 		b, err := json.Marshal(body)
 		if err != nil {
@@ -215,6 +255,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MaxInflight: *inflight, Seed: *seed,
 	}
 	m.ByQuery = renameClasses(m.ByQuery, specs)
+	m.ByQueryFirstMatch = renameClasses(m.ByQueryFirstMatch, specs)
 
 	fmt.Fprintf(stderr, "vjload: %d sent, %d ok, %d shed, %d timeout, %d error, %d dropped; %.1f qps achieved (offered %.1f); p50 %dµs p95 %dµs p99 %dµs\n",
 		m.Sent, m.Completed, m.Shed, m.Timeouts, m.Errors, m.Dropped,
@@ -243,7 +284,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // goroutine. Requests outstanding beyond the inflight cap are dropped at
 // the client and counted — under overload an open-loop generator must
 // keep offering load, not queue unboundedly.
-func generate(dispatch func([]byte) int, bodies [][]byte, qps float64, d time.Duration,
+func generate(dispatch func([]byte) (int, int64), bodies [][]byte, qps float64, d time.Duration,
 	maxInflight int, seed int64) manifest {
 	rng := rand.New(rand.NewSource(seed))
 	results := make(chan outcome, 1024)
@@ -254,10 +295,14 @@ func generate(dispatch func([]byte) int, bodies [][]byte, qps float64, d time.Du
 	collectorDone := make(chan struct{})
 
 	// Per-class histograms, merged into the overall distribution at the
-	// end — the same mergeable buckets the server and tracer use.
+	// end — the same mergeable buckets the server and tracer use. The
+	// firstMatch histograms only see completed requests that reported a
+	// nonzero time-to-first-match (matchless runs carry no TTFM signal).
 	perClass := make([]*obs.Histogram, len(bodies))
+	perClassFirst := make([]*obs.Histogram, len(bodies))
 	for i := range perClass {
 		perClass[i] = &obs.Histogram{}
+		perClassFirst[i] = &obs.Histogram{}
 	}
 	go func() {
 		defer close(collectorDone)
@@ -266,6 +311,9 @@ func generate(dispatch func([]byte) int, bodies [][]byte, qps float64, d time.Du
 			case o.status == http.StatusOK:
 				m.Completed++
 				perClass[o.class].Add(o.latencyUS)
+				if o.firstUS > 0 {
+					perClassFirst[o.class].Add(o.firstUS)
+				}
 			case o.status == http.StatusTooManyRequests:
 				m.Shed++
 			case o.status == http.StatusGatewayTimeout:
@@ -299,8 +347,8 @@ func generate(dispatch func([]byte) int, bodies [][]byte, qps float64, d time.Du
 		go func(class int) {
 			defer wg.Done()
 			t0 := time.Now()
-			status := dispatch(bodies[class])
-			results <- outcome{class: class, status: status, latencyUS: time.Since(t0).Microseconds()}
+			status, firstUS := dispatch(bodies[class])
+			results <- outcome{class: class, status: status, latencyUS: time.Since(t0).Microseconds(), firstUS: firstUS}
 			<-slots
 		}(class)
 	}
@@ -309,13 +357,19 @@ func generate(dispatch func([]byte) int, bodies [][]byte, qps float64, d time.Du
 	<-collectorDone
 	elapsed := time.Since(begin)
 
-	var overall obs.Histogram
+	var overall, overallFirst obs.Histogram
 	m.ByQuery = make(map[string]histSummary, len(perClass))
+	m.ByQueryFirstMatch = make(map[string]histSummary, len(perClassFirst))
 	for i, h := range perClass {
 		overall.Merge(h)
 		m.ByQuery[fmt.Sprintf("%d", i)] = summarize(h)
 	}
+	for i, h := range perClassFirst {
+		overallFirst.Merge(h)
+		m.ByQueryFirstMatch[fmt.Sprintf("%d", i)] = summarize(h)
+	}
 	m.LatencyUS = summarize(&overall)
+	m.FirstMatchUS = summarize(&overallFirst)
 	if secs := elapsed.Seconds(); secs > 0 {
 		m.AchievedQPS = float64(m.Completed) / secs
 	}
@@ -336,11 +390,13 @@ func renameClasses(by map[string]histSummary, specs []string) map[string]histSum
 }
 
 // mixClass is one entry of the workload mix: a query, the views the
-// request names (none: server default of all registered views), and the
-// normalized spec text used as the manifest key.
+// request names (none: server default of all registered views), an
+// optional match limit (0: full enumeration), and the normalized spec
+// text used as the manifest key.
 type mixClass struct {
 	query string
 	views []string
+	limit int
 	spec  string
 }
 
@@ -351,7 +407,16 @@ func parseMix(s string) []mixClass {
 		if part == "" {
 			continue
 		}
-		c := mixClass{query: part, spec: part}
+		// 'query @ views # N' — the limit suffix comes off first so the
+		// view list never sees it.
+		var c mixClass
+		if rest, lim, ok := strings.Cut(part, "#"); ok {
+			if n, err := strconv.Atoi(strings.TrimSpace(lim)); err == nil && n > 0 {
+				c.limit = n
+			}
+			part = strings.TrimSpace(rest)
+		}
+		c.query, c.spec = part, part
 		if q, vs, ok := strings.Cut(part, "@"); ok {
 			c.query = strings.TrimSpace(q)
 			for _, v := range strings.Split(vs, ",") {
@@ -360,6 +425,9 @@ func parseMix(s string) []mixClass {
 				}
 			}
 			c.spec = c.query + " @ " + strings.Join(c.views, ", ")
+		}
+		if c.limit > 0 {
+			c.spec += fmt.Sprintf(" # %d", c.limit)
 		}
 		out = append(out, c)
 	}

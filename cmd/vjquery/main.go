@@ -37,6 +37,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"viewjoin"
 	"viewjoin/internal/obs"
@@ -67,7 +68,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		diskBased = fs.Bool("disk", false, "use the disk-based output approach")
 		xmark     = fs.Float64("xmark", 0, "evaluate over a generated XMark document of this scale instead of a file")
 		nasa      = fs.Int("nasa", 0, "evaluate over a generated Nasa document with this many datasets instead of a file")
-		maxPrint  = fs.Int("n", 10, "print at most this many matches (0 = no match output at all)")
+		maxPrint  = fs.Int("n", 10, "fetch and print at most this many matches — pushed into the engine as a first-k bound (0 = full run, no match output)")
+		limit     = fs.Int("limit", 0, "fetch at most this many matches in document order (overrides -n as the engine bound; 0 = -n governs)")
+		offset    = fs.Int("offset", 0, "skip this many matches before the first returned one (applied before -limit, as SQL OFFSET)")
 		loadGlob  = fs.String("load", "", "load saved views matching this glob (from vjmaterialize) instead of materializing")
 		raw       = fs.Bool("raw", false, "evaluate over raw element streams without views (TS/PS only)")
 		general   = fs.Bool("general", false, "allow repeated element types in the query (implies -raw)")
@@ -94,7 +97,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *explain || *jsonOut {
 		rec = obs.NewRecorder()
 	}
-	opts := &viewjoin.EvalOptions{DiskBased: *diskBased, Parallelism: *parallel}
+	// -n doubles as the fetch limit: there is no distinction between "print
+	// at most n" and "fetch at most n" anymore — both push the bound into
+	// the engine, which then stops (or caps its accumulation) at
+	// offset+limit matches. -n 0 keeps the historical count-only full run;
+	// an explicit -limit wins over -n.
+	effLimit := *limit
+	if effLimit <= 0 && *maxPrint > 0 {
+		effLimit = *maxPrint
+	}
+	opts := &viewjoin.EvalOptions{
+		DiskBased:   *diskBased,
+		Parallelism: *parallel,
+		Limit:       effLimit,
+		Offset:      *offset,
+	}
 	if rec != nil {
 		opts.Tracer = rec
 	}
@@ -132,7 +149,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(stderr, "evaluate", err, exitEvaluate)
 		}
 		fmt.Fprintf(human, "document: %d nodes; raw element streams (no views)\n", doc.NumNodes())
-		printResult(human, query, engine, res, *maxPrint)
+		printResult(human, query, engine, res, *maxPrint, effLimit, *offset)
 		return report(stdout, human, res, *explain, *jsonOut, stderr)
 	}
 
@@ -164,7 +181,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(stderr, "evaluate", err, exitEvaluate)
 		}
 		fmt.Fprintf(human, "document: %d nodes; %d loaded views (%d bytes)\n", doc.NumNodes(), len(mviews), totalBytes)
-		printResult(human, query, engine, res, *maxPrint)
+		printResult(human, query, engine, res, *maxPrint, effLimit, *offset)
 		return report(stdout, human, res, *explain, *jsonOut, stderr)
 	}
 
@@ -212,7 +229,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	fmt.Fprintf(human, "document: %d nodes; views: %d (%s scheme, %d bytes, %d pointers)\n",
 		doc.NumNodes(), len(views), scheme, totalBytes, totalPointers)
-	printResult(human, query, engine, res, *maxPrint)
+	printResult(human, query, engine, res, *maxPrint, effLimit, *offset)
 	return report(stdout, human, res, *explain, *jsonOut, stderr)
 }
 
@@ -237,15 +254,26 @@ func report(stdout, human io.Writer, res *viewjoin.Result, explain, jsonOut bool
 
 // printResult reports the match count, evaluation statistics, and up to
 // maxPrint matches. maxPrint <= 0 suppresses all match output, header
-// included (stats still print).
-func printResult(w io.Writer, query *viewjoin.Query, engine viewjoin.Engine, res *viewjoin.Result, maxPrint int) {
-	fmt.Fprintf(w, "stats: scanned=%d comparisons=%d derefs=%d pagesRead=%d pagesWritten=%d partitions=%d\n",
+// included (stats still print). limit/offset annotate the header when the
+// run was paged, since the reported count is then the page's, not the
+// full result's.
+func printResult(w io.Writer, query *viewjoin.Query, engine viewjoin.Engine, res *viewjoin.Result, maxPrint, limit, offset int) {
+	fmt.Fprintf(w, "stats: scanned=%d comparisons=%d derefs=%d pagesRead=%d pagesWritten=%d partitions=%d ttfm=%v\n",
 		res.Stats.ElementsScanned, res.Stats.Comparisons, res.Stats.PointerDerefs,
-		res.Stats.PagesRead, res.Stats.PagesWritten, res.Stats.Partitions)
+		res.Stats.PagesRead, res.Stats.PagesWritten, res.Stats.Partitions,
+		time.Duration(res.Stats.FirstMatchNanos))
 	if maxPrint <= 0 {
 		return
 	}
-	fmt.Fprintf(w, "query %s via %s: %d matches in %v\n", query, engine, len(res.Matches), res.Stats.Duration)
+	page := ""
+	if limit > 0 && offset > 0 {
+		page = fmt.Sprintf(" (limit %d, offset %d)", limit, offset)
+	} else if limit > 0 {
+		page = fmt.Sprintf(" (limit %d)", limit)
+	} else if offset > 0 {
+		page = fmt.Sprintf(" (offset %d)", offset)
+	}
+	fmt.Fprintf(w, "query %s via %s: %d matches in %v%s\n", query, engine, len(res.Matches), res.Stats.Duration, page)
 	labels := query.Labels()
 	for i, m := range res.Matches {
 		if i >= maxPrint {

@@ -2,6 +2,7 @@ package viewjoin
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"viewjoin/internal/testutil"
@@ -38,6 +39,10 @@ func FuzzEvaluateDifferential(f *testing.F) {
 		// Partition target for the parallel path, drawn after every other
 		// generator so existing corpus entries keep their doc/query/views.
 		k := 2 + rng.Intn(3)
+		// Page bounds for the streamed LIMIT/OFFSET arm, drawn after k for
+		// the same corpus-stability reason.
+		pageLim := 1 + rng.Intn(4)
+		pageOff := rng.Intn(3)
 		for pi, part := range partitions {
 			views := make([]*Query, len(part))
 			for i, vp := range part {
@@ -75,6 +80,11 @@ func FuzzEvaluateDifferential(f *testing.F) {
 						t.Fatalf("partition %d %v+%v k=%d: parallel diverged from sequential (%d vs %d matches, q=%s)",
 							pi, eng, scheme, k, len(pres.Matches), len(res.Matches), q)
 					}
+					// Bounded entry points must reproduce the oracle page
+					// [offset:offset+limit] exactly, sequentially and
+					// partitioned.
+					checkPages(t, fmt.Sprintf("partition %d %v+%v", pi, eng, scheme),
+						p, res, pageLim, pageOff, []int{1, k})
 				}
 			}
 			if q.IsPath() {
@@ -102,6 +112,7 @@ func FuzzEvaluateDifferential(f *testing.F) {
 					t.Fatalf("partition %d IJ k=%d: parallel diverged from sequential (%d vs %d matches, q=%s)",
 						pi, k, len(pres.Matches), len(res.Matches), q)
 				}
+				checkPages(t, fmt.Sprintf("partition %d IJ", pi), p, res, pageLim, pageOff, []int{1, k})
 			}
 		}
 
@@ -115,4 +126,62 @@ func FuzzEvaluateDifferential(f *testing.F) {
 				len(res.Matches), len(want.Matches), q)
 		}
 	})
+}
+
+// checkPages asserts that every bounded entry point — paged and streamed,
+// sequential and range-partitioned — reproduces exactly the document-order
+// slice [off:off+lim] of the full sequential result res (itself already
+// oracle-checked by the caller).
+func checkPages(t *testing.T, label string, p *PreparedQuery, res *Result, lim, off int, ks []int) {
+	t.Helper()
+	want := res.Matches
+	if off >= len(want) {
+		want = nil
+	} else {
+		want = want[off:]
+		if lim < len(want) {
+			want = want[:lim]
+		}
+	}
+	for _, par := range ks {
+		so := &StreamOptions{Limit: lim, Offset: off, Parallelism: par}
+		pg, err := p.RunPage(context.Background(), so)
+		if err != nil {
+			t.Fatalf("%s par=%d: RunPage: %v", label, par, err)
+		}
+		if !samePage(pg.Matches, want) {
+			t.Fatalf("%s par=%d: RunPage [%d:+%d] diverged from oracle slice (%d vs %d rows)",
+				label, par, off, lim, len(pg.Matches), len(want))
+		}
+		var rows [][]Node
+		if _, err := p.RunStream(context.Background(), so, func(row []Node) bool {
+			// The yield row is scratch reused between calls; keep a copy.
+			rows = append(rows, append([]Node(nil), row...))
+			return true
+		}); err != nil {
+			t.Fatalf("%s par=%d: RunStream: %v", label, par, err)
+		}
+		if !samePage(rows, want) {
+			t.Fatalf("%s par=%d: RunStream [%d:+%d] diverged from oracle slice (%d vs %d rows)",
+				label, par, off, lim, len(rows), len(want))
+		}
+	}
+}
+
+// samePage is identicalMatches over bare row slices.
+func samePage(got, want [][]Node) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if len(got[i]) != len(want[i]) {
+			return false
+		}
+		for j := range got[i] {
+			if got[i][j] != want[i][j] {
+				return false
+			}
+		}
+	}
+	return true
 }

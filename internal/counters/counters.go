@@ -76,6 +76,9 @@ type IO struct {
 	// accumulates unslept latency (see SetStall).
 	stall time.Duration
 	debt  time.Duration
+	// firstMatch is the wall time of the run's first delivered match
+	// (zero until MarkFirstMatch).
+	firstMatch time.Time
 }
 
 type pageKey struct {
@@ -152,6 +155,20 @@ func (io *IO) evict() {
 
 // Write records n pages written (disk-based output approach).
 func (io *IO) Write(n int64) { io.C.PagesWritten += n }
+
+// MarkFirstMatch stamps the wall time of the run's first delivered match;
+// calls after the first are no-ops (one IsZero test), so engines may call
+// it per match. Time-to-first-match is the streaming stage's headline
+// metric: it stays flat as total match counts grow.
+func (io *IO) MarkFirstMatch() {
+	if io.firstMatch.IsZero() {
+		io.firstMatch = time.Now()
+	}
+}
+
+// FirstMatchTime returns the time stamped by MarkFirstMatch; zero when the
+// run delivered no match.
+func (io *IO) FirstMatchTime() time.Time { return io.firstMatch }
 
 // stallQuantum batches simulated miss latencies into sleeps long enough to
 // be above the platform timer floor; the self-correcting debt accounting

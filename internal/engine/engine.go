@@ -4,12 +4,22 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 
+	"viewjoin/internal/match"
 	"viewjoin/internal/obs"
 	"viewjoin/internal/store"
 	"viewjoin/internal/vsq"
 )
+
+// ErrStop is the graceful early-termination signal: when an output quota is
+// met (first-k, LIMIT/OFFSET) the enumeration stage records it on the run's
+// Interrupter, unwinding the engine loops exactly like a cancellation —
+// except the engines treat it as success with the output produced so far
+// rather than as a failed run. Interrupt hooks may also return it to stop a
+// run without failing it (the parallel cutoff does).
+var ErrStop = errors.New("engine: stopped at output quota")
 
 // Options controls an evaluation run.
 type Options struct {
@@ -43,6 +53,25 @@ type Options struct {
 	// node 0, Body for the rest). Partitioned evaluation runs one
 	// restricted job per document chunk; nil keeps the whole document.
 	Restrict *Restriction
+	// Emit, when non-nil, streams each match to the sink as it is produced
+	// instead of accumulating it into the returned set; returning false
+	// stops the run early (ErrStop). The match slice is enumeration scratch
+	// reused for the next match — sinks must copy what they keep. Only the
+	// window-collector engines (ViewJoin, TwigStack) deliver incrementally
+	// and in document order; PathStack and InterJoin sort before output, so
+	// their callers replay the finished result instead.
+	Emit func(match.Match) bool
+	// First, when > 0, bounds the number of matches produced (quota =
+	// offset + limit, counted after the After filter): once reached, the
+	// enumeration stage stops the run via ErrStop and the engine returns
+	// the bounded output as a successful result.
+	First int
+	// After, when non-nil, restricts output to matches strictly greater
+	// than this start-label tuple (one start per query node, compared
+	// lexicographically — i.e. document order). Cursor-based pagination
+	// resumes here so a follow-up page seeks instead of re-enumerating.
+	// Honoured by the window-collector engines only.
+	After []int32
 }
 
 // interruptStride is how many Interrupter.Check calls elapse between real
@@ -65,9 +94,14 @@ type Interrupter struct {
 func NewInterrupter(f func() error) Interrupter { return Interrupter{f: f} }
 
 // Check polls the hook every interruptStride-th call (and on the first)
-// and returns the sticky error. The hookless fast path is kept to a single
-// nil test so the compiler inlines it into the engine hot loops.
+// and returns the sticky error. The sticky error is tested before the hook
+// so a Stop works without any hook installed; the no-hook, no-stop fast
+// path stays two nil tests so the compiler inlines it into the engine hot
+// loops.
 func (ic *Interrupter) Check() error {
+	if ic.err != nil {
+		return ic.err
+	}
 	if ic.f == nil {
 		return nil
 	}
@@ -88,6 +122,16 @@ func (ic *Interrupter) check() error {
 // Err returns the sticky error recorded by a previous Check, without
 // polling.
 func (ic *Interrupter) Err() error { return ic.err }
+
+// Stop records ErrStop as the sticky error, making every subsequent Check
+// and Err report it: the engine loops unwind as for a cancellation, then
+// treat the run as successfully terminated at its output quota. A real
+// error already recorded wins — a stop never masks a failure.
+func (ic *Interrupter) Stop() {
+	if ic.err == nil {
+		ic.err = ErrStop
+	}
+}
 
 // Active reports whether a hook is installed, i.e. whether Check can ever
 // return non-nil. Engines use it to skip wiring the interrupter into

@@ -69,6 +69,31 @@ type Collector struct {
 	// no-ops and the partial output is abandoned by the engine.
 	ic *engine.Interrupter
 
+	// Streaming state (SetStream): emit delivers matches to a sink as
+	// windows close instead of accumulating them; first bounds the total
+	// matches produced; after is the resumption cursor (emit only matches
+	// strictly greater than this start tuple, document order); emitted
+	// counts deliveries; stopped latches once the quota is met or the sink
+	// declines, turning every later Add/Flush into a no-op.
+	emit    func(match.Match) bool
+	first   int
+	after   []int32
+	emitted int
+	stopped bool
+
+	// Partial-flush state. spine is the maximal single-child chain under
+	// the query root (pattern pre-order indices 1..a, where a is the first
+	// node with zero or several children); when it is non-empty, a
+	// document-spanning window — every §VI query is rooted at //site, one
+	// element covering the whole document — can stream finished sub-regions
+	// out before the window closes (see Advance). nextPartial is the
+	// entry-count trigger for the next partial-flush attempt, grown
+	// geometrically so filter work stays amortized against window growth.
+	// full is swap scratch for enumerating truncated candidate lists.
+	spine       []int
+	nextPartial int
+	full        [][]Label
+
 	// Reusable per-window scratch (allocated once, reused across windows).
 	ok        [][]bool
 	okStarts  [][]int32
@@ -94,6 +119,11 @@ type pendingCand struct {
 // LabelBytes is the scratch-record size used by the disk-based approach's
 // spool accounting: one region label (12 bytes) plus the query-node tag.
 const LabelBytes = 16
+
+// partialTrigger is the window entry count that arms the first partial
+// flush of a window; later attempts re-arm at 1.5x the entries surviving
+// the previous attempt, so filter work stays amortized against growth.
+const partialTrigger = 64
 
 // NewCollector returns a Collector for query q over document d, accounting
 // into io and tracing into tr (nil disables tracing). When diskBased is
@@ -124,6 +154,17 @@ func NewCollector(d *xmltree.Document, q *tpq.Pattern, io *counters.IO, tr obs.T
 			c.needLevel[qi] = true
 		}
 	}
+	// The spine is the maximal single-child chain from the root: node 1..a
+	// where a is the first node with zero or several children. When it is
+	// empty (multi-child or leaf root), partial flushing is disabled — the
+	// root's branches cross-product over the whole window, so no tuple is
+	// final before the window closes.
+	for qi := 0; len(q.Nodes[qi].Children) == 1; {
+		qi = q.Nodes[qi].Children[0]
+		c.spine = append(c.spine, qi)
+	}
+	c.full = make([][]Label, n)
+	c.nextPartial = partialTrigger
 	return c
 }
 
@@ -139,6 +180,8 @@ func (c *Collector) Reset(io *counters.IO, tr obs.Tracer, diskBased bool, pageSi
 	c.io, c.tr, c.diskBased, c.pageSize = io, tr, diskBased, pageSize
 	c.ic = nil
 	c.out = nil
+	c.emit, c.first, c.after = nil, 0, nil
+	c.emitted, c.stopped = 0, false
 	for qi := range c.cands {
 		c.cands[qi] = c.cands[qi][:0]
 	}
@@ -147,6 +190,7 @@ func (c *Collector) Reset(io *counters.IO, tr obs.Tracer, diskBased bool, pageSi
 	c.windowStart, c.windowEnd = 0, 0
 	c.entries, c.peakEntries = 0, 0
 	c.spoolIn = 0
+	c.nextPartial = partialTrigger
 	for qi := range c.okStarts {
 		c.okStarts[qi] = c.okStarts[qi][:0]
 	}
@@ -217,25 +261,58 @@ func (c *Collector) append(qi int, l Label) {
 }
 
 // SetInterrupt binds the engine run's cancellation checker; enumeration
-// polls it cooperatively. Reset clears the binding, so engines rebind it
-// every run. A nil or hookless interrupter disables the checks entirely,
-// keeping the per-entry cost of uninterruptible runs at one nil test.
+// polls it cooperatively and records quota stops on it, so the binding is
+// kept even for hookless interrupters (a hookless Check is two nil tests —
+// still effectively free). Reset clears the binding, so engines rebind it
+// every run.
 func (c *Collector) SetInterrupt(ic *engine.Interrupter) {
-	if !ic.Active() {
-		ic = nil
-	}
 	c.ic = ic
 }
 
-// interrupted reports whether the bound checker has already tripped (no
-// poll — the engine loops do the polling between windows).
-func (c *Collector) interrupted() bool { return c.ic != nil && c.ic.Err() != nil }
+// SetStream configures streaming delivery and early termination for the
+// run (all cleared by Reset): emit, when non-nil, receives every match as
+// it is produced — the slice is scratch reused for the next match, so
+// sinks copy what they keep; returning false stops the run. first > 0
+// bounds the matches produced (counted after the cursor filter). after,
+// when non-nil, must hold one start label per query node: only matches
+// strictly greater than it in document order are delivered.
+func (c *Collector) SetStream(emit func(match.Match) bool, first int, after []int32) {
+	c.emit, c.first, c.after = emit, first, after
+}
+
+// Emitted returns the number of matches delivered so far (streamed or
+// accumulated, after the cursor filter).
+func (c *Collector) Emitted() int { return c.emitted }
+
+// interrupted reports whether the run has stopped — quota met, sink
+// declined, or the bound checker tripped (no poll — the engine loops do
+// the polling between windows).
+func (c *Collector) interrupted() bool {
+	return c.stopped || (c.ic != nil && c.ic.Err() != nil)
+}
+
+// stop latches early termination and propagates it to the engine loops via
+// the shared Interrupter, which unwinds them exactly like a cancellation;
+// the engines then treat ErrStop as a successful bounded run.
+func (c *Collector) stop() {
+	c.stopped = true
+	if c.ic != nil {
+		c.ic.Stop()
+	}
+}
 
 // Flush enumerates the current window and resets it. It is a no-op when no
 // window is open or the run has been interrupted (the abandoned window's
 // matches would be discarded with the rest of the output anyway).
 func (c *Collector) Flush() {
 	if !c.open || c.interrupted() {
+		return
+	}
+	if c.after != nil && c.windowEnd < c.after[0] {
+		// Every match in this window is rooted at or before windowEnd,
+		// which precedes the cursor's root start: resumption seeks past the
+		// whole window without enumerating (or spooling) it.
+		c.discardWindow()
 		return
 	}
 	if c.PreFlush != nil {
@@ -257,17 +334,156 @@ func (c *Collector) Flush() {
 	} else {
 		c.enumerate()
 	}
+	c.discardWindow()
+}
+
+// Advance tells the collector that every candidate the engine will Add
+// from now on starts at or after frontier. Both engines pick their next
+// candidate as a document-order minimum over forward-only cursors, so the
+// bound is sound: any region ending before the frontier is finished.
+//
+// In a bounded or sink-driven run this may partially flush the open
+// window. The §VI queries are all rooted at //site — one element spanning
+// the whole document — so the collector's only window closes at end of
+// scan and plain window streaming would deliver nothing early. Partial
+// flushing restores the first-k payoff: matches confined to sub-regions
+// the frontier has passed are final, so they are emitted (tripping the
+// quota and stopping the scan) and their candidates discarded, keeping
+// the window bounded by the open regions instead of the full document.
+func (c *Collector) Advance(frontier int32) {
+	if c.emit == nil && c.first <= 0 {
+		return // accumulating full run: keep the historical path untouched
+	}
+	if !c.open || c.interrupted() || len(c.spine) == 0 {
+		return
+	}
+	if c.entries < c.nextPartial {
+		return
+	}
+	c.partialFlush(frontier)
+	c.nextPartial = c.entries + c.entries/2 + partialTrigger
+}
+
+// partialFlush emits the finished prefix of the open window: every match
+// whose bindings all start before the partial bound (see partialBound).
+// Emission reuses enumerate on prefix-truncated candidate lists — the
+// bottom-up filter is exact on the truncation because a closed region's
+// subtree matches only involve candidates inside it, all before the
+// bound; and the ok bits it computes are final because future candidates
+// cannot land inside a closed region. Candidates wholly before the bound
+// are then discarded: containers reaching past it are kept, since they
+// may still combine with future candidates.
+func (c *Collector) partialFlush(frontier int32) {
+	if c.after != nil && c.windowEnd < c.after[0] {
+		return // whole window precedes the cursor; Flush will discard it
+	}
+	c.normalize()
+	if len(c.cands[0]) != 1 {
+		// A nested root candidate orders all its tuples after the outer
+		// root's still-growing ones; emitting anything now could
+		// interleave, so wait for the window to close.
+		return
+	}
+	if c.after != nil && c.cands[0][0].Start < c.after[0] {
+		return // every tuple rooted here precedes the cursor
+	}
+	bound := c.partialBound(frontier)
+	if c.PreFlush != nil && bound > c.windowStart {
+		// Pull the removed-node candidates the emitted region needs
+		// (ViewJoin's §IV-B extension); extension may reveal an earlier
+		// open candidate, so re-tighten the bound afterwards.
+		c.PreFlush(c.windowStart, bound)
+		c.normalize()
+		bound = c.partialBound(frontier)
+	}
+	if bound <= c.windowStart {
+		return // no region has finished yet: nothing is final
+	}
+	if c.entries > c.peakEntries {
+		c.peakEntries = c.entries
+	}
+	if c.diskBased && c.spoolIn > 0 {
+		pages := (c.spoolIn + int64(c.pageSize) - 1) / int64(c.pageSize)
+		c.io.Write(pages)
+		c.io.C.PagesRead += pages
+		c.spoolIn = 0
+	}
+	n := c.q.Size()
+	for qi := 1; qi < n; qi++ {
+		c.full[qi] = c.cands[qi]
+		c.cands[qi] = c.cands[qi][:searchStartsAbove(c.cands[qi], bound-1)]
+	}
+	if c.tr != nil {
+		c.tr.BeginPhase(obs.PhaseEnumerate)
+		c.enumerate()
+		c.tr.EndPhase(obs.PhaseEnumerate)
+	} else {
+		c.enumerate()
+	}
+	c.entries = len(c.cands[0])
+	for qi := 1; qi < n; qi++ {
+		list := c.full[qi]
+		c.full[qi] = nil
+		keep := list[:0]
+		for _, l := range list {
+			if l.End >= bound {
+				keep = append(keep, l)
+			}
+		}
+		c.cands[qi] = keep
+		c.entries += len(keep)
+	}
+}
+
+// partialBound returns the partial-flush boundary: no future or unemitted
+// match can have a binding ordering before it. Matches compare
+// lexicographically by start tuple, and every binding of a match that is
+// still incomplete sits inside an open (End >= frontier) candidate at
+// each spine level — so the earliest open candidate of every
+// multi-candidate spine level caps the bound. A spine level with a single
+// candidate is skipped: all of the window's matches bind that one
+// candidate, so it can never order a future match before an emitted one
+// (later arrivals at that level start at or after the frontier). Branch
+// nodes below the spine need no bound of their own: their candidates are
+// confined to the enclosing spine-tail region, which the bound already
+// proves closed.
+func (c *Collector) partialBound(frontier int32) int32 {
+	b := frontier
+	for _, qi := range c.spine {
+		list := c.cands[qi]
+		if len(list) <= 1 {
+			continue
+		}
+		for _, l := range list {
+			if l.End >= frontier {
+				if l.Start < b {
+					b = l.Start
+				}
+				break // sorted by start: later open candidates start later
+			}
+		}
+	}
+	return b
+}
+
+// discardWindow clears the current window's candidates without enumerating
+// them.
+func (c *Collector) discardWindow() {
 	for qi := range c.cands {
 		c.cands[qi] = c.cands[qi][:0]
 	}
 	c.entries = 0
+	c.spoolIn = 0
 	c.open = false
 }
 
-// Result flushes any open window and returns the collected matches.
+// Result flushes any open window and returns the collected matches (empty
+// in streaming mode — the sink received them). The Matches counter is the
+// number of matches delivered, which for a bounded run is the bounded
+// count, not the query's full cardinality.
 func (c *Collector) Result() match.Set {
 	c.Flush()
-	c.io.C.Matches = int64(len(c.out))
+	c.io.C.Matches = int64(c.emitted)
 	return c.out
 }
 
@@ -280,12 +496,11 @@ func (c *Collector) PeakEntries() int { return c.peakEntries }
 // MemoryBytes converts PeakEntries to bytes using the scratch record size.
 func (c *Collector) MemoryBytes() int64 { return int64(c.peakEntries) * LabelBytes }
 
-// enumerate emits every embedding of q within the current window.
-func (c *Collector) enumerate() {
-	n := c.q.Size()
-	// Candidate lists are normally produced in document order, but pending
-	// drains and PreFlush extensions may interleave; restore sorted order
-	// and drop duplicates so the binary searches below are valid.
+// normalize restores per-list document order and uniqueness. Candidate
+// lists are normally produced in document order, but pending drains and
+// PreFlush extensions may interleave; the binary searches in enumerate
+// require sorted, duplicate-free lists.
+func (c *Collector) normalize() {
 	for qi := range c.cands {
 		list := c.cands[qi]
 		sorted := true
@@ -306,6 +521,12 @@ func (c *Collector) enumerate() {
 		}
 		c.cands[qi] = out
 	}
+}
+
+// enumerate emits every embedding of q within the current window.
+func (c *Collector) enumerate() {
+	n := c.q.Size()
+	c.normalize()
 
 	// Bottom-up filter: ok[qi][j] reports whether candidate j of query node
 	// qi has a full subtree match below it within the window. okStarts[qi]
@@ -362,25 +583,49 @@ func (c *Collector) enumerate() {
 	// Top-down enumeration in pattern pre-order. The recursion polls the
 	// cancellation checker per emitted tuple: a window whose cross product
 	// explodes must still honour the request deadline (the §IV space
-	// analysis bounds the window, not its enumeration).
-	var rec func(qi int)
-	rec = func(qi int) {
+	// analysis bounds the window, not its enumeration). rec returns false
+	// to unwind the whole enumeration — cancellation, quota met, or the
+	// sink declining more matches.
+	//
+	// Order invariant: windows close in ascending root-start order, the
+	// root loop walks cands[0] ascending, and rec extends the tuple in
+	// pattern pre-order over start-sorted lists — so matches are produced
+	// exactly in match.Less (document) order, which is what makes streamed
+	// LIMIT/OFFSET and the cursor filter exact without any buffering.
+	var rec func(qi int) bool
+	rec = func(qi int) bool {
 		if qi == n {
 			if c.ic != nil && c.ic.Check() != nil {
-				return
+				return false
+			}
+			if c.after != nil && !c.tupleAfterCursor() {
+				return true // at or before the resumption cursor: skip
 			}
 			for k := range c.cur {
 				c.m[k] = c.d.FindByStart(c.cur[k].Start)
 			}
-			c.out = append(c.out, match.Clone(c.m))
-			return
+			c.io.MarkFirstMatch()
+			if c.emit != nil {
+				if !c.emit(c.m) {
+					c.stop()
+					return false
+				}
+			} else {
+				c.out = append(c.out, match.Clone(c.m))
+			}
+			c.emitted++
+			if c.first > 0 && c.emitted >= c.first {
+				c.stop()
+				return false
+			}
+			return true
 		}
 		parent := c.cur[c.q.Nodes[qi].Parent]
 		list := c.cands[qi]
 		lo := searchStartsAbove(list, parent.Start)
 		for j := lo; j < len(list) && list[j].Start < parent.End; j++ {
 			if c.interrupted() {
-				return
+				return false
 			}
 			c.io.C.Comparisons++
 			if !c.ok[qi][j] {
@@ -390,8 +635,11 @@ func (c *Collector) enumerate() {
 				continue
 			}
 			c.cur[qi] = list[j]
-			rec(qi + 1)
+			if !rec(qi + 1) {
+				return false
+			}
 		}
+		return true
 	}
 	for j, cand := range c.cands[0] {
 		if !c.ok[0][j] {
@@ -400,9 +648,26 @@ func (c *Collector) enumerate() {
 		if c.interrupted() {
 			return
 		}
+		if c.after != nil && cand.Start < c.after[0] {
+			continue // every tuple rooted here precedes the cursor
+		}
 		c.cur[0] = cand
-		rec(1)
+		if !rec(1) {
+			return
+		}
 	}
+}
+
+// tupleAfterCursor reports whether the current tuple's start labels are
+// lexicographically greater than the resumption cursor — i.e. the match
+// falls strictly after the page the cursor closed.
+func (c *Collector) tupleAfterCursor() bool {
+	for k := range c.cur {
+		if s := c.cur[k].Start; s != c.after[k] {
+			return s > c.after[k]
+		}
+	}
+	return false // exactly the cursor match: already delivered
 }
 
 // levelStarts returns the surviving starts recorded for a level.

@@ -1,9 +1,11 @@
 package enum
 
 import (
+	"strings"
 	"testing"
 
 	"viewjoin/internal/counters"
+	"viewjoin/internal/engine"
 	"viewjoin/internal/match"
 	"viewjoin/internal/oracle"
 	"viewjoin/internal/tpq"
@@ -188,6 +190,449 @@ func TestDuplicateAddsCollapsed(t *testing.T) {
 	got := c.Result()
 	if len(got) != 1 {
 		t.Fatalf("matches = %d, want 1 (duplicates must collapse)", len(got))
+	}
+}
+
+// streamDoc builds the shape that motivates partial flushing: one root
+// element spanning the whole document (the §VI //site pattern) holding many
+// small disjoint subtrees, so the collector's only window would otherwise
+// close at end of scan.
+func streamDoc(subtrees int) string {
+	var b strings.Builder
+	b.WriteString("<site>")
+	for i := 0; i < subtrees; i++ {
+		b.WriteString("<a><b/></a>")
+	}
+	b.WriteString("</site>")
+	return b.String()
+}
+
+// candidates lists every (query node, label) pair of the naive generator in
+// document order — the order an engine's merged cursors would produce.
+func candidates(d *xmltree.Document, q *tpq.Pattern) (qis []int, labels []Label) {
+	for id := xmltree.NodeID(0); int(id) < d.NumNodes(); id++ {
+		n := d.Node(id)
+		name := d.TypeName(n.Type)
+		for qi := range q.Nodes {
+			if q.Nodes[qi].Label == name {
+				qis = append(qis, qi)
+				labels = append(labels, Label{Start: n.Start, End: n.End, Level: n.Level})
+			}
+		}
+	}
+	return qis, labels
+}
+
+// streamCollector builds a collector wired the way the engines wire it for
+// a streaming run: an interrupter bound, emit copying rows into got.
+func streamCollector(t *testing.T, d *xmltree.Document, q *tpq.Pattern, first int, after []int32, accept func(int) bool) (*Collector, *engine.Interrupter, *match.Set) {
+	t.Helper()
+	var cnt counters.Counters
+	c := NewCollector(d, q, counters.NewIO(&cnt, 0), nil, false, 0)
+	ic := engine.NewInterrupter(nil)
+	c.SetInterrupt(&ic)
+	got := &match.Set{}
+	c.SetStream(func(m match.Match) bool {
+		if accept != nil && !accept(len(*got)) {
+			return false
+		}
+		*got = append(*got, match.Clone(m))
+		return true
+	}, first, after)
+	return c, &ic, got
+}
+
+// feedStream replays the candidate stream through Add+Advance the way a
+// streaming engine does, passing the next candidate's start as the frontier
+// (the document-order minimum of the remaining cursors). It stops early
+// when the collector trips the interrupter, as the engine loops do, and
+// reports how many matches had been emitted before the final candidate.
+func feedStream(c *Collector, ic *engine.Interrupter, qis []int, labels []Label) (midRun int) {
+	for i := range qis {
+		if ic.Err() != nil {
+			return midRun
+		}
+		c.Add(qis[i], labels[i])
+		frontier := int32(1 << 30)
+		if i+1 < len(labels) {
+			frontier = labels[i+1].Start
+		}
+		c.Advance(frontier)
+		if i+1 < len(labels) {
+			midRun = c.Emitted()
+		}
+	}
+	return midRun
+}
+
+func TestStreamingPartialFlushOrder(t *testing.T) {
+	src := streamDoc(50)
+	d := doc(t, src)
+	q := tpq.MustParse("//site//a//b")
+	var fcnt counters.Counters
+	fullC := NewCollector(d, q, counters.NewIO(&fcnt, 0), nil, false, 0)
+	feed(d, q, fullC)
+	want := fullC.Result()
+	if len(want) != 50 {
+		t.Fatalf("setup: full run found %d matches, want 50", len(want))
+	}
+
+	c, ic, got := streamCollector(t, d, q, 0, nil, nil)
+	qis, labels := candidates(d, q)
+	midRun := feedStream(c, ic, qis, labels)
+	c.Result()
+
+	if midRun == 0 {
+		t.Fatal("no matches emitted before the window closed: partial flush never fired")
+	}
+	if len(*got) != len(want) {
+		t.Fatalf("streamed %d matches, want %d", len(*got), len(want))
+	}
+	for i := range want {
+		if !match.Less((*got)[i], want[i]) && !match.Less(want[i], (*got)[i]) {
+			continue
+		}
+		t.Fatalf("match %d out of order or wrong: streamed run must reproduce document order", i)
+	}
+	// The partial flushes must have discarded closed subtrees: the resident
+	// window stays well below the full candidate count (root + open region),
+	// which is the O(limit + open windows) memory claim.
+	if c.PeakEntries() >= fullC.PeakEntries() {
+		t.Fatalf("streaming peak %d entries is no better than accumulating peak %d",
+			c.PeakEntries(), fullC.PeakEntries())
+	}
+}
+
+func TestStreamingQuotaStops(t *testing.T) {
+	src := streamDoc(50)
+	d := doc(t, src)
+	q := tpq.MustParse("//site//a//b")
+
+	c, ic, got := streamCollector(t, d, q, 5, nil, nil)
+	qis, labels := candidates(d, q)
+	fed := 0
+	for i := range qis {
+		if ic.Err() != nil {
+			break
+		}
+		c.Add(qis[i], labels[i])
+		frontier := int32(1 << 30)
+		if i+1 < len(labels) {
+			frontier = labels[i+1].Start
+		}
+		c.Advance(frontier)
+		fed++
+	}
+	c.Result()
+	if c.Emitted() != 5 || len(*got) != 5 {
+		t.Fatalf("emitted %d (sink saw %d), want exactly the quota of 5", c.Emitted(), len(*got))
+	}
+	if err := ic.Err(); err != engine.ErrStop {
+		t.Fatalf("interrupter error = %v, want ErrStop", err)
+	}
+	if fed == len(qis) {
+		t.Fatal("quota stop did not unwind the feed: every candidate was still scanned")
+	}
+}
+
+func TestStreamingSinkDeclineStops(t *testing.T) {
+	src := streamDoc(50)
+	d := doc(t, src)
+	q := tpq.MustParse("//site//a//b")
+
+	c, ic, got := streamCollector(t, d, q, 0, nil, func(n int) bool { return n < 3 })
+	qis, labels := candidates(d, q)
+	feedStream(c, ic, qis, labels)
+	c.Result()
+	if len(*got) != 3 {
+		t.Fatalf("sink accepted %d matches, want 3", len(*got))
+	}
+	if c.Emitted() != 3 {
+		t.Fatalf("Emitted() = %d, want 3 (declined match must not count)", c.Emitted())
+	}
+	if err := ic.Err(); err != engine.ErrStop {
+		t.Fatalf("interrupter error = %v, want ErrStop", err)
+	}
+}
+
+func TestAccumulateFirstK(t *testing.T) {
+	// first > 0 with no sink: bounded accumulation (the RunPage path).
+	src := streamDoc(10)
+	d := doc(t, src)
+	q := tpq.MustParse("//site//a//b")
+	want, _ := run(t, src, "//site//a//b", false)
+
+	var cnt counters.Counters
+	c := NewCollector(d, q, counters.NewIO(&cnt, 0), nil, false, 0)
+	ic := engine.NewInterrupter(nil)
+	c.SetInterrupt(&ic)
+	c.SetStream(nil, 4, nil)
+	qis, labels := candidates(d, q)
+	feedStream(c, &ic, qis, labels)
+	got := c.Result()
+	if len(got) != 4 {
+		t.Fatalf("accumulated %d matches, want 4", len(got))
+	}
+	for i := range got {
+		if match.Less(got[i], want[i]) || match.Less(want[i], got[i]) {
+			t.Fatalf("match %d is not the i-th match of the full run", i)
+		}
+	}
+}
+
+func TestAfterCursorSkipsWholeWindow(t *testing.T) {
+	// Two disjoint a-windows; a cursor rooted at the second a must discard
+	// the first window without enumerating it.
+	d := doc(t, `<r><a><b/></a><a><b/></a></r>`)
+	q := tpq.MustParse("//a//b")
+	var a2 int32
+	for _, n := range d.Nodes() {
+		if d.TypeName(n.Type) == "a" {
+			a2 = n.Start // last assignment wins: the second a
+		}
+	}
+	var cnt counters.Counters
+	c := NewCollector(d, q, counters.NewIO(&cnt, 0), nil, false, 0)
+	c.SetStream(nil, 0, []int32{a2, 0})
+	feed(d, q, c)
+	got := c.Result()
+	if len(got) != 1 {
+		t.Fatalf("matches = %d, want 1 (the second window's)", len(got))
+	}
+}
+
+func TestAfterCursorResumesMidWindow(t *testing.T) {
+	// One window with two matches; the cursor names the first, so only the
+	// second is delivered — and a cursor naming the last match yields none.
+	d := doc(t, `<r><a><b/><b/></a></r>`)
+	q := tpq.MustParse("//a//b")
+	var aStart int32
+	var bStarts []int32
+	for _, n := range d.Nodes() {
+		switch d.TypeName(n.Type) {
+		case "a":
+			aStart = n.Start
+		case "b":
+			bStarts = append(bStarts, n.Start)
+		}
+	}
+	for _, tc := range []struct {
+		after []int32
+		want  int
+	}{
+		{[]int32{aStart, bStarts[0]}, 1},
+		{[]int32{aStart, bStarts[1]}, 0},
+	} {
+		var cnt counters.Counters
+		c := NewCollector(d, q, counters.NewIO(&cnt, 0), nil, false, 0)
+		c.SetStream(nil, 0, tc.after)
+		feed(d, q, c)
+		if got := c.Result(); len(got) != tc.want {
+			t.Fatalf("after=%v: matches = %d, want %d", tc.after, len(got), tc.want)
+		}
+	}
+}
+
+func TestResetReusesCollector(t *testing.T) {
+	src := streamDoc(10)
+	d := doc(t, src)
+	q := tpq.MustParse("//site//a//b")
+	var cnt counters.Counters
+	c := NewCollector(d, q, counters.NewIO(&cnt, 0), nil, false, 0)
+	c.SetStream(nil, 3, nil)
+	feed(d, q, c)
+	if got := c.Result(); len(got) != 3 {
+		t.Fatalf("first run: %d matches, want 3", len(got))
+	}
+	// Reset must clear the stream bound, the emitted count, and the window
+	// state: the second run is a plain full accumulation.
+	var cnt2 counters.Counters
+	c.Reset(counters.NewIO(&cnt2, 0), nil, false, 0)
+	if c.Emitted() != 0 {
+		t.Fatalf("Emitted() = %d after Reset, want 0", c.Emitted())
+	}
+	feed(d, q, c)
+	if got := c.Result(); len(got) != 10 {
+		t.Fatalf("after Reset: %d matches, want 10 (quota must not persist)", len(got))
+	}
+}
+
+func TestAdvanceNoopPaths(t *testing.T) {
+	d := doc(t, `<r><a><b/></a></r>`)
+	// Accumulating run (no emit, no quota): Advance must do nothing.
+	q := tpq.MustParse("//a//b")
+	var cnt counters.Counters
+	c := NewCollector(d, q, counters.NewIO(&cnt, 0), nil, false, 0)
+	feed(d, q, c)
+	c.Advance(1 << 30)
+	if got := c.Result(); len(got) != 1 {
+		t.Fatalf("matches = %d, want 1", len(got))
+	}
+	// Single-node query: the spine is empty, so partial flushing is off
+	// even under a quota.
+	q1 := tpq.MustParse("//a")
+	c1 := NewCollector(d, q1, counters.NewIO(&cnt, 0), nil, false, 0)
+	c1.SetStream(nil, 1, nil)
+	feed(d, q1, c1)
+	c1.Advance(1 << 30)
+	if got := c1.Result(); len(got) != 1 {
+		t.Fatalf("single-node matches = %d, want 1", len(got))
+	}
+}
+
+func TestPartialFlushNestedRootWaits(t *testing.T) {
+	// Two site candidates share one window: the inner root's tuples order
+	// after the outer root's still-growing ones, so partial flushing must
+	// hold back — and the final result must still be exact.
+	var b strings.Builder
+	b.WriteString("<site><site>")
+	for i := 0; i < 40; i++ {
+		b.WriteString("<a><b/></a>")
+	}
+	b.WriteString("</site></site>")
+	d := doc(t, b.String())
+	q := tpq.MustParse("//site//a//b")
+	want := oracle.Eval(d, q)
+
+	c, ic, got := streamCollector(t, d, q, 0, nil, nil)
+	qis, labels := candidates(d, q)
+	midRun := feedStream(c, ic, qis, labels)
+	c.Result()
+	if midRun != 0 {
+		t.Fatalf("emitted %d matches before the window closed despite a nested root", midRun)
+	}
+	if !(*got).SameAs(want) {
+		t.Fatalf("streamed %d matches, oracle %d", len(*got), len(want))
+	}
+}
+
+func TestPartialFlushRespectsCursor(t *testing.T) {
+	src := streamDoc(50)
+	d := doc(t, src)
+	q := tpq.MustParse("//site//a//b")
+	qis, labels := candidates(d, q)
+
+	// Cursor past the whole document: nothing is ever emitted, partially or
+	// at the final flush.
+	c, ic, got := streamCollector(t, d, q, 0, []int32{1 << 30, 0, 0}, nil)
+	feedStream(c, ic, qis, labels)
+	c.Result()
+	if len(*got) != 0 {
+		t.Fatalf("cursor past EOF: emitted %d matches, want 0", len(*got))
+	}
+
+	// Cursor after the only root candidate's start: partial flushing defers,
+	// and the final enumeration's cursor filter drops every tuple.
+	c2, ic2, got2 := streamCollector(t, d, q, 0, []int32{labels[0].Start + 1, 0, 0}, nil)
+	feedStream(c2, ic2, qis, labels)
+	c2.Result()
+	if len(*got2) != 0 {
+		t.Fatalf("cursor past root start: emitted %d matches, want 0", len(*got2))
+	}
+}
+
+func TestPartialFlushDiskSpool(t *testing.T) {
+	src := streamDoc(60)
+	d := doc(t, src)
+	q := tpq.MustParse("//site//a//b")
+	var cnt counters.Counters
+	c := NewCollector(d, q, counters.NewIO(&cnt, 0), nil, true, 16)
+	ic := engine.NewInterrupter(nil)
+	c.SetInterrupt(&ic)
+	var got match.Set
+	c.SetStream(func(m match.Match) bool { got = append(got, match.Clone(m)); return true }, 0, nil)
+	qis, labels := candidates(d, q)
+	feedStream(c, &ic, qis, labels)
+	c.Result()
+	if len(got) != 60 {
+		t.Fatalf("streamed %d matches, want 60", len(got))
+	}
+	if cnt.PagesWritten == 0 || cnt.PagesRead == 0 {
+		t.Fatalf("disk-based partial flush did no spool I/O (wrote %d, read %d)", cnt.PagesWritten, cnt.PagesRead)
+	}
+}
+
+func TestPartialFlushPreFlushExtension(t *testing.T) {
+	src := streamDoc(50)
+	d := doc(t, src)
+	q := tpq.MustParse("//site//a//b")
+	c, ic, got := streamCollector(t, d, q, 0, nil, nil)
+	var regions [][2]int32
+	c.PreFlush = func(lo, hi int32) { regions = append(regions, [2]int32{lo, hi}) }
+	qis, labels := candidates(d, q)
+	feedStream(c, ic, qis, labels)
+	c.Result()
+	if len(*got) != 50 {
+		t.Fatalf("streamed %d matches, want 50", len(*got))
+	}
+	if len(regions) < 2 {
+		t.Fatalf("PreFlush ran %d times, want at least one partial and one final flush", len(regions))
+	}
+	for i := 1; i < len(regions); i++ {
+		if regions[i][1] < regions[i-1][1] {
+			t.Fatalf("PreFlush upper bounds must be non-decreasing: %v", regions)
+		}
+	}
+}
+
+func TestChildAxisLevels(t *testing.T) {
+	// pc-edges exercise the per-level index, including group reuse across
+	// windows whose candidates sit at different levels.
+	cases := []struct{ src, q string }{
+		{`<r><a><b/><a><b/></a></a></r>`, "//a/b"},
+		{`<r><a><b/></a><x><a><b/></a></x></r>`, "//a/b"},
+		{`<r><a><c><b/></c></a><a><b/></a></r>`, "//a/b"}, // miss at one level
+	}
+	for _, tc := range cases {
+		d := doc(t, tc.src)
+		q := tpq.MustParse(tc.q)
+		want := oracle.Eval(d, q)
+		got, _ := run(t, tc.src, tc.q, false)
+		if !got.SameAs(want) {
+			t.Errorf("%s over %s: got %d, want %d", tc.q, tc.src, len(got), len(want))
+		}
+	}
+}
+
+func TestUnsortedAddsNormalized(t *testing.T) {
+	// Candidates offered out of document order inside an open window (as
+	// PreFlush extensions are): normalize must restore order and uniqueness.
+	d := doc(t, `<r><a><b/><b/></a></r>`)
+	q := tpq.MustParse("//a//b")
+	var as, bs []Label
+	for _, n := range d.Nodes() {
+		l := Label{Start: n.Start, End: n.End, Level: n.Level}
+		switch d.TypeName(n.Type) {
+		case "a":
+			as = append(as, l)
+		case "b":
+			bs = append(bs, l)
+		}
+	}
+	var cnt counters.Counters
+	c := NewCollector(d, q, counters.NewIO(&cnt, 0), nil, false, 0)
+	c.Add(0, as[0])
+	c.Add(1, bs[1]) // out of order
+	c.Add(1, bs[0])
+	c.Add(1, bs[1]) // duplicate
+	if got := c.Result(); len(got) != 2 {
+		t.Fatalf("matches = %d, want 2", len(got))
+	}
+}
+
+func TestSearchStartsAbove(t *testing.T) {
+	list := []Label{{Start: 2}, {Start: 4}, {Start: 9}}
+	cases := []struct {
+		s    int32
+		want int
+	}{{1, 0}, {2, 1}, {3, 1}, {9, 3}, {10, 3}}
+	for _, tc := range cases {
+		if got := searchStartsAbove(list, tc.s); got != tc.want {
+			t.Errorf("searchStartsAbove(%d) = %d, want %d", tc.s, got, tc.want)
+		}
+	}
+	if got := searchStartsAbove(nil, 0); got != 0 {
+		t.Errorf("searchStartsAbove(nil) = %d, want 0", got)
 	}
 }
 

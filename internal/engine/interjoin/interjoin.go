@@ -171,7 +171,9 @@ func (p *Prepared) Run(io *counters.IO, opts engine.Options) (match.Set, error) 
 	}
 	acc := streams[p.order[0]]
 	for _, oi := range p.order[1:] {
-		if err := sc.ic.Err(); err != nil {
+		// ErrStop (quota stop requested by the interrupt hook) falls through
+		// to verification: the joined prefix yields the bounded answer.
+		if err := sc.ic.Err(); err != nil && err != engine.ErrStop {
 			p.pool.Put(sc)
 			return nil, err
 		}
@@ -184,6 +186,9 @@ func (p *Prepared) Run(io *counters.IO, opts engine.Options) (match.Set, error) 
 	var out match.Set
 	for i := range acc.tuples {
 		if err := sc.ic.Check(); err != nil {
+			if err == engine.ErrStop {
+				break
+			}
 			p.pool.Put(sc)
 			return nil, err
 		}
@@ -203,23 +208,54 @@ func (p *Prepared) Run(io *counters.IO, opts engine.Options) (match.Set, error) 
 		if !ok {
 			continue
 		}
+		if opts.After != nil && !afterCursor(t.labels, opts.After) {
+			continue
+		}
 		m := make(match.Match, n)
 		for pos := 0; pos < n; pos++ {
 			m[pos] = p.d.FindByStart(t.labels[pos].Start)
 		}
 		out = append(out, m)
+		// Bounded accumulation under a first-k quota: InterJoin's tuples are
+		// ordered by the first position only, so the scan cannot stop early;
+		// keep only the first smallest matches seen so far instead, bounding
+		// peak result memory to O(first). The slack (4x + 64) amortizes the
+		// sorts.
+		if opts.First > 0 && len(out) >= 4*opts.First+64 {
+			out.Sort()
+			out = out[:opts.First]
+		}
 	}
-	if err := sc.ic.Err(); err != nil {
+	if err := sc.ic.Err(); err != nil && err != engine.ErrStop {
 		p.pool.Put(sc)
 		return nil, err
 	}
-	io.C.Matches = int64(len(out))
 	p.pool.Put(sc)
 	// Join construction orders tuples by the accumulated stream's first
 	// position only; canonicalize to full lexicographic document order so
 	// sequential and partitioned runs are byte-comparable.
 	out.Sort()
+	if opts.First > 0 && len(out) > opts.First {
+		out = out[:opts.First]
+	}
+	io.C.Matches = int64(len(out))
+	if len(out) > 0 {
+		// InterJoin cannot stream: time-to-first-match is the full
+		// join+sort, stamped here so the metric reflects that honestly.
+		io.MarkFirstMatch()
+	}
 	return out, nil
+}
+
+// afterCursor reports whether the start-label tuple in labels is strictly
+// greater than the cursor tuple (lexicographic, i.e. document order).
+func afterCursor(labels []store.Label, after []int32) bool {
+	for k := range after {
+		if s := labels[k].Start; s != after[k] {
+			return s > after[k]
+		}
+	}
+	return false
 }
 
 // restrictStreams returns per-run copies of the prepared streams holding

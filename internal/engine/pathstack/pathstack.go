@@ -51,6 +51,13 @@ type scratch struct {
 	stacks [][]frame
 	buf    []store.Label
 	ic     engine.Interrupter
+	// first/after mirror Options.First/Options.After. PathStack emits
+	// leaf-major (out of document order), so a first-k bound cannot stop the
+	// scan early; instead the accumulator keeps only the first smallest
+	// matches seen so far (periodic sort+truncate), bounding peak result
+	// memory to O(first) while still scanning every candidate.
+	first int
+	after []int32
 }
 
 // Lists returns the per-query-node list files the plan is bound to, for
@@ -87,6 +94,7 @@ func (p *Prepared) Run(io *counters.IO, opts engine.Options) (match.Set, error) 
 	}
 	tr := opts.Tracer
 	sc.ic = engine.NewInterrupter(opts.Interrupt)
+	sc.first, sc.after = opts.First, opts.After
 	for i, l := range p.lists {
 		engine.ResetCursor(&sc.curBuf[i], l, io, tr, i, opts.Restrict)
 		sc.cur[i] = &sc.curBuf[i]
@@ -95,16 +103,28 @@ func (p *Prepared) Run(io *counters.IO, opts engine.Options) (match.Set, error) 
 		sc.stacks[i] = sc.stacks[i][:0]
 	}
 	out := p.eval(sc, io, tr)
-	if err := sc.ic.Err(); err != nil {
+	// ErrStop is a quota-driven stop requested by the interrupt hook (the
+	// parallel cutoff), not a failure: the bounded output is the answer.
+	if err := sc.ic.Err(); err != nil && err != engine.ErrStop {
 		p.pool.Put(sc)
 		return nil, err
 	}
-	p.pool.Put(sc)
+	first := sc.first
+	p.pool.Put(sc) // sc must not be touched past this point
 	// The linked stacks emit leaf-major (ancestor combinations enumerated
 	// newest-first); canonicalize to the lexicographic document order the
 	// other engines produce so sequential and partitioned runs are
 	// byte-comparable.
 	out.Sort()
+	if first > 0 && len(out) > first {
+		out = out[:first]
+	}
+	io.C.Matches = int64(len(out))
+	if len(out) > 0 {
+		// PathStack cannot stream: time-to-first-match is the full
+		// scan+sort, stamped here so the metric reflects that honestly.
+		io.MarkFirstMatch()
+	}
 	return out, nil
 }
 
@@ -128,7 +148,9 @@ func (p *Prepared) eval(sc *scratch, io *counters.IO, tr obs.Tracer) match.Set {
 
 	for {
 		if sc.ic.Check() != nil {
-			return nil
+			// On ErrStop the output so far is the (bounded) answer; on a
+			// real error Run discards it, so returning it is always safe.
+			return out
 		}
 		// qmin: the valid cursor with the smallest start label.
 		qmin := -1
@@ -174,16 +196,34 @@ func (p *Prepared) eval(sc *scratch, io *counters.IO, tr obs.Tracer) match.Set {
 			tr.Event(obs.EvStackPush, qmin, 1)
 		}
 		if pushed && qmin == n-1 {
-			expand(d, q, stacks, n-1, len(stacks[n-1])-1, buf, io, &sc.ic, &out)
+			expand(d, q, stacks, n-1, len(stacks[n-1])-1, buf, io, sc, &out)
 			stacks[n-1] = stacks[n-1][:len(stacks[n-1])-1]
 			if tr != nil {
 				tr.Event(obs.EvStackPop, n-1, 1)
 			}
+			// Bounded accumulation under a first-k quota: once the buffer
+			// grows well past the quota, keep only the first smallest
+			// matches. The slack (4x + 64) amortizes the sorts to O(log)
+			// per appended match.
+			if sc.first > 0 && len(out) >= 4*sc.first+64 {
+				out.Sort()
+				out = out[:sc.first]
+			}
 		}
 		cur[qmin].Next()
 	}
-	io.C.Matches = int64(len(out))
 	return out
+}
+
+// afterCursor reports whether the start-label tuple in buf is strictly
+// greater than the cursor tuple (lexicographic, i.e. document order).
+func afterCursor(buf []store.Label, after []int32) bool {
+	for k := range buf {
+		if s := buf[k].Start; s != after[k] {
+			return s > after[k]
+		}
+	}
+	return false
 }
 
 // expand emits every root-to-leaf combination closed by the frame at
@@ -191,10 +231,13 @@ func (p *Prepared) eval(sc *scratch, io *counters.IO, tr obs.Tracer) match.Set {
 // stack up to its recorded parentTop, subject to the pc-level checks that
 // the stacks alone do not enforce.
 func expand(d *xmltree.Document, q *tpq.Pattern, stacks [][]frame, qi, fi int,
-	buf []store.Label, io *counters.IO, ic *engine.Interrupter, out *match.Set) {
+	buf []store.Label, io *counters.IO, sc *scratch, out *match.Set) {
 	buf[qi] = stacks[qi][fi].l
 	if qi == 0 {
-		if ic.Check() != nil {
+		if sc.ic.Check() != nil {
+			return
+		}
+		if sc.after != nil && !afterCursor(buf, sc.after) {
 			return
 		}
 		m := make(match.Match, len(buf))
@@ -205,13 +248,13 @@ func expand(d *xmltree.Document, q *tpq.Pattern, stacks [][]frame, qi, fi int,
 		return
 	}
 	for pi := stacks[qi][fi].parentTop; pi >= 0; pi-- {
-		if ic.Err() != nil {
+		if sc.ic.Err() != nil {
 			return
 		}
 		io.C.Comparisons++
 		if q.Nodes[qi].Axis == tpq.Child && stacks[qi-1][pi].l.Level != buf[qi].Level-1 {
 			continue
 		}
-		expand(d, q, stacks, qi-1, pi, buf, io, ic, out)
+		expand(d, q, stacks, qi-1, pi, buf, io, sc, out)
 	}
 }

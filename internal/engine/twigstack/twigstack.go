@@ -56,6 +56,10 @@ type evaluator struct {
 	col    *enum.Collector
 	open   [][]enum.Label // per query node: stack of accepted open regions
 	ic     engine.Interrupter
+
+	// streaming gates the per-iteration frontier scan feeding the
+	// collector's partial flushes; plain accumulating runs skip it.
+	streaming bool
 }
 
 // Prepare binds q's evaluation over the given lists for repeated runs.
@@ -92,6 +96,8 @@ func (p *Prepared) Run(io *counters.IO, opts engine.Options) (match.Set, Stats, 
 	e.ic = engine.NewInterrupter(opts.Interrupt)
 	e.col.Reset(io, opts.Tracer, opts.DiskBased, opts.PageSize)
 	e.col.SetInterrupt(&e.ic)
+	e.col.SetStream(opts.Emit, opts.First, opts.After)
+	e.streaming = opts.Emit != nil || opts.First > 0
 	for qi := range p.lists {
 		engine.ResetCursor(&e.curBuf[qi], p.lists[qi], io, opts.Tracer, qi, opts.Restrict)
 		e.cur[qi] = &e.curBuf[qi]
@@ -100,10 +106,12 @@ func (p *Prepared) Run(io *counters.IO, opts engine.Options) (match.Set, Stats, 
 		e.open[qi] = e.open[qi][:0]
 	}
 	e.run()
-	if err := e.ic.Err(); err != nil {
+	if err := e.ic.Err(); err != nil && err != engine.ErrStop {
 		p.pool.Put(e)
 		return nil, Stats{}, err
 	}
+	// ErrStop is the collector's output quota tripping, not a failure: the
+	// bounded output collected so far is the answer.
 	out := e.col.Result()
 	st := Stats{PeakWindowEntries: e.col.PeakEntries()}
 	p.pool.Put(e)
@@ -149,6 +157,19 @@ func (e *evaluator) run() {
 			e.col.Add(qact, l)
 		}
 		e.cur[qact].Next()
+		if e.streaming {
+			// Cursors only move forward, so the smallest current start is a
+			// sound frontier: every future Add starts at or after it.
+			f := inf
+			for qi := range e.cur {
+				if s := e.start(qi); s < f {
+					f = s
+				}
+			}
+			if f < inf {
+				e.col.Advance(f)
+			}
+		}
 	}
 }
 

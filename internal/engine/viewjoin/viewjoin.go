@@ -132,6 +132,10 @@ type evaluator struct {
 	// kept so the lazily-opened extension cursors bind to the same list
 	// slice as the prime cursors.
 	restrict *engine.Restriction
+
+	// streaming gates the per-iteration frontier hand-off feeding the
+	// collector's partial flushes; plain accumulating runs skip it.
+	streaming bool
 }
 
 // Prepare compiles the view-segmented query against the element-family
@@ -194,12 +198,14 @@ func (p *Prepared) Run(io *counters.IO, opts engine.Options) (match.Set, Stats, 
 	}
 	e.reset(io, opts)
 	e.run()
-	if err := e.ic.Err(); err != nil {
+	if err := e.ic.Err(); err != nil && err != engine.ErrStop {
 		// Interrupted: abandon the partial output. The evaluator still goes
 		// back to the pool — reset clears every piece of scratch on reuse.
 		p.pool.Put(e)
 		return nil, Stats{}, err
 	}
+	// ErrStop is the collector's output quota tripping, not a failure: the
+	// bounded output collected so far is the answer.
 	out := e.col.Result()
 	st := Stats{PeakWindowEntries: e.col.PeakEntries(), Segments: len(p.v.Segments)}
 	p.pool.Put(e)
@@ -248,6 +254,8 @@ func (e *evaluator) reset(io *counters.IO, opts engine.Options) {
 	e.ic = engine.NewInterrupter(opts.Interrupt)
 	e.col.Reset(io, opts.Tracer, opts.DiskBased, opts.PageSize)
 	e.col.SetInterrupt(&e.ic)
+	e.col.SetStream(opts.Emit, opts.First, opts.After)
+	e.streaming = opts.Emit != nil || opts.First > 0
 	e.winOpen, e.winEnd = false, 0
 	for _, qi := range e.p.primeNodes {
 		engine.ResetCursor(&e.curBuf[qi], e.p.lists[qi], io, opts.Tracer, qi, opts.Restrict)
@@ -311,6 +319,15 @@ func (e *evaluator) run() {
 		qi := e.getNext(root)
 		if qi == -1 {
 			break
+		}
+		if e.streaming {
+			// getNext returns the minimum-start valid cursor and cursors only
+			// move forward, so its start is a sound frontier for the
+			// collector's partial flushes: every future add — including bulk
+			// segment members, which copy current cursor items — starts at or
+			// after it. (Extension candidates are pulled synchronously inside
+			// the flush via PreFlush, so they never violate the bound.)
+			e.col.Advance(e.start(qi))
 		}
 		e.process(qi)
 	}

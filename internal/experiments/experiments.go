@@ -86,6 +86,14 @@ type Row struct {
 	// Allocs is the average heap allocation count of the measured
 	// operation (cold-start rows).
 	Allocs uint64 `json:"allocs,omitempty"`
+
+	// FirstMatchNanos is the client-observed time-to-first-match: how long
+	// after the call started the first match row became available to the
+	// caller (firstk rows; equals TimeNanos for fully materialized runs).
+	FirstMatchNanos int64 `json:"firstMatchNanos,omitempty"`
+	// PeakEntries is the largest enumeration-window entry count held in
+	// memory during the run (firstk rows; streaming engines only).
+	PeakEntries int64 `json:"peakEntries,omitempty"`
 }
 
 // emit sends one row to the manifest sink, if one is installed.
@@ -162,6 +170,7 @@ func All() []Experiment {
 		{"prepared", "Prepared plans — repeated-query serving: one-shot vs Run vs EvaluateBatch", Prepared},
 		{"coldload", "View cold-start — zero-copy LoadView vs re-materialization, time and allocs", ColdLoad},
 		{"shards", "Range-partitioned parallel evaluation — RunParallel k=1 vs k=N under I/O stalls", Shards},
+		{"firstk", "First-k pushdown — streamed pages vs full materialization, time-to-first-match", Firstk},
 	}
 }
 

@@ -25,6 +25,11 @@ type Report struct {
 
 	// DurationNanos is the total evaluation wall time.
 	DurationNanos int64 `json:"durationNanos"`
+	// FirstMatchNanos is the wall time from the start of the run to the
+	// first match produced (time-to-first-match); 0 when the run produced
+	// no match or the caller did not record it. Stamped by the public API
+	// after the report is built.
+	FirstMatchNanos int64 `json:"firstMatchNanos,omitempty"`
 	// Phases lists exclusive per-phase durations in execution order;
 	// phases that never ran are included with zero duration.
 	Phases []PhaseReport `json:"phases"`

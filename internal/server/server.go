@@ -13,6 +13,8 @@ package server
 
 import (
 	"context"
+	"encoding/base64"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -217,8 +219,17 @@ type queryRequest struct {
 	Engine    string   `json:"engine"`               // VJ (default), TS, PS, IJ
 	Views     []string `json:"views,omitempty"`      // registered view names; default: all views of the document
 	TimeoutMS int64    `json:"timeout_ms,omitempty"` // 0: server default
-	Limit     int      `json:"limit"`                // max match rows returned; 0: count only
-	Parallel  int      `json:"parallel,omitempty"`   // range partitions; clamped to the server's MaxParallel; <=1: sequential
+	// Limit bounds the match rows returned; 0 runs the full query and
+	// returns the count only. A positive limit is pushed into the engine
+	// (PreparedQuery.RunPage): the run stops once the page is determined,
+	// and match_count reports the page's row count, not the full result
+	// cardinality.
+	Limit int `json:"limit"`
+	// Cursor resumes a paginated result: the opaque cursor returned by a
+	// previous limited response. The run seeks past everything at or
+	// before the cursor position instead of re-enumerating it.
+	Cursor   string `json:"cursor,omitempty"`
+	Parallel int    `json:"parallel,omitempty"` // range partitions; clamped to the server's MaxParallel; <=1: sequential
 }
 
 // queryResponse is the body of a successful POST /query.
@@ -231,9 +242,15 @@ type queryResponse struct {
 	Cache      string       `json:"cache"` // "hit" or "miss"
 	MatchCount int          `json:"match_count"`
 	Matches    [][]nodeJSON `json:"matches,omitempty"`
-	Stats      statsJSON    `json:"stats"`
-	DurationUS int64        `json:"duration_us"`
-	Trace      *obs.Report  `json:"trace,omitempty"`
+	// Cursor, present when a limited page filled completely, resumes the
+	// enumeration strictly after this page's last row: pass it back in the
+	// next request's cursor field. Absent on the last page. The value is
+	// opaque (the document position of the last emitted match), so
+	// resumption seeks rather than re-enumerates.
+	Cursor     string      `json:"cursor,omitempty"`
+	Stats      statsJSON   `json:"stats"`
+	DurationUS int64       `json:"duration_us"`
+	Trace      *obs.Report `json:"trace,omitempty"`
 }
 
 type nodeJSON struct {
@@ -253,7 +270,10 @@ type statsJSON struct {
 	JumpsTaken      int64 `json:"jumps_taken"`
 	JumpsRefused    int64 `json:"jumps_refused"`
 	PeakMemoryBytes int64 `json:"peak_memory_bytes"`
-	Partitions      int   `json:"partitions"`
+	// FirstMatchUS is the run's time-to-first-match in microseconds; 0
+	// when the run produced no match.
+	FirstMatchUS int64 `json:"first_match_us"`
+	Partitions   int   `json:"partitions"`
 }
 
 func statsOf(st viewjoin.Stats) statsJSON {
@@ -267,8 +287,38 @@ func statsOf(st viewjoin.Stats) statsJSON {
 		JumpsTaken:      st.JumpsTaken,
 		JumpsRefused:    st.JumpsRefused,
 		PeakMemoryBytes: st.PeakMemoryBytes,
+		FirstMatchUS:    st.FirstMatchNanos / 1000,
 		Partitions:      st.Partitions,
 	}
+}
+
+// encodeCursor renders a result row as an opaque resumption cursor: the
+// row's start labels (one per query node, the row's document position),
+// base64-encoded little-endian. A follow-up run with this cursor resumes
+// strictly after the row.
+func encodeCursor(row []viewjoin.Node) string {
+	buf := make([]byte, 4*len(row))
+	for i, n := range row {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(n.Start))
+	}
+	return base64.RawURLEncoding.EncodeToString(buf)
+}
+
+// decodeCursor parses a request cursor into the per-query-node start
+// labels RunPage seeks past; n is the query's node count.
+func decodeCursor(s string, n int) ([]int32, error) {
+	buf, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("invalid cursor: %w", err)
+	}
+	if len(buf) != 4*n {
+		return nil, fmt.Errorf("invalid cursor: %d bytes for a %d-node query", len(buf), n)
+	}
+	after := make([]int32, n)
+	for i := range after {
+		after[i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return after, nil
 }
 
 // countersOf lifts the public per-run Stats back into the internal counter
@@ -475,6 +525,21 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, traced bool)
 	if k > s.cfg.MaxParallel {
 		k = s.cfg.MaxParallel
 	}
+
+	// A positive limit or a cursor makes this a paged run: the bound and
+	// resumption point are pushed into the engine instead of trimming a
+	// fully materialized result.
+	var after []int32
+	if req.Cursor != "" {
+		after, err = decodeCursor(req.Cursor, q.NumNodes())
+		if err != nil {
+			s.failures.Add(1)
+			s.logAccess(&req, http.StatusBadRequest, "parse", 0, "", 0, "error", time.Since(started), err)
+			writeError(w, http.StatusBadRequest, "parse", err, false)
+			return
+		}
+	}
+	paged := req.Limit > 0 || after != nil
 	// With the flight recorder enabled, every request runs under its own
 	// obs.Recorder via RunTraced — the cached plan stays shared and
 	// untraced, only this execution is observed. The threshold is applied
@@ -485,6 +550,19 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, traced bool)
 		rec = obs.NewRecorder()
 	}
 	runPlan := func(p *viewjoin.PreparedQuery) (*viewjoin.Result, error) {
+		if paged {
+			kk := k
+			if kk <= 1 {
+				// Cached plans are prepared with nil options; pin the
+				// sequential path explicitly rather than inheriting.
+				kk = 1
+			}
+			so := &viewjoin.StreamOptions{Limit: req.Limit, After: after, Parallelism: kk}
+			if rec != nil {
+				return p.RunPageTraced(ctx, so, rec)
+			}
+			return p.RunPage(ctx, so)
+		}
 		if rec != nil {
 			return p.RunTraced(ctx, k, rec)
 		}
@@ -553,22 +631,25 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, traced bool)
 	}
 	if s.slowlog != nil {
 		s.slowlog.observe(slowlogEntry{
-			Time:       time.Now().UTC().Format(time.RFC3339Nano),
-			Document:   req.Document,
-			Query:      q.String(),
-			Engine:     eng.String(),
-			Views:      canon,
-			Status:     http.StatusOK,
-			Outcome:    "ok",
-			Cache:      cacheState,
-			Matches:    len(res.Matches),
-			Partitions: res.Stats.Partitions,
-			WallUS:     time.Since(started).Microseconds(),
-			RunUS:      res.Stats.Duration.Microseconds(),
-			Trace:      res.Trace,
+			Time:         time.Now().UTC().Format(time.RFC3339Nano),
+			Document:     req.Document,
+			Query:        q.String(),
+			Engine:       eng.String(),
+			Views:        canon,
+			Status:       http.StatusOK,
+			Outcome:      "ok",
+			Cache:        cacheState,
+			Matches:      len(res.Matches),
+			Partitions:   res.Stats.Partitions,
+			WallUS:       time.Since(started).Microseconds(),
+			RunUS:        res.Stats.Duration.Microseconds(),
+			FirstMatchUS: res.Stats.FirstMatchNanos / 1000,
+			Trace:        res.Trace,
 		})
 	}
 	if req.Limit > 0 {
+		// The paged run already bounded the result to the page; the
+		// truncation guard is belt-and-braces.
 		n := len(res.Matches)
 		if n > req.Limit {
 			n = req.Limit
@@ -580,6 +661,11 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, traced bool)
 				row[j] = nodeJSON{Tag: nd.Tag, Start: nd.Start, End: nd.End, Level: nd.Level}
 			}
 			resp.Matches[i] = row
+		}
+		// A completely filled page may have more matches after it; hand
+		// back the resumption cursor. A short page is the last one.
+		if n == req.Limit && n > 0 {
+			resp.Cursor = encodeCursor(res.Matches[n-1])
 		}
 	}
 	s.logAccess(&req, http.StatusOK, "", len(res.Matches), cacheState, res.Stats.Partitions, "ok", time.Since(started), nil)

@@ -668,3 +668,101 @@ func TestParallelKnob(t *testing.T) {
 		t.Errorf("capped run reported %d partitions, want 1", capped.Stats.Partitions)
 	}
 }
+
+// TestPaginationCursorRoundTrip pages through the whole result with
+// limit+cursor and checks the concatenated pages reassemble the full
+// unlimited run exactly: same rows, same order, no gaps or duplicates,
+// and the last page carries no cursor.
+func TestPaginationCursorRoundTrip(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Reference: the full run (count only) and one big page holding every
+	// row.
+	var full queryResponse
+	if st := post(t, ts, "/query", map[string]any{
+		"document": "xmark", "query": testQuery, "limit": 1 << 20,
+	}, &full); st != http.StatusOK {
+		t.Fatalf("full run status %d", st)
+	}
+	if len(full.Matches) == 0 {
+		t.Fatal("test query has no matches")
+	}
+	if full.Cursor != "" {
+		t.Fatalf("oversized page returned a cursor (%d rows)", len(full.Matches))
+	}
+
+	const pageSize = 7
+	var pages [][]nodeJSON
+	cursor := ""
+	for i := 0; ; i++ {
+		if i > len(full.Matches) {
+			t.Fatal("pagination did not terminate")
+		}
+		req := map[string]any{"document": "xmark", "query": testQuery, "limit": pageSize}
+		if cursor != "" {
+			req["cursor"] = cursor
+		}
+		var resp queryResponse
+		if st := post(t, ts, "/query", req, &resp); st != http.StatusOK {
+			t.Fatalf("page %d status %d", i, st)
+		}
+		if resp.MatchCount != len(resp.Matches) {
+			t.Fatalf("page %d: match_count %d != %d rows", i, resp.MatchCount, len(resp.Matches))
+		}
+		if len(resp.Matches) > pageSize {
+			t.Fatalf("page %d: %d rows > limit %d", i, len(resp.Matches), pageSize)
+		}
+		pages = append(pages, resp.Matches...)
+		if resp.Cursor == "" {
+			if len(resp.Matches) == pageSize && len(pages) < len(full.Matches) {
+				t.Fatalf("page %d: full page without cursor before the end", i)
+			}
+			break
+		}
+		if len(resp.Matches) != pageSize {
+			t.Fatalf("page %d: short page (%d rows) carries a cursor", i, len(resp.Matches))
+		}
+		cursor = resp.Cursor
+	}
+	if len(pages) != len(full.Matches) {
+		t.Fatalf("pages reassemble %d rows, full run has %d", len(pages), len(full.Matches))
+	}
+	for i := range pages {
+		if fmt.Sprint(pages[i]) != fmt.Sprint(full.Matches[i]) {
+			t.Fatalf("row %d differs: paged %v, full %v", i, pages[i], full.Matches[i])
+		}
+	}
+}
+
+// TestPaginationBadCursor checks malformed cursors are rejected with 400.
+func TestPaginationBadCursor(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for _, cur := range []string{"!!!", "AAAA"} { // undecodable; wrong length
+		var er errorResponse
+		if st := post(t, ts, "/query", map[string]any{
+			"document": "xmark", "query": testQuery, "limit": 3, "cursor": cur,
+		}, &er); st != http.StatusBadRequest {
+			t.Fatalf("cursor %q: status %d, want 400", cur, st)
+		}
+	}
+}
+
+// TestFirstMatchStat checks the serving surface reports time-to-first-match.
+func TestFirstMatchStat(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	var resp queryResponse
+	if st := post(t, ts, "/query", map[string]any{
+		"document": "xmark", "query": testQuery, "limit": 1,
+	}, &resp); st != http.StatusOK {
+		t.Fatalf("status %d", st)
+	}
+	if resp.Stats.FirstMatchUS <= 0 {
+		t.Fatalf("first_match_us = %d, want > 0", resp.Stats.FirstMatchUS)
+	}
+}

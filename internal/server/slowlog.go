@@ -16,20 +16,23 @@ const SlowlogSchema = "viewjoin/slowlog/v1"
 // report, so a slow query can be diagnosed after the fact without
 // re-running it under /debug/trace.
 type slowlogEntry struct {
-	Time       string      `json:"time"`
-	Document   string      `json:"document"`
-	Query      string      `json:"query"`
-	Engine     string      `json:"engine"`
-	Views      []string    `json:"views,omitempty"`
-	Status     int         `json:"status"`
-	Outcome    string      `json:"outcome"`
-	Cache      string      `json:"cache,omitempty"`
-	Matches    int         `json:"matches"`
-	Partitions int         `json:"partitions,omitempty"`
-	WallUS     int64       `json:"wall_us"` // request wall time (admission to response)
-	RunUS      int64       `json:"run_us"`  // engine run time, 0 when the run aborted
-	Error      string      `json:"error,omitempty"`
-	Trace      *obs.Report `json:"trace,omitempty"`
+	Time       string   `json:"time"`
+	Document   string   `json:"document"`
+	Query      string   `json:"query"`
+	Engine     string   `json:"engine"`
+	Views      []string `json:"views,omitempty"`
+	Status     int      `json:"status"`
+	Outcome    string   `json:"outcome"`
+	Cache      string   `json:"cache,omitempty"`
+	Matches    int      `json:"matches"`
+	Partitions int      `json:"partitions,omitempty"`
+	WallUS     int64    `json:"wall_us"` // request wall time (admission to response)
+	RunUS      int64    `json:"run_us"`  // engine run time, 0 when the run aborted
+	// FirstMatchUS is the run's time-to-first-match; 0 when the run
+	// produced no match or aborted.
+	FirstMatchUS int64       `json:"first_match_us,omitempty"`
+	Error        string      `json:"error,omitempty"`
+	Trace        *obs.Report `json:"trace,omitempty"`
 }
 
 // slowlog is the flight recorder: a fixed-size ring of the most recent

@@ -130,10 +130,31 @@ func anchorNode(nodes []tpq.Node) int {
 // pins the spine above it and bounds everything else inside it. A single
 // blob (e.g. a query anchored at the document root) admits no cut and
 // yields no parallelism.
+//
+// Plans are cached per parallelism degree: the job list is immutable once
+// built (restrictions are read-only to the engines), so repeated parallel
+// runs of a cached serving plan skip the anchor-span merge entirely.
 func (p *PreparedQuery) planPartitions(k int) []engine.Restriction {
 	if k <= 1 {
 		return nil
 	}
+	p.partMu.Lock()
+	jobs, ok := p.partPlans[k]
+	p.partMu.Unlock()
+	if ok {
+		return jobs
+	}
+	jobs = p.computePartitions(k)
+	p.partMu.Lock()
+	if p.partPlans == nil {
+		p.partPlans = make(map[int][]engine.Restriction)
+	}
+	p.partPlans[k] = jobs
+	p.partMu.Unlock()
+	return jobs
+}
+
+func (p *PreparedQuery) computePartitions(k int) []engine.Restriction {
 	b := anchorNode(p.q.p.Nodes)
 	if b < 0 {
 		return nil
@@ -159,6 +180,49 @@ func (p *PreparedQuery) planPartitions(k int) []engine.Restriction {
 	return jobs
 }
 
+// spineOrdered reports whether match order across ascending partition
+// chunks follows job index. Matches compare lexicographically by binding
+// start, walking the unary spine before reaching the anchor; when every
+// spine node above the anchor binds at most one candidate — e.g. the §VI
+// queries, all rooted at the single //site element — two matches from
+// different jobs first differ at the anchor itself, whose chunks ascend
+// with job index. A root anchor is ordered trivially. With several
+// candidates at a spine level the cross-job comparison can invert (a
+// later chunk's match may bind an earlier-starting spine ancestor), so
+// neither the shared quota cutoff nor streamed merging is sound.
+func (p *PreparedQuery) spineOrdered() bool {
+	p.partMu.Lock()
+	cached := p.spineOrd
+	p.partMu.Unlock()
+	if cached != 0 {
+		return cached > 0
+	}
+	ordered := func() bool {
+		b := anchorNode(p.q.p.Nodes)
+		if b <= 0 {
+			return b == 0
+		}
+		info := p.partitionInfo()
+		if info == nil {
+			return false
+		}
+		for qi := 0; qi < b; qi++ {
+			if len(info.AnchorSpans(qi)) > 1 {
+				return false
+			}
+		}
+		return true
+	}()
+	p.partMu.Lock()
+	if ordered {
+		p.spineOrd = 1
+	} else {
+		p.spineOrd = -1
+	}
+	p.partMu.Unlock()
+	return ordered
+}
+
 // RunParallel executes the prepared plan as a range-partitioned parallel
 // run across up to k workers (k <= 0 uses GOMAXPROCS) and returns a Result
 // byte-identical to Run's: same matches in the same order, counters summed
@@ -169,29 +233,81 @@ func (p *PreparedQuery) planPartitions(k int) []engine.Restriction {
 // uninterruptible. Safe for concurrent use under the same conditions as
 // Run (prepare-time Tracer must be nil for concurrent calls).
 func (p *PreparedQuery) RunParallel(ctx context.Context, k int) (*Result, error) {
-	return p.runParallel(ctx, k, time.Now(), false, p.opts.Tracer)
+	return p.runParallel(ctx, k, p.limits(), time.Now(), false, p.opts.Tracer)
 }
 
 // jobOut is one partition's outcome, written only by its worker.
 type jobOut struct {
-	ms   match.Set
-	c    counters.Counters
-	peak int64
-	dur  time.Duration
-	err  error
+	ms      match.Set
+	c       counters.Counters
+	peak    int64
+	dur     time.Duration
+	first   time.Time
+	skipped bool
+	err     error
+}
+
+// quotaState coordinates a shared first-k quota across partition jobs.
+// Jobs are planned over ascending document chunks; when the cross-job
+// order follows job index (spineOrdered), once the maximal completed
+// prefix of jobs has produced quota matches, no later job can contribute
+// to the page: the cutoff index tells not-yet-started jobs to skip
+// entirely and in-flight later jobs to stop at their next interrupt poll
+// (engine.ErrStop — their partial output sorts after the quota and is
+// sliced away). When spine bindings above the chunk break the cross-job
+// ordering, only the per-job quota applies (sound for any anchor: a match
+// in the global first quota is in its own job's first quota).
+type quotaState struct {
+	quota  int
+	cutoff atomic.Int64 // first job index that cannot contribute
+	mu     sync.Mutex
+	done   []bool
+	counts []int
+}
+
+func newQuotaState(quota, jobs int) *quotaState {
+	qs := &quotaState{quota: quota, done: make([]bool, jobs), counts: make([]int, jobs)}
+	qs.cutoff.Store(int64(jobs))
+	return qs
+}
+
+// complete records job i's match count and advances the cutoff when the
+// completed prefix alone satisfies the quota.
+func (qs *quotaState) complete(i, count int) {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	qs.done[i] = true
+	qs.counts[i] = count
+	sum := 0
+	for j := 0; j < len(qs.done) && qs.done[j]; j++ {
+		sum += qs.counts[j]
+		if sum >= qs.quota {
+			if int64(j+1) < qs.cutoff.Load() {
+				qs.cutoff.Store(int64(j + 1))
+			}
+			return
+		}
+	}
 }
 
 // runParallel plans and executes a partitioned run. Partitions run with
 // nil tracers (Tracer implementations are not concurrency-safe); the
 // orchestrator instead emits one EvPartition event per job carrying its
 // wall time, so traced runs still expose the partition-span distribution.
-func (p *PreparedQuery) runParallel(ctx context.Context, k int, start time.Time, includePrep bool, tr obs.Tracer) (*Result, error) {
+//
+// Under a limit (lim.first() > 0) every job runs with the shared quota as
+// its own first-k bound, and when cross-job order follows job index
+// (spineOrdered) a quotaState additionally stops scanning partitions that
+// can no longer contribute to the page (see quotaState). Job outputs —
+// each already in document order — are combined by a k-way document-order
+// merge and the page sliced from the merged prefix.
+func (p *PreparedQuery) runParallel(ctx context.Context, k int, lim limits, start time.Time, includePrep bool, tr obs.Tracer) (*Result, error) {
 	if k <= 0 {
 		k = runtime.GOMAXPROCS(0)
 	}
 	jobs := p.planPartitions(k)
 	if len(jobs) <= 1 {
-		return p.run(ctx, start, includePrep, tr)
+		return p.run(ctx, lim, nil, start, includePrep, tr)
 	}
 	var interrupt func() error
 	if ctx != nil {
@@ -199,6 +315,10 @@ func (p *PreparedQuery) runParallel(ctx context.Context, k int, start time.Time,
 		if err := interrupt(); err != nil {
 			return nil, err
 		}
+	}
+	var qs *quotaState
+	if lim.first() > 0 && p.spineOrdered() {
+		qs = newQuotaState(lim.first(), len(jobs))
 	}
 	if tr != nil {
 		if pl := p.lazyPlan(); pl != nil {
@@ -222,14 +342,36 @@ func (p *PreparedQuery) runParallel(ctx context.Context, k int, start time.Time,
 				if i >= len(jobs) {
 					return
 				}
-				outs[i] = p.runJob(&jobs[i], interrupt)
+				if qs != nil && int64(i) >= qs.cutoff.Load() {
+					outs[i].skipped = true
+					qs.complete(i, 0)
+					continue
+				}
+				jobInterrupt := interrupt
+				if qs != nil {
+					jobInterrupt = func() error {
+						if int64(i) >= qs.cutoff.Load() {
+							return engine.ErrStop
+						}
+						if interrupt != nil {
+							return interrupt()
+						}
+						return nil
+					}
+				}
+				outs[i] = p.runJob(&jobs[i], jobInterrupt, lim, nil)
+				if qs != nil {
+					qs.complete(i, len(outs[i].ms))
+				}
 			}
 		}()
 	}
 	wg.Wait()
 	if tr != nil {
 		for i := range outs {
-			tr.Event(obs.EvPartition, -1, int64(outs[i].dur))
+			if !outs[i].skipped {
+				tr.Event(obs.EvPartition, -1, int64(outs[i].dur))
+			}
 		}
 		tr.EndPhase(obs.PhaseEvaluate)
 	}
@@ -238,34 +380,75 @@ func (p *PreparedQuery) runParallel(ctx context.Context, k int, start time.Time,
 		c.Add(p.prepC)
 	}
 	var (
-		total int
-		peak  int64
+		peak       int64
+		firstMatch time.Time
+		executed   int
 	)
 	for i := range outs {
 		if outs[i].err != nil {
 			return nil, outs[i].err
 		}
+		if outs[i].skipped {
+			continue
+		}
+		executed++
 		c.Add(outs[i].c)
 		if outs[i].peak > peak {
 			peak = outs[i].peak
 		}
-		total += len(outs[i].ms)
-	}
-	ms := make(match.Set, 0, total)
-	for i := range outs {
-		ms = append(ms, outs[i].ms...)
+		if t := outs[i].first; !t.IsZero() && (firstMatch.IsZero() || t.Before(firstMatch)) {
+			firstMatch = t
+		}
 	}
 	// Jobs bound disjoint anchor ranges but spine bindings above them are
-	// not chunk-ordered, so restore the canonical lexicographic order every
+	// not chunk-ordered; each job's output is itself in document order, so
+	// a k-way merge restores the canonical lexicographic order every
 	// sequential engine emits.
-	ms.Sort()
-	return p.buildResult(ms, c, peak, len(jobs), start, tr), nil
+	ms := mergeJobMatches(outs)
+	return p.buildResult(lim.slice(ms), c, peak, executed, start, firstMatch, tr), nil
+}
+
+// mergeJobMatches k-way merges the per-job outputs — each already sorted
+// in document order — into one document-ordered set.
+func mergeJobMatches(outs []jobOut) match.Set {
+	total := 0
+	live := 0
+	for i := range outs {
+		if len(outs[i].ms) > 0 {
+			total += len(outs[i].ms)
+			live++
+		}
+	}
+	if live == 1 {
+		for i := range outs {
+			if len(outs[i].ms) > 0 {
+				return outs[i].ms
+			}
+		}
+	}
+	ms := make(match.Set, 0, total)
+	pos := make([]int, len(outs))
+	for len(ms) < total {
+		best := -1
+		for i := range outs {
+			if pos[i] >= len(outs[i].ms) {
+				continue
+			}
+			if best < 0 || match.Less(outs[i].ms[pos[i]], outs[best].ms[pos[best]]) {
+				best = i
+			}
+		}
+		ms = append(ms, outs[best].ms[pos[best]])
+		pos[best]++
+	}
+	return ms
 }
 
 // runJob executes one partition with its own counters and its own buffer
 // pool of the configured size (pools simulate per-cursor-set caching and
-// cannot be shared across goroutines).
-func (p *PreparedQuery) runJob(r *engine.Restriction, interrupt func() error) jobOut {
+// cannot be shared across goroutines). A non-nil emit streams the job's
+// matches instead of accumulating them (ViewJoin/TwigStack only).
+func (p *PreparedQuery) runJob(r *engine.Restriction, interrupt func() error, lim limits, emit func(match.Match) bool) jobOut {
 	t0 := time.Now()
 	var out jobOut
 	io := counters.NewIO(&out.c, p.opts.BufferPoolPages)
@@ -276,6 +459,13 @@ func (p *PreparedQuery) runJob(r *engine.Restriction, interrupt func() error) jo
 		UnguardedJumps: p.opts.UnguardedJumps,
 		Interrupt:      interrupt,
 		Restrict:       r,
+		// The shared quota doubles as the per-job bound: any match in the
+		// global first offset+limit is in its own partition's first
+		// offset+limit, so each job may stop (or cap its accumulation)
+		// there.
+		First: lim.first(),
+		After: lim.after,
+		Emit:  emit,
 	}
 	switch p.eng {
 	case EngineViewJoin:
@@ -293,5 +483,119 @@ func (p *PreparedQuery) runJob(r *engine.Restriction, interrupt func() error) jo
 	}
 	io.DrainStall()
 	out.dur = time.Since(t0)
+	out.first = io.FirstMatchTime()
 	return out
+}
+
+// runParallelStream executes a bounded partitioned run delivering rows to
+// yield incrementally: each job streams its matches into a per-job channel
+// and the consumer drains the channels in job index order, which under
+// spineOrdered is document order across jobs — so the first row is
+// available as soon as job 0's engine emits it, while the other
+// partitions are still scanning. Channel buffers hold the full per-job
+// quota (every job emits at most lim.first() matches), so workers never
+// block on a slow consumer and an early stop needs no drain protocol.
+// The shared quotaState stops partitions that cannot contribute, and the
+// consumer additionally latches a stop — observed at the engines' next
+// interrupt poll — once the page is delivered or yield declines.
+//
+// Callers guarantee: len(jobs) > 1, lim.first() > 0, p.spineOrdered(),
+// and a streaming engine (ViewJoin or TwigStack).
+func (p *PreparedQuery) runParallelStream(ctx context.Context, jobs []engine.Restriction, lim limits, start time.Time, yield func(row []Node) bool) (*Result, error) {
+	var interrupt func() error
+	if ctx != nil {
+		interrupt = contextInterrupt(ctx, p.eng, p.q.String())
+		if err := interrupt(); err != nil {
+			return nil, err
+		}
+	}
+	qs := newQuotaState(lim.first(), len(jobs))
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+	chans := make([]chan match.Match, len(jobs))
+	for i := range chans {
+		chans[i] = make(chan match.Match, lim.first())
+	}
+	outs := make([]jobOut, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer close(chans[i])
+			if int64(i) >= qs.cutoff.Load() {
+				outs[i].skipped = true
+				qs.complete(i, 0)
+				return
+			}
+			jobInterrupt := func() error {
+				if int64(i) >= qs.cutoff.Load() {
+					return engine.ErrStop
+				}
+				select {
+				case <-stop:
+					return engine.ErrStop
+				default:
+				}
+				if interrupt != nil {
+					return interrupt()
+				}
+				return nil
+			}
+			emitted := 0
+			outs[i] = p.runJob(&jobs[i], jobInterrupt, lim, func(m match.Match) bool {
+				chans[i] <- match.Clone(m)
+				emitted++
+				return true
+			})
+			qs.complete(i, emitted)
+		}(i)
+	}
+
+	skip := lim.offset
+	delivered := 0
+	var firstYield time.Time
+	row := make([]Node, p.q.p.Size())
+	for i := range chans {
+		for m := range chans[i] {
+			if lim.limit > 0 && delivered >= lim.limit {
+				continue // page done: drain the bounded remainder
+			}
+			if skip > 0 {
+				skip--
+				continue
+			}
+			for j, id := range m {
+				n := p.d.d.Node(id)
+				row[j] = Node{Tag: p.d.d.TypeName(n.Type), Start: n.Start, End: n.End, Level: n.Level}
+			}
+			if firstYield.IsZero() {
+				firstYield = time.Now()
+			}
+			delivered++
+			if !yield(row) || (lim.limit > 0 && delivered >= lim.limit) {
+				halt()
+			}
+		}
+	}
+	wg.Wait()
+
+	var c counters.Counters
+	var peak int64
+	executed := 0
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, outs[i].err
+		}
+		if outs[i].skipped {
+			continue
+		}
+		executed++
+		c.Add(outs[i].c)
+		if outs[i].peak > peak {
+			peak = outs[i].peak
+		}
+	}
+	return p.buildResult(nil, c, peak, executed, start, firstYield, nil), nil
 }

@@ -69,6 +69,14 @@ type PreparedQuery struct {
 	ts *twigstack.Prepared
 	ps *pathstack.Prepared
 	ij *interjoin.Prepared
+
+	// Partition-planning cache: the job list for a given parallelism and
+	// the spine-order property depend only on the immutable plan, so they
+	// are computed once and shared across runs — a serving plan pays the
+	// anchor-span merge on its first parallel request, not on every one.
+	partMu    sync.Mutex
+	partPlans map[int][]engine.Restriction
+	spineOrd  int8 // 0 unknown, 1 ordered, -1 not
 }
 
 // Prepare compiles q over the materialized views for the chosen engine.
@@ -189,6 +197,47 @@ func (p *PreparedQuery) FootprintBytes() int64 {
 	return f
 }
 
+// limits is the resolved pagination state of one execution: the public
+// Limit/Offset/After knobs normalized for the engine layer.
+type limits struct {
+	limit  int
+	offset int
+	after  []int32
+}
+
+// first is the engine-level output quota: the run may stop after
+// offset+limit matches (counted after the cursor filter), because the
+// requested page is fully determined by that prefix. 0 (no limit) leaves
+// the run unbounded — an offset alone must still enumerate everything
+// after the skipped prefix.
+func (l limits) first() int {
+	if l.limit <= 0 {
+		return 0
+	}
+	return l.offset + l.limit
+}
+
+// slice reduces an engine's (already bounded, cursor-filtered) document-
+// order output to the requested page.
+func (l limits) slice(ms match.Set) match.Set {
+	if l.offset > 0 {
+		if l.offset >= len(ms) {
+			ms = ms[:0]
+		} else {
+			ms = ms[l.offset:]
+		}
+	}
+	if l.limit > 0 && len(ms) > l.limit {
+		ms = ms[:l.limit]
+	}
+	return ms
+}
+
+// limits resolves the prepare-time Limit/Offset options.
+func (p *PreparedQuery) limits() limits {
+	return limits{limit: p.opts.Limit, offset: p.opts.Offset}
+}
+
 // Run executes the prepared plan once and returns a fresh Result. Stats
 // cover this execution only — preparation costs (for InterJoin, the view
 // stream scans) were paid at Prepare time and are not re-charged; see
@@ -196,7 +245,7 @@ func (p *PreparedQuery) FootprintBytes() int64 {
 // the prepare-time EvalOptions bounds the run; RunContext supplies a
 // per-request context instead.
 func (p *PreparedQuery) Run() (*Result, error) {
-	return p.run(p.opts.Context, time.Now(), false, p.opts.Tracer)
+	return p.run(p.opts.Context, p.limits(), nil, time.Now(), false, p.opts.Tracer)
 }
 
 // RunContext is Run bounded by ctx: cancellation or deadline expiry aborts
@@ -207,7 +256,135 @@ func (p *PreparedQuery) Run() (*Result, error) {
 // immutable PreparedQuery, many concurrent requests, each with its own
 // deadline.
 func (p *PreparedQuery) RunContext(ctx context.Context) (*Result, error) {
-	return p.run(ctx, time.Now(), false, p.opts.Tracer)
+	return p.run(ctx, p.limits(), nil, time.Now(), false, p.opts.Tracer)
+}
+
+// StreamOptions selects a page of the result for RunPage and RunStream,
+// overriding any prepare-time Limit/Offset for that one execution.
+type StreamOptions struct {
+	// Limit bounds the page to Limit matches; 0 means unbounded.
+	Limit int
+	// Offset skips the first Offset matches in document order (after the
+	// After cursor filter, when both are set).
+	Offset int
+	// After, when non-nil, resumes strictly after a previous match: one
+	// start label per query node (Node.Start of the previous page's last
+	// row, in binding order), compared lexicographically — i.e. document
+	// order. Unlike an offset, a cursor lets the streaming engines seek:
+	// whole enumeration windows ending before the cursor are skipped
+	// without being re-enumerated.
+	After []int32
+	// Parallelism requests a range-partitioned parallel run, as
+	// EvalOptions.Parallelism; 0 inherits the prepare-time setting.
+	Parallelism int
+}
+
+// streamLimits resolves per-call stream options against the prepare-time
+// defaults.
+func (p *PreparedQuery) streamLimits(so *StreamOptions) (limits, int) {
+	if so == nil {
+		return p.limits(), p.parallelism()
+	}
+	lim := limits{limit: so.Limit, offset: so.Offset, after: so.After}
+	k := so.Parallelism
+	if k == 0 {
+		k = p.opts.Parallelism
+	}
+	if k < 0 {
+		k = runtime.GOMAXPROCS(0)
+	}
+	return lim, k
+}
+
+// RunPage executes the prepared plan once and returns the page of the
+// result selected by so: the first so.Limit matches in document order
+// after skipping so.Offset of them, resuming strictly after the so.After
+// cursor when set. The page bound is pushed into the engines (see
+// EvalOptions.Limit), so peak result memory is O(Limit + open enumeration
+// windows) rather than O(total matches), and the streaming engines stop
+// scanning as soon as the page is determined. ctx bounds the run as in
+// RunContext. Safe for concurrent use under the same conditions as Run.
+func (p *PreparedQuery) RunPage(ctx context.Context, so *StreamOptions) (*Result, error) {
+	return p.RunPageTraced(ctx, so, p.opts.Tracer)
+}
+
+// RunPageTraced is RunPage with tr observing this single execution,
+// overriding any prepare-time Tracer — the paged analogue of RunTraced,
+// and like it safe for concurrent calls on one shared plan as long as
+// every call brings its own tracer. A nil tr runs untraced.
+func (p *PreparedQuery) RunPageTraced(ctx context.Context, so *StreamOptions, tr obs.Tracer) (*Result, error) {
+	lim, k := p.streamLimits(so)
+	if k > 1 {
+		return p.runParallel(ctx, k, lim, time.Now(), false, tr)
+	}
+	return p.run(ctx, lim, nil, time.Now(), false, tr)
+}
+
+// RunStream executes the prepared plan once, delivering each match of the
+// selected page to yield as it is produced instead of materializing the
+// result. The row slice is reused between calls — yield must copy any
+// bindings it keeps. Returning false from yield stops the run early (the
+// engines unwind at their next checkpoint and the call still returns a
+// nil error). The returned Result carries Stats only; Matches is empty.
+//
+// The streaming engines (ViewJoin, TwigStack) deliver incrementally in
+// document order, so the first row arrives while the scan is still in
+// flight (see Stats.FirstMatchNanos) — sequentially, and also under a
+// partitioned bounded run when cross-job order follows job index
+// (spineOrdered): partition workers then stream into a document-order
+// merge that yields job 0's rows while later partitions are still
+// scanning. The sort-before-output engines (PathStack, InterJoin) and
+// the remaining partitioned shapes cannot deliver before ordering is
+// established; they evaluate the bounded page first and then replay it
+// through yield.
+func (p *PreparedQuery) RunStream(ctx context.Context, so *StreamOptions, yield func(row []Node) bool) (*Result, error) {
+	lim, k := p.streamLimits(so)
+	streamEng := p.eng == EngineViewJoin || p.eng == EngineTwigStack
+	if k > 1 && streamEng && lim.first() > 0 {
+		start := time.Now() // planning is part of the run, as in runParallel
+		if jobs := p.planPartitions(k); len(jobs) > 1 && p.spineOrdered() {
+			return p.runParallelStream(ctx, jobs, lim, start, yield)
+		}
+		// Unpartitionable or unordered across jobs: the parallel
+		// materialize-and-replay path below still applies the page bound.
+	}
+	if k > 1 || !streamEng {
+		var res *Result
+		var err error
+		if k > 1 {
+			res, err = p.runParallel(ctx, k, lim, time.Now(), false, p.opts.Tracer)
+		} else {
+			res, err = p.run(ctx, lim, nil, time.Now(), false, p.opts.Tracer)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range res.Matches {
+			if !yield(row) {
+				break
+			}
+		}
+		res.Matches = nil
+		return res, nil
+	}
+	// True streaming: the collector hands each match to emit in document
+	// order; skip the offset prefix here (it still counts against the
+	// engine quota, which is offset+limit) and stop the run when yield
+	// declines.
+	skip := lim.offset
+	row := make([]Node, p.q.p.Size())
+	emit := func(m match.Match) bool {
+		if skip > 0 {
+			skip--
+			return true
+		}
+		for j, id := range m {
+			n := p.d.d.Node(id)
+			row[j] = Node{Tag: p.d.d.TypeName(n.Type), Start: n.Start, End: n.End, Level: n.Level}
+		}
+		return yield(row)
+	}
+	return p.run(ctx, lim, emit, time.Now(), false, p.opts.Tracer)
 }
 
 // RunTraced executes the prepared plan once with tr observing this single
@@ -221,9 +398,9 @@ func (p *PreparedQuery) RunContext(ctx context.Context) (*Result, error) {
 // RunContext/RunParallel.
 func (p *PreparedQuery) RunTraced(ctx context.Context, k int, tr obs.Tracer) (*Result, error) {
 	if k > 1 {
-		return p.runParallel(ctx, k, time.Now(), false, tr)
+		return p.runParallel(ctx, k, p.limits(), time.Now(), false, tr)
 	}
-	return p.run(ctx, time.Now(), false, tr)
+	return p.run(ctx, p.limits(), nil, time.Now(), false, tr)
 }
 
 // pageHook adapts buffer-pool lookups into tracer page events.
@@ -263,7 +440,8 @@ func (p *PreparedQuery) lazyPlan() *obs.Plan {
 // which query and engine were aborted. tr observes this execution only —
 // the Run/RunContext entry points pass the prepare-time Tracer, RunTraced
 // a per-call one.
-func (p *PreparedQuery) run(ctx context.Context, start time.Time, includePrep bool, tr obs.Tracer) (*Result, error) {
+func (p *PreparedQuery) run(ctx context.Context, lim limits, emit func(match.Match) bool,
+	start time.Time, includePrep bool, tr obs.Tracer) (*Result, error) {
 	var interrupt func() error
 	if ctx != nil {
 		interrupt = contextInterrupt(ctx, p.eng, p.q.String())
@@ -292,6 +470,9 @@ func (p *PreparedQuery) run(ctx context.Context, start time.Time, includePrep bo
 		PageSize:       p.opts.PageSize,
 		UnguardedJumps: p.opts.UnguardedJumps,
 		Interrupt:      interrupt,
+		Emit:           emit,
+		First:          lim.first(),
+		After:          lim.after,
 	}
 	var (
 		ms      match.Set
@@ -319,14 +500,18 @@ func (p *PreparedQuery) run(ctx context.Context, start time.Time, includePrep bo
 	if evalErr != nil {
 		return nil, evalErr
 	}
-	return p.buildResult(ms, c, peak, 1, start, tr), nil
+	return p.buildResult(lim.slice(ms), c, peak, 1, start, io.FirstMatchTime(), tr), nil
 }
 
 // buildResult renders an engine's match set into the public Result,
 // stamping the run's counters into Stats and resolving node bindings
 // (shared by the sequential and partitioned paths).
 func (p *PreparedQuery) buildResult(ms match.Set, c counters.Counters, peak int64, partitions int,
-	start time.Time, tr obs.Tracer) *Result {
+	start time.Time, firstMatch time.Time, tr obs.Tracer) *Result {
+	var firstNanos int64
+	if !firstMatch.IsZero() {
+		firstNanos = firstMatch.Sub(start).Nanoseconds()
+	}
 	res := &Result{
 		Matches: make([][]Node, len(ms)),
 		Stats: Stats{
@@ -340,6 +525,7 @@ func (p *PreparedQuery) buildResult(ms match.Set, c counters.Counters, peak int6
 			JumpsRefused:    c.JumpsRefused,
 			PeakMemoryBytes: peak,
 			Duration:        time.Since(start),
+			FirstMatchNanos: firstNanos,
 			Partitions:      partitions,
 		},
 	}
@@ -359,6 +545,7 @@ func (p *PreparedQuery) buildResult(ms match.Set, c counters.Counters, peak int6
 	}
 	if rec, ok := tr.(*obs.Recorder); ok {
 		res.Trace = rec.Report(c, time.Since(start))
+		res.Trace.FirstMatchNanos = firstNanos
 	}
 	return res
 }

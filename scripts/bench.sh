@@ -26,6 +26,6 @@ fi
 go run ./cmd/vjbench -exp all -json "$out" > /dev/null
 if [ -z "${VJBENCH_SKIP_LOAD:-}" ]; then
 	go run ./cmd/vjload -xmark 0.05 -qps 300 -duration 3s -seed 1 \
-		-mix '//site//item[//description//keyword]/name; //site//item//name @ //site//item//name' \
+		-mix '//site//item[//description//keyword]/name; //site//item//name @ //site//item//name; //site//item//name @ //site//item//name # 20' \
 		-json "${out%.json}.load.json"
 fi

@@ -15,6 +15,9 @@
 #   3c. server coverage floor: the serving layer owns admission, outcome
 #      accounting and the flight recorder; its statement coverage must
 #      stay >= VJCI_SERVER_COV (80%)
+#   3d. enum coverage floor: the shared enumeration stage owns the
+#      streaming/partial-flush ordering proofs; internal/engine/enum
+#      statement coverage must stay >= VJCI_ENUM_COV (85%)
 #   4. govulncheck, when the tool is installed (skipped, not failed, when
 #      absent — hermetic runners don't fetch tools)
 #   5. fuzz smoke: 10s each of FuzzParse (internal/tpq),
@@ -23,11 +26,11 @@
 #   5b. vjload smoke: a 1s in-process open-loop run at low QPS; the load
 #      path must produce a well-formed viewjoin/load/v1 manifest
 #   6. bench gate: a fresh manifest via scripts/bench.sh compared against
-#      the committed BENCH_4.json baseline with scripts/benchcmp.sh
+#      the committed BENCH_5.json baseline with scripts/benchcmp.sh
 #      (>10% wall-time or allocs regression fails; VJCI_SKIP_BENCH=1 skips
 #      the gate on machines where timings are meaningless, e.g. shared
 #      runners). The serving-latency manifest bench.sh writes alongside is
-#      gated against BENCH_4.load.json with a wider threshold
+#      gated against BENCH_5.load.json with a wider threshold
 #      (VJBENCHCMP_LOAD_THRESHOLD, default 0.50) — cross-machine latency
 #      quantiles are far noisier than single-process wall times.
 #
@@ -36,6 +39,7 @@
 #   VJCI_STORE_COV       minimum internal/store coverage %% (default 85)
 #   VJCI_ENGINE_COV      minimum internal/engine/... coverage %% (default 80)
 #   VJCI_SERVER_COV      minimum internal/server coverage %% (default 80)
+#   VJCI_ENUM_COV        minimum internal/engine/enum coverage %% (default 85)
 #   VJCI_SKIP_BENCH=1    skip the bench and load regression gates
 #   VJBENCHCMP_THRESHOLD regression threshold for the bench gate (default 0.10)
 #   VJBENCHCMP_LOAD_THRESHOLD  threshold for the load gate (default 0.50)
@@ -46,6 +50,7 @@ fuzztime="${VJCI_FUZZTIME:-10s}"
 store_cov="${VJCI_STORE_COV:-85}"
 engine_cov="${VJCI_ENGINE_COV:-80}"
 server_cov="${VJCI_SERVER_COV:-80}"
+enum_cov="${VJCI_ENUM_COV:-85}"
 
 echo "== gofmt"
 unformatted="$(gofmt -l . 2>/dev/null || true)"
@@ -103,6 +108,18 @@ if ! awk -v c="$scov" -v floor="$server_cov" 'BEGIN { exit !(c+0 >= floor+0) }';
 fi
 echo "server coverage: ${scov}%"
 
+echo "== enum coverage floor (>= ${enum_cov}%)"
+ncov="$(go test -count=1 -cover ./internal/engine/enum | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')"
+if [ -z "$ncov" ]; then
+	echo "enum coverage: could not parse coverage output" >&2
+	exit 1
+fi
+if ! awk -v c="$ncov" -v floor="$enum_cov" 'BEGIN { exit !(c+0 >= floor+0) }'; then
+	echo "enum coverage ${ncov}% is below the ${enum_cov}% floor" >&2
+	exit 1
+fi
+echo "enum coverage: ${ncov}%"
+
 if command -v govulncheck >/dev/null 2>&1; then
 	echo "== govulncheck"
 	govulncheck ./...
@@ -130,14 +147,14 @@ rm -f "$loadtmp"
 if [ -n "${VJCI_SKIP_BENCH:-}" ]; then
 	echo "== bench gate: skipped (VJCI_SKIP_BENCH)"
 else
-	echo "== bench gate: fresh manifest vs BENCH_4.json"
+	echo "== bench gate: fresh manifest vs BENCH_5.json"
 	tmp="$(mktemp -t vjci-bench-XXXXXX.json)"
 	trap 'rm -f "$tmp" "${tmp%.json}.load.json"' EXIT
 	VJBENCH_SKIP_SMOKE=1 scripts/bench.sh "$tmp"
-	scripts/benchcmp.sh BENCH_4.json "$tmp"
-	echo "== load gate: fresh serving-latency manifest vs BENCH_4.load.json"
+	scripts/benchcmp.sh BENCH_5.json "$tmp"
+	echo "== load gate: fresh serving-latency manifest vs BENCH_5.load.json"
 	VJBENCHCMP_THRESHOLD="${VJBENCHCMP_LOAD_THRESHOLD:-0.50}" \
-		scripts/benchcmp.sh BENCH_4.load.json "${tmp%.json}.load.json"
+		scripts/benchcmp.sh BENCH_5.load.json "${tmp%.json}.load.json"
 fi
 
 echo "== ci: OK"

@@ -43,6 +43,23 @@ func checkParallelEquivalence(t *testing.T, label string, p *PreparedQuery, seq 
 	}
 }
 
+// checkPagedEquivalence asserts the bounded entry points (RunPage and
+// RunStream, sequential and partitioned) reproduce document-order slices
+// of the sequential result under every K in the soak grid: a leading
+// page, an interior page, and a page straddling the end of the result.
+func checkPagedEquivalence(t *testing.T, label string, p *PreparedQuery, seq *Result) {
+	t.Helper()
+	n := len(seq.Matches)
+	tail := n - 2
+	if tail < 0 {
+		tail = 0
+	}
+	pages := [][2]int{{3, 0}, {5, n / 2}, {4, tail}}
+	for _, pg := range pages {
+		checkPages(t, label, p, seq, pg[0], pg[1], soakKs())
+	}
+}
+
 // soakCase is one engine/scheme pairing of the workload soak; together the
 // four cover every engine and every storage scheme.
 type soakCase struct {
@@ -104,6 +121,7 @@ func TestParallelWorkloadEquivalence(t *testing.T) {
 						label, len(seq.Matches), len(want.Matches))
 				}
 				checkParallelEquivalence(t, label, p, seq)
+				checkPagedEquivalence(t, label, p, seq)
 			}
 		}
 	}
@@ -162,6 +180,7 @@ func TestParallelGeneratedSoak(t *testing.T) {
 						label, len(seq.Matches), len(want.Matches))
 				}
 				checkParallelEquivalence(t, label, p, seq)
+				checkPagedEquivalence(t, label, p, seq)
 			}
 		}
 	}

@@ -367,6 +367,20 @@ type EvalOptions struct {
 	// range reads overlap on a real device. Zero (the default) keeps the
 	// historical arithmetic-only cost model.
 	IOLatency time.Duration
+	// Limit, when > 0, bounds the result to the first Limit matches in
+	// document order. The bound is pushed into the engines: the streaming
+	// engines (ViewJoin, TwigStack) stop scanning once Offset+Limit matches
+	// have been enumerated, and the sort-before-output engines (PathStack,
+	// InterJoin) cap their accumulation at Offset+Limit entries, so peak
+	// result memory is O(Limit) instead of O(total matches). 0 returns
+	// everything.
+	Limit int
+	// Offset skips the first Offset matches (applied before Limit, as in
+	// SQL LIMIT/OFFSET). Prefer cursor-based pagination
+	// (PreparedQuery.RunPage with StreamOptions.After) for deep paging:
+	// an offset still enumerates the skipped prefix, a cursor seeks past
+	// it.
+	Offset int
 }
 
 // Stats reports the deterministic cost of an evaluation.
@@ -395,8 +409,17 @@ type Stats struct {
 	PeakMemoryBytes int64
 	// Duration is the wall-clock evaluation time.
 	Duration time.Duration
+	// FirstMatchNanos is the wall-clock time from the start of the run to
+	// the first match produced (time-to-first-match), in nanoseconds; 0
+	// when the run produced no match. For the streaming engines (ViewJoin,
+	// TwigStack) it stays flat as the total match count grows; the
+	// sort-before-output engines (PathStack, InterJoin) cannot deliver
+	// before their final sort, so their TTFM tracks the full run. For
+	// partitioned runs it is the earliest first match across partitions.
+	FirstMatchNanos int64
 	// Partitions is the number of document partitions evaluated: 1 for a
-	// sequential run, the planned partition-job count for a parallel one.
+	// sequential run, the executed partition-job count for a parallel one
+	// (jobs skipped by a first-k quota cutoff are not counted).
 	Partitions int
 }
 
@@ -429,9 +452,9 @@ func Evaluate(d *Document, q *Query, mviews []*MaterializedView, eng Engine, opt
 		return nil, err
 	}
 	if k := p.parallelism(); k > 1 {
-		return p.runParallel(p.opts.Context, k, start, true, p.opts.Tracer)
+		return p.runParallel(p.opts.Context, k, p.limits(), start, true, p.opts.Tracer)
 	}
-	return p.run(p.opts.Context, start, true, p.opts.Tracer)
+	return p.run(p.opts.Context, p.limits(), nil, start, true, p.opts.Tracer)
 }
 
 // CanceledError reports an evaluation aborted by its context (cancellation
