@@ -168,10 +168,12 @@ func compareBench(oldBuf, newBuf []byte, threshold float64) int {
 			mark = "  REGRESSION(time)"
 			regressions++
 		}
-		// Allocs are gated only when both runs recorded them: a zero count
-		// means the manifest predates the field (or the experiment genuinely
-		// never allocated, in which case there is nothing to regress from
-		// measurably either).
+		// Allocs are gated only when both runs recorded them: a zero count in
+		// the baseline means the manifest predates the field. A zero count in
+		// the NEW manifest against a nonzero baseline is different — the
+		// metric went missing (a field rename, a broken measurement), and
+		// silently skipping it would let a real regression hide behind the
+		// hole — so it warns loudly instead of gating.
 		allocsStr, allocsDeltaStr := "-", ""
 		if o.allocs > 0 && e.Allocs > 0 {
 			allocsDelta := float64(e.Allocs) - float64(o.allocs)
@@ -182,6 +184,10 @@ func compareBench(oldBuf, newBuf []byte, threshold float64) int {
 				mark += "  REGRESSION(allocs)"
 				regressions++
 			}
+		} else if o.allocs > 0 {
+			mark += "  MISSING(allocs)"
+			fmt.Fprintf(os.Stderr, "vjbenchcmp: WARNING: experiment %q has allocs=%d in the baseline but none in the new manifest — metric went missing, not compared\n",
+				e.Name, o.allocs)
 		} else if e.Allocs > 0 {
 			allocsStr = fmtAllocs(e.Allocs)
 		}
@@ -199,7 +205,10 @@ func compareBench(oldBuf, newBuf []byte, threshold float64) int {
 
 // compareLoad diffs two load/v1 manifests: latency quantiles regress
 // upward, achieved throughput regresses downward. A baseline quantile of
-// zero (no completed requests) cannot be compared and is skipped.
+// zero (no completed requests, or a manifest predating the field) cannot
+// be compared and is skipped; a NEW quantile of zero against a nonzero
+// baseline means the metric went missing and warns loudly — a latency
+// that "dropped to zero" is a measurement hole, not an improvement.
 func compareLoad(oldBuf, newBuf []byte, threshold float64) int {
 	var old, neu loadManifest
 	mustUnmarshal(oldBuf, &old)
@@ -213,6 +222,12 @@ func compareLoad(oldBuf, newBuf []byte, threshold float64) int {
 	row := func(name string, o, n float64, fmtVal func(float64) string, worseWhenUp bool) {
 		if o == 0 {
 			fmt.Printf("%-14s %14s %14s %9s\n", name, "-", fmtVal(n), "")
+			return
+		}
+		if n == 0 {
+			fmt.Printf("%-14s %14s %14s %9s  MISSING\n", name, fmtVal(o), "-", "")
+			fmt.Fprintf(os.Stderr, "vjbenchcmp: WARNING: metric %q is %s in the baseline but zero/absent in the new manifest — metric went missing, not compared\n",
+				name, fmtVal(o))
 			return
 		}
 		rel := (n - o) / o

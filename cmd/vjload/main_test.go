@@ -125,6 +125,57 @@ func TestParseMix(t *testing.T) {
 	}
 }
 
+func TestParseMixTenantAndLimit(t *testing.T) {
+	got := parseMix("//a//b @ //a, //b % t1 # 20; //c % t0; //d # 5")
+	if len(got) != 3 {
+		t.Fatalf("parseMix: %+v", got)
+	}
+	if got[0].query != "//a//b" || got[0].tenant != "t1" || got[0].limit != 20 ||
+		len(got[0].views) != 2 || got[0].spec != "//a//b @ //a, //b % t1 # 20" {
+		t.Errorf("class 0: %+v", got[0])
+	}
+	if got[1].query != "//c" || got[1].tenant != "t0" || got[1].limit != 0 || got[1].spec != "//c % t0" {
+		t.Errorf("class 1: %+v", got[1])
+	}
+	if got[2].query != "//d" || got[2].tenant != "" || got[2].limit != 5 {
+		t.Errorf("class 2: %+v", got[2])
+	}
+}
+
+// TestLoadMultiTenantCapped drives the in-process server across three
+// tenant registries with a warm-tier cap small enough that views are
+// served mmap-cold: the multi-tenant density smoke. Every completed
+// request must come back clean; a pinned '%' class must stay valid.
+func TestLoadMultiTenantCapped(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "load.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-xmark", "0.02",
+		"-qps", "200",
+		"-duration", "500ms",
+		"-tenants", "3",
+		"-max-resident-bytes", "4096",
+		"-mix", "//site//item//name @ //site//item//name; //description//keyword @ //description//keyword % t1",
+		"-json", out,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("vjload exit %d\nstderr: %s", code, stderr.String())
+	}
+	var m manifest
+	if err := json.Unmarshal(readFile(t, out), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Completed == 0 {
+		t.Fatalf("no requests completed: %+v", m)
+	}
+	if m.Errors != 0 {
+		t.Errorf("%d errors; all tenants should serve cleanly", m.Errors)
+	}
+	if m.Config.Tenants != 3 || m.Config.MaxResidentBytes != 4096 {
+		t.Errorf("config tenancy not recorded: %+v", m.Config)
+	}
+}
+
 func TestBadFlags(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-qps", "0"}, &stdout, &stderr); code != 1 {

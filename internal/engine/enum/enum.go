@@ -90,9 +90,14 @@ type Collector struct {
 	// entry-count trigger for the next partial-flush attempt, grown
 	// geometrically so filter work stays amortized against window growth.
 	// full is swap scratch for enumerating truncated candidate lists.
-	spine       []int
-	nextPartial int
-	full        [][]Label
+	// flushedBound is the bound of the window's latest partial flush: every
+	// tuple whose bindings all start before it has already been emitted, so
+	// later enumerations of the same window (candidates spanning the bound
+	// are kept) skip those tuples instead of emitting them twice.
+	spine        []int
+	nextPartial  int
+	full         [][]Label
+	flushedBound int32
 
 	// Reusable per-window scratch (allocated once, reused across windows).
 	ok        [][]bool
@@ -191,6 +196,7 @@ func (c *Collector) Reset(io *counters.IO, tr obs.Tracer, diskBased bool, pageSi
 	c.entries, c.peakEntries = 0, 0
 	c.spoolIn = 0
 	c.nextPartial = partialTrigger
+	c.flushedBound = 0
 	for qi := range c.okStarts {
 		c.okStarts[qi] = c.okStarts[qi][:0]
 	}
@@ -230,6 +236,7 @@ func (c *Collector) openWindow(rootLabel Label) {
 	c.open = true
 	c.windowStart = rootLabel.Start
 	c.windowEnd = rootLabel.End
+	c.flushedBound = rootLabel.Start
 	c.append(0, rootLabel)
 	if len(c.pending) > 0 {
 		keep := c.pending[:0]
@@ -433,6 +440,9 @@ func (c *Collector) partialFlush(frontier int32) {
 		c.cands[qi] = keep
 		c.entries += len(keep)
 	}
+	if bound > c.flushedBound {
+		c.flushedBound = bound
+	}
 }
 
 // partialBound returns the partial-flush boundary: no future or unemitted
@@ -449,9 +459,15 @@ func (c *Collector) partialFlush(frontier int32) {
 // proves closed.
 func (c *Collector) partialBound(frontier int32) int32 {
 	b := frontier
-	for _, qi := range c.spine {
+	for i, qi := range c.spine {
 		list := c.cands[qi]
-		if len(list) <= 1 {
+		// The spine tail is the pattern's first branching node: its children
+		// cross-product freely inside each tail candidate (siblings join only
+		// through their common tail ancestor), so no tuple inside an open
+		// tail candidate is final — the earliest open candidate caps the
+		// bound even when the list holds a single entry.
+		branchingTail := i == len(c.spine)-1 && len(c.q.Nodes[qi].Children) > 1
+		if len(list) <= 1 && !branchingTail {
 			continue
 		}
 		for _, l := range list {
@@ -598,6 +614,9 @@ func (c *Collector) enumerate() {
 			if c.ic != nil && c.ic.Check() != nil {
 				return false
 			}
+			if c.flushedBound > c.windowStart && c.tupleBefore(c.flushedBound) {
+				return true // already emitted by an earlier partial flush
+			}
 			if c.after != nil && !c.tupleAfterCursor() {
 				return true // at or before the resumption cursor: skip
 			}
@@ -656,6 +675,21 @@ func (c *Collector) enumerate() {
 			return
 		}
 	}
+}
+
+// tupleBefore reports whether every binding of the current tuple starts
+// before b. Such a tuple was fully enumerable at the partial flush whose
+// bound was b — every binding was present (Advance guarantees future adds
+// start at or after the frontier, and b never exceeds it) and its ok bits
+// held (each node's subtree requirement is witnessed by the tuple's own
+// child bindings, all before b) — so it was emitted then.
+func (c *Collector) tupleBefore(b int32) bool {
+	for k := range c.cur {
+		if c.cur[k].Start >= b {
+			return false
+		}
+	}
+	return true
 }
 
 // tupleAfterCursor reports whether the current tuple's start labels are

@@ -171,6 +171,7 @@ func All() []Experiment {
 		{"coldload", "View cold-start — zero-copy LoadView vs re-materialization, time and allocs", ColdLoad},
 		{"shards", "Range-partitioned parallel evaluation — RunParallel k=1 vs k=N under I/O stalls", Shards},
 		{"firstk", "First-k pushdown — streamed pages vs full materialization, time-to-first-match", Firstk},
+		{"density", "Serving density — multi-tenant fleet under a resident-bytes cap, warm/cold tiering vs fully resident", Density},
 	}
 }
 

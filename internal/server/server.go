@@ -74,6 +74,21 @@ type Config struct {
 	// time (admission to response) meets it; the recent ring receives every
 	// request regardless. 0 makes every request eligible.
 	SlowlogThreshold time.Duration
+	// MaxResidentBytes caps the warm (heap-resident) tier of file-backed
+	// views: registration and promotion admit views warm only while their
+	// summed page footprint fits, demoting least-recently-used views to the
+	// cold (mmap-backed) tier to make room. 0 (the default) is unbounded —
+	// every view is served resident. In-memory views (AddView) are pinned
+	// and outside the cap.
+	MaxResidentBytes int64
+	// DisableMmap makes cold-tier loads fall back to resident reads
+	// instead of mappings (heap the cap does not account for). The default
+	// false serves cold views through read-only mappings.
+	DisableMmap bool
+	// PromoteAfter is how many accesses a cold view needs before it is
+	// considered for promotion to the warm tier. Default 2: a one-off
+	// access stays cold, a repeat customer earns residency.
+	PromoteAfter int
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +104,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxParallel <= 0 {
 		c.MaxParallel = 1
 	}
+	if c.PromoteAfter <= 0 {
+		c.PromoteAfter = 2
+	}
 	return c
 }
 
@@ -96,7 +114,7 @@ func (c Config) withDefaults() Config {
 // keyed by the canonical rendering of their pattern.
 type docEntry struct {
 	doc   *viewjoin.Document
-	views map[string]*viewjoin.MaterializedView
+	views map[string]*viewEntry
 	order []string // registration order, for /documents listings
 }
 
@@ -107,9 +125,12 @@ type docEntry struct {
 // worker evaluates off the same immutable segments — no per-request copy
 // or decode of view data.
 type Server struct {
-	cfg   Config
-	docs  map[string]*docEntry
-	cache *planCache
+	cfg     Config
+	tenants map[string]*tenant // tenant name -> registry; "" is the default tenant
+	cache   *planCache
+
+	res         *residency // warm/cold tiering of file-backed views
+	pinnedViews int        // in-memory views, outside residency management
 
 	sem    chan struct{} // worker slots
 	queued atomic.Int64  // admitted requests waiting for a slot
@@ -147,8 +168,9 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
-		docs:    make(map[string]*docEntry),
+		tenants: make(map[string]*tenant),
 		cache:   newPlanCache(cfg.CacheSize),
+		res:     newResidency(cfg),
 		sem:     make(chan struct{}, cfg.Workers),
 		latency: make(map[string]*obs.Histogram),
 		start:   time.Now(),
@@ -159,34 +181,26 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// AddDocument registers a document under a name. Not safe to call once
-// serving has started.
+// AddDocument registers a document with the default tenant. Not safe to
+// call once serving has started.
 func (s *Server) AddDocument(name string, d *viewjoin.Document) error {
-	if name == "" {
-		return errors.New("server: empty document name")
-	}
-	if _, ok := s.docs[name]; ok {
-		return fmt.Errorf("server: document %q already registered", name)
-	}
-	s.docs[name] = &docEntry{doc: d, views: make(map[string]*viewjoin.MaterializedView)}
-	return nil
+	return s.AddTenantDocument("", name, d)
 }
 
-// AddView registers a materialized view under its document. The view is
-// addressable in requests by the canonical rendering of its pattern
-// (e.g. "//site//item//name"). Not safe to call once serving has started.
+// AddView registers an in-memory materialized view under a default-tenant
+// document. The view is addressable in requests by the canonical
+// rendering of its pattern (e.g. "//site//item//name") and is pinned
+// resident (see AddTenantView). Not safe to call once serving has
+// started.
 func (s *Server) AddView(docName string, mv *viewjoin.MaterializedView) error {
-	e, ok := s.docs[docName]
-	if !ok {
-		return fmt.Errorf("server: unknown document %q", docName)
-	}
-	name := mv.Pattern().String()
-	if _, ok := e.views[name]; ok {
-		return fmt.Errorf("server: view %s already registered for document %q", name, docName)
-	}
-	e.views[name] = mv
-	e.order = append(e.order, name)
-	return nil
+	return s.AddTenantView("", docName, mv)
+}
+
+// AddViewFile registers a saved view container file under a
+// default-tenant document, residency-managed (see AddTenantViewFile).
+// Not safe to call once serving has started.
+func (s *Server) AddViewFile(docName, path string) error {
+	return s.AddTenantViewFile("", docName, path)
 }
 
 // Handler returns the HTTP handler serving the full API surface.
@@ -214,6 +228,9 @@ func (s *Server) Drain() {
 
 // queryRequest is the body of POST /query and POST /debug/trace.
 type queryRequest struct {
+	// Tenant selects the registry the document is looked up in; empty is
+	// the default tenant (the only one a single-tenant deployment has).
+	Tenant    string   `json:"tenant,omitempty"`
 	Document  string   `json:"document"`
 	Query     string   `json:"query"`
 	Engine    string   `json:"engine"`               // VJ (default), TS, PS, IJ
@@ -394,12 +411,20 @@ func (s *Server) admit() (release func(), status int, stage string, err error) {
 	}, 0, "", nil
 }
 
-// resolve looks up the document, parses the query, resolves the view
-// names (all registered views when none are named) and the engine.
+// resolve looks up the document in the request's tenant registry, parses
+// the query, resolves the view names (all registered views when none are
+// named) and the engine, and acquires the tier-appropriate copy of each
+// view from the residency manager.
 func (s *Server) resolve(req *queryRequest) (*docEntry, *viewjoin.Query, viewjoin.Engine, []string, []*viewjoin.MaterializedView, int, string, error) {
-	e, ok := s.docs[req.Document]
+	t := s.tenants[req.Tenant]
+	if t == nil {
+		return nil, nil, 0, nil, nil, http.StatusNotFound, "resolve",
+			fmt.Errorf("unknown document %q%s", req.Document, forTenant(req.Tenant))
+	}
+	e, ok := t.docs[req.Document]
 	if !ok {
-		return nil, nil, 0, nil, nil, http.StatusNotFound, "resolve", fmt.Errorf("unknown document %q", req.Document)
+		return nil, nil, 0, nil, nil, http.StatusNotFound, "resolve",
+			fmt.Errorf("unknown document %q%s", req.Document, forTenant(req.Tenant))
 	}
 	q, err := viewjoin.ParseQuery(req.Query)
 	if err != nil {
@@ -425,10 +450,15 @@ func (s *Server) resolve(req *queryRequest) (*docEntry, *viewjoin.Query, viewjoi
 			return nil, nil, 0, nil, nil, http.StatusBadRequest, "parse", fmt.Errorf("view %q: %w", n, err)
 		}
 		key := vq.String()
-		mv, ok := e.views[key]
+		ve, ok := e.views[key]
 		if !ok {
 			return nil, nil, 0, nil, nil, http.StatusNotFound, "resolve",
 				fmt.Errorf("view %s not registered for document %q", key, req.Document)
+		}
+		mv, err := s.acquire(ve)
+		if err != nil {
+			return nil, nil, 0, nil, nil, http.StatusInternalServerError, "load",
+				fmt.Errorf("view %s: %w", key, err)
 		}
 		canon = append(canon, key)
 		mviews = append(mviews, mv)
@@ -443,7 +473,7 @@ func (s *Server) resolve(req *queryRequest) (*docEntry, *viewjoin.Query, viewjoi
 // tracer), which is what makes them shareable across concurrent requests;
 // per-request tracing attaches via RunTraced instead.
 func (s *Server) plan(req *queryRequest, e *docEntry, q *viewjoin.Query, eng viewjoin.Engine, canon []string, mviews []*viewjoin.MaterializedView) (*planEntry, bool, error) {
-	key := planKey{doc: req.Document, query: q.String(), engine: eng, views: strings.Join(canon, ";")}
+	key := planKey{tenant: req.Tenant, doc: req.Document, query: q.String(), engine: eng, views: strings.Join(canon, ";")}
 	if ent := s.cache.get(key); ent != nil {
 		return ent, true, nil
 	}
@@ -806,10 +836,11 @@ type metricsResponse struct {
 	UptimeMS   int64               `json:"uptime_ms"`
 	PlanCache  planCacheMetrics    `json:"plan_cache"`
 	Requests   requestMetrics      `json:"requests"`
+	Residency  residencyMetrics    `json:"residency"` // warm/cold view tiering
 	LatencyUS  map[string]histJSON `json:"latency_us"`
 	Partitions histJSON            `json:"partitions"` // partitions per successful run
 	Plans      []planMetrics       `json:"plans"`      // one row per resident cache entry, MRU first
-	Documents  int                 `json:"documents"`
+	Documents  int                 `json:"documents"`  // across all tenants
 }
 
 type planCacheMetrics struct {
@@ -860,6 +891,7 @@ func histOf(h *obs.Histogram) histJSON {
 // planMetrics is one row of the per-plan table: the plan identity plus
 // the aggregate of every run it has served since entering the cache.
 type planMetrics struct {
+	Tenant          string   `json:"tenant,omitempty"`
 	Document        string   `json:"document"`
 	Query           string   `json:"query"`
 	Engine          string   `json:"engine"`
@@ -880,6 +912,7 @@ func (s *Server) planRows() []planMetrics {
 	for _, ent := range ents {
 		snap := ent.agg.Snapshot()
 		rows = append(rows, planMetrics{
+			Tenant:          ent.key.tenant,
 			Document:        ent.key.doc,
 			Query:           ent.key.query,
 			Engine:          ent.key.engine.String(),
@@ -918,9 +951,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Queued:   s.queued.Load(),
 			Draining: draining,
 		},
+		Residency: s.residencySnapshot(),
 		LatencyUS: make(map[string]histJSON),
 		Plans:     s.planRows(),
-		Documents: len(s.docs),
+		Documents: s.numDocuments(),
 	}
 	s.histMu.Lock()
 	for name, h := range s.latency {
@@ -932,12 +966,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(resp)
 }
 
+// numDocuments counts registered documents across all tenants.
+func (s *Server) numDocuments() int {
+	n := 0
+	for _, t := range s.tenants {
+		n += len(t.docs)
+	}
+	return n
+}
+
 // plansResponse is the body of GET /debug/plans: the per-plan table with
 // the full summed counter record per plan, beyond the compact ratios the
-// /metrics table carries.
+// /metrics table carries, plus the residency state of every registered
+// view (which tier each one sits in, and the tiering counters).
 type plansResponse struct {
-	Schema string       `json:"schema"`
-	Plans  []planDetail `json:"plans"`
+	Schema    string             `json:"schema"`
+	Plans     []planDetail       `json:"plans"`
+	Residency residencyMetrics   `json:"residency"`
+	Views     []viewResidencyRow `json:"views"`
 }
 
 type planDetail struct {
@@ -961,11 +1007,17 @@ type planCountersJSON struct {
 
 func (s *Server) handlePlans(w http.ResponseWriter, r *http.Request) {
 	ents := s.cache.entries()
-	resp := plansResponse{Schema: PlansSchema, Plans: make([]planDetail, 0, len(ents))}
+	resp := plansResponse{
+		Schema:    PlansSchema,
+		Plans:     make([]planDetail, 0, len(ents)),
+		Residency: s.residencySnapshot(),
+		Views:     s.viewRows(),
+	}
 	for _, ent := range ents {
 		snap := ent.agg.Snapshot()
 		resp.Plans = append(resp.Plans, planDetail{
 			planMetrics: planMetrics{
+				Tenant:          ent.key.tenant,
 				Document:        ent.key.doc,
 				Query:           ent.key.query,
 				Engine:          ent.key.engine.String(),
@@ -1020,9 +1072,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 // documentInfo is one entry of GET /documents.
 type documentInfo struct {
-	Name  string     `json:"name"`
-	Nodes int        `json:"nodes"`
-	Views []viewInfo `json:"views"`
+	Tenant string     `json:"tenant,omitempty"`
+	Name   string     `json:"name"`
+	Nodes  int        `json:"nodes"`
+	Views  []viewInfo `json:"views"`
 }
 
 type viewInfo struct {
@@ -1030,28 +1083,42 @@ type viewInfo struct {
 	Scheme    string `json:"scheme"`
 	Entries   int    `json:"entries"`
 	SizeBytes int64  `json:"size_bytes"`
+	Tier      string `json:"tier"` // pinned, warm, cold, unloaded
 }
 
 func (s *Server) handleDocuments(w http.ResponseWriter, r *http.Request) {
-	names := make([]string, 0, len(s.docs))
-	for n := range s.docs {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	out := make([]documentInfo, 0, len(names))
-	for _, n := range names {
-		e := s.docs[n]
-		di := documentInfo{Name: n, Nodes: e.doc.NumNodes()}
-		for _, vn := range e.order {
-			mv := e.views[vn]
-			di.Views = append(di.Views, viewInfo{
-				Pattern:   vn,
-				Scheme:    mv.Scheme().String(),
-				Entries:   mv.NumEntries(),
-				SizeBytes: mv.SizeBytes(),
-			})
+	s.res.mu.Lock()
+	var out []documentInfo
+	for _, tn := range sortedKeys(s.tenants) {
+		t := s.tenants[tn]
+		for _, n := range sortedKeys(t.docs) {
+			e := t.docs[n]
+			di := documentInfo{Tenant: tn, Name: n, Nodes: e.doc.NumNodes()}
+			for _, vn := range e.order {
+				ve := e.views[vn]
+				tier := "cold"
+				switch {
+				case ve.pinned:
+					tier = "pinned"
+				case ve.warm != nil:
+					tier = "warm"
+				case ve.cold == nil:
+					tier = "unloaded"
+				}
+				di.Views = append(di.Views, viewInfo{
+					Pattern:   vn,
+					Scheme:    ve.scheme,
+					Entries:   ve.entries,
+					SizeBytes: ve.footprint,
+					Tier:      tier,
+				})
+			}
+			out = append(out, di)
 		}
-		out = append(out, di)
+	}
+	s.res.mu.Unlock()
+	if out == nil {
+		out = []documentInfo{}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(out)

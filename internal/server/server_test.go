@@ -181,7 +181,7 @@ func TestQueryCacheHitAllocations(t *testing.T) {
 		t.Skip("allocation counts are not meaningful under the race detector")
 	}
 	s := newTestServer(t, Config{})
-	e := s.docs["xmark"]
+	e := s.tenants[""].docs["xmark"]
 	req := &queryRequest{Document: "xmark", Query: testQuery, Engine: "VJ"}
 	q, err := viewjoin.ParseQuery(testQuery)
 	if err != nil {

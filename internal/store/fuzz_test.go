@@ -2,7 +2,11 @@ package store
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"viewjoin/internal/counters"
@@ -42,6 +46,13 @@ func fuzzSeedStores(tb testing.TB) [][]byte {
 // without panics or out-of-bounds access: the loader's header checks and
 // pointer validation are the only line of defense, because evaluation
 // trusts loaded segments.
+//
+// Every input additionally runs through the mmap arm: the bytes are
+// written to a file, mapped via OpenMmap, and loaded from the mapping.
+// Mapped and heap loads must agree exactly — same accept/reject decision,
+// same content — and a truncated or misaligned mapping must surface the
+// usual load error, never fault (the mapping's length bounds every read,
+// exactly like a heap slice's).
 func FuzzReadViewStore(f *testing.F) {
 	for _, img := range fuzzSeedStores(f) {
 		f.Add(img)
@@ -53,12 +64,19 @@ func FuzzReadViewStore(f *testing.F) {
 		wild := append([]byte(nil), img...)
 		wild[len(wild)-3] ^= 0xFF // pointer/record bytes near the tail
 		f.Add(wild)
+		// Mmap-arm seeds: lengths that leave the mapping misaligned against
+		// the page grid the format promises — one byte short of / past a
+		// segment boundary, and a valid image with trailing garbage.
+		f.Add(img[:len(img)-1])
+		f.Add(append(append([]byte(nil), img...), 0x00))
+		f.Add(img[:len(img)/2+1])
 	}
 	f.Add([]byte(persistMagic))
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := ReadViewStoreBytes(append([]byte(nil), data...))
+		mmapCheck(t, data, err == nil, s)
 		if err != nil {
 			return
 		}
@@ -121,4 +139,59 @@ func FuzzReadViewStore(f *testing.F) {
 			t.Fatalf("re-serialized store content differs")
 		}
 	})
+}
+
+// TestWriteFuzzCorpusSeeds regenerates the committed corpus entries for
+// the mmap-arm seed shapes (misaligned truncations, trailing bytes) from
+// the deterministic seed stores. It is a corpus maintenance tool, not a
+// test: set VJSTORE_WRITE_CORPUS=1 to (re)write the files.
+func TestWriteFuzzCorpusSeeds(t *testing.T) {
+	if os.Getenv("VJSTORE_WRITE_CORPUS") == "" {
+		t.Skip("corpus writer; set VJSTORE_WRITE_CORPUS=1 to run")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzReadViewStore")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, img := range fuzzSeedStores(t) {
+		for j, variant := range [][]byte{
+			img[:len(img)-1],
+			append(append([]byte(nil), img...), 0x00),
+			img[:len(img)/2+1],
+		} {
+			name := filepath.Join(dir, fmt.Sprintf("seed-mmap-%d%d", i, j))
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", variant)
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// mmapCheck is the mmap-path arm of FuzzReadViewStore: it loads the same
+// bytes through a file mapping and demands the exact behavior of the heap
+// path. heapOK/heapStore are the heap path's outcome for comparison.
+func mmapCheck(t *testing.T, data []byte, heapOK bool, heapStore *ViewStore) {
+	path := filepath.Join(t.TempDir(), "fuzz.vjst")
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatalf("mmap arm: write: %v", err)
+	}
+	mb, err := OpenMmap(path)
+	if errors.Is(err, ErrMmapUnsupported) {
+		return
+	}
+	if err != nil {
+		t.Fatalf("mmap arm: open: %v", err)
+	}
+	defer mb.Close()
+	s, err := ReadViewStoreBytes(mb.Bytes())
+	if (err == nil) != heapOK {
+		t.Fatalf("mmap arm: mapped load err=%v, heap load ok=%v — backends disagree", err, heapOK)
+	}
+	if err != nil {
+		return
+	}
+	if !sameContent(heapStore, s) {
+		t.Fatal("mmap arm: mapped and heap loads differ in content")
+	}
 }

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// mmapFile on platforms without mmap support reports
+// ErrMmapUnsupported; OpenMmap callers fall back to OpenResident.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, ErrMmapUnsupported
+}
+
+func munmapFile(data []byte) error { return nil }

@@ -76,6 +76,51 @@ func (d *Document) LoadView(r io.Reader) (*MaterializedView, error) {
 // can be served concurrently: the segments are immutable and every reader
 // carries its own cursor state.
 func (d *Document) LoadViewBytes(data []byte) (*MaterializedView, error) {
+	return d.loadViewBackend(store.NewResidentBackend(data))
+}
+
+// OpenView loads a saved view file through the resident storage backend:
+// the whole container is read into the heap and sliced zero-copy, exactly
+// like LoadViewBytes over os.ReadFile, but the returned view carries its
+// Backend so Release can drop the buffer deterministically.
+func (d *Document) OpenView(path string) (*MaterializedView, error) {
+	be, err := store.OpenResident(path)
+	if err != nil {
+		return nil, loadErr(err)
+	}
+	return d.loadViewBackend(be)
+}
+
+// LoadViewMmap memory-maps a saved view file read-only and slices the
+// page-padded segments straight out of the mapping: the view costs
+// address space and page-cache pages, not heap, which is what lets a
+// process hold orders of magnitude more cold views than RAM-resident
+// loading allows. Validation is identical to LoadViewBytes (header
+// checks, pointer bounds, fingerprint), so a truncated or corrupt file
+// surfaces as ErrViewTruncated or a validation error — never a fault.
+//
+// The mapping stays open until Release is called on the returned view;
+// after Release the view must not be read (the pages are returned to the
+// kernel). On platforms without mmap support the error matches
+// store.ErrMmapUnsupported via errors.Is, and callers fall back to
+// OpenView.
+func (d *Document) LoadViewMmap(path string) (*MaterializedView, error) {
+	be, err := store.OpenMmap(path)
+	if err != nil {
+		return nil, loadErr(err)
+	}
+	mv, err := d.loadViewBackend(be)
+	if err != nil {
+		be.Close()
+		return nil, err
+	}
+	return mv, nil
+}
+
+// loadViewBackend validates and adopts a backend's container image. On
+// success the view owns the backend; on failure the caller does.
+func (d *Document) loadViewBackend(be store.Backend) (*MaterializedView, error) {
+	data := be.Bytes()
 	if len(data) < 8 {
 		return nil, loadErr(fmt.Errorf("reading fingerprint: %w", io.ErrUnexpectedEOF))
 	}
@@ -86,8 +131,35 @@ func (d *Document) LoadViewBytes(data []byte) (*MaterializedView, error) {
 	if err != nil {
 		return nil, loadErr(err)
 	}
-	return &MaterializedView{doc: d, pattern: st.View, store: st}, nil
+	return &MaterializedView{doc: d, pattern: st.View, store: st, backend: be}, nil
 }
+
+// Resident reports whether the view's paged segments occupy heap memory.
+// Materialized views and views loaded via LoadView/LoadViewBytes/OpenView
+// are resident; LoadViewMmap views are not — their segments live in the
+// file mapping. Residency is invisible to evaluation (same cursors, same
+// results); it only decides what the view costs in RAM.
+func (v *MaterializedView) Resident() bool {
+	return v.backend == nil || v.backend.Resident()
+}
+
+// Release unwinds the view's storage backend: munmap for mmap-backed
+// views, dropping the buffer reference for resident loads, a no-op for
+// views materialized in memory. After releasing an mmap-backed view no
+// evaluation may touch it — callers (like vjserve's residency manager)
+// release only once no in-flight reader can remain. Release is
+// idempotent.
+func (v *MaterializedView) Release() error {
+	if v.backend == nil {
+		return nil
+	}
+	return v.backend.Close()
+}
+
+// FootprintBytes returns the page-granular size of the view's paged
+// segments — the unit vjserve's residency accounting charges a view at,
+// whether those pages are heap (resident tier) or mapped (cold tier).
+func (v *MaterializedView) FootprintBytes() int64 { return v.store.SizeBytes() }
 
 // loadErr wraps a low-level read error for LoadView, folding the two EOF
 // flavors into ErrViewTruncated: io.EOF from a header read and

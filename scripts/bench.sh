@@ -25,7 +25,12 @@ if [ -z "${VJBENCH_SKIP_SMOKE:-}" ]; then
 fi
 go run ./cmd/vjbench -exp all -json "$out" > /dev/null
 if [ -z "${VJBENCH_SKIP_LOAD:-}" ]; then
+	# Three tenant replicas under a resident-bytes cap exercise the
+	# warm/cold tiering in the load run; the original mix classes keep
+	# their manifest keys (only pinned '% tenant' classes gain a suffix),
+	# so load manifests stay comparable across baselines.
 	go run ./cmd/vjload -xmark 0.05 -qps 300 -duration 3s -seed 1 \
-		-mix '//site//item[//description//keyword]/name; //site//item//name @ //site//item//name; //site//item//name @ //site//item//name # 20' \
+		-tenants 3 -max-resident-bytes 65536 \
+		-mix '//site//item[//description//keyword]/name; //site//item//name @ //site//item//name; //site//item//name @ //site//item//name # 20; //description//keyword @ //description//keyword % t1' \
 		-json "${out%.json}.load.json"
 fi

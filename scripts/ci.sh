@@ -25,12 +25,15 @@
 #      (root), seeded from the committed corpora
 #   5b. vjload smoke: a 1s in-process open-loop run at low QPS; the load
 #      path must produce a well-formed viewjoin/load/v1 manifest
+#   5c. vjload density smoke: a 1s multi-tenant run under a tight
+#      -max-resident-bytes cap; the warm/cold tiering must serve every
+#      request without errors
 #   6. bench gate: a fresh manifest via scripts/bench.sh compared against
-#      the committed BENCH_5.json baseline with scripts/benchcmp.sh
+#      the committed BENCH_6.json baseline with scripts/benchcmp.sh
 #      (>10% wall-time or allocs regression fails; VJCI_SKIP_BENCH=1 skips
 #      the gate on machines where timings are meaningless, e.g. shared
 #      runners). The serving-latency manifest bench.sh writes alongside is
-#      gated against BENCH_5.load.json with a wider threshold
+#      gated against BENCH_6.load.json with a wider threshold
 #      (VJBENCHCMP_LOAD_THRESHOLD, default 0.50) — cross-machine latency
 #      quantiles are far noisier than single-process wall times.
 #
@@ -144,17 +147,35 @@ if ! grep -q '"schema": "viewjoin/load/v1"' "$loadtmp"; then
 fi
 rm -f "$loadtmp"
 
+echo "== vjload density smoke: 1s multi-tenant run under a resident-bytes cap"
+denstmp="$(mktemp -t vjci-dens-XXXXXX.json)"
+go run ./cmd/vjload -xmark 0.02 -qps 50 -duration 1s -seed 1 \
+	-tenants 3 -max-resident-bytes 4096 \
+	-mix '//site//item//name @ //site//item//name; //description//keyword @ //description//keyword % t1' \
+	-json "$denstmp"
+if ! grep -q '"schema": "viewjoin/load/v1"' "$denstmp"; then
+	echo "vjload density smoke: manifest missing viewjoin/load/v1 schema" >&2
+	rm -f "$denstmp"
+	exit 1
+fi
+if ! grep -q '"errors": 0' "$denstmp"; then
+	echo "vjload density smoke: capped multi-tenant run reported request errors" >&2
+	rm -f "$denstmp"
+	exit 1
+fi
+rm -f "$denstmp"
+
 if [ -n "${VJCI_SKIP_BENCH:-}" ]; then
 	echo "== bench gate: skipped (VJCI_SKIP_BENCH)"
 else
-	echo "== bench gate: fresh manifest vs BENCH_5.json"
+	echo "== bench gate: fresh manifest vs BENCH_6.json"
 	tmp="$(mktemp -t vjci-bench-XXXXXX.json)"
 	trap 'rm -f "$tmp" "${tmp%.json}.load.json"' EXIT
 	VJBENCH_SKIP_SMOKE=1 scripts/bench.sh "$tmp"
-	scripts/benchcmp.sh BENCH_5.json "$tmp"
-	echo "== load gate: fresh serving-latency manifest vs BENCH_5.load.json"
+	scripts/benchcmp.sh BENCH_6.json "$tmp"
+	echo "== load gate: fresh serving-latency manifest vs BENCH_6.load.json"
 	VJBENCHCMP_THRESHOLD="${VJBENCHCMP_LOAD_THRESHOLD:-0.50}" \
-		scripts/benchcmp.sh BENCH_5.load.json "${tmp%.json}.load.json"
+		scripts/benchcmp.sh BENCH_6.load.json "${tmp%.json}.load.json"
 fi
 
 echo "== ci: OK"

@@ -194,6 +194,9 @@ type MaterializedView struct {
 	pattern *tpq.Pattern
 	mat     *views.Materialized
 	store   *store.ViewStore
+	// backend owns the container image loaded views slice from (nil for
+	// views materialized in memory); Release unwinds it.
+	backend store.Backend
 }
 
 // MaterializeOptions tunes view materialization.
