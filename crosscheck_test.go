@@ -222,9 +222,9 @@ func TestPersistenceRoundTripCrossCheck(t *testing.T) {
 		if !errors.As(err, &dm) {
 			t.Fatalf("LoadView into the wrong document: error %v (%T), want *DocMismatchError", err, err)
 		}
-		if dm.Want != d.fingerprint() || dm.Saved != other.fingerprint() {
+		if dm.Want != treeFingerprint(d.tree()) || dm.Saved != treeFingerprint(other.tree()) {
 			t.Errorf("DocMismatchError fingerprints %x/%x, want %x/%x",
-				dm.Saved, dm.Want, other.fingerprint(), d.fingerprint())
+				dm.Saved, dm.Want, treeFingerprint(other.tree()), treeFingerprint(d.tree()))
 		}
 	})
 }

@@ -26,7 +26,7 @@ func FuzzEvaluateDifferential(f *testing.F) {
 	f.Add([]byte{0xde, 0xad, 0xbe, 0xef, 0xca, 0xfe, 0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rng := testutil.NewByteRand(data)
-		doc := &Document{d: testutil.RandomDoc(rng, 60, nil)}
+		doc := newDocument(testutil.RandomDoc(rng, 60, nil))
 		pat := testutil.RandomPattern(rng, 4, nil)
 		q := &Query{pat}
 		want := EvaluateDirect(doc, q)

@@ -172,6 +172,7 @@ func All() []Experiment {
 		{"shards", "Range-partitioned parallel evaluation — RunParallel k=1 vs k=N under I/O stalls", Shards},
 		{"firstk", "First-k pushdown — streamed pages vs full materialization, time-to-first-match", Firstk},
 		{"density", "Serving density — multi-tenant fleet under a resident-bytes cap, warm/cold tiering vs fully resident", Density},
+		{"updates", "Incremental view maintenance — Maintain vs re-materialize across update rates, byte-identity asserted", Updates},
 	}
 }
 

@@ -1,0 +1,147 @@
+// Package maintain repairs materialized tree-pattern views incrementally
+// after a document update, instead of re-materializing them (ROADMAP item
+// 1). Given the splice descriptor of a subtree insert/append/delete
+// (xmltree.Applied), it derives the successor of a view's paged store:
+//
+//   - Fast path (label splice): when the update inserts or deletes no node
+//     whose tag is in the view's label alphabet, the view's embeddings are
+//     exactly the old embeddings with surviving nodes — every structural
+//     relation between survivors (containment, levels, parenthood,
+//     document order) is untouched by a subtree splice. The solution lists
+//     are therefore the old lists with region labels remapped, list
+//     positions unchanged, and every pointer value (following, descendant,
+//     child; full or §III-C-reduced) bit-identical. store.Splice rewrites
+//     only the pages holding shifted labels and shares everything else.
+//
+//   - Slow path (membership rebuild): when the alphabets intersect,
+//     membership can change, so the solution lists are recomputed on the
+//     updated document with the views layer's exact construction
+//     (guaranteeing byte-equality with a from-scratch oracle) and the
+//     fresh pages are re-aliased onto the predecessor wherever their bytes
+//     agree, so consecutive epochs still share storage.
+//
+// Every path is verifiable against the oracle — Rematerialize — byte for
+// byte; Verify is that check and backs the differential fuzzer, the update
+// soak and the "updates" experiment.
+package maintain
+
+import (
+	"fmt"
+
+	"viewjoin/internal/store"
+	"viewjoin/internal/tpq"
+	"viewjoin/internal/views"
+	"viewjoin/internal/xmltree"
+)
+
+// Report describes how one view store was maintained.
+type Report struct {
+	// FastPath reports the pure label-splice path: no membership change was
+	// possible, no pointer was recomputed.
+	FastPath bool
+	// ChangedLists holds the view-node indices whose list membership
+	// actually changed (slow path only; often empty — an alphabet overlap
+	// does not imply a membership change).
+	ChangedLists []int
+	// SharedPages and TotalPages measure the copy-on-write win: how many of
+	// the successor store's pages are the predecessor's pages, by identity.
+	SharedPages int
+	TotalPages  int
+}
+
+// View derives the successor of a view's store after the document update
+// described by au. The old store is not modified — readers holding it keep
+// a consistent pre-update snapshot; the returned store reflects au.New.
+func View(old *store.ViewStore, au *xmltree.Applied) (*store.ViewStore, Report, error) {
+	if alphabetDisjoint(old.View, au.FragTypes) {
+		next := store.Splice(old, au.Pivot, au.Delta)
+		shared, total := store.PageSharing(next, old)
+		return next, Report{FastPath: true, SharedPages: shared, TotalPages: total}, nil
+	}
+
+	// Slow path: recompute membership on the updated document with the
+	// exact construction the oracle uses.
+	sol := views.SolutionLists(au.New, old.View)
+	m2 := views.FromSolutionLists(au.New, old.View, sol)
+	next, err := store.Build(m2, old.Kind, old.PageSize)
+	if err != nil {
+		return nil, Report{}, fmt.Errorf("maintain: rebuild: %w", err)
+	}
+	// Re-alias fresh pages onto the remapped predecessor: lists whose
+	// membership did not change produce byte-identical pages to a pure
+	// splice of the old store, so they end up shared despite the rebuild.
+	spliced := store.Splice(old, au.Pivot, au.Delta)
+	store.SharePages(next, spliced)
+	shared, total := store.PageSharing(next, spliced)
+	rep := Report{
+		ChangedLists: changedLists(old, au, sol),
+		SharedPages:  shared,
+		TotalPages:   total,
+	}
+	return next, rep, nil
+}
+
+// alphabetDisjoint reports whether no inserted or deleted node's tag name
+// occurs among the view's node labels — the fast-path condition.
+func alphabetDisjoint(v *tpq.Pattern, fragTypes map[string]bool) bool {
+	for i := range v.Nodes {
+		if fragTypes[v.Nodes[i].Label] {
+			return false
+		}
+	}
+	return true
+}
+
+// changedLists diffs each view node's new solution list against the
+// remapped old list — the "affected label records" of the update.
+func changedLists(old *store.ViewStore, au *xmltree.Applied, sol [][]xmltree.NodeID) []int {
+	var out []int
+	for q, l := range old.Lists {
+		if listChanged(l, au, sol[q]) {
+			out = append(out, q)
+		}
+	}
+	if old.Tuples != nil {
+		// Tuple stores have no per-node lists; report the single file as
+		// changed when any binding could have (conservative, stats only).
+		out = append(out, 0)
+	}
+	return out
+}
+
+func listChanged(l *store.ListFile, au *xmltree.Applied, sol []xmltree.NodeID) bool {
+	if l.Entries() != len(sol) {
+		return true
+	}
+	for i, id := range sol {
+		lb := l.LabelAt(i)
+		if au.DeadPos(lb.Start) || au.Remap(lb.Start) != au.New.Node(id).Start {
+			return true
+		}
+	}
+	return false
+}
+
+// Rematerialize builds the view store from scratch over doc — the oracle
+// every maintenance path must equal byte for byte.
+func Rematerialize(doc *xmltree.Document, v *tpq.Pattern, kind store.Kind, pageSize int) (*store.ViewStore, error) {
+	m, err := views.Materialize(doc, v)
+	if err != nil {
+		return nil, err
+	}
+	return store.Build(m, kind, pageSize)
+}
+
+// Verify checks a maintained store against the from-scratch oracle on doc:
+// identical structure, headers and record bytes. It is the verification
+// spine of the update test harness.
+func Verify(got *store.ViewStore, doc *xmltree.Document) error {
+	want, err := Rematerialize(doc, got.View, got.Kind, got.PageSize)
+	if err != nil {
+		return fmt.Errorf("maintain: oracle: %w", err)
+	}
+	if err := store.CheckEquivalent(got, want); err != nil {
+		return fmt.Errorf("maintain: maintained store diverges from rematerialized oracle: %w", err)
+	}
+	return nil
+}

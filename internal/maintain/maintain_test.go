@@ -1,0 +1,166 @@
+package maintain
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"viewjoin/internal/store"
+	"viewjoin/internal/testutil"
+	"viewjoin/internal/tpq"
+	"viewjoin/internal/xmltree"
+)
+
+var kinds = []store.Kind{store.Tuple, store.Element, store.Linked, store.LinkedPartial}
+
+func storeBytes(t testing.TB, s *store.ViewStore) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func mustStore(t testing.TB, d *xmltree.Document, v *tpq.Pattern, kind store.Kind, pageSize int) *store.ViewStore {
+	t.Helper()
+	s, err := Rematerialize(d, v, kind, pageSize)
+	if err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	return s
+}
+
+// TestMaintainRandomized is the unit-level differential check: for random
+// documents, views, schemes and single updates, the maintained store must
+// serialize byte-identically to a from-scratch rematerialization over the
+// updated document, while the predecessor store stays untouched. Both
+// maintenance paths are exercised by alternating fragment vocabularies.
+func TestMaintainRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pageSizes := []int{64, 4096} // small pages stress per-page COW boundaries
+	iterations := 200
+	if testing.Short() {
+		iterations = 40
+	}
+	for it := 0; it < iterations; it++ {
+		d := testutil.RandomDoc(rng, 50, nil)
+		v := testutil.RandomPattern(rng, 3, nil)
+		var fragLabels []string
+		if rng.Intn(2) == 0 {
+			fragLabels = testutil.ForeignLabels
+		}
+		u := testutil.RandomUpdate(rng, d, fragLabels)
+		au, err := d.Apply(u)
+		if err != nil {
+			t.Fatalf("it=%d: apply: %v", it, err)
+		}
+		wantFast := true
+		for i := range v.Nodes {
+			if au.FragTypes[v.Nodes[i].Label] {
+				wantFast = false
+			}
+		}
+		ps := pageSizes[it%len(pageSizes)]
+		for _, k := range kinds {
+			old := mustStore(t, d, v, k, ps)
+			oldBytes := storeBytes(t, old)
+			next, rep, err := View(old, au)
+			if err != nil {
+				t.Fatalf("it=%d %v: maintain: %v", it, k, err)
+			}
+			if rep.FastPath != wantFast {
+				t.Fatalf("it=%d %v: FastPath=%v, want %v (frag types %v)",
+					it, k, rep.FastPath, wantFast, au.FragTypes)
+			}
+			if err := Verify(next, au.New); err != nil {
+				t.Fatalf("it=%d %v op=%v: %v", it, k, u.Op, err)
+			}
+			want := mustStore(t, au.New, v, k, ps)
+			if !bytes.Equal(storeBytes(t, next), storeBytes(t, want)) {
+				t.Fatalf("it=%d %v op=%v: maintained bytes differ from oracle", it, k, u.Op)
+			}
+			if !bytes.Equal(storeBytes(t, old), oldBytes) {
+				t.Fatalf("it=%d %v: maintenance mutated the predecessor store", it, k)
+			}
+			if rep.TotalPages > 0 && rep.SharedPages < 0 {
+				t.Fatalf("it=%d %v: bad sharing stats %+v", it, k, rep)
+			}
+		}
+	}
+}
+
+// TestMaintainChain drives a long update sequence through an overlay with
+// compaction, verifying the head against the oracle at every epoch.
+func TestMaintainChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	doc := testutil.RandomDoc(rng, 40, nil)
+	v := testutil.RandomPattern(rng, 3, nil)
+	steps := 30
+	if testing.Short() {
+		steps = 10
+	}
+	for _, k := range kinds {
+		d := doc
+		ov := store.NewOverlay(mustStore(t, d, v, k, 64))
+		for i := 0; i < steps; i++ {
+			var fragLabels []string
+			if i%3 == 0 {
+				fragLabels = testutil.ForeignLabels
+			}
+			au, err := d.Apply(testutil.RandomUpdate(rng, d, fragLabels))
+			if err != nil {
+				t.Fatalf("%v step %d: %v", k, i, err)
+			}
+			next, rep, err := View(ov.Current(), au)
+			if err != nil {
+				t.Fatalf("%v step %d: %v", k, i, err)
+			}
+			ov.Install(next, store.Delta{
+				Epoch: uint64(i + 1), Pivot: au.Pivot, Shift: au.Delta, Rebuilt: !rep.FastPath,
+			})
+			if ov.ShouldCompact() {
+				ov.Compact()
+			}
+			d = au.New
+			if err := Verify(ov.Current(), d); err != nil {
+				t.Fatalf("%v step %d: %v", k, i, err)
+			}
+		}
+	}
+}
+
+// TestChangedListsReporting pins the affected-record computation: an
+// update inserting a view-type node must report the lists it lands in.
+func TestChangedListsReporting(t *testing.T) {
+	b := xmltree.NewBuilder()
+	b.Element("root", func() {
+		b.Element("a", func() { b.Leaf("b") })
+	})
+	d := b.MustDocument()
+	v := tpq.MustParse("//a//b")
+
+	fb := xmltree.NewBuilder()
+	fb.Element("b", nil)
+	au, err := d.Apply(xmltree.Update{Op: xmltree.OpAppendChild, Target: 1, Fragment: fb.MustDocument()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := mustStore(t, d, v, store.LinkedPartial, 64)
+	next, rep, err := View(old, au)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FastPath {
+		t.Fatal("view-type insert must take the rebuild path")
+	}
+	if len(rep.ChangedLists) != 1 || rep.ChangedLists[0] != 1 {
+		t.Fatalf("ChangedLists = %v, want [1] (the b list)", rep.ChangedLists)
+	}
+	if next.Lists[1].Entries() != old.Lists[1].Entries()+1 {
+		t.Fatalf("b list grew %d -> %d, want +1", old.Lists[1].Entries(), next.Lists[1].Entries())
+	}
+	if err := Verify(next, au.New); err != nil {
+		t.Fatal(err)
+	}
+}

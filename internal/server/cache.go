@@ -123,6 +123,30 @@ func (c *planCache) invalidate(tenant, doc, view string) int {
 	return n
 }
 
+// invalidateDoc removes every cached plan of (tenant, doc), whatever view
+// set it binds, returning how many entries were dropped. The update path
+// calls it after maintaining a document's views: every plan over the old
+// epoch still answers consistently at that epoch, but future requests must
+// bind the maintained stores.
+func (c *planCache) invalidateDoc(tenant, doc string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*planEntry)
+		if e.key.tenant == tenant && e.key.doc == doc {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			c.footprint -= e.footprint
+			c.evictions++
+			n++
+		}
+		el = next
+	}
+	return n
+}
+
 // joinedViewsContain reports whether the ";"-joined canonical view-name
 // set includes name as one of its components.
 func joinedViewsContain(joined, name string) bool {

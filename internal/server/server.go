@@ -116,6 +116,11 @@ type docEntry struct {
 	doc   *viewjoin.Document
 	views map[string]*viewEntry
 	order []string // registration order, for /documents listings
+	// wmu serializes the document's write path: one /update at a time per
+	// document applies the update, maintains every view, and invalidates
+	// the document's cached plans as a single transition. Reads never take
+	// it — they run against immutable snapshots.
+	wmu sync.Mutex
 }
 
 // Server is the shared state of the daemon. All fields are safe for
@@ -146,6 +151,12 @@ type Server struct {
 	canceled atomic.Int64 // client cancellations (disconnects), distinct from deadline expiry
 	failures atomic.Int64
 	inFlight atomic.Int64
+
+	updates           atomic.Int64 // document updates applied via /update
+	maintains         atomic.Int64 // view maintenance operations performed
+	fastPaths         atomic.Int64 // maintains that took the pure label-splice fast path
+	compactions       atomic.Int64 // maintains that flattened an overlay delta chain
+	planInvalidations atomic.Int64 // cached plans dropped by updates
 
 	start   time.Time // serving start, for uptime reporting
 	slowlog *slowlog  // nil when Config.SlowlogSize is 0
@@ -207,6 +218,7 @@ func (s *Server) AddViewFile(docName, path string) error {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/update", s.handleUpdate)
 	mux.HandleFunc("/debug/trace", s.handleTrace)
 	mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
 	mux.HandleFunc("/debug/plans", s.handlePlans)
@@ -310,32 +322,38 @@ func statsOf(st viewjoin.Stats) statsJSON {
 }
 
 // encodeCursor renders a result row as an opaque resumption cursor: the
-// row's start labels (one per query node, the row's document position),
-// base64-encoded little-endian. A follow-up run with this cursor resumes
-// strictly after the row.
-func encodeCursor(row []viewjoin.Node) string {
-	buf := make([]byte, 4*len(row))
+// document epoch the page was served at, then the row's start labels (one
+// per query node, the row's document position), base64-encoded
+// little-endian. A follow-up run with this cursor resumes strictly after
+// the row — but only at the same epoch: positions are not comparable
+// across updates, so a stale cursor is rejected with 410 Gone instead of
+// silently skipping or repeating rows.
+func encodeCursor(epoch uint64, row []viewjoin.Node) string {
+	buf := make([]byte, 8+4*len(row))
+	binary.LittleEndian.PutUint64(buf, epoch)
 	for i, n := range row {
-		binary.LittleEndian.PutUint32(buf[4*i:], uint32(n.Start))
+		binary.LittleEndian.PutUint32(buf[8+4*i:], uint32(n.Start))
 	}
 	return base64.RawURLEncoding.EncodeToString(buf)
 }
 
-// decodeCursor parses a request cursor into the per-query-node start
-// labels RunPage seeks past; n is the query's node count.
-func decodeCursor(s string, n int) ([]int32, error) {
+// decodeCursor parses a request cursor into the epoch it was issued at and
+// the per-query-node start labels RunPage seeks past; n is the query's
+// node count.
+func decodeCursor(s string, n int) (uint64, []int32, error) {
 	buf, err := base64.RawURLEncoding.DecodeString(s)
 	if err != nil {
-		return nil, fmt.Errorf("invalid cursor: %w", err)
+		return 0, nil, fmt.Errorf("invalid cursor: %w", err)
 	}
-	if len(buf) != 4*n {
-		return nil, fmt.Errorf("invalid cursor: %d bytes for a %d-node query", len(buf), n)
+	if len(buf) != 8+4*n {
+		return 0, nil, fmt.Errorf("invalid cursor: %d bytes for a %d-node query", len(buf), n)
 	}
+	epoch := binary.LittleEndian.Uint64(buf)
 	after := make([]int32, n)
 	for i := range after {
-		after[i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
+		after[i] = int32(binary.LittleEndian.Uint32(buf[8+4*i:]))
 	}
-	return after, nil
+	return epoch, after, nil
 }
 
 // countersOf lifts the public per-run Stats back into the internal counter
@@ -477,12 +495,29 @@ func (s *Server) plan(req *queryRequest, e *docEntry, q *viewjoin.Query, eng vie
 	if ent := s.cache.get(key); ent != nil {
 		return ent, true, nil
 	}
-	p, err := viewjoin.Prepare(e.doc, q, mviews, eng, nil)
+	p, err := s.prepareRetry(e.doc, q, mviews, eng)
 	if err != nil {
 		return nil, false, err
 	}
 	s.prepares.Add(1)
 	return s.cache.put(key, p), false, nil
+}
+
+// prepareRetry is Prepare with a short retry on *EpochMismatchError: a
+// concurrent /update advances the document and then maintains each view in
+// turn, so a Prepare landing inside that window can observe a view one
+// epoch behind the document. The window is the update transaction itself —
+// a few maintenance calls — so a brief retry rides it out; a view that is
+// genuinely stale (maintenance failed) still surfaces the mismatch.
+func (s *Server) prepareRetry(d *viewjoin.Document, q *viewjoin.Query, mviews []*viewjoin.MaterializedView, eng viewjoin.Engine) (*viewjoin.PreparedQuery, error) {
+	var em *viewjoin.EpochMismatchError
+	for attempt := 0; ; attempt++ {
+		p, err := viewjoin.Prepare(d, q, mviews, eng, nil)
+		if err == nil || attempt >= 5 || !errors.As(err, &em) {
+			return p, err
+		}
+		time.Sleep(time.Millisecond << attempt)
+	}
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -560,8 +595,9 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, traced bool)
 	// resumption point are pushed into the engine instead of trimming a
 	// fully materialized result.
 	var after []int32
+	var cursorEpoch uint64
 	if req.Cursor != "" {
-		after, err = decodeCursor(req.Cursor, q.NumNodes())
+		cursorEpoch, after, err = decodeCursor(req.Cursor, q.NumNodes())
 		if err != nil {
 			s.failures.Add(1)
 			s.logAccess(&req, http.StatusBadRequest, "parse", 0, "", 0, "error", time.Since(started), err)
@@ -602,19 +638,16 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, traced bool)
 		return p.RunContext(ctx)
 	}
 
-	var res *viewjoin.Result
 	var ent *planEntry // nil on the traced cache-bypass path
+	var plan *viewjoin.PreparedQuery
 	cacheState := "bypass"
 	if traced {
-		p, err := viewjoin.Prepare(e.doc, q, mviews, eng, nil)
-		if err == nil {
-			s.prepares.Add(1)
-			res, err = runPlan(p)
-		}
+		plan, err = s.prepareRetry(e.doc, q, mviews, eng)
 		if err != nil {
 			s.fail(w, &req, canon, nil, cacheState, started, err)
 			return
 		}
+		s.prepares.Add(1)
 	} else {
 		var hit bool
 		ent, hit, err = s.plan(&req, e, q, eng, canon, mviews)
@@ -628,11 +661,23 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, traced bool)
 		if hit {
 			cacheState = "hit"
 		}
-		res, err = runPlan(ent.plan)
-		if err != nil {
-			s.fail(w, &req, canon, ent, cacheState, started, err)
-			return
-		}
+		plan = ent.plan
+	}
+	// A cursor resumes by document position, which an update renumbers:
+	// a cursor from another epoch is permanently unusable (410), the
+	// client restarts its pagination.
+	if req.Cursor != "" && cursorEpoch != plan.Epoch() {
+		s.failures.Add(1)
+		err = fmt.Errorf("cursor issued at document epoch %d, plan is at epoch %d; restart pagination",
+			cursorEpoch, plan.Epoch())
+		s.logAccess(&req, http.StatusGone, "cursor", 0, cacheState, 0, "stale", time.Since(started), err)
+		writeError(w, http.StatusGone, "cursor", err, false)
+		return
+	}
+	res, err := runPlan(plan)
+	if err != nil {
+		s.fail(w, &req, canon, ent, cacheState, started, err)
+		return
 	}
 
 	s.observeLatency(eng, res.Stats.Duration)
@@ -695,7 +740,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, traced bool)
 		// A completely filled page may have more matches after it; hand
 		// back the resumption cursor. A short page is the last one.
 		if n == req.Limit && n > 0 {
-			resp.Cursor = encodeCursor(res.Matches[n-1])
+			resp.Cursor = encodeCursor(plan.Epoch(), res.Matches[n-1])
 		}
 	}
 	s.logAccess(&req, http.StatusOK, "", len(res.Matches), cacheState, res.Stats.Partitions, "ok", time.Since(started), nil)
@@ -836,6 +881,7 @@ type metricsResponse struct {
 	UptimeMS   int64               `json:"uptime_ms"`
 	PlanCache  planCacheMetrics    `json:"plan_cache"`
 	Requests   requestMetrics      `json:"requests"`
+	Updates    updateMetrics       `json:"updates"`   // write path (/update + maintenance)
 	Residency  residencyMetrics    `json:"residency"` // warm/cold view tiering
 	LatencyUS  map[string]histJSON `json:"latency_us"`
 	Partitions histJSON            `json:"partitions"` // partitions per successful run
@@ -862,6 +908,17 @@ type requestMetrics struct {
 	InFlight int64 `json:"in_flight"`
 	Queued   int64 `json:"queued"`
 	Draining bool  `json:"draining"`
+}
+
+// updateMetrics is the write-path block of GET /metrics: updates applied,
+// view maintenance operations, and how often maintenance took the
+// fast path (pure label splice) or triggered an overlay compaction.
+type updateMetrics struct {
+	Total             int64 `json:"total"`
+	Maintains         int64 `json:"maintains"`
+	FastPath          int64 `json:"fast_path"`
+	Compactions       int64 `json:"compactions"`
+	PlanInvalidations int64 `json:"plan_invalidations"`
 }
 
 // histJSON summarizes a latency histogram as quantile estimates rather
@@ -950,6 +1007,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			InFlight: s.inFlight.Load(),
 			Queued:   s.queued.Load(),
 			Draining: draining,
+		},
+		Updates: updateMetrics{
+			Total:             s.updates.Load(),
+			Maintains:         s.maintains.Load(),
+			FastPath:          s.fastPaths.Load(),
+			Compactions:       s.compactions.Load(),
+			PlanInvalidations: s.planInvalidations.Load(),
 		},
 		Residency: s.residencySnapshot(),
 		LatencyUS: make(map[string]histJSON),
@@ -1072,10 +1136,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 // documentInfo is one entry of GET /documents.
 type documentInfo struct {
-	Tenant string     `json:"tenant,omitempty"`
-	Name   string     `json:"name"`
-	Nodes  int        `json:"nodes"`
-	Views  []viewInfo `json:"views"`
+	Tenant string `json:"tenant,omitempty"`
+	Name   string `json:"name"`
+	Nodes  int    `json:"nodes"`
+	// Epoch is the document's current update epoch (0 until the first
+	// /update); cursors are only valid at the epoch they were issued at.
+	Epoch uint64     `json:"epoch"`
+	Views []viewInfo `json:"views"`
 }
 
 type viewInfo struct {
@@ -1093,7 +1160,7 @@ func (s *Server) handleDocuments(w http.ResponseWriter, r *http.Request) {
 		t := s.tenants[tn]
 		for _, n := range sortedKeys(t.docs) {
 			e := t.docs[n]
-			di := documentInfo{Tenant: tn, Name: n, Nodes: e.doc.NumNodes()}
+			di := documentInfo{Tenant: tn, Name: n, Nodes: e.doc.NumNodes(), Epoch: e.doc.Epoch()}
 			for _, vn := range e.order {
 				ve := e.views[vn]
 				tier := "cold"

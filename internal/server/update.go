@@ -1,0 +1,221 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"viewjoin"
+)
+
+// This file is the server's write path: POST /update applies one subtree
+// update to a registered document and incrementally maintains every one of
+// its views, as a single serialized transaction per document. Reads never
+// wait on it — queries run against immutable snapshots, and a plan
+// prepared before the update keeps answering consistently at its own
+// epoch until the cache invalidation forces a re-prepare.
+
+// updateRequest is the body of POST /update.
+type updateRequest struct {
+	// Tenant selects the registry the document is looked up in; empty is
+	// the default tenant.
+	Tenant   string `json:"tenant,omitempty"`
+	Document string `json:"document"`
+	// Op is the update operation: insert-before, append-child, or
+	// delete-subtree (the UpdateOp spellings).
+	Op string `json:"op"`
+	// Target addresses the target node by its start label in the
+	// document's current snapshot — the start of any query result row, so
+	// query responses address update targets directly.
+	Target int32 `json:"target"`
+	// Fragment is the XML of the subtree to insert; its root element
+	// becomes the inserted subtree's root. Ignored for delete-subtree.
+	Fragment string `json:"fragment,omitempty"`
+}
+
+// maintainJSON is one view's maintenance outcome in an update response.
+type maintainJSON struct {
+	View        string `json:"view"`
+	FastPath    bool   `json:"fast_path"`
+	SharedPages int    `json:"shared_pages"`
+	TotalPages  int    `json:"total_pages"`
+	Compacted   bool   `json:"compacted"`
+}
+
+// updateResponse is the body of a successful POST /update.
+type updateResponse struct {
+	Schema   string `json:"schema"`
+	Document string `json:"document"`
+	Op       string `json:"op"`
+	// Epoch is the document epoch the update produced. Cursors and cached
+	// plans issued before it are invalid at it; /documents reports it so
+	// clients can tell which epoch they are paginating against.
+	Epoch uint64 `json:"epoch"`
+	Nodes int    `json:"nodes"` // node count of the updated document
+	// Views reports how each registered view was maintained, in
+	// registration order.
+	Views []maintainJSON `json:"views"`
+	// PlansInvalidated counts the cached plans dropped because they bound
+	// the document's pre-update snapshot.
+	PlansInvalidated int   `json:"plans_invalidated"`
+	DurationUS       int64 `json:"duration_us"`
+}
+
+// parseUpdateOp resolves the request spelling of an update operation.
+func parseUpdateOp(s string) (viewjoin.UpdateOp, error) {
+	switch s {
+	case "insert-before":
+		return viewjoin.InsertBefore, nil
+	case "append-child":
+		return viewjoin.AppendChild, nil
+	case "delete-subtree":
+		return viewjoin.DeleteSubtree, nil
+	}
+	return 0, fmt.Errorf("unknown update op %q (want insert-before, append-child, delete-subtree)", s)
+}
+
+// handleUpdate serves POST /update. Updates share the worker pool with
+// queries (an update is a bounded unit of CPU like any evaluation), and
+// each document's updates are serialized on its write mutex: apply,
+// maintain every view, refresh the registry's listings, and invalidate
+// the document's cached plans as one transition.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "request", errors.New("POST required"), false)
+		return
+	}
+	s.requests.Add(1)
+	started := time.Now()
+	var req updateRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		s.failures.Add(1)
+		writeError(w, http.StatusBadRequest, "request", err, false)
+		return
+	}
+
+	release, status, stage, err := s.admit()
+	if err != nil {
+		writeError(w, status, stage, err, false)
+		return
+	}
+	defer release()
+
+	t := s.tenants[req.Tenant]
+	if t == nil {
+		s.failures.Add(1)
+		writeError(w, http.StatusNotFound, "resolve",
+			fmt.Errorf("unknown document %q%s", req.Document, forTenant(req.Tenant)), false)
+		return
+	}
+	e, ok := t.docs[req.Document]
+	if !ok {
+		s.failures.Add(1)
+		writeError(w, http.StatusNotFound, "resolve",
+			fmt.Errorf("unknown document %q%s", req.Document, forTenant(req.Tenant)), false)
+		return
+	}
+	op, err := parseUpdateOp(req.Op)
+	if err != nil {
+		s.failures.Add(1)
+		writeError(w, http.StatusBadRequest, "parse", err, false)
+		return
+	}
+	u := viewjoin.Update{Op: op, TargetStart: req.Target}
+	if op != viewjoin.DeleteSubtree {
+		if req.Fragment == "" {
+			s.failures.Add(1)
+			writeError(w, http.StatusBadRequest, "parse", fmt.Errorf("op %s needs a fragment", op), false)
+			return
+		}
+		frag, err := viewjoin.ParseDocumentString(req.Fragment)
+		if err != nil {
+			s.failures.Add(1)
+			writeError(w, http.StatusBadRequest, "parse", fmt.Errorf("fragment: %w", err), false)
+			return
+		}
+		u.Fragment = frag
+	}
+
+	// One update transaction per document at a time: the epoch transition,
+	// the maintenance of every view, and the plan invalidation appear
+	// atomic to the serving path (a Prepare racing the window retries on
+	// the epoch mismatch).
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+
+	// Every view must be maintainable before anything mutates: file-backed
+	// views alias their container image (resident buffer or mapping) and
+	// cannot be spliced in place. Updating under them would strand every
+	// tier at the old epoch with no way back.
+	for _, vn := range e.order {
+		if !e.views[vn].pinned {
+			s.failures.Add(1)
+			err := fmt.Errorf("view %s is file-backed and cannot be maintained; updates need in-memory views", vn)
+			writeError(w, http.StatusConflict, "maintain", err, false)
+			return
+		}
+	}
+
+	au, err := e.doc.Apply(u)
+	if err != nil {
+		s.failures.Add(1)
+		writeError(w, http.StatusUnprocessableEntity, "apply", err, false)
+		return
+	}
+	s.updates.Add(1)
+
+	reports := make([]maintainJSON, 0, len(e.order))
+	for _, vn := range e.order {
+		ve := e.views[vn]
+		rep, err := ve.warm.Maintain(au)
+		if err != nil {
+			// The document has advanced; this view (and any after it) has
+			// not. Future Prepares over it fail with the epoch mismatch
+			// until an operator reloads it — surface the stuck state.
+			s.failures.Add(1)
+			writeError(w, http.StatusInternalServerError, "maintain",
+				fmt.Errorf("view %s: %w", vn, err), false)
+			return
+		}
+		s.maintains.Add(1)
+		if rep.FastPath {
+			s.fastPaths.Add(1)
+		}
+		if rep.Compacted {
+			s.compactions.Add(1)
+		}
+		reports = append(reports, maintainJSON{
+			View: vn, FastPath: rep.FastPath,
+			SharedPages: rep.SharedPages, TotalPages: rep.TotalPages,
+			Compacted: rep.Compacted,
+		})
+	}
+
+	// Refresh the registry's listing fields (footprint, entry count) to
+	// the maintained stores, then drop every cached plan of the document:
+	// they bind the pre-update snapshot and must re-prepare.
+	s.res.mu.Lock()
+	for _, vn := range e.order {
+		ve := e.views[vn]
+		ve.footprint = ve.warm.FootprintBytes()
+		ve.entries = ve.warm.NumEntries()
+	}
+	s.res.mu.Unlock()
+	invalidated := s.cache.invalidateDoc(req.Tenant, req.Document)
+	s.planInvalidations.Add(int64(invalidated))
+
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(updateResponse{
+		Schema:           ResponseSchema,
+		Document:         req.Document,
+		Op:               op.String(),
+		Epoch:            au.Epoch(),
+		Nodes:            e.doc.NumNodes(),
+		Views:            reports,
+		PlansInvalidated: invalidated,
+		DurationUS:       time.Since(started).Microseconds(),
+	})
+}

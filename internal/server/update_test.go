@@ -1,0 +1,336 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"viewjoin"
+)
+
+// updateTestServer is newTestServer plus a handle on the registered
+// document, which update tests need to run the library oracle against.
+func updateTestServer(t testing.TB, cfg Config) (*Server, *viewjoin.Document) {
+	t.Helper()
+	s := New(cfg)
+	d := viewjoin.GenerateXMark(0.05)
+	if err := s.AddDocument("xmark", d); err != nil {
+		t.Fatal(err)
+	}
+	views, err := viewjoin.ParseViews(testViews)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mviews, err := d.MaterializeViews(views, viewjoin.SchemeLEp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mv := range mviews {
+		if err := s.AddView("xmark", mv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, d
+}
+
+// anyTarget returns the start label of some non-root node via the query
+// API, the way a client would address an update target.
+func anyTarget(t testing.TB, ts *httptest.Server) int32 {
+	t.Helper()
+	var qr queryResponse
+	if st := post(t, ts, "/query", queryRequest{
+		Document: "xmark", Query: testQuery, Limit: 1,
+	}, &qr); st != http.StatusOK {
+		t.Fatalf("target query: status %d", st)
+	}
+	if len(qr.Matches) == 0 {
+		t.Fatal("target query returned no rows")
+	}
+	row := qr.Matches[0]
+	return row[len(row)-1].Start
+}
+
+// TestUpdateEndToEnd applies an insert through POST /update and checks the
+// transition end to end: the epoch advances, every view reports a
+// maintenance outcome, /documents reflects the new epoch and node count,
+// the update metrics move, and — the actual correctness bar — post-update
+// query results over the maintained views are identical to a fresh
+// materialization from the updated document, for every engine.
+func TestUpdateEndToEnd(t *testing.T) {
+	s, d := updateTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	target := anyTarget(t, ts)
+	nodesBefore := d.NumNodes()
+
+	var ur updateResponse
+	st := post(t, ts, "/update", updateRequest{
+		Document: "xmark", Op: "insert-before", Target: target,
+		Fragment: "<item><name>spliced</name><description><keyword>spliced</keyword></description></item>",
+	}, &ur)
+	if st != http.StatusOK {
+		t.Fatalf("/update: status %d", st)
+	}
+	if ur.Epoch != 1 {
+		t.Fatalf("epoch = %d, want 1", ur.Epoch)
+	}
+	if ur.Nodes <= nodesBefore {
+		t.Fatalf("nodes = %d after insert, want > %d", ur.Nodes, nodesBefore)
+	}
+	if len(ur.Views) != 2 {
+		t.Fatalf("maintained %d views, want 2", len(ur.Views))
+	}
+	for _, v := range ur.Views {
+		if v.TotalPages <= 0 {
+			t.Fatalf("view %s: total_pages = %d", v.View, v.TotalPages)
+		}
+	}
+	if d.Epoch() != 1 {
+		t.Fatalf("document epoch = %d, want 1", d.Epoch())
+	}
+
+	// Oracle: re-materialize the views from the updated document and run
+	// the library evaluation; the served (maintained) results must agree.
+	views, err := viewjoin.ParseViews(testViews)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := d.MaterializeViews(views, viewjoin.SchemeLEp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := viewjoin.ParseQuery(testQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PS and IJ are excluded: the test query is a twig, not a path.
+	for _, eng := range []string{"VJ", "TS"} {
+		e, err := ParseEngine(eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := viewjoin.Prepare(d, q, fresh, e, nil)
+		if err != nil {
+			t.Fatalf("%s: oracle prepare: %v", eng, err)
+		}
+		want, err := p.Run()
+		if err != nil {
+			t.Fatalf("%s: oracle run: %v", eng, err)
+		}
+		var qr queryResponse
+		if st := post(t, ts, "/query", queryRequest{
+			Document: "xmark", Query: testQuery, Engine: eng, Limit: len(want.Matches) + 16,
+		}, &qr); st != http.StatusOK {
+			t.Fatalf("%s: post-update query: status %d", eng, st)
+		}
+		if qr.MatchCount != len(want.Matches) {
+			t.Fatalf("%s: served %d matches, oracle has %d", eng, qr.MatchCount, len(want.Matches))
+		}
+		for i, row := range qr.Matches {
+			for j, n := range row {
+				o := want.Matches[i][j]
+				if n.Start != o.Start || n.End != o.End || n.Level != o.Level || n.Tag != o.Tag {
+					t.Fatalf("%s: row %d node %d: served %+v, oracle %+v", eng, i, j, n, o)
+				}
+			}
+		}
+	}
+
+	m := getMetrics(t, ts)
+	if m.Updates.Total != 1 || m.Updates.Maintains != 2 {
+		t.Fatalf("update metrics: %+v, want total=1 maintains=2", m.Updates)
+	}
+}
+
+// TestUpdateStaleCursor pins the pagination contract across an epoch
+// change: a cursor issued before an update resumes by document position,
+// which the update renumbered, so replaying it must fail cleanly with 410
+// Gone — never silently skip or repeat rows — and restarting pagination
+// at the new epoch must work.
+func TestUpdateStaleCursor(t *testing.T) {
+	s, _ := updateTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var page queryResponse
+	if st := post(t, ts, "/query", queryRequest{
+		Document: "xmark", Query: testQuery, Limit: 2,
+	}, &page); st != http.StatusOK {
+		t.Fatalf("first page: status %d", st)
+	}
+	if page.Cursor == "" {
+		t.Fatal("first page returned no cursor")
+	}
+
+	if st := post(t, ts, "/update", updateRequest{
+		Document: "xmark", Op: "insert-before", Target: anyTarget(t, ts),
+		Fragment: "<item><name>x</name></item>",
+	}, nil); st != http.StatusOK {
+		t.Fatalf("/update: status %d", st)
+	}
+
+	var er errorResponse
+	if st := post(t, ts, "/query", queryRequest{
+		Document: "xmark", Query: testQuery, Limit: 2, Cursor: page.Cursor,
+	}, &er); st != http.StatusGone {
+		t.Fatalf("stale cursor: status %d, want %d (%s)", st, http.StatusGone, er.Error)
+	}
+
+	// A fresh pagination at the new epoch proceeds normally.
+	var fresh queryResponse
+	if st := post(t, ts, "/query", queryRequest{
+		Document: "xmark", Query: testQuery, Limit: 2,
+	}, &fresh); st != http.StatusOK {
+		t.Fatalf("restarted page: status %d", st)
+	}
+	if fresh.Cursor == "" || fresh.Cursor == page.Cursor {
+		t.Fatalf("restarted cursor %q must be fresh (old %q)", fresh.Cursor, page.Cursor)
+	}
+}
+
+// TestUpdateFileBackedConflict pins the 409 guard: a document serving any
+// file-backed (residency-managed) view rejects updates before mutating
+// anything — container-backed views alias their file image and cannot be
+// maintained in place.
+func TestUpdateFileBackedConflict(t *testing.T) {
+	s := New(Config{})
+	d := viewjoin.GenerateXMark(0.05)
+	if err := s.AddDocument("xmark", d); err != nil {
+		t.Fatal(err)
+	}
+	views, err := viewjoin.ParseViews(testViews)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mviews, err := d.MaterializeViews(views, viewjoin.SchemeLEp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "view.vjc")
+	if _, err := mviews[0].SaveViewFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddViewFile("xmark", path); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var er errorResponse
+	if st := post(t, ts, "/update", updateRequest{
+		Document: "xmark", Op: "delete-subtree", Target: 1,
+	}, &er); st != http.StatusConflict {
+		t.Fatalf("file-backed update: status %d, want %d (%s)", st, http.StatusConflict, er.Error)
+	}
+	if d.Epoch() != 0 {
+		t.Fatalf("document advanced to epoch %d despite the 409", d.Epoch())
+	}
+}
+
+// TestUpdateRequestErrors walks the failure surface of POST /update.
+func TestUpdateRequestErrors(t *testing.T) {
+	s, _ := updateTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		req  updateRequest
+		want int
+	}{
+		{"unknown document", updateRequest{Document: "nope", Op: "delete-subtree", Target: 1}, http.StatusNotFound},
+		{"unknown tenant", updateRequest{Tenant: "ghost", Document: "xmark", Op: "delete-subtree", Target: 1}, http.StatusNotFound},
+		{"bad op", updateRequest{Document: "xmark", Op: "truncate", Target: 1}, http.StatusBadRequest},
+		{"missing fragment", updateRequest{Document: "xmark", Op: "insert-before", Target: 1}, http.StatusBadRequest},
+		{"bad fragment", updateRequest{Document: "xmark", Op: "append-child", Target: 1, Fragment: "<a><b></a>"}, http.StatusBadRequest},
+		{"unknown target", updateRequest{Document: "xmark", Op: "delete-subtree", Target: -7}, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		var er errorResponse
+		if st := post(t, ts, "/update", tc.req, &er); st != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, st, tc.want, er.Error)
+		}
+	}
+	if resp, err := http.Get(ts.URL + "/update"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET /update: status %d", resp.StatusCode)
+		}
+	}
+}
+
+// TestDocumentsEpoch checks that GET /documents reports the document's
+// update epoch, before and after an update.
+func TestDocumentsEpoch(t *testing.T) {
+	s, _ := updateTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	docs := func() []documentInfo {
+		resp, err := http.Get(ts.URL + "/documents")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out []documentInfo
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if got := docs(); len(got) != 1 || got[0].Epoch != 0 {
+		t.Fatalf("before update: %+v, want one document at epoch 0", got)
+	}
+	if st := post(t, ts, "/update", updateRequest{
+		Document: "xmark", Op: "insert-before", Target: anyTarget(t, ts),
+		Fragment: "<open_auction><annotation/></open_auction>",
+	}, nil); st != http.StatusOK {
+		t.Fatalf("/update: status %d", st)
+	}
+	if got := docs(); len(got) != 1 || got[0].Epoch != 1 {
+		t.Fatalf("after update: %+v, want epoch 1", got)
+	}
+}
+
+// TestUpdateInvalidatesPlans pins the cache transition: a plan cached
+// before the update is dropped (the next request is a miss that
+// re-prepares against the maintained views), and the dropped count is
+// reported in the update response.
+func TestUpdateInvalidatesPlans(t *testing.T) {
+	s, _ := updateTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var qr queryResponse
+	post(t, ts, "/query", queryRequest{Document: "xmark", Query: testQuery}, &qr)
+	if qr.Cache != "miss" {
+		t.Fatalf("first query cache = %q, want miss", qr.Cache)
+	}
+	post(t, ts, "/query", queryRequest{Document: "xmark", Query: testQuery}, &qr)
+	if qr.Cache != "hit" {
+		t.Fatalf("second query cache = %q, want hit", qr.Cache)
+	}
+
+	var ur updateResponse
+	if st := post(t, ts, "/update", updateRequest{
+		Document: "xmark", Op: "insert-before", Target: anyTarget(t, ts),
+		Fragment: "<item><name>y</name></item>",
+	}, &ur); st != http.StatusOK {
+		t.Fatalf("/update: status %d", st)
+	}
+	if ur.PlansInvalidated < 1 {
+		t.Fatalf("plans_invalidated = %d, want >= 1", ur.PlansInvalidated)
+	}
+
+	post(t, ts, "/query", queryRequest{Document: "xmark", Query: testQuery}, &qr)
+	if qr.Cache != "miss" {
+		t.Fatalf("post-update query cache = %q, want miss (plan must re-prepare)", qr.Cache)
+	}
+}

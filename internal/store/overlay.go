@@ -1,0 +1,335 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file implements the copy-on-write delta overlay over the v2
+// page-padded segments (ROADMAP item 1). A document update never mutates a
+// live store: the writer derives a successor ViewStore whose segments share
+// every unmodified page with the predecessor and hold private rebuilt
+// copies of the modified ones, then atomically installs it. Readers opened
+// against the old store keep the old pages — snapshot isolation falls out
+// of immutability.
+//
+// Two derivation paths exist:
+//
+//   - Splice: the pure label-shift case. When an update inserts or deletes
+//     no node of any view-label type, the view's solution lists are the old
+//     lists with region labels remapped (positions >= pivot shifted by a
+//     constant) and every pointer value unchanged. Splice rewrites only the
+//     pages containing shifted labels and shares pointer segments
+//     wholesale.
+//   - SharePages: the rebuild case. The maintenance layer builds a fresh
+//     store for the lists whose membership changed, then SharePages
+//     re-aliases every page whose bytes match the predecessor, so
+//     consecutive epochs share storage even across rebuilds.
+//
+// The Overlay type tracks the chain: the last compacted clean base, the
+// current COW head, and the ordered delta list. Compaction flattens the
+// head's page tables back into contiguous buffers — byte-identical to a
+// from-scratch build, since page bytes are maintained exactly.
+
+// Delta records one document update applied to an overlay, in order.
+type Delta struct {
+	Epoch        uint64 // document epoch this delta produced
+	Pivot, Shift int32  // label remap: positions >= Pivot moved by Shift
+	Rebuilt      bool   // false: pure splice; true: membership rebuild
+}
+
+// Overlay chains COW stores over a compacted base container. It is
+// writer-owned: the single document writer mutates it under the document
+// write lock, while readers hold the *ViewStore snapshots it produced
+// (which are immutable and never revisit the Overlay).
+type Overlay struct {
+	base   *ViewStore
+	cur    *ViewStore
+	deltas []Delta
+}
+
+// Compaction policy: flatten once the delta chain is this long, or once it
+// is at least compactMinDeltas deep and this fraction of the head's pages
+// are private (no longer shared with the base container). The depth gate
+// keeps a single early-document update — which shifts most labels and
+// privatizes most pages in one step — from paying splice plus an immediate
+// flatten; with sharing already gone, deferring the flatten costs nothing.
+const (
+	compactMaxDeltas    = 16
+	compactMinDeltas    = 4
+	compactPrivateRatio = 0.75
+)
+
+// NewOverlay starts an overlay chain at a clean store.
+func NewOverlay(s *ViewStore) *Overlay {
+	return &Overlay{base: s, cur: s}
+}
+
+// Current returns the overlay head — the store readers should snapshot.
+func (o *Overlay) Current() *ViewStore { return o.cur }
+
+// Base returns the last compacted clean container.
+func (o *Overlay) Base() *ViewStore { return o.base }
+
+// Deltas returns the ordered delta list since the base, shared not copied.
+func (o *Overlay) Deltas() []Delta { return o.deltas }
+
+// Install makes next the overlay head and appends its delta record.
+func (o *Overlay) Install(next *ViewStore, d Delta) {
+	o.cur = next
+	o.deltas = append(o.deltas, d)
+}
+
+// PrivatePages returns how many of the head's pages are private to the
+// delta chain (not aliases of base pages), and the head's total page
+// count. Structural divergence (a rebuilt list with different segment
+// shape) counts as fully private.
+func (o *Overlay) PrivatePages() (private, total int) {
+	shared, total := PageSharing(o.cur, o.base)
+	return total - shared, total
+}
+
+// PageSharing reports how many of cur's pages are the same memory as the
+// positionally corresponding page of base, and cur's total page count.
+func PageSharing(cur, base *ViewStore) (shared, total int) {
+	cs, bs := allSegs(cur), allSegs(base)
+	for i, seg := range cs {
+		n := seg.pages()
+		total += n
+		if i >= len(bs) {
+			continue
+		}
+		b := bs[i]
+		for p := 0; p < n; p++ {
+			if p < b.pages() && samePage(seg, b, p) {
+				shared++
+			}
+		}
+	}
+	return shared, total
+}
+
+// ShouldCompact reports whether the compaction policy has tripped.
+func (o *Overlay) ShouldCompact() bool {
+	if len(o.deltas) >= compactMaxDeltas {
+		return true
+	}
+	if len(o.deltas) < compactMinDeltas {
+		return false
+	}
+	private, total := o.PrivatePages()
+	return total > 0 && float64(private) >= compactPrivateRatio*float64(total)
+}
+
+// Compact flattens the head into a clean contiguous container and makes it
+// the new base, resetting the delta chain. The result is byte-identical to
+// building the head's content from scratch.
+func (o *Overlay) Compact() *ViewStore {
+	c := Flatten(o.cur)
+	o.base, o.cur, o.deltas = c, c, nil
+	return c
+}
+
+// samePage reports whether page p of the two segments is the same memory.
+func samePage(a, b *segment, p int) bool {
+	pa, pb := a.pageBytes(p), b.pageBytes(p)
+	return len(pa) > 0 && len(pb) == len(pa) && &pa[0] == &pb[0]
+}
+
+// Splice derives the successor of s under a pure label shift: every start,
+// end and level triple with position >= pivot has its start/end moved by
+// delta, levels and all pointer values unchanged. Pages containing no
+// shifted label alias s's pages; pointer segments are shared wholesale
+// (same buffers, same buffer-pool tokens). This is the maintenance fast
+// path — valid exactly when the update inserts or deletes no node of any
+// view-label type, so membership, list order and every pointer distance
+// are provably preserved.
+func Splice(s *ViewStore, pivot, delta int32) *ViewStore {
+	out := &ViewStore{Kind: s.Kind, View: s.View, PageSize: s.PageSize}
+	if s.Tuples != nil {
+		tf := *s.Tuples
+		tf.seg = spliceLabels(&tf.seg, tf.entries, tf.arity, pivot, delta)
+		out.Tuples = &tf
+		return out
+	}
+	out.Lists = make([]*ListFile, len(s.Lists))
+	for i, l := range s.Lists {
+		nl := *l
+		nl.labels = spliceLabels(&nl.labels, nl.entries, 1, pivot, delta)
+		out.Lists[i] = &nl
+	}
+	return out
+}
+
+// spliceLabels applies the label remap to a segment of records holding
+// arity consecutive 12-byte labels each, sharing unmodified pages.
+func spliceLabels(s *segment, entries, arity int, pivot, delta int32) segment {
+	if !s.present() || entries == 0 {
+		return *s
+	}
+	out := *s
+	out.data = nil
+	out.pageTab = make([][]byte, s.pages())
+	out.token = tokenSeq.Add(1)
+	for p := range out.pageTab {
+		lo := p * s.perPage
+		hi := lo + s.perPage
+		if hi > entries {
+			hi = entries
+		}
+		dirty := false
+		for i := lo; i < hi && !dirty; i++ {
+			rec := s.rec(int32(i))
+			for j := 0; j < arity; j++ {
+				// A label moves iff its end position reaches the pivot: end >=
+				// start, so start >= pivot implies end >= pivot, and ancestors
+				// of the splice site have start < pivot <= end.
+				if int32(binary.LittleEndian.Uint32(rec[j*labelBytes+4:])) >= pivot {
+					dirty = true
+					break
+				}
+			}
+		}
+		if !dirty {
+			out.pageTab[p] = s.pageBytes(p)
+			continue
+		}
+		page := make([]byte, s.pageSize)
+		copy(page, s.pageBytes(p))
+		for i := lo; i < hi; i++ {
+			rec := page[(i-lo)*s.recSize:]
+			for j := 0; j < arity; j++ {
+				start := int32(binary.LittleEndian.Uint32(rec[j*labelBytes:]))
+				end := int32(binary.LittleEndian.Uint32(rec[j*labelBytes+4:]))
+				if start >= pivot {
+					binary.LittleEndian.PutUint32(rec[j*labelBytes:], uint32(start+delta))
+				}
+				if end >= pivot {
+					binary.LittleEndian.PutUint32(rec[j*labelBytes+4:], uint32(end+delta))
+				}
+			}
+		}
+		out.pageTab[p] = page
+	}
+	return out
+}
+
+// SharePages re-aliases every page of fresh whose bytes equal the
+// corresponding page of base, turning a freshly built store into a COW
+// successor that shares unchanged storage with its predecessor. Segments
+// are matched positionally and only when structurally compatible. It
+// returns the number of pages shared. fresh must not be mutated afterwards
+// (stores are immutable once published).
+func SharePages(fresh, base *ViewStore) int {
+	fs, bs := allSegs(fresh), allSegs(base)
+	shared := 0
+	for i, seg := range fs {
+		if i >= len(bs) {
+			break
+		}
+		b := bs[i]
+		if seg.recSize != b.recSize || seg.pageSize != b.pageSize {
+			continue
+		}
+		n := seg.pages()
+		if bn := b.pages(); n > bn {
+			n = bn
+		}
+		var tab [][]byte
+		for p := 0; p < n; p++ {
+			if string(seg.pageBytes(p)) != string(b.pageBytes(p)) {
+				continue
+			}
+			if tab == nil {
+				tab = make([][]byte, seg.pages())
+				for q := range tab {
+					tab[q] = seg.pageBytes(q)
+				}
+			}
+			tab[p] = b.pageBytes(p)
+			shared++
+		}
+		if tab != nil {
+			seg.data = nil
+			seg.pageTab = tab
+		}
+	}
+	return shared
+}
+
+// Flatten returns a store whose segments are all in contiguous flat form,
+// byte-identical to s record for record. Already-flat segments are shared.
+func Flatten(s *ViewStore) *ViewStore {
+	out := &ViewStore{Kind: s.Kind, View: s.View, PageSize: s.PageSize}
+	if s.Tuples != nil {
+		tf := *s.Tuples
+		tf.seg = tf.seg.flatten()
+		out.Tuples = &tf
+		return out
+	}
+	out.Lists = make([]*ListFile, len(s.Lists))
+	for i, l := range s.Lists {
+		nl := *l
+		nl.labels = nl.labels.flatten()
+		for c := range nl.ptrs {
+			nl.ptrs[c] = nl.ptrs[c].flatten()
+		}
+		out.Lists[i] = &nl
+	}
+	return out
+}
+
+// allSegs returns every present segment of the store in persistence order.
+func allSegs(s *ViewStore) []*segment {
+	var out []*segment
+	for _, src := range s.Sources() {
+		out = append(out, src.segs()...)
+	}
+	return out
+}
+
+// CheckEquivalent verifies that two stores hold byte-identical content —
+// the maintenance layer's self-check that an incrementally maintained
+// store matches a from-scratch rebuild. It compares structure and every
+// record (not raw buffers, so flat and COW forms compare equal).
+func CheckEquivalent(got, want *ViewStore) error {
+	if got.Kind != want.Kind || got.PageSize != want.PageSize {
+		return fmt.Errorf("store: kind/page mismatch: %v/%d vs %v/%d",
+			got.Kind, got.PageSize, want.Kind, want.PageSize)
+	}
+	if len(got.Lists) != len(want.Lists) {
+		return fmt.Errorf("store: %d lists vs %d", len(got.Lists), len(want.Lists))
+	}
+	for i, l := range got.Lists {
+		w := want.Lists[i]
+		if l.entries != w.entries || l.pointers != w.pointers || l.segMask() != w.segMask() ||
+			l.scoped != w.scoped || l.childCount != w.childCount {
+			return fmt.Errorf("store: list %d header differs: {entries %d pointers %d mask %#x} vs {%d %d %#x}",
+				i, l.entries, l.pointers, l.segMask(), w.entries, w.pointers, w.segMask())
+		}
+	}
+	if (got.Tuples == nil) != (want.Tuples == nil) {
+		return fmt.Errorf("store: tuple presence differs")
+	}
+	if got.Tuples != nil && (got.Tuples.entries != want.Tuples.entries || got.Tuples.arity != want.Tuples.arity) {
+		return fmt.Errorf("store: tuple header differs: %d/%d vs %d/%d",
+			got.Tuples.entries, got.Tuples.arity, want.Tuples.entries, want.Tuples.arity)
+	}
+	gs, ws := allSegs(got), allSegs(want)
+	if len(gs) != len(ws) {
+		return fmt.Errorf("store: %d segments vs %d", len(gs), len(ws))
+	}
+	for i := range gs {
+		g, w := gs[i], ws[i]
+		if g.recSize != w.recSize || g.pages() != w.pages() {
+			return fmt.Errorf("store: segment %d shape %d/%d vs %d/%d",
+				i, g.recSize, g.pages(), w.recSize, w.pages())
+		}
+		for p := 0; p < g.pages(); p++ {
+			if string(g.pageBytes(p)) != string(w.pageBytes(p)) {
+				return fmt.Errorf("store: segment %d page %d differs", i, p)
+			}
+		}
+	}
+	return nil
+}

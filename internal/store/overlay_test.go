@@ -1,0 +1,197 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"viewjoin/internal/counters"
+	"viewjoin/internal/tpq"
+	"viewjoin/internal/views"
+	"viewjoin/internal/xmltree"
+)
+
+// fragmentOf builds a small single-root fragment of the given labels.
+func fragmentOf(t testing.TB, root string, leaves ...string) *xmltree.Document {
+	t.Helper()
+	b := xmltree.NewBuilder()
+	b.Element(root, func() {
+		for _, l := range leaves {
+			b.Leaf(l)
+		}
+	})
+	return b.MustDocument()
+}
+
+func storeBytes(t testing.TB, s *ViewStore) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func buildOver(t testing.TB, d *xmltree.Document, pat string, kind Kind, pageSize int) *ViewStore {
+	t.Helper()
+	return MustBuild(views.MustMaterialize(d, tpq.MustParse(pat)), kind, pageSize)
+}
+
+// TestSpliceMatchesRebuild checks the COW label splice against a
+// from-scratch build over the updated document, for every scheme: after an
+// update that touches no view-type node, Splice must produce byte-identical
+// persisted output while sharing every clean page with the predecessor,
+// and cursors over the spliced store must decode the shifted labels.
+func TestSpliceMatchesRebuild(t *testing.T) {
+	d := wideDoc(t, 40) // 80 b-entries: several pages per segment at 64B
+	// Insert a foreign-labelled fragment before a middle 'a' subtree: no
+	// 'a' or 'b' node appears or disappears, so the spliced store must
+	// equal a rebuild — with the labels after the splice point shifted and
+	// the pages before it shared.
+	au, err := d.Apply(xmltree.Update{
+		Op:       xmltree.OpInsertBefore,
+		Target:   1 + 3*20, // the 21st 'a' subtree
+		Fragment: fragmentOf(t, "x", "y", "y"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []Kind{Tuple, Element, Linked, LinkedPartial} {
+		const pageSize = 64
+		old := buildOver(t, d, "//a//b", kind, pageSize)
+		oldBytes := storeBytes(t, old)
+		next := Splice(old, au.Pivot, au.Delta)
+		want := buildOver(t, au.New, "//a//b", kind, pageSize)
+		if err := CheckEquivalent(next, want); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if got := storeBytes(t, next); !bytes.Equal(got, storeBytes(t, want)) {
+			t.Fatalf("%v: spliced store bytes differ from rebuild", kind)
+		}
+		// The predecessor is untouched and shares its clean pages.
+		if got := storeBytes(t, old); !bytes.Equal(got, oldBytes) {
+			t.Fatalf("%v: splice mutated the base store", kind)
+		}
+		shared, total := PageSharing(next, old)
+		if shared == 0 || shared >= total {
+			t.Fatalf("%v: page sharing %d/%d, want partial sharing", kind, shared, total)
+		}
+		// Cursor reads over the COW form decode the remapped labels.
+		var c counters.Counters
+		io := counters.NewIO(&c, 0)
+		cur := next.Sources()[len(next.Sources())-1].OpenCursor(io, nil, -1)
+		for i := 0; cur.Valid(); cur.Next() {
+			i++
+			if i > next.TotalEntries() {
+				t.Fatalf("%v: cursor overran", kind)
+			}
+		}
+		// A flatten of the COW store is the clean container again.
+		if got := storeBytes(t, Flatten(next)); !bytes.Equal(got, storeBytes(t, want)) {
+			t.Fatalf("%v: flattened store bytes differ from rebuild", kind)
+		}
+	}
+}
+
+// TestOverlayChainAndCompaction drives an overlay through a chain of
+// foreign-fragment updates: every head must match a from-scratch rebuild,
+// the delta list must grow in order, and compaction must flatten back to a
+// clean container byte-identical to the rebuild with the chain reset.
+func TestOverlayChainAndCompaction(t *testing.T) {
+	d := wideDoc(t, 30)
+	old := buildOver(t, d, "//a//b", LinkedPartial, 64)
+	ov := NewOverlay(old)
+	if ov.Current() != old || ov.Base() != old {
+		t.Fatal("fresh overlay must point at its store")
+	}
+	compacted := false
+	expect := 0
+	for i := 0; i < compactMaxDeltas+1; i++ {
+		au, err := d.Apply(xmltree.Update{
+			Op:       xmltree.OpAppendChild,
+			Target:   xmltree.NodeID(i % d.NumNodes()),
+			Fragment: fragmentOf(t, "x", "y"),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := Splice(ov.Current(), au.Pivot, au.Delta)
+		ov.Install(next, Delta{Epoch: uint64(i + 1), Pivot: au.Pivot, Shift: au.Delta})
+		expect++
+		if got := len(ov.Deltas()); got != expect {
+			t.Fatalf("after %d installs: %d deltas, want %d", i+1, got, expect)
+		}
+		if ov.Current() != next {
+			t.Fatal("Install must advance the head")
+		}
+		d = au.New
+		want := buildOver(t, d, "//a//b", LinkedPartial, 64)
+		if got := storeBytes(t, ov.Current()); !bytes.Equal(got, storeBytes(t, want)) {
+			t.Fatalf("epoch %d: overlay head differs from rebuild", i+1)
+		}
+		if ov.ShouldCompact() {
+			c := ov.Compact()
+			compacted = true
+			expect = 0
+			if ov.Base() != c || ov.Current() != c || len(ov.Deltas()) != 0 {
+				t.Fatal("Compact must reset the chain")
+			}
+			if got := storeBytes(t, c); !bytes.Equal(got, storeBytes(t, want)) {
+				t.Fatalf("epoch %d: compacted store differs from rebuild", i+1)
+			}
+			priv, _ := ov.PrivatePages()
+			if priv != 0 {
+				t.Fatalf("compacted overlay has %d private pages", priv)
+			}
+		}
+	}
+	if !compacted {
+		t.Fatalf("chain of %d deltas never compacted", compactMaxDeltas+1)
+	}
+}
+
+// TestSharePagesDedupesRebuild checks that a freshly built store over an
+// equal document re-aliases onto its predecessor page by page.
+func TestSharePagesDedupesRebuild(t *testing.T) {
+	d := wideDoc(t, 40)
+	base := buildOver(t, d, "//a//b", Linked, 64)
+	fresh := buildOver(t, d, "//a//b", Linked, 64)
+	before, total := PageSharing(fresh, base)
+	if before != 0 {
+		t.Fatalf("fresh build shares %d pages before SharePages", before)
+	}
+	n := SharePages(fresh, base)
+	if n != total {
+		t.Fatalf("SharePages shared %d of %d identical pages", n, total)
+	}
+	shared, _ := PageSharing(fresh, base)
+	if shared != total {
+		t.Fatalf("sharing %d/%d after SharePages", shared, total)
+	}
+	if err := CheckEquivalent(fresh, base); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckEquivalentDetects exercises the divergence detectors backing
+// the maintenance verification spine.
+func TestCheckEquivalentDetects(t *testing.T) {
+	d := wideDoc(t, 10)
+	a := buildOver(t, d, "//a//b", Linked, 64)
+	if err := CheckEquivalent(a, buildOver(t, d, "//a//b", Element, 64)); err == nil {
+		t.Fatal("kind mismatch undetected")
+	}
+	d2 := wideDoc(t, 11)
+	if err := CheckEquivalent(a, buildOver(t, d2, "//a//b", Linked, 64)); err == nil {
+		t.Fatal("content mismatch undetected")
+	}
+	ta := buildOver(t, d, "//a//b", Tuple, 64)
+	if err := CheckEquivalent(ta, a); err == nil {
+		t.Fatal("tuple/list mismatch undetected")
+	}
+	if err := CheckEquivalent(ta, buildOver(t, d2, "//a//b", Tuple, 64)); err == nil {
+		t.Fatal("tuple entry mismatch undetected")
+	}
+	if err := CheckEquivalent(a, a); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -161,8 +161,19 @@ type Cursor interface {
 // that cannot fit a whole record is zero padding. The buffer length is a
 // whole number of pages, so the segment can be persisted verbatim and
 // adopted back by slicing.
+//
+// A segment has two physical forms. The flat form stores all pages
+// contiguously in data — what Build allocates and what persistence adopts.
+// The copy-on-write form (pageTab non-nil, data nil) stores one slice per
+// page: pages untouched by an update alias the base segment's pages, and
+// only modified pages are private rebuilt copies. Both forms present the
+// same record space; readers never see the difference beyond one branch in
+// rec. Compaction flattens a COW segment back to the flat form, and the
+// page bytes are maintained identical to a from-scratch build, so the
+// flattened container is byte-identical to a fresh one.
 type segment struct {
 	data     []byte
+	pageTab  [][]byte // COW form: page i is pageTab[i]; nil for flat form
 	pageSize int
 	recSize  int
 	perPage  int
@@ -207,9 +218,12 @@ func segBytes(entries, recSize, pageSize int) int64 {
 	return pages * int64(pageSize)
 }
 
-func (s *segment) present() bool { return s.data != nil }
+func (s *segment) present() bool { return s.data != nil || s.pageTab != nil }
 
 func (s *segment) pages() int {
+	if s.pageTab != nil {
+		return len(s.pageTab)
+	}
 	if s.pageSize == 0 {
 		return 0
 	}
@@ -222,8 +236,36 @@ func (s *segment) page(i int32) int32 { return i / int32(s.perPage) }
 // rec returns the record bytes of record i.
 func (s *segment) rec(i int32) []byte {
 	p := int(i) / s.perPage
-	off := p*s.pageSize + (int(i)%s.perPage)*s.recSize
+	off := (int(i) % s.perPage) * s.recSize
+	if s.pageTab != nil {
+		return s.pageTab[p][off : off+s.recSize]
+	}
+	off += p * s.pageSize
 	return s.data[off : off+s.recSize]
+}
+
+// pageBytes returns the raw bytes of page p.
+func (s *segment) pageBytes(p int) []byte {
+	if s.pageTab != nil {
+		return s.pageTab[p]
+	}
+	return s.data[p*s.pageSize : (p+1)*s.pageSize]
+}
+
+// flatten returns the segment in flat form; a flat segment is returned
+// as-is (its buffer is immutable and safely shared).
+func (s *segment) flatten() segment {
+	if s.pageTab == nil {
+		return *s
+	}
+	out := *s
+	out.pageTab = nil
+	out.data = make([]byte, len(s.pageTab)*s.pageSize)
+	for p, page := range s.pageTab {
+		copy(out.data[p*s.pageSize:], page)
+	}
+	out.token = tokenSeq.Add(1)
+	return out
 }
 
 // ViewStore is one materialized view laid out in flat paged segments in a

@@ -32,7 +32,7 @@ func (f *TupleFile) Kind() Kind { return Tuple }
 func (f *TupleFile) NumPages() int { return f.seg.pages() }
 
 // SizeBytes returns the page-granular on-disk size.
-func (f *TupleFile) SizeBytes() int64 { return int64(len(f.seg.data)) }
+func (f *TupleFile) SizeBytes() int64 { return int64(f.seg.pages()) * int64(f.seg.pageSize) }
 
 // PayloadBytes returns the record bytes excluding page padding.
 func (f *TupleFile) PayloadBytes() int64 { return int64(f.entries) * int64(f.arity) * labelBytes }

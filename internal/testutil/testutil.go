@@ -120,6 +120,66 @@ func RandomDocShaped(rng *rand.Rand, shape DocShape, labels []string) *xmltree.D
 	return b.MustDocument()
 }
 
+// ForeignLabels is a vocabulary disjoint from Labels: fragments drawn from
+// it never intersect a view alphabet built over Labels, forcing the
+// maintenance fast path (pure label splice).
+var ForeignLabels = []string{"x", "y", "z"}
+
+// RandomFragment builds a random self-contained subtree of up to maxNodes
+// elements for use as update-fragment input: unlike RandomDoc, the root
+// label is drawn from the vocabulary too.
+func RandomFragment(rng *rand.Rand, maxNodes int, labels []string) *xmltree.Document {
+	if labels == nil {
+		labels = Labels
+	}
+	b := xmltree.NewBuilder()
+	budget := rng.Intn(maxNodes)
+	var rec func(depth int)
+	rec = func(depth int) {
+		for budget > 0 && depth < 6 && rng.Intn(3) != 0 {
+			budget--
+			b.Begin(labels[rng.Intn(len(labels))])
+			rec(depth + 1)
+			b.End()
+		}
+	}
+	b.Begin(labels[rng.Intn(len(labels))])
+	rec(1)
+	b.End()
+	return b.MustDocument()
+}
+
+// RandomUpdate draws a random subtree update against d: insert-before,
+// append-child, or delete-subtree, with a random fragment over the given
+// vocabulary (Labels when nil; pass ForeignLabels to force the
+// alphabet-disjoint maintenance path). Deletes need a non-root target, so
+// a single-node document falls back to an append.
+func RandomUpdate(rng *rand.Rand, d *xmltree.Document, labels []string) xmltree.Update {
+	op := xmltree.UpdateOp(rng.Intn(3))
+	if d.NumNodes() == 1 && op != xmltree.OpAppendChild {
+		op = xmltree.OpAppendChild
+	}
+	switch op {
+	case xmltree.OpAppendChild:
+		return xmltree.Update{
+			Op:       op,
+			Target:   xmltree.NodeID(rng.Intn(d.NumNodes())),
+			Fragment: RandomFragment(rng, 8, labels),
+		}
+	case xmltree.OpInsertBefore:
+		return xmltree.Update{
+			Op:       op,
+			Target:   1 + xmltree.NodeID(rng.Intn(d.NumNodes()-1)),
+			Fragment: RandomFragment(rng, 8, labels),
+		}
+	default:
+		return xmltree.Update{
+			Op:     xmltree.OpDeleteSubtree,
+			Target: 1 + xmltree.NodeID(rng.Intn(d.NumNodes()-1)),
+		}
+	}
+}
+
 // RandomPattern builds a random TPQ of up to maxNodes nodes with unique
 // labels drawn from labels (Labels when nil). All axes are chosen at random;
 // the root axis is Descendant, matching the paper's queries.

@@ -63,7 +63,23 @@ func Materialize(d *xmltree.Document, v *tpq.Pattern) (*Materialized, error) {
 	if err := v.Validate(); err != nil {
 		return nil, fmt.Errorf("views: %w", err)
 	}
-	sol := solutionLists(d, v)
+	return FromSolutionLists(d, v, solutionLists(d, v)), nil
+}
+
+// SolutionLists computes, for each view node q, the data nodes of q's type
+// that participate in at least one match of v, in document order — the raw
+// node-id form of the materialized lists. The incremental maintenance layer
+// uses it to diff a view's membership after a document update without
+// paying for pointer construction on lists that did not change.
+func SolutionLists(d *xmltree.Document, v *tpq.Pattern) [][]xmltree.NodeID {
+	return solutionLists(d, v)
+}
+
+// FromSolutionLists builds a Materialized view from precomputed solution
+// lists, running the exact same entry construction and pointer fills as
+// Materialize — so a maintained view rebuilt from diffed lists is
+// byte-identical to one materialized from scratch.
+func FromSolutionLists(d *xmltree.Document, v *tpq.Pattern, sol [][]xmltree.NodeID) *Materialized {
 	m := &Materialized{View: v, Doc: d, Lists: make([][]Entry, v.Size())}
 	for q := range sol {
 		list := make([]Entry, len(sol[q]))
@@ -89,7 +105,7 @@ func Materialize(d *xmltree.Document, v *tpq.Pattern) (*Materialized, error) {
 	m.fillDescendantPointers()
 	m.fillFollowingPointers()
 	m.fillChildPointers()
-	return m, nil
+	return m
 }
 
 // MustMaterialize is Materialize but panics on error.

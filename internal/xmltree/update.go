@@ -1,0 +1,297 @@
+// Document updates: subtree insert, append and delete.
+//
+// A Document is immutable, so an update produces a fresh Document plus an
+// Applied descriptor characterizing the label splice. Region labels make
+// the splice arithmetic exact: a fragment of m nodes occupies 2m
+// consecutive tag positions, so every surviving node's label is either
+// unchanged (position < Pivot) or shifted by the constant Delta
+// (position >= Pivot). The descriptor is what lets the store overlay and
+// the maintenance layer repair materialized views by splicing label lists
+// instead of re-materializing (ROADMAP item 1).
+package xmltree
+
+import "fmt"
+
+// UpdateOp enumerates the supported subtree mutations.
+type UpdateOp int
+
+const (
+	// OpInsertBefore splices a fragment in as the immediately preceding
+	// sibling of the target node.
+	OpInsertBefore UpdateOp = iota
+	// OpAppendChild splices a fragment in as the last child of the target
+	// node.
+	OpAppendChild
+	// OpDeleteSubtree removes the subtree rooted at the target node.
+	OpDeleteSubtree
+)
+
+// String returns the op name.
+func (op UpdateOp) String() string {
+	switch op {
+	case OpInsertBefore:
+		return "insert-before"
+	case OpAppendChild:
+		return "append-child"
+	case OpDeleteSubtree:
+		return "delete-subtree"
+	}
+	return fmt.Sprintf("<op %d>", int(op))
+}
+
+// Update describes one subtree mutation against a Document. Fragment is a
+// self-contained single-root document whose subtree is spliced in (ignored
+// for OpDeleteSubtree).
+type Update struct {
+	Op       UpdateOp
+	Target   NodeID
+	Fragment *Document
+}
+
+// Applied is the result of applying an Update: the new immutable document
+// plus the splice parameters downstream layers use to remap old labels.
+//
+// The remap rule is uniform across all three ops: an old tag position p
+// survives to position p when p < Pivot and to p+Delta when p >= Pivot.
+// For deletes, positions in [DeadStart, DeadEnd] do not survive at all;
+// no surviving label lies in that range, so Remap is total on survivors.
+type Applied struct {
+	Old *Document
+	New *Document
+	Op  UpdateOp
+
+	Pivot int32 // first old position affected by the shift
+	Delta int32 // +2m for an m-node insert, -(2m) for an m-node delete
+
+	// Delete only: the old-position range and node-id range removed.
+	DeadStart, DeadEnd int32
+	DeadID             NodeID // old id of the deleted subtree root
+	DeadCount          int    // nodes removed
+
+	// Insert/append only: where the fragment landed in the new document.
+	FragBase  NodeID // new id of the fragment root
+	FragCount int    // nodes inserted
+
+	// FragTypes holds the tag names of every inserted or deleted node.
+	// When FragTypes is disjoint from a view's label alphabet, the view's
+	// solution lists are exactly the old lists remapped — the maintenance
+	// fast path.
+	FragTypes map[string]bool
+}
+
+// Remap returns the post-update position of a surviving old position.
+func (a *Applied) Remap(p int32) int32 {
+	if p < a.Pivot {
+		return p
+	}
+	return p + a.Delta
+}
+
+// DeadPos reports whether an old tag position was removed by the update.
+func (a *Applied) DeadPos(p int32) bool {
+	return a.Op == OpDeleteSubtree && p >= a.DeadStart && p <= a.DeadEnd
+}
+
+// Apply produces the updated document. The receiver is not modified;
+// readers holding it observe no change.
+func (d *Document) Apply(u Update) (*Applied, error) {
+	switch u.Op {
+	case OpInsertBefore, OpAppendChild:
+		return d.applyInsert(u)
+	case OpDeleteSubtree:
+		return d.applyDelete(u)
+	}
+	return nil, fmt.Errorf("xmltree: unknown update op %d", int(u.Op))
+}
+
+func (d *Document) checkTarget(t NodeID) error {
+	if t < 0 || int(t) >= len(d.nodes) {
+		return fmt.Errorf("xmltree: update target %d out of range [0,%d)", t, len(d.nodes))
+	}
+	return nil
+}
+
+func checkFragment(f *Document) error {
+	if f == nil || len(f.nodes) == 0 {
+		return fmt.Errorf("xmltree: update fragment is empty")
+	}
+	if err := f.Validate(); err != nil {
+		return fmt.Errorf("xmltree: update fragment invalid: %w", err)
+	}
+	return nil
+}
+
+// mergeNames copies d's name table and returns it together with a
+// fragment-type -> merged-type translation. Existing TypeIDs are stable:
+// the merged table is a copy with fragment-only names appended, so every
+// surviving node keeps its TypeID across the update.
+func (d *Document) mergeNames(f *Document) (names []string, nameIDs map[string]TypeID, fragType []TypeID) {
+	names = append([]string(nil), d.names...)
+	nameIDs = make(map[string]TypeID, len(d.names)+len(f.names))
+	for name, id := range d.nameIDs {
+		nameIDs[name] = id
+	}
+	fragType = make([]TypeID, len(f.names))
+	for ft, name := range f.names {
+		id, ok := nameIDs[name]
+		if !ok {
+			id = TypeID(len(names))
+			names = append(names, name)
+			nameIDs[name] = id
+		}
+		fragType[ft] = id
+	}
+	return names, nameIDs, fragType
+}
+
+func (d *Document) applyInsert(u Update) (*Applied, error) {
+	if err := d.checkTarget(u.Target); err != nil {
+		return nil, err
+	}
+	if err := checkFragment(u.Fragment); err != nil {
+		return nil, err
+	}
+	if u.Op == OpInsertBefore && u.Target == d.Root() {
+		return nil, fmt.Errorf("xmltree: cannot insert a sibling of the root")
+	}
+	f := u.Fragment
+	m := len(f.nodes)
+	delta := int32(2 * m)
+
+	// Splice coordinates. Insert-before: the fragment takes over the
+	// target's start position, pushing the target (and everything at or
+	// after it) right by 2m. Append-child: the fragment lands where the
+	// target's end tag was, pushing the end tag (and everything after)
+	// right by 2m.
+	var pivot int32     // first shifted old position
+	var fragBase NodeID // insertion point in node-id (document) order
+	var parentOfRoot NodeID
+	var baseLevel int32
+	t := d.nodes[u.Target]
+	switch u.Op {
+	case OpInsertBefore:
+		pivot = t.Start
+		fragBase = u.Target
+		parentOfRoot = t.Parent
+		baseLevel = t.Level
+	case OpAppendChild:
+		pivot = t.End
+		fragBase = d.nextAfterSubtree(u.Target)
+		parentOfRoot = u.Target
+		baseLevel = t.Level + 1
+	}
+
+	names, nameIDs, fragType := d.mergeNames(f)
+	nodes := make([]Node, 0, len(d.nodes)+m)
+	fragTypes := make(map[string]bool, len(f.names))
+	for _, fn := range f.nodes {
+		fragTypes[f.names[fn.Type]] = true
+	}
+
+	// Old nodes before the insertion point keep their ids and starts; only
+	// ends spanning the pivot (the append target and the ancestors of the
+	// splice point) shift.
+	for _, n := range d.nodes[:fragBase] {
+		if n.End >= pivot {
+			n.End += delta
+		}
+		nodes = append(nodes, n)
+	}
+	// Fragment nodes: positions 1..2m translate to pivot..pivot+2m-1.
+	for _, fn := range f.nodes {
+		nn := Node{
+			Type:  fragType[fn.Type],
+			Start: fn.Start - 1 + pivot,
+			End:   fn.End - 1 + pivot,
+			Level: fn.Level + baseLevel,
+		}
+		if fn.Parent == NoNode {
+			nn.Parent = parentOfRoot
+		} else {
+			nn.Parent = fn.Parent + fragBase
+		}
+		nodes = append(nodes, nn)
+	}
+	// Old nodes at or after the insertion point shift wholesale.
+	for _, n := range d.nodes[fragBase:] {
+		n.Start += delta
+		n.End += delta
+		if n.Parent >= fragBase {
+			n.Parent += NodeID(m)
+		}
+		nodes = append(nodes, n)
+	}
+
+	return &Applied{
+		Old:       d,
+		New:       &Document{names: names, nameIDs: nameIDs, nodes: nodes},
+		Op:        u.Op,
+		Pivot:     pivot,
+		Delta:     delta,
+		DeadEnd:   -1,
+		FragBase:  fragBase,
+		FragCount: m,
+		FragTypes: fragTypes,
+	}, nil
+}
+
+func (d *Document) applyDelete(u Update) (*Applied, error) {
+	if err := d.checkTarget(u.Target); err != nil {
+		return nil, err
+	}
+	if u.Target == d.Root() {
+		return nil, fmt.Errorf("xmltree: cannot delete the document root")
+	}
+	t := d.nodes[u.Target]
+	dead := d.SubtreeSize(u.Target)
+	after := u.Target + NodeID(dead)
+	delta := -(t.End - t.Start + 1)
+
+	nodes := make([]Node, 0, len(d.nodes)-dead)
+	fragTypes := make(map[string]bool)
+	for _, n := range d.nodes[u.Target:after] {
+		fragTypes[d.names[n.Type]] = true
+	}
+
+	// Survivors before the subtree keep ids and starts; ancestors of the
+	// target (the only earlier nodes whose regions span it) lose the dead
+	// range from their extent.
+	for _, n := range d.nodes[:u.Target] {
+		if n.End > t.End {
+			n.End += delta
+		}
+		nodes = append(nodes, n)
+	}
+	// Survivors after the subtree shift left wholesale. Their parents are
+	// never inside the dead range: a dead node's region ends at t.End,
+	// before any surviving start on this side.
+	for _, n := range d.nodes[after:] {
+		n.Start += delta
+		n.End += delta
+		if n.Parent >= after {
+			n.Parent -= NodeID(dead)
+		}
+		nodes = append(nodes, n)
+	}
+
+	// The name table is kept as-is even if the deleted type no longer
+	// occurs, so surviving TypeIDs stay stable across the update.
+	names := append([]string(nil), d.names...)
+	nameIDs := make(map[string]TypeID, len(d.nameIDs))
+	for name, id := range d.nameIDs {
+		nameIDs[name] = id
+	}
+
+	return &Applied{
+		Old:       d,
+		New:       &Document{names: names, nameIDs: nameIDs, nodes: nodes},
+		Op:        u.Op,
+		Pivot:     t.Start,
+		Delta:     delta,
+		DeadStart: t.Start,
+		DeadEnd:   t.End,
+		DeadID:    u.Target,
+		DeadCount: dead,
+		FragTypes: fragTypes,
+	}, nil
+}

@@ -1,0 +1,208 @@
+package xmltree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// rebuildWithUpdate applies u semantically: it replays the old document
+// through a Builder, splicing the fragment in (or skipping the deleted
+// subtree) at the target. The Builder assigns region labels from scratch,
+// so the result is an independent oracle for Document.Apply's label
+// arithmetic.
+func rebuildWithUpdate(t *testing.T, d *Document, u Update) *Document {
+	t.Helper()
+	b := NewBuilder()
+	var emitFrag func(f *Document, id NodeID)
+	emitFrag = func(f *Document, id NodeID) {
+		b.Begin(f.TypeName(f.Node(id).Type))
+		for _, c := range f.Children(id) {
+			emitFrag(f, c)
+		}
+		b.End()
+	}
+	var emit func(id NodeID)
+	emit = func(id NodeID) {
+		if u.Op == OpDeleteSubtree && id == u.Target {
+			return
+		}
+		if u.Op == OpInsertBefore && id == u.Target {
+			emitFrag(u.Fragment, u.Fragment.Root())
+		}
+		b.Begin(d.TypeName(d.Node(id).Type))
+		for _, c := range d.Children(id) {
+			emit(c)
+		}
+		if u.Op == OpAppendChild && id == u.Target {
+			emitFrag(u.Fragment, u.Fragment.Root())
+		}
+		b.End()
+	}
+	emit(d.Root())
+	doc, err := b.Document()
+	if err != nil {
+		t.Fatalf("oracle rebuild: %v", err)
+	}
+	return doc
+}
+
+// sameTree compares two documents node by node, matching element types by
+// name (type-id numbering may legitimately differ between the two).
+func sameTree(a, b *Document) error {
+	if a.NumNodes() != b.NumNodes() {
+		return fmt.Errorf("node count %d vs %d", a.NumNodes(), b.NumNodes())
+	}
+	for i := 0; i < a.NumNodes(); i++ {
+		na, nb := a.Node(NodeID(i)), b.Node(NodeID(i))
+		if a.TypeName(na.Type) != b.TypeName(nb.Type) {
+			return fmt.Errorf("node %d: type %q vs %q", i, a.TypeName(na.Type), b.TypeName(nb.Type))
+		}
+		if na.Start != nb.Start || na.End != nb.End || na.Level != nb.Level || na.Parent != nb.Parent {
+			return fmt.Errorf("node %d: label %+v vs %+v", i, na, nb)
+		}
+	}
+	return nil
+}
+
+func randomTestDoc(rng *rand.Rand, maxNodes int, labels []string) *Document {
+	b := NewBuilder()
+	n := 1 + rng.Intn(maxNodes)
+	var grow func(depth, budget int) int
+	grow = func(depth, budget int) int {
+		used := 1
+		b.Begin(labels[rng.Intn(len(labels))])
+		for used < budget && depth < 8 && rng.Intn(3) > 0 {
+			used += grow(depth+1, budget-used)
+		}
+		b.End()
+		return used
+	}
+	b.Begin("root")
+	budget := n
+	for budget > 0 {
+		budget -= grow(1, budget)
+	}
+	b.End()
+	return b.MustDocument()
+}
+
+func TestApplyInsertBefore(t *testing.T) {
+	b := NewBuilder()
+	b.Element("root", func() {
+		b.Leaf("a")
+		b.Element("b", func() { b.Leaf("c") })
+	})
+	d := b.MustDocument()
+
+	fb := NewBuilder()
+	fb.Element("x", func() { b.Leaf("a") })
+	// target = the "b" node (id 2)
+	ap, err := d.Apply(Update{Op: OpInsertBefore, Target: 2, Fragment: fb.MustDocument()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ap.New.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ap.Pivot != d.Node(2).Start || ap.Delta != 2 {
+		t.Fatalf("pivot/delta = %d/%d, want %d/2", ap.Pivot, ap.Delta, d.Node(2).Start)
+	}
+	if !ap.FragTypes["x"] || len(ap.FragTypes) != 1 {
+		t.Fatalf("FragTypes = %v", ap.FragTypes)
+	}
+	// The fragment root becomes the preceding sibling of b.
+	fr := ap.New.Node(ap.FragBase)
+	if ap.New.TypeName(fr.Type) != "x" || fr.Parent != 0 || fr.Level != 1 {
+		t.Fatalf("fragment root = %+v", fr)
+	}
+	bNew := ap.New.Node(ap.FragBase + NodeID(ap.FragCount))
+	if ap.New.TypeName(bNew.Type) != "b" || bNew.Start != fr.End+1 {
+		t.Fatalf("shifted target = %+v", bNew)
+	}
+}
+
+func TestApplyRejectsInvalid(t *testing.T) {
+	b := NewBuilder()
+	b.Element("root", func() { b.Leaf("a") })
+	d := b.MustDocument()
+	fb := NewBuilder()
+	fb.Leaf("x")
+	frag := fb.MustDocument()
+
+	cases := []Update{
+		{Op: OpInsertBefore, Target: 0, Fragment: frag}, // sibling of root
+		{Op: OpDeleteSubtree, Target: 0},                // delete root
+		{Op: OpAppendChild, Target: 99, Fragment: frag}, // bad target
+		{Op: OpInsertBefore, Target: 1, Fragment: nil},  // no fragment
+		{Op: UpdateOp(42), Target: 1},                   // unknown op
+	}
+	for i, u := range cases {
+		if _, err := d.Apply(u); err == nil {
+			t.Errorf("case %d (%v): expected error", i, u.Op)
+		}
+	}
+}
+
+// TestApplyRandomized cross-checks Apply's label arithmetic against a
+// from-scratch Builder replay over random documents, fragments and ops,
+// and checks the Applied splice descriptor on every surviving node.
+func TestApplyRandomized(t *testing.T) {
+	labels := []string{"a", "b", "c", "d", "e"}
+	rng := rand.New(rand.NewSource(7))
+	for it := 0; it < 300; it++ {
+		d := randomTestDoc(rng, 40, labels)
+		var u Update
+		switch rng.Intn(3) {
+		case 0:
+			u = Update{Op: OpInsertBefore, Target: 1 + NodeID(rng.Intn(d.NumNodes()-1+1))}
+			if int(u.Target) >= d.NumNodes() {
+				u.Target = NodeID(d.NumNodes() - 1)
+			}
+			u.Fragment = randomTestDoc(rng, 10, labels)
+		case 1:
+			u = Update{Op: OpAppendChild, Target: NodeID(rng.Intn(d.NumNodes()))}
+			u.Fragment = randomTestDoc(rng, 10, labels)
+		default:
+			if d.NumNodes() == 1 {
+				continue
+			}
+			u = Update{Op: OpDeleteSubtree, Target: 1 + NodeID(rng.Intn(d.NumNodes()-1))}
+		}
+		ap, err := d.Apply(u)
+		if err != nil {
+			t.Fatalf("it=%d: %v", it, err)
+		}
+		if err := ap.New.Validate(); err != nil {
+			t.Fatalf("it=%d: new doc invalid: %v", it, err)
+		}
+		if err := sameTree(ap.New, rebuildWithUpdate(t, d, u)); err != nil {
+			t.Fatalf("it=%d op=%v target=%d: %v", it, u.Op, u.Target, err)
+		}
+		// The old document must be untouched.
+		if err := d.Validate(); err != nil {
+			t.Fatalf("it=%d: old doc mutated: %v", it, err)
+		}
+
+		// Descriptor check: every surviving old node's remapped labels must
+		// name a node of the new document with identical level and type name.
+		for i := 0; i < d.NumNodes(); i++ {
+			n := d.Node(NodeID(i))
+			if ap.DeadPos(n.Start) {
+				if ap.Op != OpDeleteSubtree {
+					t.Fatalf("it=%d: DeadPos true for non-delete", it)
+				}
+				continue
+			}
+			id := ap.New.FindByStart(ap.Remap(n.Start))
+			if id == NoNode {
+				t.Fatalf("it=%d: survivor %d remap lost", it, i)
+			}
+			nn := ap.New.Node(id)
+			if nn.End != ap.Remap(n.End) || nn.Level != n.Level ||
+				ap.New.TypeName(nn.Type) != d.TypeName(n.Type) {
+				t.Fatalf("it=%d: survivor %d %+v -> %+v mismatch", it, i, n, nn)
+			}
+		}
+	}
+}

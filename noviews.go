@@ -13,6 +13,7 @@ import (
 	"viewjoin/internal/store"
 	"viewjoin/internal/tpq"
 	"viewjoin/internal/views"
+	"viewjoin/internal/xmltree"
 )
 
 // ParseQueryGeneral parses a TPQ that may repeat element types (e.g.
@@ -43,11 +44,12 @@ func EvaluateWithoutViews(d *Document, q *Query, eng Engine, opts *EvalOptions) 
 	if opts == nil {
 		opts = &EvalOptions{}
 	}
+	t := d.tree()
 	tr := opts.Tracer
 	if tr != nil {
 		tr.BeginPhase(obs.PhaseBind)
 	}
-	lists, err := d.rawStreams(q)
+	lists, err := rawStreams(t, q)
 	if tr != nil {
 		tr.EndPhase(obs.PhaseBind)
 	}
@@ -81,9 +83,9 @@ func EvaluateWithoutViews(d *Document, q *Query, eng Engine, opts *EvalOptions) 
 	}
 	switch eng {
 	case EngineTwigStack:
-		ms, _, err = twigstack.Eval(d.d, q.p, lists, io, eopts)
+		ms, _, err = twigstack.Eval(t, q.p, lists, io, eopts)
 	case EnginePathStack:
-		ms, err = pathstack.Eval(d.d, q.p, lists, io, eopts)
+		ms, err = pathstack.Eval(t, q.p, lists, io, eopts)
 	default:
 		err = fmt.Errorf("viewjoin: engine %v requires materialized views; use TS or PS without views", eng)
 	}
@@ -112,8 +114,8 @@ func EvaluateWithoutViews(d *Document, q *Query, eng Engine, opts *EvalOptions) 
 	for i, m := range ms {
 		row := make([]Node, len(m))
 		for j, id := range m {
-			n := d.d.Node(id)
-			row[j] = Node{Tag: d.d.TypeName(n.Type), Start: n.Start, End: n.End, Level: n.Level}
+			n := t.Node(id)
+			row[j] = Node{Tag: t.TypeName(n.Type), Start: n.Start, End: n.End, Level: n.Level}
 		}
 		res.Matches[i] = row
 	}
@@ -161,7 +163,7 @@ func rawStreamPlan(q *tpq.Pattern, eng Engine, lists []*store.ListFile) *obs.Pla
 // rawStreams builds one element-scheme list per distinct element type of q
 // (all nodes of that type, in document order) and binds every query node —
 // including duplicates — to its type's list.
-func (d *Document) rawStreams(q *Query) ([]*store.ListFile, error) {
+func rawStreams(t *xmltree.Document, q *Query) ([]*store.ListFile, error) {
 	byLabel := make(map[string]*store.ListFile)
 	lists := make([]*store.ListFile, q.p.Size())
 	for qi := range q.p.Nodes {
@@ -169,7 +171,7 @@ func (d *Document) rawStreams(q *Query) ([]*store.ListFile, error) {
 		lf, ok := byLabel[label]
 		if !ok {
 			single := &tpq.Pattern{Nodes: []tpq.Node{{Label: label, Axis: tpq.Descendant, Parent: -1}}}
-			mat, err := views.Materialize(d.d, single)
+			mat, err := views.Materialize(t, single)
 			if err != nil {
 				return nil, err
 			}

@@ -567,8 +567,8 @@ func (p *PreparedQuery) runParallelStream(ctx context.Context, jobs []engine.Res
 				continue
 			}
 			for j, id := range m {
-				n := p.d.d.Node(id)
-				row[j] = Node{Tag: p.d.d.TypeName(n.Type), Start: n.Start, End: n.End, Level: n.Level}
+				n := p.tree.Node(id)
+				row[j] = Node{Tag: p.tree.TypeName(n.Type), Start: n.Start, End: n.End, Level: n.Level}
 			}
 			if firstYield.IsZero() {
 				firstYield = time.Now()

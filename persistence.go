@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"viewjoin/internal/store"
 	"viewjoin/internal/xmltree"
@@ -35,13 +37,42 @@ func (e *DocMismatchError) Error() string {
 // re-materialized. The document itself is not embedded; a small
 // fingerprint is written so LoadView can reject a mismatched document.
 func (v *MaterializedView) SaveView(w io.Writer) (int64, error) {
+	s := v.st()
 	var hdr [8]byte
-	binary.LittleEndian.PutUint64(hdr[:], v.doc.fingerprint())
+	binary.LittleEndian.PutUint64(hdr[:], treeFingerprint(s.tree))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return 0, err
 	}
-	n, err := v.store.WriteTo(w)
+	n, err := s.store.WriteTo(w)
 	return n + 8, err
+}
+
+// SaveViewFile writes the view to path atomically: the container is
+// serialized to a temporary file in the same directory, synced, and
+// renamed over path only once complete. A crash or write error never
+// leaves a truncated container at path — readers see either the old file
+// or the new one.
+func (v *MaterializedView) SaveViewFile(path string) (int64, error) {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return 0, err
+	}
+	tmp := f.Name()
+	n, err := v.SaveView(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return n, nil
 }
 
 // LoadView reloads a view saved with SaveView, binding it to d. It fails
@@ -54,18 +85,20 @@ func (v *MaterializedView) SaveView(w io.Writer) (int64, error) {
 // unavailable (ListSizes and the selection API still work, computed from
 // the on-disk lists).
 func (d *Document) LoadView(r io.Reader) (*MaterializedView, error) {
+	snap := d.snap()
 	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, loadErr(err)
 	}
-	if got := binary.LittleEndian.Uint64(hdr[:]); got != d.fingerprint() {
-		return nil, &DocMismatchError{Saved: got, Want: d.fingerprint()}
+	want := treeFingerprint(snap.tree)
+	if got := binary.LittleEndian.Uint64(hdr[:]); got != want {
+		return nil, &DocMismatchError{Saved: got, Want: want}
 	}
 	st, err := store.ReadViewStore(r)
 	if err != nil {
 		return nil, loadErr(err)
 	}
-	return &MaterializedView{doc: d, pattern: st.View, store: st}, nil
+	return newView(d, snap, st.View, nil, st, nil), nil
 }
 
 // LoadViewBytes is LoadView over an in-memory file image, and is the
@@ -120,18 +153,20 @@ func (d *Document) LoadViewMmap(path string) (*MaterializedView, error) {
 // loadViewBackend validates and adopts a backend's container image. On
 // success the view owns the backend; on failure the caller does.
 func (d *Document) loadViewBackend(be store.Backend) (*MaterializedView, error) {
+	snap := d.snap()
 	data := be.Bytes()
 	if len(data) < 8 {
 		return nil, loadErr(fmt.Errorf("reading fingerprint: %w", io.ErrUnexpectedEOF))
 	}
-	if got := binary.LittleEndian.Uint64(data[:8]); got != d.fingerprint() {
-		return nil, &DocMismatchError{Saved: got, Want: d.fingerprint()}
+	want := treeFingerprint(snap.tree)
+	if got := binary.LittleEndian.Uint64(data[:8]); got != want {
+		return nil, &DocMismatchError{Saved: got, Want: want}
 	}
 	st, err := store.ReadViewStoreBytes(data[8:])
 	if err != nil {
 		return nil, loadErr(err)
 	}
-	return &MaterializedView{doc: d, pattern: st.View, store: st, backend: be}, nil
+	return newView(d, snap, st.View, nil, st, be), nil
 }
 
 // Resident reports whether the view's paged segments occupy heap memory.
@@ -159,7 +194,7 @@ func (v *MaterializedView) Release() error {
 // FootprintBytes returns the page-granular size of the view's paged
 // segments — the unit vjserve's residency accounting charges a view at,
 // whether those pages are heap (resident tier) or mapped (cold tier).
-func (v *MaterializedView) FootprintBytes() int64 { return v.store.SizeBytes() }
+func (v *MaterializedView) FootprintBytes() int64 { return v.st().store.SizeBytes() }
 
 // loadErr wraps a low-level read error for LoadView, folding the two EOF
 // flavors into ErrViewTruncated: io.EOF from a header read and
@@ -172,10 +207,12 @@ func loadErr(err error) error {
 	return fmt.Errorf("viewjoin: load view: %w", err)
 }
 
-// fingerprint computes a cheap structural fingerprint of the document
-// (FNV-1a over the region labels of a node sample), used to pair saved
-// views with their document.
-func (d *Document) fingerprint() uint64 {
+// treeFingerprint computes a cheap structural fingerprint of one document
+// snapshot (FNV-1a over the region labels of a node sample), used to pair
+// saved views with their document. It is per-snapshot: an update changes
+// the fingerprint, so a view saved before an Apply does not load against
+// the updated document.
+func treeFingerprint(t *xmltree.Document) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -187,11 +224,11 @@ func (d *Document) fingerprint() uint64 {
 			h *= prime64
 		}
 	}
-	n := d.d.NumNodes()
+	n := t.NumNodes()
 	mix(int32(n))
 	step := n/64 + 1
 	for i := 0; i < n; i += step {
-		nd := d.d.Node(xmltree.NodeID(i))
+		nd := t.Node(xmltree.NodeID(i))
 		mix(nd.Start)
 		mix(nd.End)
 		mix(nd.Level)

@@ -19,6 +19,7 @@ import (
 	"viewjoin/internal/store"
 	"viewjoin/internal/tpq"
 	"viewjoin/internal/vsq"
+	"viewjoin/internal/xmltree"
 )
 
 // PreparedQuery is a query compiled once against a document, a view set
@@ -40,10 +41,15 @@ import (
 // single execution instead, so concurrent traced runs of one shared plan
 // are safe as long as each call brings its own tracer.
 type PreparedQuery struct {
-	d    *Document
-	q    *Query
-	eng  Engine
-	opts EvalOptions
+	d *Document
+	// tree is the document snapshot the plan was compiled against; runs
+	// read it (not the document head), so a plan stays self-consistent
+	// across concurrent updates — it just answers at its own epoch.
+	tree  *xmltree.Document
+	epoch uint64
+	q     *Query
+	eng   Engine
+	opts  EvalOptions
 
 	// plan is the obs.Plan delivered to tracers. Prepare builds it eagerly
 	// when it was given a tracer; otherwise planOnce builds it on the first
@@ -82,20 +88,30 @@ type PreparedQuery struct {
 // Prepare compiles q over the materialized views for the chosen engine.
 // The views must form a valid minimal covering set of q, exactly as for
 // Evaluate; opts (nil for defaults) is captured and applied to every Run.
+//
+// Prepare captures the document's current snapshot and requires every view
+// to reflect exactly that snapshot: a view left behind by an Apply the
+// caller did not Maintain it through fails with *EpochMismatchError
+// (retryable after maintaining or re-materializing the view).
 func Prepare(d *Document, q *Query, mviews []*MaterializedView, eng Engine, opts *EvalOptions) (*PreparedQuery, error) {
 	if opts == nil {
 		opts = &EvalOptions{}
 	}
+	snap := d.snap()
 	patterns := make([]*tpq.Pattern, len(mviews))
 	stores := make([]*store.ViewStore, len(mviews))
 	for i, mv := range mviews {
-		if mv.doc.d != d.d {
+		if mv.doc != d {
 			return nil, fmt.Errorf("viewjoin: view %s materialized over a different document", mv.pattern)
 		}
+		st := mv.st()
+		if st.tree != snap.tree {
+			return nil, &EpochMismatchError{ViewEpoch: st.epoch, DocEpoch: snap.epoch, View: mv.pattern.String()}
+		}
 		patterns[i] = mv.pattern
-		stores[i] = mv.store
+		stores[i] = st.store
 	}
-	p := &PreparedQuery{d: d, q: q, eng: eng, opts: *opts, patterns: patterns, stores: stores}
+	p := &PreparedQuery{d: d, tree: snap.tree, epoch: snap.epoch, q: q, eng: eng, opts: *opts, patterns: patterns, stores: stores}
 	tr := opts.Tracer
 	switch eng {
 	case EngineViewJoin:
@@ -104,7 +120,7 @@ func Prepare(d *Document, q *Query, mviews []*MaterializedView, eng Engine, opts
 			return nil, err
 		}
 		p.v = v
-		p.vj, err = vjengine.Prepare(d.d, v, stores, tr)
+		p.vj, err = vjengine.Prepare(snap.tree, v, stores, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -122,8 +138,8 @@ func Prepare(d *Document, q *Query, mviews []*MaterializedView, eng Engine, opts
 			return nil, err
 		}
 		if eng == EngineTwigStack {
-			p.ts = twigstack.Prepare(d.d, q.p, lists)
-		} else if p.ps, err = pathstack.Prepare(d.d, q.p, lists); err != nil {
+			p.ts = twigstack.Prepare(snap.tree, q.p, lists)
+		} else if p.ps, err = pathstack.Prepare(snap.tree, q.p, lists); err != nil {
 			return nil, err
 		}
 		if tr != nil {
@@ -151,7 +167,7 @@ func Prepare(d *Document, q *Query, mviews []*MaterializedView, eng Engine, opts
 		if tr != nil {
 			io.Page = pageHook(tr)
 		}
-		ij, err := interjoin.Prepare(d.d, q.p, stores, viewPos, io, tr)
+		ij, err := interjoin.Prepare(snap.tree, q.p, stores, viewPos, io, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -171,6 +187,11 @@ func (p *PreparedQuery) Query() *Query { return p.q }
 
 // Engine returns the engine the plan was compiled for.
 func (p *PreparedQuery) Engine() Engine { return p.eng }
+
+// Epoch returns the document epoch the plan was compiled at. Runs answer
+// at this epoch regardless of later updates; a serving layer compares it
+// against Document.Epoch to decide whether the plan is current.
+func (p *PreparedQuery) Epoch() uint64 { return p.epoch }
 
 // FootprintBytes estimates the bytes a cached PreparedQuery keeps resident
 // beyond the shared document and materialized views: the engine's prepared
@@ -379,8 +400,8 @@ func (p *PreparedQuery) RunStream(ctx context.Context, so *StreamOptions, yield 
 			return true
 		}
 		for j, id := range m {
-			n := p.d.d.Node(id)
-			row[j] = Node{Tag: p.d.d.TypeName(n.Type), Start: n.Start, End: n.End, Level: n.Level}
+			n := p.tree.Node(id)
+			row[j] = Node{Tag: p.tree.TypeName(n.Type), Start: n.Start, End: n.End, Level: n.Level}
 		}
 		return yield(row)
 	}
@@ -535,8 +556,8 @@ func (p *PreparedQuery) buildResult(ms match.Set, c counters.Counters, peak int6
 	for i, m := range ms {
 		row := make([]Node, len(m))
 		for j, id := range m {
-			n := p.d.d.Node(id)
-			row[j] = Node{Tag: p.d.d.TypeName(n.Type), Start: n.Start, End: n.End, Level: n.Level}
+			n := p.tree.Node(id)
+			row[j] = Node{Tag: p.tree.TypeName(n.Type), Start: n.Start, End: n.End, Level: n.Level}
 		}
 		res.Matches[i] = row
 	}

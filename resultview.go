@@ -17,6 +17,7 @@ import (
 // The result must come from evaluating q over this document (the complete
 // match set); passing a partial result materializes only that subset.
 func (d *Document) MaterializeResult(q *Query, res *Result, scheme StorageScheme, opts *MaterializeOptions) (*MaterializedView, error) {
+	snap := d.snap()
 	ms := make(match.Set, len(res.Matches))
 	for i, row := range res.Matches {
 		if len(row) != q.p.Size() {
@@ -25,7 +26,7 @@ func (d *Document) MaterializeResult(q *Query, res *Result, scheme StorageScheme
 		}
 		m := make(match.Match, len(row))
 		for j, n := range row {
-			id := d.d.FindByStart(n.Start)
+			id := snap.tree.FindByStart(n.Start)
 			if id < 0 {
 				return nil, fmt.Errorf("viewjoin: result row %d references start %d not in this document", i, n.Start)
 			}
@@ -33,7 +34,7 @@ func (d *Document) MaterializeResult(q *Query, res *Result, scheme StorageScheme
 		}
 		ms[i] = m
 	}
-	mat, err := views.FromMatches(d.d, q.p, ms)
+	mat, err := views.FromMatches(snap.tree, q.p, ms)
 	if err != nil {
 		return nil, err
 	}
@@ -45,5 +46,5 @@ func (d *Document) MaterializeResult(q *Query, res *Result, scheme StorageScheme
 	if err != nil {
 		return nil, err
 	}
-	return &MaterializedView{doc: d, pattern: q.p, mat: mat, store: st}, nil
+	return newView(d, snap, q.p, mat, st, nil), nil
 }

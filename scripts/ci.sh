@@ -18,22 +18,27 @@
 #   3d. enum coverage floor: the shared enumeration stage owns the
 #      streaming/partial-flush ordering proofs; internal/engine/enum
 #      statement coverage must stay >= VJCI_ENUM_COV (85%)
+#   3e. maintain coverage floor: the incremental maintenance layer is what
+#      keeps materialized views byte-identical to re-materialization under
+#      document updates; internal/maintain statement coverage must stay
+#      >= VJCI_MAINTAIN_COV (85%)
 #   4. govulncheck, when the tool is installed (skipped, not failed, when
 #      absent — hermetic runners don't fetch tools)
 #   5. fuzz smoke: 10s each of FuzzParse (internal/tpq),
-#      FuzzReadViewStore (internal/store), and FuzzEvaluateDifferential
-#      (root), seeded from the committed corpora
+#      FuzzReadViewStore (internal/store), FuzzEvaluateDifferential
+#      (root), and FuzzUpdateDifferential (root), seeded from the
+#      committed corpora
 #   5b. vjload smoke: a 1s in-process open-loop run at low QPS; the load
 #      path must produce a well-formed viewjoin/load/v1 manifest
 #   5c. vjload density smoke: a 1s multi-tenant run under a tight
 #      -max-resident-bytes cap; the warm/cold tiering must serve every
 #      request without errors
 #   6. bench gate: a fresh manifest via scripts/bench.sh compared against
-#      the committed BENCH_6.json baseline with scripts/benchcmp.sh
+#      the committed BENCH_7.json baseline with scripts/benchcmp.sh
 #      (>10% wall-time or allocs regression fails; VJCI_SKIP_BENCH=1 skips
 #      the gate on machines where timings are meaningless, e.g. shared
 #      runners). The serving-latency manifest bench.sh writes alongside is
-#      gated against BENCH_6.load.json with a wider threshold
+#      gated against BENCH_7.load.json with a wider threshold
 #      (VJBENCHCMP_LOAD_THRESHOLD, default 0.50) — cross-machine latency
 #      quantiles are far noisier than single-process wall times.
 #
@@ -43,6 +48,7 @@
 #   VJCI_ENGINE_COV      minimum internal/engine/... coverage %% (default 80)
 #   VJCI_SERVER_COV      minimum internal/server coverage %% (default 80)
 #   VJCI_ENUM_COV        minimum internal/engine/enum coverage %% (default 85)
+#   VJCI_MAINTAIN_COV    minimum internal/maintain coverage %% (default 85)
 #   VJCI_SKIP_BENCH=1    skip the bench and load regression gates
 #   VJBENCHCMP_THRESHOLD regression threshold for the bench gate (default 0.10)
 #   VJBENCHCMP_LOAD_THRESHOLD  threshold for the load gate (default 0.50)
@@ -54,6 +60,7 @@ store_cov="${VJCI_STORE_COV:-85}"
 engine_cov="${VJCI_ENGINE_COV:-80}"
 server_cov="${VJCI_SERVER_COV:-80}"
 enum_cov="${VJCI_ENUM_COV:-85}"
+maintain_cov="${VJCI_MAINTAIN_COV:-85}"
 
 echo "== gofmt"
 unformatted="$(gofmt -l . 2>/dev/null || true)"
@@ -123,6 +130,18 @@ if ! awk -v c="$ncov" -v floor="$enum_cov" 'BEGIN { exit !(c+0 >= floor+0) }'; t
 fi
 echo "enum coverage: ${ncov}%"
 
+echo "== maintain coverage floor (>= ${maintain_cov}%)"
+mcov="$(go test -count=1 -cover ./internal/maintain | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')"
+if [ -z "$mcov" ]; then
+	echo "maintain coverage: could not parse coverage output" >&2
+	exit 1
+fi
+if ! awk -v c="$mcov" -v floor="$maintain_cov" 'BEGIN { exit !(c+0 >= floor+0) }'; then
+	echo "maintain coverage ${mcov}% is below the ${maintain_cov}% floor" >&2
+	exit 1
+fi
+echo "maintain coverage: ${mcov}%"
+
 if command -v govulncheck >/dev/null 2>&1; then
 	echo "== govulncheck"
 	govulncheck ./...
@@ -136,6 +155,8 @@ echo "== fuzz smoke: FuzzReadViewStore ($fuzztime)"
 go test -run '^$' -fuzz '^FuzzReadViewStore$' -fuzztime "$fuzztime" ./internal/store
 echo "== fuzz smoke: FuzzEvaluateDifferential ($fuzztime)"
 go test -run '^$' -fuzz '^FuzzEvaluateDifferential$' -fuzztime "$fuzztime" .
+echo "== fuzz smoke: FuzzUpdateDifferential ($fuzztime)"
+go test -run '^$' -fuzz '^FuzzUpdateDifferential$' -fuzztime "$fuzztime" .
 
 echo "== vjload smoke: 1s in-process open-loop run"
 loadtmp="$(mktemp -t vjci-load-XXXXXX.json)"
@@ -168,14 +189,14 @@ rm -f "$denstmp"
 if [ -n "${VJCI_SKIP_BENCH:-}" ]; then
 	echo "== bench gate: skipped (VJCI_SKIP_BENCH)"
 else
-	echo "== bench gate: fresh manifest vs BENCH_6.json"
+	echo "== bench gate: fresh manifest vs BENCH_7.json"
 	tmp="$(mktemp -t vjci-bench-XXXXXX.json)"
 	trap 'rm -f "$tmp" "${tmp%.json}.load.json"' EXIT
 	VJBENCH_SKIP_SMOKE=1 scripts/bench.sh "$tmp"
-	scripts/benchcmp.sh BENCH_6.json "$tmp"
-	echo "== load gate: fresh serving-latency manifest vs BENCH_6.load.json"
+	scripts/benchcmp.sh BENCH_7.json "$tmp"
+	echo "== load gate: fresh serving-latency manifest vs BENCH_7.load.json"
 	VJBENCHCMP_THRESHOLD="${VJBENCHCMP_LOAD_THRESHOLD:-0.50}" \
-		scripts/benchcmp.sh BENCH_6.load.json "${tmp%.json}.load.json"
+		scripts/benchcmp.sh BENCH_7.load.json "${tmp%.json}.load.json"
 fi
 
 echo "== ci: OK"

@@ -145,7 +145,7 @@ func TestParallelGeneratedSoak(t *testing.T) {
 		{MaxNodes: 150, MaxDepth: 10},              // default mix
 	}
 	for it := 0; it < iterations; it++ {
-		doc := &Document{d: testutil.RandomDocShaped(rng, shapes[it%len(shapes)], nil)}
+		doc := newDocument(testutil.RandomDocShaped(rng, shapes[it%len(shapes)], nil))
 		pat := testutil.RandomPattern(rng, 4, nil)
 		q := &Query{pat}
 		want := EvaluateDirect(doc, q)

@@ -1,0 +1,183 @@
+package viewjoin
+
+import (
+	"fmt"
+
+	"viewjoin/internal/maintain"
+	"viewjoin/internal/store"
+	"viewjoin/internal/xmltree"
+)
+
+// UpdateOp selects a document update operation. All operations splice a
+// whole subtree: the region-labelled tree stays dense, so every evaluation
+// engine and storage scheme works unchanged on the updated snapshot.
+type UpdateOp int
+
+const (
+	// InsertBefore inserts the fragment as the target's immediately
+	// preceding sibling. The target must not be the root.
+	InsertBefore UpdateOp = iota
+	// AppendChild appends the fragment as the target's last child.
+	AppendChild
+	// DeleteSubtree removes the target and everything below it. The target
+	// must not be the root.
+	DeleteSubtree
+)
+
+// String names the operation.
+func (op UpdateOp) String() string {
+	switch op {
+	case InsertBefore:
+		return "insert-before"
+	case AppendChild:
+		return "append-child"
+	case DeleteSubtree:
+		return "delete-subtree"
+	default:
+		return fmt.Sprintf("UpdateOp(%d)", int(op))
+	}
+}
+
+// Update describes one subtree update against a document's current
+// snapshot.
+type Update struct {
+	Op UpdateOp
+	// TargetStart addresses the target node by its start label in the
+	// document's current snapshot (Node.Start of any query result row, so
+	// results address update targets directly).
+	TargetStart int32
+	// Fragment is the subtree to insert, parsed or generated as its own
+	// Document; its root becomes the inserted subtree's root. nil for
+	// DeleteSubtree, required otherwise.
+	Fragment *Document
+}
+
+// AppliedUpdate is the outcome of a successful Document.Apply: an opaque
+// descriptor of the splice, consumed by MaterializedView.Maintain to
+// repair views incrementally. It is tied to the exact epoch transition it
+// performed — maintaining a view that is not at the predecessor epoch
+// fails with *EpochMismatchError.
+type AppliedUpdate struct {
+	au    *xmltree.Applied
+	epoch uint64 // the document epoch this update produced
+	doc   *Document
+}
+
+// Epoch returns the document epoch the update produced (the predecessor
+// snapshot's epoch plus one).
+func (u *AppliedUpdate) Epoch() uint64 { return u.epoch }
+
+// EpochMismatchError reports a snapshot disagreement: a view that does not
+// reflect the document snapshot an operation needs — Prepare against a
+// view left behind by an Apply, or Maintain with an update that does not
+// start at the view's epoch. The caller resolves it by maintaining the
+// view through the missing updates (or re-materializing it) and retrying.
+type EpochMismatchError struct {
+	// ViewEpoch and DocEpoch are the view's epoch and the epoch the
+	// operation needed.
+	ViewEpoch, DocEpoch uint64
+	// View is the view's pattern.
+	View string
+}
+
+func (e *EpochMismatchError) Error() string {
+	return fmt.Sprintf("viewjoin: view %s is at epoch %d, document snapshot is at epoch %d; maintain or re-materialize the view",
+		e.View, e.ViewEpoch, e.DocEpoch)
+}
+
+// Apply installs u as the document's next snapshot and returns the splice
+// descriptor for view maintenance. The previous snapshot is untouched:
+// views, prepared queries and in-flight evaluations keep reading it until
+// they are maintained or re-prepared. Apply calls are serialized
+// internally; readers never block.
+func (d *Document) Apply(u Update) (*AppliedUpdate, error) {
+	d.w.Lock()
+	defer d.w.Unlock()
+	snap := d.snap()
+	var op xmltree.UpdateOp
+	switch u.Op {
+	case InsertBefore:
+		op = xmltree.OpInsertBefore
+	case AppendChild:
+		op = xmltree.OpAppendChild
+	case DeleteSubtree:
+		op = xmltree.OpDeleteSubtree
+	default:
+		return nil, fmt.Errorf("viewjoin: unknown update op %v", u.Op)
+	}
+	target := snap.tree.FindByStart(u.TargetStart)
+	if target < 0 {
+		return nil, fmt.Errorf("viewjoin: update target start %d not in document", u.TargetStart)
+	}
+	var frag *xmltree.Document
+	if u.Fragment != nil {
+		frag = u.Fragment.tree()
+	}
+	au, err := snap.tree.Apply(xmltree.Update{Op: op, Target: target, Fragment: frag})
+	if err != nil {
+		return nil, fmt.Errorf("viewjoin: apply %v: %w", u.Op, err)
+	}
+	next := &docSnap{tree: au.New, epoch: snap.epoch + 1}
+	d.cur.Store(next)
+	return &AppliedUpdate{au: au, epoch: next.epoch, doc: d}, nil
+}
+
+// MaintainReport describes how a view was maintained.
+type MaintainReport struct {
+	// FastPath reports the pure label-splice path: the update touched no
+	// node of any view-label type, so membership and all pointers were
+	// provably unchanged and only label pages were rewritten.
+	FastPath bool
+	// SharedPages of TotalPages in the maintained store are shared with the
+	// predecessor by identity — the copy-on-write win over re-materializing.
+	SharedPages, TotalPages int
+	// Compacted reports that the maintenance tripped the overlay's
+	// compaction policy and flattened the delta chain into a clean
+	// container.
+	Compacted bool
+}
+
+// Maintain repairs the view in place of re-materializing it, making it
+// reflect the document snapshot u produced. The view must be at u's
+// predecessor epoch (apply updates and maintain in order; otherwise
+// *EpochMismatchError). The previously published store is untouched, so
+// concurrent readers and prepared queries at the old epoch stay
+// consistent; the maintained store shares every unmodified page with it
+// copy-on-write.
+//
+// Views loaded through a storage backend (OpenView, LoadViewBytes,
+// LoadViewMmap) cannot be maintained: their pages alias the backend's
+// container image, whose lifetime Release controls. Reload them from a
+// store saved at the new epoch instead.
+func (v *MaterializedView) Maintain(u *AppliedUpdate) (MaintainReport, error) {
+	if u == nil || u.doc == nil {
+		return MaintainReport{}, fmt.Errorf("viewjoin: Maintain needs an AppliedUpdate from Document.Apply")
+	}
+	if v.doc != u.doc {
+		return MaintainReport{}, fmt.Errorf("viewjoin: view %s belongs to a different document", v.pattern)
+	}
+	if v.backend != nil {
+		return MaintainReport{}, fmt.Errorf("viewjoin: view %s is backend-loaded and cannot be maintained; reload it at the new epoch", v.pattern)
+	}
+	d := v.doc
+	d.w.Lock()
+	defer d.w.Unlock()
+	st := v.st()
+	if st.tree != u.au.Old {
+		return MaintainReport{}, &EpochMismatchError{ViewEpoch: st.epoch, DocEpoch: u.epoch - 1, View: v.pattern.String()}
+	}
+	next, rep, err := maintain.View(st.store, u.au)
+	if err != nil {
+		return MaintainReport{}, err
+	}
+	v.overlay.Install(next, store.Delta{
+		Epoch: u.epoch, Pivot: u.au.Pivot, Shift: u.au.Delta, Rebuilt: !rep.FastPath,
+	})
+	out := MaintainReport{FastPath: rep.FastPath, SharedPages: rep.SharedPages, TotalPages: rep.TotalPages}
+	if v.overlay.ShouldCompact() {
+		next = v.overlay.Compact()
+		out.Compacted = true
+	}
+	v.state.Store(&viewState{tree: u.au.New, epoch: u.epoch, store: next})
+	return out, nil
+}

@@ -1,0 +1,201 @@
+package viewjoin
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"viewjoin/internal/testutil"
+)
+
+// TestConcurrentReadersDuringUpdates races every read entry point against
+// the write path under the race detector: reader goroutines continuously
+// Prepare and run (sequential, range-partitioned, streamed) while a writer
+// applies a long update sequence with incremental maintenance — long
+// enough to trip overlay compaction mid-flight. The invariants:
+//
+//   - readers never fail except with the retryable *EpochMismatchError
+//     (a Prepare landing between an Apply and its Maintains),
+//   - every run of one prepared plan is byte-identical to that plan's
+//     sequential result — a plan is pinned to its snapshot, whatever the
+//     writer does concurrently.
+func TestConcurrentReadersDuringUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	doc := newDocument(testutil.RandomDoc(rng, 150, nil))
+	q, err := ParseQuery("//a[//b]//c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	views, err := ParseViews("//a//c; //b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, err := doc.MaterializeViews(views, SchemeLEp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const minUpdates = 40 // past the overlay's compaction threshold
+	stop := make(chan struct{})
+	var runs atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p, err := Prepare(doc, q, mv, EngineViewJoin, nil)
+				if err != nil {
+					var em *EpochMismatchError
+					if errors.As(err, &em) {
+						continue // the writer is mid-transaction; retry
+					}
+					t.Errorf("reader prepare: %v", err)
+					return
+				}
+				seq, err := p.Run()
+				if err != nil {
+					t.Errorf("reader run: %v", err)
+					return
+				}
+				par, err := p.RunParallel(context.Background(), 3)
+				if err != nil {
+					t.Errorf("reader parallel: %v", err)
+					return
+				}
+				if !identicalMatches(par, seq) {
+					t.Errorf("parallel run diverged from sequential on one snapshot: %d vs %d",
+						len(par.Matches), len(seq.Matches))
+					return
+				}
+				streamed := 0
+				if _, err := p.RunStream(context.Background(), &StreamOptions{}, func([]Node) bool {
+					streamed++
+					return true
+				}); err != nil {
+					t.Errorf("reader stream: %v", err)
+					return
+				}
+				if streamed != len(seq.Matches) {
+					t.Errorf("stream yielded %d rows, sequential has %d", streamed, len(seq.Matches))
+					return
+				}
+				runs.Add(1)
+			}
+		}()
+	}
+
+	// The writer keeps updating until the soak has covered what it is here
+	// to cover: the compaction threshold crossed and a healthy number of
+	// complete reader runs overlapped with live maintenance.
+	wrng := rand.New(rand.NewSource(22))
+	compactions, applied := 0, 0
+	for applied < minUpdates || compactions == 0 || runs.Load() < 20 {
+		if applied >= 20000 {
+			break
+		}
+		u := randomPublicUpdate(wrng, doc)
+		au, err := doc.Apply(u)
+		if err != nil {
+			t.Fatalf("update %d: apply: %v", applied, err)
+		}
+		for vi, v := range mv {
+			rep, err := v.Maintain(au)
+			if err != nil {
+				t.Fatalf("update %d: maintain view %d: %v", applied, vi, err)
+			}
+			if rep.Compacted {
+				compactions++
+			}
+		}
+		applied++
+	}
+	close(stop)
+	wg.Wait()
+
+	if compactions == 0 {
+		t.Fatalf("%d updates triggered no compaction; the race never covered Compact under readers", applied)
+	}
+	if runs.Load() == 0 {
+		t.Fatal("readers completed no runs while the writer was active")
+	}
+	// Quiesced, everything agrees with the oracle.
+	res, err := Evaluate(doc, q, mv, EngineViewJoin, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameMatches(res, EvaluateDirect(doc, q)) {
+		t.Fatal("post-soak evaluation disagrees with oracle")
+	}
+}
+
+// TestConcurrentPinnedReaderNeverMoves races one long-lived prepared plan
+// against the writer: every re-run of the pinned plan, interleaved with
+// updates and maintenance on other goroutine, must return the byte-exact
+// pre-update result.
+func TestConcurrentPinnedReaderNeverMoves(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	doc := newDocument(testutil.RandomDoc(rng, 120, nil))
+	q, err := ParseQuery("//a//b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	views, err := ParseViews("//a//b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, err := doc.MaterializeViews(views, SchemeLEp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, err := Prepare(doc, q, mv, EngineViewJoin, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res0, err := p0.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wrng := rand.New(rand.NewSource(32))
+		for i := 0; i < 25; i++ {
+			au, err := doc.Apply(randomPublicUpdate(wrng, doc))
+			if err != nil {
+				t.Errorf("writer apply: %v", err)
+				return
+			}
+			for _, v := range mv {
+				if _, err := v.Maintain(au); err != nil {
+					t.Errorf("writer maintain: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		res, err := p0.Run()
+		if err != nil {
+			t.Fatalf("pinned run: %v", err)
+		}
+		if !identicalMatches(res, res0) {
+			t.Fatalf("pinned plan observed post-update state: %d vs %d matches",
+				len(res.Matches), len(res0.Matches))
+		}
+	}
+}

@@ -31,6 +31,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"viewjoin/internal/dataset/nasa"
@@ -44,10 +46,42 @@ import (
 	"viewjoin/internal/xmltree"
 )
 
-// Document is an XML document as a region-labelled element tree.
+// Document is an XML document as a region-labelled element tree. A
+// Document is a handle over an immutable snapshot chain: Apply installs a
+// new snapshot (epoch+1) without touching the old one, so views, prepared
+// queries and in-flight evaluations opened against an earlier epoch keep
+// reading a consistent tree. All methods are safe for concurrent use; the
+// single writer (Apply) is serialized internally.
 type Document struct {
-	d *xmltree.Document
+	w   sync.Mutex // serializes Apply and view maintenance
+	cur atomic.Pointer[docSnap]
 }
+
+// docSnap is one immutable document snapshot: the tree plus the update
+// epoch that produced it (0 for a freshly parsed or generated document).
+type docSnap struct {
+	tree  *xmltree.Document
+	epoch uint64
+}
+
+// newDocument wraps a tree in a fresh handle at epoch 0.
+func newDocument(t *xmltree.Document) *Document {
+	d := &Document{}
+	d.cur.Store(&docSnap{tree: t})
+	return d
+}
+
+// snap returns the current immutable snapshot.
+func (d *Document) snap() *docSnap { return d.cur.Load() }
+
+// tree returns the current snapshot's tree.
+func (d *Document) tree() *xmltree.Document { return d.snap().tree }
+
+// Epoch returns the number of updates applied to the document: 0 for a
+// freshly parsed or generated document, incremented by every successful
+// Apply. Views record the epoch they reflect, so a comparison against the
+// document epoch tells whether a view is stale.
+func (d *Document) Epoch() uint64 { return d.snap().epoch }
 
 // ParseDocument parses an XML document from r. Only element structure is
 // retained; text, attributes and comments are ignored (tree pattern
@@ -57,7 +91,7 @@ func ParseDocument(r io.Reader) (*Document, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Document{d}, nil
+	return newDocument(d), nil
 }
 
 // ParseDocumentString parses an XML document from a string.
@@ -66,28 +100,28 @@ func ParseDocumentString(s string) (*Document, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Document{d}, nil
+	return newDocument(d), nil
 }
 
 // GenerateXMark builds a deterministic XMark-like auction document.
 // scale = 1.0 corresponds to the paper's standard ~100MB document in shape
 // (see DESIGN.md for the substitution notes); size grows linearly.
 func GenerateXMark(scale float64) *Document {
-	return &Document{xmark.Scale(scale)}
+	return newDocument(xmark.Scale(scale))
 }
 
 // GenerateNasa builds a deterministic Nasa-like document with the skewed
 // element distribution of the paper's real dataset. datasets <= 0 selects
 // the default size (≈ the paper's 23MB document in shape).
 func GenerateNasa(datasets int) *Document {
-	return &Document{nasa.Generate(nasa.Config{Datasets: datasets})}
+	return newDocument(nasa.Generate(nasa.Config{Datasets: datasets}))
 }
 
-// NumNodes returns the number of element nodes.
-func (d *Document) NumNodes() int { return d.d.NumNodes() }
+// NumNodes returns the number of element nodes in the current snapshot.
+func (d *Document) NumNodes() int { return d.tree().NumNodes() }
 
-// WriteXML serializes the document's element structure as XML.
-func (d *Document) WriteXML(w io.Writer) error { return xmltree.Write(w, d.d) }
+// WriteXML serializes the current snapshot's element structure as XML.
+func (d *Document) WriteXML(w io.Writer) error { return xmltree.Write(w, d.tree()) }
 
 // Node describes one element node in a result.
 type Node struct {
@@ -188,15 +222,45 @@ func (s StorageScheme) kind() store.Kind {
 }
 
 // MaterializedView is one view materialized over a document and laid out
-// on the simulated paged store.
+// on the simulated paged store. Like its Document, a view is a handle over
+// an immutable state chain: Maintain installs a successor store (sharing
+// unmodified pages copy-on-write) without touching the published one, so
+// concurrent readers and prepared queries keep a consistent snapshot.
 type MaterializedView struct {
 	doc     *Document
 	pattern *tpq.Pattern
-	mat     *views.Materialized
-	store   *store.ViewStore
 	// backend owns the container image loaded views slice from (nil for
 	// views materialized in memory); Release unwinds it.
 	backend store.Backend
+	// overlay tracks the copy-on-write store chain for maintenance; it is
+	// writer-owned and mutated only under doc.w. nil for backend-loaded
+	// views (which cannot be maintained — see Maintain).
+	overlay *store.Overlay
+	state   atomic.Pointer[viewState]
+}
+
+// viewState is one immutable published state of a view: the store, the
+// document snapshot it reflects, and (for freshly materialized views) the
+// in-memory materialization.
+type viewState struct {
+	tree  *xmltree.Document
+	epoch uint64
+	mat   *views.Materialized // nil after LoadView or Maintain
+	store *store.ViewStore
+}
+
+// st returns the view's current immutable state.
+func (v *MaterializedView) st() *viewState { return v.state.Load() }
+
+// newView publishes a view's initial state over one document snapshot.
+func newView(doc *Document, snap *docSnap, pattern *tpq.Pattern, mat *views.Materialized,
+	st *store.ViewStore, be store.Backend) *MaterializedView {
+	v := &MaterializedView{doc: doc, pattern: pattern, backend: be}
+	if be == nil {
+		v.overlay = store.NewOverlay(st)
+	}
+	v.state.Store(&viewState{tree: snap.tree, epoch: snap.epoch, mat: mat, store: st})
+	return v
 }
 
 // MaterializeOptions tunes view materialization.
@@ -208,11 +272,17 @@ type MaterializeOptions struct {
 // MaterializeView computes the view's matches over the document and lays
 // the result out in the given storage scheme.
 func (d *Document) MaterializeView(view *Query, scheme StorageScheme, opts *MaterializeOptions) (*MaterializedView, error) {
+	return d.materializeViewAt(d.snap(), view, scheme, opts)
+}
+
+// materializeViewAt materializes over one captured snapshot, so a view set
+// built concurrently with updates still binds to a single epoch.
+func (d *Document) materializeViewAt(snap *docSnap, view *Query, scheme StorageScheme, opts *MaterializeOptions) (*MaterializedView, error) {
 	pageSize := 0
 	if opts != nil {
 		pageSize = opts.PageSize
 	}
-	mat, err := views.Materialize(d.d, view.p)
+	mat, err := views.Materialize(snap.tree, view.p)
 	if err != nil {
 		return nil, err
 	}
@@ -220,7 +290,7 @@ func (d *Document) MaterializeView(view *Query, scheme StorageScheme, opts *Mate
 	if err != nil {
 		return nil, err
 	}
-	return &MaterializedView{doc: d, pattern: view.p, mat: mat, store: st}, nil
+	return newView(d, snap, view.p, mat, st, nil), nil
 }
 
 // MaterializeViews materializes a whole view set in one scheme. The views
@@ -229,10 +299,11 @@ func (d *Document) MaterializeView(view *Query, scheme StorageScheme, opts *Mate
 // of the lowest-indexed failing view is returned, so the result is
 // deterministic regardless of scheduling.
 func (d *Document) MaterializeViews(views []*Query, scheme StorageScheme) ([]*MaterializedView, error) {
+	snap := d.snap()
 	out := make([]*MaterializedView, len(views))
 	errs := make([]error, len(views))
 	parallelFor(len(views), func(i int) {
-		mv, err := d.MaterializeView(views[i], scheme, nil)
+		mv, err := d.materializeViewAt(snap, views[i], scheme, nil)
 		if err != nil {
 			errs[i] = fmt.Errorf("view %s: %w", views[i], err)
 			return
@@ -252,7 +323,7 @@ func (v *MaterializedView) Pattern() *Query { return &Query{v.pattern} }
 
 // Scheme returns the view's storage scheme.
 func (v *MaterializedView) Scheme() StorageScheme {
-	switch v.store.Kind {
+	switch v.st().store.Kind {
 	case store.Tuple:
 		return SchemeTuple
 	case store.Element:
@@ -264,28 +335,35 @@ func (v *MaterializedView) Scheme() StorageScheme {
 	}
 }
 
+// Epoch returns the document epoch the view's published store reflects.
+// It equals the owning document's Epoch exactly when the view is current;
+// Maintain advances it.
+func (v *MaterializedView) Epoch() uint64 { return v.st().epoch }
+
 // SizeBytes returns the on-disk size (page-granular).
-func (v *MaterializedView) SizeBytes() int64 { return v.store.SizeBytes() }
+func (v *MaterializedView) SizeBytes() int64 { return v.st().store.SizeBytes() }
 
 // NumPointers returns the number of materialized pointers (0 for T/E).
-func (v *MaterializedView) NumPointers() int { return v.store.NumPointers() }
+func (v *MaterializedView) NumPointers() int { return v.st().store.NumPointers() }
 
 // NumEntries returns the number of records (list entries, or tuples for
 // the tuple scheme).
-func (v *MaterializedView) NumEntries() int { return v.store.TotalEntries() }
+func (v *MaterializedView) NumEntries() int { return v.st().store.TotalEntries() }
 
 // ListSizes returns |L_q| per view node — the inputs of the §V cost model.
-// For element-family views it is available even after LoadView; for loaded
-// tuple views (which store whole matches, not per-node lists) it is nil.
+// For element-family views it is available even after LoadView or Maintain;
+// for loaded tuple views (which store whole matches, not per-node lists) it
+// is nil.
 func (v *MaterializedView) ListSizes() []int {
-	if v.mat != nil {
-		return v.mat.ListSizes()
+	s := v.st()
+	if s.mat != nil {
+		return s.mat.ListSizes()
 	}
-	if len(v.store.Lists) == 0 {
+	if len(s.store.Lists) == 0 {
 		return nil
 	}
-	out := make([]int, len(v.store.Lists))
-	for i, l := range v.store.Lists {
+	out := make([]int, len(s.store.Lists))
+	for i, l := range s.store.Lists {
 		out[i] = l.Entries()
 	}
 	return out
@@ -582,13 +660,14 @@ func interJoinPlan(q *tpq.Pattern, patterns []*tpq.Pattern, stores []*store.View
 // EvaluateDirect answers q by brute force without views — the reference
 // evaluator, useful for validating view-based plans.
 func EvaluateDirect(d *Document, q *Query) *Result {
-	ms := oracle.Eval(d.d, q.p)
+	t := d.tree()
+	ms := oracle.Eval(t, q.p)
 	res := &Result{Matches: make([][]Node, len(ms))}
 	for i, m := range ms {
 		row := make([]Node, len(m))
 		for j, id := range m {
-			n := d.d.Node(id)
-			row[j] = Node{Tag: d.d.TypeName(n.Type), Start: n.Start, End: n.End, Level: n.Level}
+			n := t.Node(id)
+			row[j] = Node{Tag: t.TypeName(n.Type), Start: n.Start, End: n.End, Level: n.Level}
 		}
 		res.Matches[i] = row
 	}
